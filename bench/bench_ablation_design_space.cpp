@@ -1,0 +1,205 @@
+// Ablation E12 — design-space knobs called out in Section II:
+//   * combined-MAC on/off (throughput and packing-safety trade),
+//   * PE-array geometry sweep (resources and peak throughput),
+//   * PSU depth / maximum stream length (Eqn 9 efficiency),
+//   * bfp mantissa width sweep (accuracy vs the 8-bit design point).
+#include <iostream>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "dsp/packing.hpp"
+#include "fabric/memory_interface.hpp"
+#include "fabric/pipeline.hpp"
+#include "fabric/system.hpp"
+#include "numerics/quantizer.hpp"
+#include "pu/processing_unit.hpp"
+#include "resource/designs.hpp"
+
+int main() {
+  using namespace bfpsim;
+  Rng rng(99);
+
+  // ---- combined MAC ----
+  std::cout << "A) Combined-MAC optimization (Fig. 3)\n\n";
+  {
+    TextTable t({"combined MAC", "unit peak GOPS (Eqn 7)",
+                 "GEMM cycles (512x512x512)", "packing safe @8 rows"});
+    for (bool cm : {false, true}) {
+      PuConfig cfg;
+      cfg.array.combined_mac = cm;
+      t.add_row({cm ? "on" : "off",
+                 fmt_double(ProcessingUnit::bfp_peak_ops(cfg) / 1e9, 1),
+                 std::to_string(ProcessingUnit::gemm_cycles(cfg, 512, 512,
+                                                            512)),
+                 cm ? (packed_accumulation_safe(8, 127) ? "yes (sym. "
+                                                          "mantissa)"
+                                                        : "NO")
+                    : "n/a"});
+    }
+    std::cout << t << "\n";
+  }
+
+  // ---- geometry sweep ----
+  std::cout << "B) PE-array geometry sweep (resources vs peak)\n\n";
+  {
+    TextTable t({"array", "DSP", "LUT", "FF", "peak GOPS",
+                 "GOPS/DSP"});
+    for (int dim : {4, 8, 16}) {
+      PuConfig cfg;
+      cfg.array.rows = dim;
+      cfg.array.cols = dim;
+      cfg.array.combined_mac = dim <= 8;  // packing unsafe beyond 8 rows
+      const Resources r =
+          assessed_subset(DesignVariant::kMultiMode, dim, dim).total();
+      const double peak = ProcessingUnit::bfp_peak_ops(cfg) / 1e9;
+      t.add_row({std::to_string(dim) + "x" + std::to_string(dim),
+                 fmt_double(r.dsp, 0), fmt_double(r.lut, 0),
+                 fmt_double(r.ff, 0), fmt_double(peak, 1),
+                 fmt_double(peak / r.dsp, 2)});
+    }
+    std::cout << t << "\n";
+    std::cout << "  (combined-MAC disabled beyond 8 rows: the 18-bit packed "
+                 "lane overflows — Section II-B)\n\n";
+  }
+
+  // ---- stream length / PSU depth ----
+  std::cout << "C) Stream-length efficiency (Eqn 9; PSU depth limits N_X "
+               "to 64)\n\n";
+  {
+    PuConfig cfg;
+    TextTable t({"N_X", "cycles/block", "efficiency"});
+    for (int n_x : {1, 4, 8, 16, 32, 64}) {
+      const auto cyc = ProcessingUnit::bfp_run_cycles(cfg.array, n_x);
+      const double eff = static_cast<double>(8 * n_x) /
+                         static_cast<double>(cyc);
+      t.add_row({std::to_string(n_x),
+                 fmt_double(static_cast<double>(cyc) / n_x, 2),
+                 fmt_percent(100.0 * eff, 2)});
+    }
+    std::cout << t << "\n";
+    std::cout << "  (paper: up to 97.15% of peak at N_X = 64)\n\n";
+  }
+
+  // ---- mantissa width sweep ----
+  std::cout << "D) bfp mantissa width vs GEMM accuracy (64x256x64, "
+               "outlier-channel activations)\n\n";
+  {
+    const int m = 64;
+    const int k = 256;
+    const int n = 64;
+    std::vector<float> a(static_cast<std::size_t>(m) * k);
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < k; ++j) {
+        float v = rng.normal(0.0F, 1.0F);
+        if (j < 6) v *= 20.0F;
+        a[static_cast<std::size_t>(i) * k + j] = v;
+      }
+    }
+    const auto w =
+        rng.normal_vec(static_cast<std::size_t>(k) * n, 0.0F, 0.05F);
+    std::vector<float> ref(static_cast<std::size_t>(m) * n);
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (int x = 0; x < k; ++x) {
+          acc += static_cast<double>(a[static_cast<std::size_t>(i) * k + x]) *
+                 w[static_cast<std::size_t>(x) * n + j];
+        }
+        ref[static_cast<std::size_t>(i) * n + j] = static_cast<float>(acc);
+      }
+    }
+    TextTable t({"mantissa bits", "GEMM SNR vs fp32 (dB)"});
+    for (int bits : {4, 6, 8, 10, 12}) {
+      BfpFormat fmt = bfp8_format();
+      fmt.mant_bits = bits;
+      const BfpMatrix am = quantize_matrix(a, m, k, fmt);
+      const BfpMatrix bm = quantize_matrix(w, k, n, fmt);
+      const auto c = bfp_gemm_reference(am, bm, m, n, /*psu_bits=*/40);
+      t.add_row({std::to_string(bits),
+                 fmt_double(compute_error_stats(c, ref).snr_db, 2)});
+    }
+    std::cout << t << "\n";
+    std::cout << "  (8-bit mantissas sit at the knee: the design point the "
+                 "paper picks for bfp8)\n\n";
+  }
+
+  // ---- double buffering (event-driven pipeline) ----
+  std::cout << "E) Operand double-buffering (event-driven timeline vs the "
+               "analytic overlap model)\n\n";
+  {
+    const HbmConfig hbm;
+    const MemoryInterface mem(hbm, 2);
+    const PeArrayConfig arr;
+    TextTable t({"N_X", "single-buffer cyc/pass", "double-buffer cyc/pass",
+                 "analytic model", "compute-only"});
+    for (int n_x : {8, 16, 32, 64}) {
+      const std::uint64_t compute =
+          ProcessingUnit::bfp_run_cycles(arr, n_x);
+      const PassIo io = mem.bfp_pass(n_x, compute, true);
+      const std::uint64_t load = io.io_cycles / 5;
+      const std::uint64_t store = io.io_cycles - load;
+      const std::vector<PassSpec> passes(16, {load, compute, store});
+      const auto db = simulate_pipeline(passes, true).total_cycles / 16;
+      const auto sb = simulate_pipeline(passes, false).total_cycles / 16;
+      t.add_row({std::to_string(n_x), std::to_string(sb),
+                 std::to_string(db), std::to_string(io.exposed_cycles),
+                 std::to_string(compute)});
+    }
+    std::cout << t;
+    std::cout << "  (the analytic exposed-cycles model tracks the "
+                 "double-buffered schedule; without\n   double buffering "
+                 "every transfer is exposed — the Section II-D "
+                 "Y-stationary rationale)\n\n";
+  }
+
+  // ---- quantizer rounding modes ----
+  std::cout << "F) Quantizer rounding mode vs GEMM accuracy (the "
+               "'renormalized and truncated' choice of Section II-A)\n\n";
+  {
+    const int m = 64;
+    const int k = 256;
+    const int n = 64;
+    const auto a =
+        rng.normal_vec(static_cast<std::size_t>(m) * k, 0.0F, 1.0F);
+    const auto w =
+        rng.normal_vec(static_cast<std::size_t>(k) * n, 0.0F, 0.05F);
+    std::vector<float> ref(static_cast<std::size_t>(m) * n);
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (int x = 0; x < k; ++x) {
+          acc += static_cast<double>(a[static_cast<std::size_t>(i) * k + x]) *
+                 w[static_cast<std::size_t>(x) * n + j];
+        }
+        ref[static_cast<std::size_t>(i) * n + j] = static_cast<float>(acc);
+      }
+    }
+    TextTable t({"quantizer rounding", "GEMM SNR vs fp32 (dB)",
+                 "extra hardware"});
+    const struct {
+      RoundMode mode;
+      const char* name;
+      const char* hw;
+    } modes[] = {
+        {RoundMode::kTruncate, "truncate", "none"},
+        {RoundMode::kHalfAway, "half-away (add half-ulp)", "1 adder"},
+        {RoundMode::kNearestEven, "round-to-nearest-even", "adder + tie logic"},
+    };
+    for (const auto& mcase : modes) {
+      PuConfig cfg;
+      cfg.quant_round = mcase.mode;
+      ProcessingUnit pu(cfg);
+      const auto c = pu.gemm_bfp8_fast(a, m, k, w, n).c;
+      t.add_row({mcase.name,
+                 fmt_double(compute_error_stats(c, ref).snr_db, 2),
+                 mcase.hw});
+    }
+    std::cout << t;
+    std::cout << "  (rounding buys ~6 dB over pure truncation for one adder "
+                 "and a tie check —\n   worth it in the quantizer, which "
+                 "is instantiated once per unit)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// System-level serving bench: batch throughput across the 15 independent
+// units (Section III-A: parallel units "running with independent
+// instructions"), plus an LPT scheduling demonstration on a mixed layer
+// set.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "fabric/scheduler.hpp"
+#include "transformer/serving.hpp"
+
+int main() {
+  using namespace bfpsim;
+  const AcceleratorSystem sys;
+
+  std::cout << "BATCH SERVING on " << sys.config().num_units
+            << " independent units\n\n";
+
+  for (const VitConfig& cfg : {deit_tiny(), deit_small()}) {
+    std::cout << cfg.name << " (per-image latency "
+              << fmt_double(batch_transformer_throughput(cfg, sys, 1)
+                                .latency_ms_per_image,
+                            2)
+              << " ms on one unit):\n\n";
+    TextTable t({"batch", "makespan (ms)", "images/s", "utilization"});
+    for (int batch : {1, 4, 8, 15, 16, 30, 60}) {
+      const BatchResult r = batch_transformer_throughput(cfg, sys, batch);
+      t.add_row({std::to_string(batch),
+                 fmt_double(static_cast<double>(r.makespan_cycles) /
+                                sys.config().pu.freq_hz * 1e3,
+                            2),
+                 fmt_double(r.images_per_second, 1),
+                 fmt_percent(100.0 * r.utilization, 1)});
+    }
+    std::cout << t << "\n";
+  }
+  std::cout << "Throughput scales linearly to the unit count, then in "
+               "whole rounds — the\nexpected profile for whole-image-"
+               "per-unit placement (weights stay resident,\nno cross-unit "
+               "traffic).\n\n";
+
+  // LPT on a heterogeneous layer mix (pipeline-parallel alternative).
+  std::cout << "LPT scheduling of one DeiT-Small block's layers across 4 "
+               "units (layer-parallel mode):\n\n";
+  const VitConfig cfg = deit_small();
+  const int t = cfg.tokens();
+  const int d = cfg.embed_dim;
+  std::vector<WorkItem> layers = {
+      {"QKV", sys.gemm_latency(t, d, 3 * d).cycles},
+      {"scores", sys.gemm_latency(t, cfg.head_dim(), t).cycles *
+                     static_cast<std::uint64_t>(cfg.num_heads)},
+      {"attn*V", sys.gemm_latency(t, t, cfg.head_dim()).cycles *
+                     static_cast<std::uint64_t>(cfg.num_heads)},
+      {"proj", sys.gemm_latency(t, d, d).cycles},
+      {"fc1", sys.gemm_latency(t, d, cfg.mlp_hidden()).cycles},
+      {"fc2", sys.gemm_latency(t, cfg.mlp_hidden(), d).cycles},
+  };
+  const ScheduleResult s = schedule_lpt(layers, 4);
+  TextTable t2({"unit", "assigned layers", "cycles"});
+  for (const UnitAssignment& u : s.units) {
+    std::string names;
+    for (const std::size_t i : u.items) {
+      if (!names.empty()) names += ", ";
+      names += layers[i].name;
+    }
+    t2.add_row({std::to_string(u.unit), names, std::to_string(u.cycles)});
+  }
+  std::cout << t2;
+  std::cout << "  makespan " << s.makespan << " cycles, utilization "
+            << fmt_percent(100.0 * s.utilization, 1)
+            << " (data dependences ignored here — an upper bound the real "
+               "compiler\n   would refine; batch mode above needs none of "
+               "this).\n";
+  return 0;
+}

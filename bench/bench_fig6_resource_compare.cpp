@@ -1,0 +1,81 @@
+// Fig. 6 — resource utilization of four PE-array designs (int8, bfp8-only,
+// proposed multi-mode, individual bfp8 + fp32 units), normalized to int8,
+// plus the Section I ratio claims.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "resource/designs.hpp"
+
+int main() {
+  using namespace bfpsim;
+  std::cout << "FIG. 6: Resource utilizations of different processing unit "
+               "designs\n(assessed subset: PE array + exponent unit + "
+               "shifters + controller;\n normalized to the int8 design)\n\n";
+
+  const DesignVariant variants[] = {
+      DesignVariant::kInt8, DesignVariant::kBfp8Only,
+      DesignVariant::kMultiMode, DesignVariant::kIndividual};
+  const Resources base = assessed_subset(DesignVariant::kInt8).total();
+
+  TextTable t({"Design", "LUT", "FF", "DSP", "LUT(norm)", "FF(norm)",
+               "DSP(norm)"});
+  for (const DesignVariant v : variants) {
+    const Resources r = assessed_subset(v).total();
+    const Resources n = r.normalized_to(base);
+    t.add_row({design_name(v), fmt_double(r.lut, 0), fmt_double(r.ff, 0),
+               fmt_double(r.dsp, 0), fmt_ratio(n.lut), fmt_ratio(n.ff),
+               fmt_ratio(n.dsp)});
+  }
+  std::cout << t << "\n";
+
+  // ASCII bar rendition of the normalized resources (the figure itself).
+  double vmax = 0.0;
+  for (const DesignVariant v : variants) {
+    const Resources n = assessed_subset(v).total().normalized_to(base);
+    vmax = std::max({vmax, n.lut, n.ff, n.dsp});
+  }
+  for (const char* res : {"LUT", "FF", "DSP"}) {
+    std::cout << res << ":\n";
+    for (const DesignVariant v : variants) {
+      const Resources n = assessed_subset(v).total().normalized_to(base);
+      const double val = std::string(res) == "LUT"  ? n.lut
+                         : std::string(res) == "FF" ? n.ff
+                                                    : n.dsp;
+      char label[32];
+      std::snprintf(label, sizeof label, "  %-22s", design_name(v));
+      std::cout << ascii_bar(label, val, vmax, 40, "x") << "\n";
+    }
+  }
+
+  const Resources int8 = assessed_subset(DesignVariant::kInt8).total();
+  const Resources bfp8 = assessed_subset(DesignVariant::kBfp8Only).total();
+  const Resources multi = assessed_subset(DesignVariant::kMultiMode).total();
+  const Resources indiv =
+      assessed_subset(DesignVariant::kIndividual).total();
+
+  std::cout << "\nClaim checks (model vs paper):\n";
+  std::cout << "  bfp8 vs int8:            same DSPs ("
+            << fmt_double(bfp8.dsp, 0) << " = " << fmt_double(int8.dsp, 0)
+            << "), FF " << fmt_ratio(bfp8.ff / int8.ff)
+            << "  (paper: same DSPs, 1.19x FF)\n";
+  std::cout << "  multi-mode PE array LUT: "
+            << fmt_ratio(assessed_subset(DesignVariant::kMultiMode)
+                             .components.front()
+                             .res.lut /
+                         assessed_subset(DesignVariant::kBfp8Only)
+                             .components.front()
+                             .res.lut)
+            << " of bfp8-only (paper: ~2.94x)\n";
+  std::cout << "  multi-mode vs indiv:     saves "
+            << fmt_percent(100.0 * (1.0 - multi.dsp / indiv.dsp), 1)
+            << " DSP, " << fmt_percent(100.0 * (1.0 - multi.ff / indiv.ff), 1)
+            << " FF, " << fmt_percent(100.0 * (1.0 - multi.lut / indiv.lut), 1)
+            << " LUT  (paper: 20.0% / 61.2% / 43.6%)\n";
+  std::cout << "  indiv vs ours:           "
+            << fmt_ratio(indiv.ff / multi.ff) << " FF, "
+            << fmt_ratio(indiv.dsp / multi.dsp)
+            << " DSP  (paper: 2.58x FF, 1.25x DSP)\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Fig. 7 — measured throughput of one processing unit under different
+// workloads vs the theoretical maximum (Eqns 9 / 10):
+//   left:  bfp8 MatMul with N_X in {8, 16, 32, 64}
+//   right: fp32 multiplication with L_fp in {16, 32, 64, 128}
+// "Measured" runs through the cycle model plus the HBM/AXI memory model;
+// "theoretical" is the closed-form equation.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "fabric/system.hpp"
+
+int main() {
+  using namespace bfpsim;
+  const AcceleratorSystem sys;
+  const double peak_bfp = sys.peak_bfp_unit() / 1e9;
+  const double peak_fp = sys.peak_fp32_unit() / 1e9;
+
+  std::cout << "FIG. 7 (left): bfp8 MatMul throughput of one unit "
+               "(2x 8x8 arrays, incl. memory I/O)\n\n";
+  TextTable tb({"N_X", "measured GOPS", "theoretical GOPS (Eqn 9)",
+                "measured/peak", "theoretical/peak"});
+  for (int n_x : {8, 16, 32, 64}) {
+    const double meas = sys.measure_bfp_unit(n_x).ops_per_sec() / 1e9;
+    const double theo = sys.theoretical_bfp_unit(n_x) / 1e9;
+    tb.add_row({std::to_string(n_x), fmt_double(meas, 2),
+                fmt_double(theo, 2), fmt_percent(100.0 * meas / peak_bfp, 1),
+                fmt_percent(100.0 * theo / peak_bfp, 1)});
+  }
+  std::cout << tb;
+  std::cout << "\n  unit peak (Eqn 7 x 2 arrays): " << fmt_double(peak_bfp, 1)
+            << " GOPS\n";
+  for (int n_x : {8, 16, 32, 64}) {
+    const double meas = sys.measure_bfp_unit(n_x).ops_per_sec() / 1e9;
+    char label[16];
+    std::snprintf(label, sizeof label, "  N_X=%-3d", n_x);
+    std::cout << ascii_bar(label, meas, peak_bfp, 40, "GOPS") << "\n";
+  }
+
+  std::cout << "\nFIG. 7 (right): fp32 multiplication throughput of one "
+               "unit (4 lanes, incl. memory I/O)\n\n";
+  TextTable tf({"L_fp", "measured GFLOPS", "theoretical GFLOPS (Eqn 10)",
+                "measured/peak", "theoretical/peak"});
+  for (int l : {16, 32, 64, 128}) {
+    const double meas = sys.measure_fp32_unit(l).ops_per_sec() / 1e9;
+    const double theo = sys.theoretical_fp32_unit(l) / 1e9;
+    tf.add_row({std::to_string(l), fmt_double(meas, 3), fmt_double(theo, 3),
+                fmt_percent(100.0 * meas / peak_fp, 1),
+                fmt_percent(100.0 * theo / peak_fp, 1)});
+  }
+  std::cout << tf;
+  std::cout << "\n  unit peak (Eqn 8, mul+add accounting): "
+            << fmt_double(peak_fp, 1) << " GFLOPS\n";
+  for (int l : {16, 32, 64, 128}) {
+    const double meas = sys.measure_fp32_unit(l).ops_per_sec() / 1e9;
+    char label[16];
+    std::snprintf(label, sizeof label, "  L=%-4d", l);
+    std::cout << ascii_bar(label, meas, peak_fp, 40, "GFLOPS") << "\n";
+  }
+
+  std::cout << "\nSystem-level aggregates (15 units):\n";
+  std::cout << "  bfp8 peak:       " << fmt_double(sys.peak_bfp_system() / 1e9, 1)
+            << " GOPS\n";
+  std::cout << "  bfp8 measured:   "
+            << fmt_double(sys.sustained_bfp_system(64) / 1e9, 2)
+            << " GOPS   (paper: 2052.06 GOPS)\n";
+  std::cout << "  fp32 theoretical:"
+            << fmt_double(sys.theoretical_fp32_system(128) / 1e9, 2)
+            << " GFLOPS (paper: 33.88 GFLOPS)\n";
+  std::cout << "  fp32 measured:   "
+            << fmt_double(sys.sustained_fp32_system(128) / 1e9, 2)
+            << " GFLOPS (paper: 'far from theoretical', ~15 effective in "
+               "Table IV)\n";
+  return 0;
+}

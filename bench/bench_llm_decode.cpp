@@ -1,0 +1,95 @@
+// E19 — LLM decode analysis (the paper's OPT motivation, Section I):
+// autoregressive decoding on the bfp8 system. Two structural findings the
+// ViT case study cannot show:
+//   * bfp8's ~3.94x compression over fp32 (1.97x over fp16) directly
+//     multiplies the largest model that fits HBM (opt-6.7b fits only in
+//     bfp8), and
+//   * the ViT-oriented tiling is a poor decode dataflow: 1-row GEMVs pad
+//     to 8-row blocks and pay per-pass weight-burst overheads, landing
+//     ~12x off the ideal weight stream; batching decode streams recovers
+//     ~3x, but the per-stream KV attention keeps the gap open — the
+//     quantified case for a decode-specific dataflow.
+#include <iostream>
+
+#include <algorithm>
+
+#include "common/table.hpp"
+#include "transformer/decoder.hpp"
+
+int main() {
+  using namespace bfpsim;
+  const AcceleratorSystem sys;
+  const double hbm_gib = 8.0;  // Alveo U280 HBM2
+
+  std::cout << "E19: single-stream LLM decode on the 15-unit system ("
+            << hbm_gib << " GiB HBM, context 1024)\n\n";
+
+  TextTable t({"model", "params", "bfp8 GiB", "fp16 GiB", "fits (bfp8/fp16)",
+               "tokens/s", "ideal-stream tokens/s"});
+  for (const DecoderConfig& cfg :
+       {opt_125m(), opt_350m(), opt_1_3b(), opt_6_7b(), opt_13b()}) {
+    const DecodeAnalysis a = analyze_decode(cfg, sys, hbm_gib);
+    const double ideal =
+        sys.config().pu.freq_hz /
+        static_cast<double>(std::max<std::uint64_t>(1, a.bandwidth_cycles));
+    t.add_row({cfg.name,
+               fmt_double(static_cast<double>(a.params) / 1e6, 0) + "M",
+               fmt_double(a.model_gib_bfp8, 2),
+               fmt_double(a.model_gib_fp16, 2),
+               std::string(a.fits_hbm_bfp8 ? "yes" : "NO") + " / " +
+                   (a.fits_hbm_fp16 ? "yes" : "NO"),
+               fmt_double(a.tokens_per_second, 1),
+               fmt_double(ideal, 1)});
+  }
+  std::cout << t << "\n";
+  std::cout << "Capacity: bfp8's ~3.94x compression is what lets opt-6.7b "
+               "fit the 8 GiB HBM at\nall (fp16 does not) — the paper's "
+               "low-bitwidth argument, LLM edition.\n\n";
+
+  // The GEMV scheduling gap and the batched-decode fix.
+  const DecoderConfig cfg = opt_1_3b();
+  std::cout << "opt-1.3b: batched decode (batch 8 fills the 8-row bfp "
+               "block for the weight GEMMs):\n\n";
+  TextTable t2({"decode batch", "scheduled cyc/step", "ideal-stream "
+               "cyc/step", "schedule gap", "aggregate tokens/s"});
+  for (int batch : {1, 2, 4, 8, 16}) {
+    const DecodeAnalysis a = analyze_decode(cfg, sys, hbm_gib, batch);
+    t2.add_row({std::to_string(batch), std::to_string(a.compute_cycles),
+                std::to_string(a.bandwidth_cycles),
+                fmt_ratio(static_cast<double>(a.compute_cycles) /
+                          static_cast<double>(a.bandwidth_cycles)),
+                fmt_double(a.tokens_per_second, 1)});
+  }
+  std::cout << t2;
+
+  // Prefill vs decode asymmetry.
+  std::cout << "\nopt-1.3b prefill vs decode (prompt 1024):\n\n";
+  TextTable t3({"phase", "time", "sustained GOPS", "of peak"});
+  const PrefillAnalysis pf = analyze_prefill(cfg, sys, 1024);
+  const DecodeAnalysis d1 = analyze_decode(cfg, sys, hbm_gib, 1);
+  t3.add_row({"prefill (1024 tokens)",
+              fmt_double(pf.seconds * 1e3, 1) + " ms",
+              fmt_double(pf.sustained_gops, 0),
+              fmt_percent(100.0 * pf.peak_fraction, 1)});
+  const double dec_s =
+      static_cast<double>(d1.cycles_per_token) / sys.config().pu.freq_hz;
+  t3.add_row({"decode (per token)", fmt_double(dec_s * 1e3, 1) + " ms",
+              fmt_double(2.0 * d1.macs_per_token / dec_s / 1e9, 0),
+              fmt_percent(100.0 * 2.0 * d1.macs_per_token / dec_s /
+                              sys.peak_bfp_system(),
+                          1)});
+  std::cout << t3;
+  std::cout << "  (prefill runs the array like the ViT study -- high "
+               "utilization; decode is the\n   regime the future-work "
+               "dataflow must fix)\n";
+  std::cout << "\nDecode is SCHEDULE-limited, not stream-limited: 1-row "
+               "GEMVs pad to 8-row blocks\nand every tiny pass pays its "
+               "weight-burst overhead (~12x off the ideal stream).\n"
+               "Batching fills the weight-GEMM blocks and lifts aggregate "
+               "throughput ~3x by batch 8,\nbut the per-stream KV "
+               "attention (still 1-row) grows linearly and keeps the gap\n"
+               "open — a quantified argument for a decode-specific "
+               "weight-stationary dataflow,\nthe LLM-era item for the "
+               "paper's future-work list.\n";
+  return 0;
+}

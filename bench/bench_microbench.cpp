@@ -1,0 +1,180 @@
+// google-benchmark microbenchmarks of the simulator's own hot paths: how
+// fast the host simulates the hardware (useful when sizing experiments;
+// not a statement about FPGA performance).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "numerics/bfp.hpp"
+#include "numerics/nonlinear.hpp"
+#include "numerics/quantizer.hpp"
+#include "fabric/pipeline.hpp"
+#include "fabric/system.hpp"
+#include "isa/executor.hpp"
+#include "isa/kernels.hpp"
+#include "numerics/slices.hpp"
+#include "pu/pe_array.hpp"
+#include "pu/processing_unit.hpp"
+#include "transformer/model.hpp"
+
+namespace bfpsim {
+namespace {
+
+void BM_QuantizeBlock(benchmark::State& state) {
+  Rng rng(1);
+  const BfpFormat fmt = bfp8_format();
+  const auto tile = rng.normal_vec(64, 0.0F, 1.0F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quantize_block(tile, fmt));
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_QuantizeBlock);
+
+void BM_BfpBlockMatmul(benchmark::State& state) {
+  Rng rng(2);
+  const BfpFormat fmt = bfp8_format();
+  const BfpBlock x = quantize_block(rng.normal_vec(64, 0.0F, 1.0F), fmt);
+  const BfpBlock y = quantize_block(rng.normal_vec(64, 0.0F, 1.0F), fmt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bfp_matmul_block(x, y));
+  }
+  state.SetItemsProcessed(state.iterations() * 512);  // MACs
+}
+BENCHMARK(BM_BfpBlockMatmul);
+
+void BM_GemmFastPath(benchmark::State& state) {
+  Rng rng(3);
+  ProcessingUnit pu;
+  const auto dim = static_cast<int>(state.range(0));
+  const auto a = rng.normal_vec(
+      static_cast<std::size_t>(dim) * dim, 0.0F, 1.0F);
+  const auto b = rng.normal_vec(
+      static_cast<std::size_t>(dim) * dim, 0.0F, 1.0F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pu.gemm_bfp8_fast(a, dim, dim, b, dim));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim) * dim * dim);
+}
+BENCHMARK(BM_GemmFastPath)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmCycleAccurate(benchmark::State& state) {
+  Rng rng(4);
+  ProcessingUnit pu;
+  const int dim = 32;
+  const auto a = rng.normal_vec(
+      static_cast<std::size_t>(dim) * dim, 0.0F, 1.0F);
+  const auto b = rng.normal_vec(
+      static_cast<std::size_t>(dim) * dim, 0.0F, 1.0F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pu.gemm_bfp8(a, dim, dim, b, dim));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(dim) * dim * dim);
+}
+BENCHMARK(BM_GemmCycleAccurate);
+
+void BM_SlicedFp32Mul(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<float> xs(1024);
+  std::vector<float> ys(1024);
+  for (auto& v : xs) v = random_normal_fp32(rng, 100, 150);
+  for (auto& v : ys) v = random_normal_fp32(rng, 100, 150);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fp32_mul_sliced(xs[i & 1023], ys[i & 1023]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SlicedFp32Mul);
+
+void BM_ApproxExp(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<float> xs(1024);
+  for (auto& v : xs) v = rng.uniform(-20.0F, 0.0F);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(approx_exp(xs[i & 1023]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ApproxExp);
+
+void BM_ApproxSoftmaxRow(benchmark::State& state) {
+  Rng rng(7);
+  const int cols = 197;
+  const auto x = rng.normal_vec(static_cast<std::size_t>(cols), 0.0F, 2.0F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(approx_softmax(x, 1, cols));
+  }
+  state.SetItemsProcessed(state.iterations() * cols);
+}
+BENCHMARK(BM_ApproxSoftmaxRow);
+
+void BM_SystolicArrayPass(benchmark::State& state) {
+  // Cost of simulating one cycle-stepped bfp pass (64 DSP evals/cycle).
+  Rng rng(8);
+  PeArray array{PeArrayConfig{}};
+  const BfpFormat fmt = bfp8_format();
+  const BfpBlock y0 = quantize_block(rng.normal_vec(64, 0.0F, 1.0F), fmt);
+  const BfpBlock y1 = quantize_block(rng.normal_vec(64, 0.0F, 1.0F), fmt);
+  std::vector<BfpBlock> xs;
+  const auto n_x = static_cast<int>(state.range(0));
+  for (int i = 0; i < n_x; ++i) {
+    xs.push_back(quantize_block(rng.normal_vec(64, 0.0F, 1.0F), fmt));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.run_bfp_matmul(y0, &y1, xs));
+  }
+  // Simulated hardware cycles per wall second.
+  state.SetItemsProcessed(state.iterations() * (8 * n_x + 15));
+}
+BENCHMARK(BM_SystolicArrayPass)->Arg(8)->Arg(64);
+
+void BM_ExecutorSoftmaxKernel(benchmark::State& state) {
+  Rng rng(9);
+  const AcceleratorSystem system;
+  const int rows = 8;
+  const int cols = 197;
+  const auto x = rng.normal_vec(
+      static_cast<std::size_t>(rows) * cols, 0.0F, 2.0F);
+  const Program prog = kernels::softmax(rows, cols);
+  for (auto _ : state) {
+    Executor ex(system);
+    ex.set_tensor(kernels::kIn, rows, cols, x);
+    benchmark::DoNotOptimize(ex.run(prog));
+  }
+  state.SetItemsProcessed(state.iterations() * rows * cols);
+}
+BENCHMARK(BM_ExecutorSoftmaxKernel);
+
+void BM_PipelineSimulation(benchmark::State& state) {
+  const std::vector<PassSpec> passes(256, {40, 527, 160});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate_pipeline(passes, true));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_PipelineSimulation);
+
+void BM_MixedForwardTestTiny(benchmark::State& state) {
+  const VitConfig cfg = vit_test_tiny();
+  const VitModel model(random_weights(cfg, 10));
+  const AcceleratorSystem system;
+  const auto x = random_embeddings(cfg, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward_mixed(x, system));
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(count_linear_macs(cfg).total_macs()));
+}
+BENCHMARK(BM_MixedForwardTestTiny);
+
+}  // namespace
+}  // namespace bfpsim

@@ -1,0 +1,92 @@
+// Ablation E10 — accuracy of the sliced fp32 datapath (Eqn 5, 8 of 9
+// partial products) against IEEE arithmetic: ULP-error histograms for the
+// multiply (RNE and truncation) and the guard-bit-free aligned add.
+#include <array>
+#include <cmath>
+#include <iostream>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "numerics/fp32.hpp"
+#include "numerics/slices.hpp"
+
+namespace {
+
+struct UlpHistogram {
+  std::array<std::uint64_t, 5> bucket{};  // 0, 1, 2, 3-4, >=5 ulps
+  std::uint64_t samples = 0;
+  std::int64_t worst = 0;
+
+  void add(std::int64_t d) {
+    ++samples;
+    worst = std::max(worst, d);
+    if (d == 0) {
+      ++bucket[0];
+    } else if (d == 1) {
+      ++bucket[1];
+    } else if (d == 2) {
+      ++bucket[2];
+    } else if (d <= 4) {
+      ++bucket[3];
+    } else {
+      ++bucket[4];
+    }
+  }
+  double pct(int i) const {
+    return 100.0 * static_cast<double>(bucket[static_cast<std::size_t>(i)]) /
+           static_cast<double>(samples);
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace bfpsim;
+  constexpr int kTrials = 200000;
+  Rng rng(1234);
+
+  UlpHistogram mul_rne;
+  UlpHistogram mul_trunc;
+  UlpHistogram add_hist;
+
+  for (int i = 0; i < kTrials; ++i) {
+    const float x = random_normal_fp32(rng, 90, 160);
+    const float y = random_normal_fp32(rng, 90, 160);
+    const float ieee = x * y;
+    if (std::isfinite(ieee) &&
+        std::fabs(ieee) >= std::numeric_limits<float>::min()) {
+      mul_rne.add(ulp_distance(fp32_mul_sliced(x, y, true), ieee));
+      mul_trunc.add(ulp_distance(fp32_mul_sliced(x, y, false), ieee));
+    }
+    const float a = random_normal_fp32(rng, 110, 140);
+    const float b = random_normal_fp32(rng, 110, 140);
+    const float s = a + b;
+    if (std::isfinite(s) &&
+        std::fabs(s) >= 1e-3F * std::max(std::fabs(a), std::fabs(b))) {
+      add_hist.add(ulp_distance(fp32_add_aligned(a, b), s));
+    }
+  }
+
+  std::cout << "SLICED fp32 DATAPATH ACCURACY vs IEEE-754 (" << kTrials
+            << " random operand pairs)\n"
+            << "(Eqn 5: 24-bit mantissa in three 8-bit slices, least "
+               "significant partial product dropped)\n\n";
+  TextTable t({"Operation", "0 ulp", "1 ulp", "2 ulp", "3-4 ulp", ">=5 ulp",
+               "worst"});
+  auto row = [&](const char* name, const UlpHistogram& h) {
+    t.add_row({name, fmt_percent(h.pct(0), 2), fmt_percent(h.pct(1), 2),
+               fmt_percent(h.pct(2), 2), fmt_percent(h.pct(3), 3),
+               fmt_percent(h.pct(4), 3), std::to_string(h.worst)});
+  };
+  row("mul, round-to-nearest-even", mul_rne);
+  row("mul, truncation (paper)", mul_trunc);
+  row("add, aligned (no guard bits)", add_hist);
+  std::cout << t << "\n";
+
+  std::cout << "Expectation: RNE multiply within 1 ulp always; truncation "
+               "within 2 ulps;\nthe aligned add within ~2 ulps away from "
+               "cancellation (cancellation-heavy\npairs excluded above; see "
+               "tests for the amplification bound).\n";
+  return 0;
+}

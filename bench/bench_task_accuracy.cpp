@@ -1,0 +1,220 @@
+// E17 — task-level accuracy preservation ("no retraining needed" measured
+// as classification accuracy, not just SNR).
+//
+// Protocol (mirroring how quantization papers report model accuracy):
+//   1. build a synthetic K-class sequence classification task: each class
+//      has a prototype token pattern, samples are prototypes + noise, with
+//      transformer-like outlier channels;
+//   2. "train" a ridge-regression head on the *fp32* features of a
+//      synthetic ViT encoder over a training split (training happens in
+//      full precision — exactly the deployment scenario the paper targets);
+//   3. evaluate the SAME head on a test split with features from
+//        (a) the fp32 reference forward,
+//        (b) the mixed bfp8+fp32 accelerator forward (ours), and
+//        (c) a per-tensor int8 linear-layer forward (the conventional
+//            fixed-point baseline; non-linear layers kept exact, which
+//            flatters int8).
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "fabric/system.hpp"
+#include "transformer/model.hpp"
+
+namespace {
+
+using bfpsim::Rng;
+
+/// Mean-pool features over tokens into a d-vector (plus bias slot).
+std::vector<double> pool(const std::vector<float>& feat, int tokens, int d) {
+  std::vector<double> v(static_cast<std::size_t>(d) + 1, 0.0);
+  for (int t = 0; t < tokens; ++t) {
+    for (int c = 0; c < d; ++c) {
+      v[static_cast<std::size_t>(c)] +=
+          feat[static_cast<std::size_t>(t) * d + c];
+    }
+  }
+  for (int c = 0; c < d; ++c) {
+    v[static_cast<std::size_t>(c)] /= tokens;
+  }
+  v[static_cast<std::size_t>(d)] = 1.0;  // bias
+  return v;
+}
+
+/// Solve (A + lambda I) W = B for W, A (n x n) SPD, B (n x k): Gaussian
+/// elimination with partial pivoting.
+std::vector<double> solve_ridge(std::vector<double> a, std::vector<double> b,
+                                int n, int k, double lambda) {
+  for (int i = 0; i < n; ++i) {
+    a[static_cast<std::size_t>(i) * n + i] += lambda;
+  }
+  for (int col = 0; col < n; ++col) {
+    int piv = col;
+    for (int r = col + 1; r < n; ++r) {
+      if (std::fabs(a[static_cast<std::size_t>(r) * n + col]) >
+          std::fabs(a[static_cast<std::size_t>(piv) * n + col])) {
+        piv = r;
+      }
+    }
+    for (int c = 0; c < n; ++c) {
+      std::swap(a[static_cast<std::size_t>(col) * n + c],
+                a[static_cast<std::size_t>(piv) * n + c]);
+    }
+    for (int c = 0; c < k; ++c) {
+      std::swap(b[static_cast<std::size_t>(col) * k + c],
+                b[static_cast<std::size_t>(piv) * k + c]);
+    }
+    const double diag = a[static_cast<std::size_t>(col) * n + col];
+    for (int r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = a[static_cast<std::size_t>(r) * n + col] / diag;
+      for (int c = col; c < n; ++c) {
+        a[static_cast<std::size_t>(r) * n + c] -=
+            f * a[static_cast<std::size_t>(col) * n + c];
+      }
+      for (int c = 0; c < k; ++c) {
+        b[static_cast<std::size_t>(r) * k + c] -=
+            f * b[static_cast<std::size_t>(col) * k + c];
+      }
+    }
+  }
+  std::vector<double> w(static_cast<std::size_t>(n) * k);
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < k; ++c) {
+      w[static_cast<std::size_t>(r) * k + c] =
+          b[static_cast<std::size_t>(r) * k + c] /
+          a[static_cast<std::size_t>(r) * n + r];
+    }
+  }
+  return w;
+}
+
+int predict(const std::vector<double>& w, const std::vector<double>& x,
+            int n, int k) {
+  int best = 0;
+  double best_v = -1e300;
+  for (int c = 0; c < k; ++c) {
+    double v = 0.0;
+    for (int i = 0; i < n; ++i) {
+      v += x[static_cast<std::size_t>(i)] *
+           w[static_cast<std::size_t>(i) * k + c];
+    }
+    if (v > best_v) {
+      best_v = v;
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  using namespace bfpsim;
+  const VitConfig cfg = vit_test_tiny();
+  const int tokens = cfg.tokens();
+  const int d = cfg.embed_dim;
+  const int classes = 4;
+  const int train_n = 160;
+  const int test_n = 400;
+  const float noise = 0.9F;
+
+  std::printf("E17: task accuracy without retraining (%d-class synthetic "
+              "sequence classification,\n%d train / %d test, encoder %s)\n\n",
+              classes, train_n, test_n, cfg.name.c_str());
+
+  Rng rng(4040);
+  // A hard task: all classes share one base pattern (with transformer-like
+  // outlier channels); the class signal is a small additive delta, so the
+  // decision boundary sits close to the quantization noise floor.
+  auto base = rng.normal_vec(static_cast<std::size_t>(tokens) * d, 0.0F,
+                             1.0F);
+  for (int t = 0; t < tokens; ++t) {
+    for (int c = 0; c < 4; ++c) {  // outlier channels 0..3
+      base[static_cast<std::size_t>(t) * d + c] *= 60.0F;
+    }
+  }
+  std::vector<std::vector<float>> deltas(static_cast<std::size_t>(classes));
+  for (auto& p : deltas) {
+    p = rng.normal_vec(static_cast<std::size_t>(tokens) * d, 0.0F, 0.30F);
+    // The class signal lives only in the *regular* channels — the realistic
+    // (and adversarial-for-int8) case: a per-tensor scale stretched by the
+    // outlier channels starves exactly the channels that matter.
+    for (int t = 0; t < tokens; ++t) {
+      for (int c = 0; c < 4; ++c) {
+        p[static_cast<std::size_t>(t) * d + c] = 0.0F;
+      }
+    }
+  }
+  auto sample = [&](int cls) {
+    std::vector<float> x = base;
+    const auto& delta = deltas[static_cast<std::size_t>(cls)];
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] += delta[i] + rng.normal(0.0F, noise);
+    }
+    return x;
+  };
+
+  const VitModel model(random_weights(cfg, 4041));
+  const AcceleratorSystem sys;
+
+  // ---- train the head on fp32 features ----
+  const int n = d + 1;
+  std::vector<double> gram(static_cast<std::size_t>(n) * n, 0.0);
+  std::vector<double> xty(static_cast<std::size_t>(n) * classes, 0.0);
+  for (int i = 0; i < train_n; ++i) {
+    const int cls = i % classes;
+    const auto f = pool(model.forward_reference(sample(cls)), tokens, d);
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < n; ++c) {
+        gram[static_cast<std::size_t>(r) * n + c] +=
+            f[static_cast<std::size_t>(r)] * f[static_cast<std::size_t>(c)];
+      }
+      xty[static_cast<std::size_t>(r) * classes + cls] +=
+          f[static_cast<std::size_t>(r)];
+    }
+  }
+  const auto w = solve_ridge(gram, xty, n, classes, 1.0);
+
+  // ---- evaluate with each deployment's features ----
+  int correct_fp32 = 0;
+  int correct_mixed = 0;
+  int correct_int8 = 0;
+  int agree_mixed = 0;
+  int agree_int8 = 0;
+  for (int i = 0; i < test_n; ++i) {
+    const int cls = i % classes;
+    const auto x = sample(cls);
+    const auto f_ref = pool(model.forward_reference(x), tokens, d);
+    const auto f_mix = pool(model.forward_mixed(x, sys), tokens, d);
+    const auto f_i8 = pool(model.forward_int8(x), tokens, d);
+    const int p_ref = predict(w, f_ref, n, classes);
+    const int p_mix = predict(w, f_mix, n, classes);
+    const int p_i8 = predict(w, f_i8, n, classes);
+    correct_fp32 += p_ref == cls;
+    correct_mixed += p_mix == cls;
+    correct_int8 += p_i8 == cls;
+    agree_mixed += p_mix == p_ref;
+    agree_int8 += p_i8 == p_ref;
+  }
+
+  auto pct = [&](int c) {
+    return 100.0 * static_cast<double>(c) / test_n;
+  };
+  TextTable t({"deployment", "task accuracy", "top-1 agreement w/ fp32"});
+  t.add_row({"fp32 reference", fmt_percent(pct(correct_fp32), 1), "-"});
+  t.add_row({"bfp8 + fp32 (ours, no retraining)",
+             fmt_percent(pct(correct_mixed), 1),
+             fmt_percent(pct(agree_mixed), 1)});
+  t.add_row({"int8 per-tensor linear layers",
+             fmt_percent(pct(correct_int8), 1),
+             fmt_percent(pct(agree_int8), 1)});
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("Expectation (paper Section I / [11]): the bfp8 deployment "
+              "matches fp32 task\naccuracy with no retraining, while "
+              "per-tensor int8 loses accuracy once\noutlier channels "
+              "stretch its single scale.\n");
+  return 0;
+}

@@ -1,0 +1,20 @@
+#include "bram/bram18.hpp"
+
+#include "common/error.hpp"
+
+namespace bfpsim {
+
+std::uint8_t Bram18::read(int addr) const {
+  BFP_REQUIRE(addr >= 0 && addr < kDepth, "Bram18::read: address out of range");
+  ++reads_;
+  return mem_[static_cast<std::size_t>(addr)];
+}
+
+void Bram18::write(int addr, std::uint8_t value) {
+  BFP_REQUIRE(addr >= 0 && addr < kDepth,
+              "Bram18::write: address out of range");
+  ++writes_;
+  mem_[static_cast<std::size_t>(addr)] = value;
+}
+
+}  // namespace bfpsim

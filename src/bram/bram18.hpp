@@ -1,0 +1,36 @@
+// Functional model of an AMD BRAM18 primitive configured as a 2048 x 8-bit
+// simple dual-port memory — the configuration the paper's X/Y buffers use
+// ("each BRAM uses one BRAM18 ... with 8-bit (one Byte) port", Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bfpsim {
+
+/// 18 Kib block RAM in byte-wide mode: 2048 addresses x 8 bits + parity
+/// (parity unused here).
+class Bram18 {
+ public:
+  static constexpr int kDepth = 2048;
+
+  Bram18() : mem_(kDepth, 0) {}
+
+  std::uint8_t read(int addr) const;
+  void write(int addr, std::uint8_t value);
+
+  /// Port-activity counters (feed the energy/utilization model).
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+  void reset_counters() {
+    reads_ = 0;
+    writes_ = 0;
+  }
+
+ private:
+  std::vector<std::uint8_t> mem_;
+  mutable std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace bfpsim

@@ -1,0 +1,124 @@
+#include "bram/buffers.hpp"
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+namespace bfpsim {
+
+namespace {
+// A block stream element (slot, row, k) maps to mantissa BRAM
+// (slot%2)*8 + row at address (slot/2)*8 + k: even slots in the low half,
+// odd slots in the high half, 8 consecutive addresses per block.
+int bfp_bram_index(int slot, int row) { return (slot % 2) * 8 + row; }
+int bfp_bram_addr(int slot, int k) { return (slot / 2) * 8 + k; }
+}  // namespace
+
+OperandBuffer::OperandBuffer() = default;
+
+void OperandBuffer::write_bfp_block(int slot, const BfpBlock& block) {
+  BFP_REQUIRE(slot >= 0 && slot < kMaxXBlocks,
+              "OperandBuffer: block slot out of range");
+  BFP_REQUIRE(block.fmt.rows == 8 && block.fmt.cols == 8 &&
+                  block.fmt.mant_bits == 8 && block.fmt.exp_bits == 8,
+              "OperandBuffer: buffer layout requires 8x8 bfp8 blocks");
+  BFP_REQUIRE(block.well_formed(), "OperandBuffer: malformed block");
+  for (int r = 0; r < 8; ++r) {
+    for (int k = 0; k < 8; ++k) {
+      mant_[static_cast<std::size_t>(bfp_bram_index(slot, r))].write(
+          bfp_bram_addr(slot, k),
+          static_cast<std::uint8_t>(block.at(r, k) & 0xFF));
+    }
+  }
+  exp_bram_.write(slot, static_cast<std::uint8_t>(block.expb & 0xFF));
+}
+
+std::array<std::int8_t, 8> OperandBuffer::read_bfp_vector(int slot,
+                                                          int k) const {
+  BFP_REQUIRE(slot >= 0 && slot < kMaxXBlocks,
+              "OperandBuffer: block slot out of range");
+  BFP_REQUIRE(k >= 0 && k < 8, "OperandBuffer: k index out of range");
+  std::array<std::int8_t, 8> v{};
+  for (int r = 0; r < 8; ++r) {
+    const std::uint8_t byte =
+        mant_[static_cast<std::size_t>(bfp_bram_index(slot, r))].read(
+            bfp_bram_addr(slot, k));
+    v[static_cast<std::size_t>(r)] =
+        static_cast<std::int8_t>(sign_extend(byte, 8));
+  }
+  return v;
+}
+
+std::int8_t OperandBuffer::read_bfp_exp(int slot) const {
+  BFP_REQUIRE(slot >= 0 && slot < kMaxXBlocks,
+              "OperandBuffer: block slot out of range");
+  return static_cast<std::int8_t>(sign_extend(exp_bram_.read(slot), 8));
+}
+
+void OperandBuffer::write_fp32(int lane, int idx, float value) {
+  BFP_REQUIRE(lane >= 0 && lane < kFp32Lanes,
+              "OperandBuffer: fp32 lane out of range");
+  BFP_REQUIRE(idx >= 0 && idx < kMaxFpStream,
+              "OperandBuffer: fp32 stream index out of range");
+  const Fp32Parts p = decompose(value);
+  BFP_REQUIRE(!p.is_nan && !p.is_inf,
+              "OperandBuffer: NaN/Inf not representable in buffer layout");
+  // Flush subnormals to zero: the 24-bit signed-magnitude layout stores
+  // sign + 23 fraction bits and re-inserts the hidden bit, so values without
+  // a hidden bit cannot be represented.
+  std::uint32_t frac = 0;
+  std::uint32_t exp_field = 0;
+  if (!p.is_zero() && (p.mantissa >> kFp32FracBits) != 0) {
+    frac = p.mantissa & static_cast<std::uint32_t>(low_mask(kFp32FracBits));
+    exp_field = static_cast<std::uint32_t>(p.biased_exp);
+  }
+  const int base = 4 * lane;
+  mant_[static_cast<std::size_t>(base + 0)].write(
+      idx, static_cast<std::uint8_t>(frac & 0xFF));
+  mant_[static_cast<std::size_t>(base + 1)].write(
+      idx, static_cast<std::uint8_t>((frac >> 8) & 0xFF));
+  mant_[static_cast<std::size_t>(base + 2)].write(
+      idx, static_cast<std::uint8_t>(((frac >> 16) & 0x7F) |
+                                     (p.sign ? 0x80 : 0x00)));
+  mant_[static_cast<std::size_t>(base + 3)].write(
+      idx, static_cast<std::uint8_t>(exp_field));
+}
+
+Fp32Operand OperandBuffer::read_fp32(int lane, int idx) const {
+  BFP_REQUIRE(lane >= 0 && lane < kFp32Lanes,
+              "OperandBuffer: fp32 lane out of range");
+  BFP_REQUIRE(idx >= 0 && idx < kMaxFpStream,
+              "OperandBuffer: fp32 stream index out of range");
+  const int base = 4 * lane;
+  const std::uint32_t b0 = mant_[static_cast<std::size_t>(base + 0)].read(idx);
+  const std::uint32_t b1 = mant_[static_cast<std::size_t>(base + 1)].read(idx);
+  const std::uint32_t b2 = mant_[static_cast<std::size_t>(base + 2)].read(idx);
+  const std::uint32_t e = mant_[static_cast<std::size_t>(base + 3)].read(idx);
+  Fp32Operand op;
+  op.sign = (b2 & 0x80) != 0;
+  op.biased_exp = static_cast<std::int32_t>(e);
+  const std::uint32_t frac = b0 | (b1 << 8) | ((b2 & 0x7F) << 16);
+  // Re-insert the hidden bit for non-zero exponents; exp 0 encodes zero.
+  op.man24 = e == 0 ? 0 : (frac | (std::uint32_t{1} << kFp32FracBits));
+  if (e == 0) op.biased_exp = 1;
+  return op;
+}
+
+const Bram18& OperandBuffer::mant_bram(int i) const {
+  BFP_REQUIRE(i >= 0 && i < kBufferMantBrams,
+              "OperandBuffer: BRAM index out of range");
+  return mant_[static_cast<std::size_t>(i)];
+}
+
+std::uint64_t OperandBuffer::total_reads() const {
+  std::uint64_t n = exp_bram_.reads();
+  for (const auto& b : mant_) n += b.reads();
+  return n;
+}
+
+std::uint64_t OperandBuffer::total_writes() const {
+  std::uint64_t n = exp_bram_.writes();
+  for (const auto& b : mant_) n += b.writes();
+  return n;
+}
+
+}  // namespace bfpsim

@@ -1,0 +1,87 @@
+// X / Y operand buffers with the exact Fig. 4 data layout.
+//
+// X buffer: 17 BRAM18s — 16 mantissa BRAMs (indexed 0..15) plus one shared
+// exponent BRAM.
+//   * bfp8 mode: a block occupies 8 mantissa BRAMs (BRAM j holds block row
+//     j mod 8, consecutive addresses step through the k index). Even block
+//     slots use BRAMs 0..7, odd slots BRAMs 8..15, so two block streams can
+//     be double-buffered. The exponent BRAM holds one byte per block.
+//   * fp32 mode: the same 16 BRAMs are repurposed, 4 per fp32 lane: BRAMs
+//     4q..4q+2 hold the three 8-bit mantissa slices of lane q and BRAM 4q+3
+//     its biased exponent; the bfp exponent BRAM is inactive. The sign bit
+//     rides in the MSB of slice 2 (signed magnitude, hidden bit re-inserted
+//     by the layout converter — subnormals flush to zero on load). The
+//     128-bit total port width is why only 4 fp32 lanes (4 PE columns) can
+//     be fed per cycle — Section II-C.
+//
+// Y buffer: identical layout, but in bfp8 mode *both* BRAM halves stream
+// during compute because the combined-MAC optimization keeps two Y blocks
+// resident (Section II-C).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "bram/bram18.hpp"
+#include "numerics/bfp.hpp"
+#include "numerics/fp32.hpp"
+
+namespace bfpsim {
+
+/// Number of mantissa BRAMs per operand buffer.
+inline constexpr int kBufferMantBrams = 16;
+/// fp32 lanes a buffer can feed per cycle (4 BRAMs per lane).
+inline constexpr int kFp32Lanes = 4;
+/// Maximum continuous bfp blocks per stream (Section II-D: BRAM18-limited).
+inline constexpr int kMaxXBlocks = 64;
+/// Maximum fp32 stream length per lane (Section II-D).
+inline constexpr int kMaxFpStream = 128;
+
+/// An fp32 operand as the layout converter presents it to the PE array.
+struct Fp32Operand {
+  bool sign = false;
+  std::int32_t biased_exp = 0;   ///< 8-bit biased exponent
+  std::uint32_t man24 = 0;       ///< magnitude mantissa incl. hidden bit
+};
+
+/// Operand buffer (used for both X and Y; Y replicates reads, not layout).
+class OperandBuffer {
+ public:
+  /// Expected block geometry (8x8 in the paper's configuration).
+  OperandBuffer();
+
+  /// ---- bfp8 mode ----
+
+  /// Write a quantized block into block slot `slot` (0..kMaxXBlocks-1).
+  /// The block must be 8x8 with 8-bit mantissas.
+  void write_bfp_block(int slot, const BfpBlock& block);
+
+  /// Read the k-th column vector of block `slot`: element i comes from
+  /// mantissa BRAM (slot parity selects the half) holding row i. This is the
+  /// 8-byte word the systolic array consumes per cycle.
+  std::array<std::int8_t, 8> read_bfp_vector(int slot, int k) const;
+
+  /// Read the shared exponent of block `slot`.
+  std::int8_t read_bfp_exp(int slot) const;
+
+  /// ---- fp32 mode ----
+
+  /// Write element `idx` of lane `lane`'s stream. Subnormals flush to zero;
+  /// NaN/Inf are rejected (unsupported by the datapath).
+  void write_fp32(int lane, int idx, float value);
+
+  /// Read one fp32 operand back in converter form.
+  Fp32Operand read_fp32(int lane, int idx) const;
+
+  /// Raw BRAM access for tests and activity accounting.
+  const Bram18& mant_bram(int i) const;
+  const Bram18& exp_bram() const { return exp_bram_; }
+  std::uint64_t total_reads() const;
+  std::uint64_t total_writes() const;
+
+ private:
+  std::array<Bram18, kBufferMantBrams> mant_;
+  Bram18 exp_bram_;
+};
+
+}  // namespace bfpsim

@@ -1,0 +1,43 @@
+#include "bram/layout_converter.hpp"
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+#include "dsp/dsp48e2.hpp"
+
+namespace bfpsim {
+
+Fp32RowInputs LayoutConverter::convert_fp32_pair(const Fp32Operand& x,
+                                                 const Fp32Operand& y) {
+  Fp32RowInputs out;
+  out.result_sign = x.sign != y.sign;
+  out.exp_x = x.biased_exp;
+  out.exp_y = y.biased_exp;
+  out.zero = x.man24 == 0 || y.man24 == 0;
+  if (out.zero) return out;
+
+  const MantissaSlices sx = slice_mantissa(x.man24);
+  const MantissaSlices sy = slice_mantissa(y.man24);
+  const auto& sched = fp32_mul_schedule();
+  for (int r = 0; r < kNumPartialProducts; ++r) {
+    const PartialProductTerm& t = sched[static_cast<std::size_t>(r)];
+    const std::int64_t xv = static_cast<std::int64_t>(sx[t.xi])
+                            << t.pre_shift_x;
+    const std::int64_t yv = static_cast<std::int64_t>(sy[t.yj])
+                            << t.pre_shift_y;
+    // The pre-shifted slices must fit the DSP ports (Section II-D: "the
+    // 27-bit & 18-bit input widths of DSP48E2 support such pre-shifting").
+    if (!fits_signed(xv, kDspAWidth)) {
+      throw HardwareContractError(
+          "LayoutConverter: pre-shifted X slice exceeds the 27-bit port");
+    }
+    if (!fits_signed(yv, kDspBWidth)) {
+      throw HardwareContractError(
+          "LayoutConverter: pre-shifted Y slice exceeds the 18-bit port");
+    }
+    out.x_in[static_cast<std::size_t>(r)] = xv;
+    out.y_in[static_cast<std::size_t>(r)] = yv;
+  }
+  return out;
+}
+
+}  // namespace bfpsim

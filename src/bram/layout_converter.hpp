@@ -1,0 +1,37 @@
+// The fp32 layout converter / crossbar of Fig. 2: takes fp32 operands from
+// the buffers and produces the pre-shifted per-row slice inputs the PE
+// columns consume in fp32-multiply mode (Fig. 5 (b)). The XOR of the sign
+// bits (the "simple XOR gate" of Section II-B) also lives here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "bram/buffers.hpp"
+#include "numerics/slices.hpp"
+
+namespace bfpsim {
+
+/// Pre-shifted operand pair for one PE column executing one fp32 multiply:
+/// row r receives x_in[r] on the 27-bit A:D path and y_in[r] on the 18-bit
+/// B path.
+struct Fp32RowInputs {
+  std::array<std::int64_t, kNumPartialProducts> x_in{};
+  std::array<std::int64_t, kNumPartialProducts> y_in{};
+  bool result_sign = false;       ///< sign_x XOR sign_y
+  std::int32_t exp_x = 0;         ///< biased exponents forwarded to the EU
+  std::int32_t exp_y = 0;
+  bool zero = false;              ///< either operand is zero
+};
+
+/// Stateless converter; a struct (not free functions) so the resource model
+/// can attribute LUT/FF cost to a named component.
+class LayoutConverter {
+ public:
+  /// Expand an (x, y) operand pair into the 8-row pre-shifted mapping.
+  /// Validates that each pre-shifted slice fits its DSP port.
+  static Fp32RowInputs convert_fp32_pair(const Fp32Operand& x,
+                                         const Fp32Operand& y);
+};
+
+}  // namespace bfpsim

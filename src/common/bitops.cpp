@@ -1,0 +1,70 @@
+#include "common/bitops.hpp"
+
+#include <array>
+#include <sstream>
+
+namespace bfpsim {
+
+std::int64_t asr_rne(std::int64_t v, int shift) {
+  if (shift <= 0) return v;
+  if (shift >= 63) {
+    // Everything is dropped; result rounds to 0 or -1 -> RNE gives 0 for
+    // magnitudes below half-ulp, which all are once shift covers the width.
+    return 0;
+  }
+  const std::int64_t floor_part = v >> shift;
+  const std::uint64_t dropped =
+      static_cast<std::uint64_t>(v) & low_mask(shift);
+  const std::uint64_t half = std::uint64_t{1} << (shift - 1);
+  if (dropped > half) return floor_part + 1;
+  if (dropped < half) return floor_part;
+  // Tie: round to even.
+  return (floor_part & 1) ? floor_part + 1 : floor_part;
+}
+
+std::int64_t asr_round_half_away(std::int64_t v, int shift) {
+  if (shift <= 0) return v;
+  if (shift >= 63) return 0;
+  // Hardware idiom: add half-ulp before truncation. For negative values this
+  // implements round-half-up in two's complement, which is what a simple
+  // adder-based rounder does.
+  const std::int64_t half = std::int64_t{1} << (shift - 1);
+  return (v + half) >> shift;
+}
+
+std::int64_t shl_checked(std::int64_t v, int shift, int carrier_bits,
+                         const char* context) {
+  BFP_ASSERT(shift >= 0 && carrier_bits > 0 && carrier_bits <= 64);
+  if (shift == 0) return v;
+  if (!fits_signed(v, carrier_bits - shift)) {
+    throw HardwareContractError(
+        std::string(context) + ": left shift by " + std::to_string(shift) +
+        " overflows a " + std::to_string(carrier_bits) + "-bit carrier (v=" +
+        std::to_string(v) + ")");
+  }
+  return v << shift;
+}
+
+std::string to_bin(std::uint64_t v, int bits) {
+  std::string s;
+  s.reserve(static_cast<std::size_t>(bits));
+  for (int i = bits - 1; i >= 0; --i) {
+    s.push_back((v >> i) & 1 ? '1' : '0');
+  }
+  return s;
+}
+
+std::string to_hex(std::uint64_t v, int bits) {
+  const int digits = (bits + 3) / 4;
+  static constexpr std::array<char, 16> kHex = {'0', '1', '2', '3', '4', '5',
+                                                '6', '7', '8', '9', 'a', 'b',
+                                                'c', 'd', 'e', 'f'};
+  std::string s(static_cast<std::size_t>(digits), '0');
+  for (int i = 0; i < digits; ++i) {
+    s[static_cast<std::size_t>(digits - 1 - i)] =
+        kHex[static_cast<std::size_t>((v >> (4 * i)) & 0xF)];
+  }
+  return s;
+}
+
+}  // namespace bfpsim

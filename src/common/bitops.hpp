@@ -1,0 +1,99 @@
+// Bit-level helpers shared by the numerics and hardware-model layers.
+//
+// All hardware-width arithmetic in the simulator is done on int64_t carriers
+// with explicit width bookkeeping; these helpers provide the masking,
+// sign-extension and range checks that make that style safe.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace bfpsim {
+
+/// Mask with the low `bits` bits set. `bits` must be in [0, 64].
+constexpr std::uint64_t low_mask(int bits) {
+  return bits >= 64 ? ~std::uint64_t{0}
+                    : ((std::uint64_t{1} << bits) - 1);
+}
+
+/// Truncate `v` to the low `bits` bits (unsigned reinterpretation).
+constexpr std::uint64_t truncate(std::uint64_t v, int bits) {
+  return v & low_mask(bits);
+}
+
+/// Sign-extend the low `bits` bits of `v` to a full int64_t.
+constexpr std::int64_t sign_extend(std::uint64_t v, int bits) {
+  if (bits <= 0 || bits >= 64) return static_cast<std::int64_t>(v);
+  const std::uint64_t m = std::uint64_t{1} << (bits - 1);
+  const std::uint64_t t = v & low_mask(bits);
+  return static_cast<std::int64_t>((t ^ m) - m);
+}
+
+/// True iff `v` is representable as a `bits`-bit two's-complement integer.
+constexpr bool fits_signed(std::int64_t v, int bits) {
+  if (bits >= 64) return true;
+  const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
+  const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+  return v >= lo && v <= hi;
+}
+
+/// True iff `v` is representable as a `bits`-bit unsigned integer.
+constexpr bool fits_unsigned(std::int64_t v, int bits) {
+  return v >= 0 &&
+         static_cast<std::uint64_t>(v) <= low_mask(bits);
+}
+
+/// Saturate `v` into `bits`-bit two's-complement range.
+constexpr std::int64_t saturate_signed(std::int64_t v, int bits) {
+  const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
+  const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/// Arithmetic shift right that is well-defined for shift >= 64 and negative
+/// values (rounds toward negative infinity, matching an RTL `>>>`).
+constexpr std::int64_t asr(std::int64_t v, int shift) {
+  if (shift <= 0) return v;
+  if (shift >= 63) return v < 0 ? -1 : 0;
+  return v >> shift;
+}
+
+/// Arithmetic shift right with round-to-nearest-even on the dropped bits.
+/// This mirrors the behaviour of a normalization stage with RNE rounding.
+std::int64_t asr_rne(std::int64_t v, int shift);
+
+/// Arithmetic shift right with round-half-away-from-zero (common cheap
+/// hardware rounding: add half-ulp of the dropped field, then truncate).
+std::int64_t asr_round_half_away(std::int64_t v, int shift);
+
+/// Position of the most significant set bit of |v| (0-based); -1 for v == 0.
+constexpr int msb_index(std::int64_t v) {
+  std::uint64_t a = v < 0 ? static_cast<std::uint64_t>(-(v + 1)) + 1
+                          : static_cast<std::uint64_t>(v);
+  if (a == 0) return -1;
+  return 63 - std::countl_zero(a);
+}
+
+/// Number of bits needed to represent `v` in two's complement (incl. sign).
+constexpr int signed_width(std::int64_t v) {
+  if (v == 0) return 1;
+  if (v > 0) return msb_index(v) + 2;
+  // For negative numbers, -2^k needs k+1 bits.
+  return msb_index(-(v + 1)) + 2;
+}
+
+/// Checked left shift: throws HardwareContractError if information would be
+/// lost when the result is later interpreted at `carrier_bits` width.
+std::int64_t shl_checked(std::int64_t v, int shift, int carrier_bits,
+                         const char* context);
+
+/// Format `v`'s low `bits` bits as a binary string (MSB first), for traces.
+std::string to_bin(std::uint64_t v, int bits);
+
+/// Format `v`'s low `bits` bits as a zero-padded hex string.
+std::string to_hex(std::uint64_t v, int bits);
+
+}  // namespace bfpsim

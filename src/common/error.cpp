@@ -1,0 +1,23 @@
+#include "common/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace bfpsim::detail {
+
+void throw_require_failure(const char* cond, const char* file, int line,
+                           const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " (requirement `" << cond << "` failed at " << file << ":"
+     << line << ")";
+  throw Error(os.str());
+}
+
+void assert_failure(const char* cond, const char* file, int line) {
+  std::fprintf(stderr, "bfpsim internal assertion `%s` failed at %s:%d\n",
+               cond, file, line);
+  std::abort();
+}
+
+}  // namespace bfpsim::detail

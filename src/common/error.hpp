@@ -1,0 +1,62 @@
+// Error handling primitives for bfpsim.
+//
+// The library throws bfpsim::Error for contract violations that depend on
+// user input (bad shapes, out-of-range configuration) and uses BFP_ASSERT for
+// internal invariants that indicate a bug in the simulator itself.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bfpsim {
+
+/// Base class for all exceptions thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a user-supplied configuration value is invalid.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when tensor / block shapes are incompatible with an operation.
+class ShapeError : public Error {
+ public:
+  explicit ShapeError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a hardware-model constraint would be violated (e.g. a value
+/// does not fit a DSP input port). These indicate that the *modelled RTL*
+/// would have produced garbage, so the simulator refuses to proceed.
+class HardwareContractError : public Error {
+ public:
+  explicit HardwareContractError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_require_failure(const char* cond, const char* file,
+                                        int line, const std::string& msg);
+[[noreturn]] void assert_failure(const char* cond, const char* file, int line);
+}  // namespace detail
+
+}  // namespace bfpsim
+
+/// Validate a user-facing precondition; throws bfpsim::Error on failure.
+#define BFP_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::bfpsim::detail::throw_require_failure(#cond, __FILE__, __LINE__,    \
+                                              (msg));                       \
+    }                                                                       \
+  } while (false)
+
+/// Internal invariant check; aborts on failure (simulator bug, not user bug).
+#define BFP_ASSERT(cond)                                                    \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::bfpsim::detail::assert_failure(#cond, __FILE__, __LINE__);          \
+    }                                                                       \
+  } while (false)

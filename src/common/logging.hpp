@@ -1,0 +1,37 @@
+// Minimal leveled logging for the simulator. Off by default; benches and
+// debugging sessions can raise the level. Not thread-safe by design: the
+// simulator core is single-threaded per ProcessingUnit, and parallel benches
+// log only from the orchestrating thread.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bfpsim {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+/// Global log level; messages above this level are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+}  // namespace bfpsim
+
+#define BFP_LOG(level, expr)                                          \
+  do {                                                                \
+    if (static_cast<int>(level) <=                                    \
+        static_cast<int>(::bfpsim::log_level())) {                    \
+      std::ostringstream bfp_log_os_;                                 \
+      bfp_log_os_ << expr;                                            \
+      ::bfpsim::detail::log_emit(level, bfp_log_os_.str());           \
+    }                                                                 \
+  } while (false)
+
+#define BFP_LOG_INFO(expr) BFP_LOG(::bfpsim::LogLevel::kInfo, expr)
+#define BFP_LOG_WARN(expr) BFP_LOG(::bfpsim::LogLevel::kWarn, expr)
+#define BFP_LOG_DEBUG(expr) BFP_LOG(::bfpsim::LogLevel::kDebug, expr)
+#define BFP_LOG_TRACE(expr) BFP_LOG(::bfpsim::LogLevel::kTrace, expr)

@@ -1,0 +1,28 @@
+#include "common/rng.hpp"
+
+namespace bfpsim {
+
+std::vector<float> Rng::normal_vec(std::size_t n, float mean, float stddev) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = normal(mean, stddev);
+  return v;
+}
+
+std::vector<float> Rng::uniform_vec(std::size_t n, float lo, float hi) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = uniform(lo, hi);
+  return v;
+}
+
+std::vector<float> Rng::transformer_like_vec(std::size_t n, float stddev,
+                                             double outlier_fraction,
+                                             float outlier_scale) {
+  std::vector<float> v(n);
+  for (auto& x : v) {
+    x = normal(0.0F, stddev);
+    if (bernoulli(outlier_fraction)) x *= outlier_scale;
+  }
+  return v;
+}
+
+}  // namespace bfpsim

@@ -1,0 +1,64 @@
+// Deterministic random data generation for tests, benches and synthetic
+// transformer workloads. Every generator is explicitly seeded so results are
+// reproducible across runs and platforms.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace bfpsim {
+
+/// Seeded random generator wrapper with the distributions the project needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi) {
+    return std::uniform_real_distribution<float>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Standard normal scaled to `stddev` around `mean`.
+  float normal(float mean, float stddev) {
+    return std::normal_distribution<float>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli with probability p.
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Raw 32 random bits; useful for generating random fp32 bit patterns.
+  std::uint32_t bits32() {
+    return static_cast<std::uint32_t>(engine_());
+  }
+
+  /// Vector of normal samples.
+  std::vector<float> normal_vec(std::size_t n, float mean, float stddev);
+
+  /// Vector of uniform samples.
+  std::vector<float> uniform_vec(std::size_t n, float lo, float hi);
+
+  /// Samples with transformer-activation-like statistics: mostly Gaussian
+  /// with a fraction of large-magnitude outlier channels. This is the data
+  /// shape that makes plain int8 per-tensor quantization lose accuracy while
+  /// block floating point survives (the paper's motivating observation).
+  ///
+  /// `outlier_fraction` of the entries are scaled by `outlier_scale`.
+  std::vector<float> transformer_like_vec(std::size_t n, float stddev,
+                                          double outlier_fraction,
+                                          float outlier_scale);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace bfpsim

@@ -1,0 +1,71 @@
+#include "common/stats.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace bfpsim {
+
+ErrorStats compute_error_stats(std::span<const float> approx,
+                               std::span<const float> exact) {
+  BFP_REQUIRE(approx.size() == exact.size() && !approx.empty(),
+              "compute_error_stats: spans must be non-empty and equal length");
+  ErrorStats s;
+  double sum_abs = 0.0;
+  double sum_sq = 0.0;
+  double ref_sq = 0.0;
+  for (std::size_t i = 0; i < approx.size(); ++i) {
+    const double d = static_cast<double>(approx[i]) - exact[i];
+    const double ad = std::fabs(d);
+    sum_abs += ad;
+    sum_sq += d * d;
+    ref_sq += static_cast<double>(exact[i]) * exact[i];
+    if (ad > s.max_abs) s.max_abs = ad;
+  }
+  const double n = static_cast<double>(approx.size());
+  s.mean_abs = sum_abs / n;
+  s.rmse = std::sqrt(sum_sq / n);
+  const double ref_rms = std::sqrt(ref_sq / n);
+  s.rel_rmse = ref_rms > 0.0 ? s.rmse / ref_rms : 0.0;
+  if (sum_sq == 0.0) {
+    s.snr_db = std::numeric_limits<double>::infinity();
+  } else if (ref_sq == 0.0) {
+    s.snr_db = -std::numeric_limits<double>::infinity();
+  } else {
+    s.snr_db = 10.0 * std::log10(ref_sq / sum_sq);
+  }
+  return s;
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double cosine_similarity(std::span<const float> a, std::span<const float> b) {
+  BFP_REQUIRE(a.size() == b.size(),
+              "cosine_similarity: spans must be equal length");
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace bfpsim

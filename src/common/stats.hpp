@@ -1,0 +1,33 @@
+// Small numeric-error and summary statistics used by accuracy experiments.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace bfpsim {
+
+/// Summary of the elementwise difference between two float sequences.
+struct ErrorStats {
+  double max_abs = 0.0;    ///< max |a-b|
+  double mean_abs = 0.0;   ///< mean |a-b|
+  double rmse = 0.0;       ///< sqrt(mean (a-b)^2)
+  double rel_rmse = 0.0;   ///< rmse / rms(b); 0 when rms(b) == 0
+  double snr_db = 0.0;     ///< 10*log10(power(b) / power(a-b)); inf-safe
+};
+
+/// Compute ErrorStats of `approx` against reference `exact`.
+/// Both spans must have equal, non-zero length.
+ErrorStats compute_error_stats(std::span<const float> approx,
+                               std::span<const float> exact);
+
+/// Mean of a sequence.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation; 0 for fewer than 2 samples.
+double stddev(std::span<const double> xs);
+
+/// Cosine similarity of two equal-length vectors; 1.0 for identical
+/// directions, 0 when either vector is all-zero.
+double cosine_similarity(std::span<const float> a, std::span<const float> b);
+
+}  // namespace bfpsim

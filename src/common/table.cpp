@@ -1,0 +1,108 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace bfpsim {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  BFP_REQUIRE(!headers_.empty(), "TextTable: need at least one column");
+  align_.assign(headers_.size(), Align::kRight);
+  align_[0] = Align::kLeft;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  BFP_REQUIRE(cells.size() == headers_.size(),
+              "TextTable: row width must match header width");
+  Row r;
+  r.cells = std::move(cells);
+  r.separator_before = pending_separator_;
+  pending_separator_ = false;
+  rows_.push_back(std::move(r));
+}
+
+void TextTable::add_separator() { pending_separator_ = true; }
+
+void TextTable::set_align(std::size_t col, Align a) {
+  BFP_REQUIRE(col < align_.size(), "TextTable: column out of range");
+  align_[col] = a;
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+    for (const auto& r : rows_) {
+      width[c] = std::max(width[c], r.cells[c].size());
+    }
+  }
+  auto hline = [&] {
+    std::string s = "+";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      s += std::string(width[c] + 2, '-');
+      s += "+";
+    }
+    s += "\n";
+    return s;
+  };
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = width[c] - cells[c].size();
+      s += " ";
+      if (align_[c] == Align::kLeft) {
+        s += cells[c] + std::string(pad, ' ');
+      } else {
+        s += std::string(pad, ' ') + cells[c];
+      }
+      s += " |";
+    }
+    s += "\n";
+    return s;
+  };
+  std::string out = hline() + emit_row(headers_) + hline();
+  for (const auto& r : rows_) {
+    if (r.separator_before) out += hline();
+    out += emit_row(r.cells);
+  }
+  out += hline();
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.to_string();
+}
+
+std::string fmt_double(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+std::string fmt_ratio(double v, int prec) {
+  return fmt_double(v, prec) + "x";
+}
+
+std::string fmt_percent(double v, int prec) {
+  return fmt_double(v, prec) + "%";
+}
+
+std::string ascii_bar(const std::string& label, double value, double vmax,
+                      int width, const std::string& unit) {
+  const double frac = vmax > 0.0 ? std::clamp(value / vmax, 0.0, 1.0) : 0.0;
+  const int n = static_cast<int>(std::lround(frac * width));
+  std::ostringstream os;
+  os << label << " |" << std::string(static_cast<std::size_t>(n), '#')
+     << std::string(static_cast<std::size_t>(width - n), ' ') << "| "
+     << fmt_double(value, 2);
+  if (!unit.empty()) os << " " << unit;
+  return os.str();
+}
+
+}  // namespace bfpsim

@@ -1,0 +1,66 @@
+// ASCII table formatter used by the benchmark binaries to print the paper's
+// tables and figure data series in a uniform, diffable format.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bfpsim {
+
+/// Column alignment inside a TextTable.
+enum class Align { kLeft, kRight };
+
+/// A simple text table: set headers, add rows of strings, print.
+///
+/// Example:
+///   TextTable t({"Component", "LUT", "FF"});
+///   t.add_row({"PE Array", "1317", "1536"});
+///   std::cout << t;
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Add one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Add a horizontal separator line before the next row.
+  void add_separator();
+
+  /// Set alignment for a column (default: left for col 0, right otherwise).
+  void set_align(std::size_t col, Align a);
+
+  /// Render the table.
+  std::string to_string() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+  std::vector<Align> align_;
+  bool pending_separator_ = false;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+/// Format a double with `prec` digits after the decimal point.
+std::string fmt_double(double v, int prec);
+
+/// Format a ratio like "1.19x".
+std::string fmt_ratio(double v, int prec = 2);
+
+/// Format a percentage like "97.15%".
+std::string fmt_percent(double v, int prec = 2);
+
+/// Render a horizontal ASCII bar chart line (for figure-style benches):
+/// label, value, bar scaled so that `vmax` maps to `width` characters.
+std::string ascii_bar(const std::string& label, double value, double vmax,
+                      int width = 50, const std::string& unit = "");
+
+}  // namespace bfpsim

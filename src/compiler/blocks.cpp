@@ -1,0 +1,82 @@
+#include "compiler/blocks.hpp"
+
+#include <cmath>
+
+namespace bfpsim {
+
+NodeId build_vit_block(Graph& g, NodeId x, const BlockWeights& w,
+                       const VitConfig& cfg, const std::string& prefix) {
+  const int t = cfg.tokens();
+  const int d = cfg.embed_dim;
+  const int h = cfg.num_heads;
+  const int hd = cfg.head_dim();
+  const int m = cfg.mlp_hidden();
+  const float scale = 1.0F / std::sqrt(static_cast<float>(hd));
+
+  auto cvec = [&](const std::vector<float>& v, int cols,
+                  const std::string& name) {
+    return g.constant(v, {1, cols}, prefix + name);
+  };
+  auto cmat = [&](const std::vector<float>& v, int rows, int cols,
+                  const std::string& name) {
+    return g.constant(v, {rows, cols}, prefix + name);
+  };
+
+  // ---- attention ----
+  const NodeId ln1 =
+      g.layernorm(x, cvec(w.ln1_gamma, d, "ln1.g"), cvec(w.ln1_beta, d,
+                                                         "ln1.b"),
+                  1e-5F, prefix + "ln1");
+  const NodeId qkv = g.bias_add(
+      g.matmul(ln1, cmat(w.qkv_w, d, 3 * d, "Wqkv"), prefix + "qkv"),
+      cvec(w.qkv_b, 3 * d, "bqkv"), prefix + "qkv+b");
+
+  NodeId attn_out = -1;
+  for (int head = 0; head < h; ++head) {
+    const std::string hp = prefix + "h" + std::to_string(head) + ".";
+    const NodeId q = g.slice_cols(qkv, head * hd, hd, hp + "q");
+    const NodeId k = g.slice_cols(qkv, d + head * hd, hd, hp + "k");
+    const NodeId v = g.slice_cols(qkv, 2 * d + head * hd, hd, hp + "v");
+    const NodeId scores = g.scale(
+        g.matmul(q, g.transpose(k, hp + "kT"), hp + "qkT"), scale,
+        hp + "scaled");
+    const NodeId probs = g.softmax(scores, hp + "attn");
+    const NodeId ctx = g.matmul(probs, v, hp + "ctx");
+    attn_out = head == 0 ? ctx
+                         : g.concat_cols(attn_out, ctx, hp + "cat");
+  }
+  (void)t;
+
+  const NodeId proj = g.bias_add(
+      g.matmul(attn_out, cmat(w.proj_w, d, d, "Wproj"), prefix + "proj"),
+      cvec(w.proj_b, d, "bproj"), prefix + "proj+b");
+  const NodeId res1 = g.add(x, proj, prefix + "res1");
+
+  // ---- MLP ----
+  const NodeId ln2 =
+      g.layernorm(res1, cvec(w.ln2_gamma, d, "ln2.g"),
+                  cvec(w.ln2_beta, d, "ln2.b"), 1e-5F, prefix + "ln2");
+  const NodeId fc1 = g.bias_add(
+      g.matmul(ln2, cmat(w.fc1_w, d, m, "W1"), prefix + "fc1"),
+      cvec(w.fc1_b, m, "b1"), prefix + "fc1+b");
+  const NodeId act = g.gelu(fc1, prefix + "gelu");
+  const NodeId fc2 = g.bias_add(
+      g.matmul(act, cmat(w.fc2_w, m, d, "W2"), prefix + "fc2"),
+      cvec(w.fc2_b, d, "b2"), prefix + "fc2+b");
+  return g.add(res1, fc2, prefix + "res2");
+}
+
+Graph build_vit_encoder(const VitWeights& weights) {
+  weights.cfg.validate();
+  Graph g;
+  NodeId x = g.input({weights.cfg.tokens(), weights.cfg.embed_dim},
+                     "embeddings");
+  for (std::size_t i = 0; i < weights.blocks.size(); ++i) {
+    x = build_vit_block(g, x, weights.blocks[i], weights.cfg,
+                        "b" + std::to_string(i) + ".");
+  }
+  g.set_output(x);
+  return g;
+}
+
+}  // namespace bfpsim

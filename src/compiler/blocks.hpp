@@ -1,0 +1,25 @@
+// Graph builders for full transformer structures: multi-head attention
+// blocks and whole encoders, lowered from VitWeights. This is the front
+// end a model importer would target — combined with compile(), it turns a
+// checkpoint into one device instruction stream.
+#pragma once
+
+#include "compiler/graph.hpp"
+#include "transformer/model.hpp"
+
+namespace bfpsim {
+
+/// Append one full transformer block (multi-head attention + MLP, both
+/// residuals, both LayerNorms) operating on `x` (tokens x d); returns the
+/// block output node.
+NodeId build_vit_block(Graph& g, NodeId x, const BlockWeights& w,
+                       const VitConfig& cfg, const std::string& prefix);
+
+/// Build a whole encoder graph: input -> depth blocks -> output.
+/// Node budget: a block costs ~(14 + 8 * heads) nodes; the 240-register
+/// compiler window bounds depth * heads accordingly (plenty for test and
+/// tiny configurations; bigger models run through the direct VitModel
+/// path instead).
+Graph build_vit_encoder(const VitWeights& weights);
+
+}  // namespace bfpsim

@@ -1,0 +1,277 @@
+#include "compiler/compile.hpp"
+
+#include <sstream>
+
+#include "isa/kernels.hpp"
+#include "transformer/config.hpp"
+
+namespace bfpsim {
+
+namespace {
+
+/// Scratch registers reserved for inlined kernels (above the node window).
+constexpr int kScratchWindow = 240;
+constexpr int kMaxGraphNodes = kScratchWindow;
+
+/// Inline a kernel program, remapping its conventional registers
+/// (kernels::kIn/kOut and the scratch base) into the caller's frame.
+void inline_kernel(ProgramBuilder& out, const Program& kernel, int in_reg,
+                   int out_reg) {
+  auto remap = [&](std::uint8_t r) -> std::uint8_t {
+    if (r == kernels::kIn) return static_cast<std::uint8_t>(in_reg);
+    if (r == kernels::kOut) return static_cast<std::uint8_t>(out_reg);
+    if (r >= kernels::kScratchBase) {
+      const int s = kScratchWindow + (r - kernels::kScratchBase);
+      BFP_ASSERT(s < kNumTensorRegs);
+      return static_cast<std::uint8_t>(s);
+    }
+    return r;
+  };
+  for (Instruction inst : kernel.instructions()) {
+    if (inst.op == Opcode::kHalt) continue;
+    inst.dst = remap(inst.dst);
+    inst.src_a = remap(inst.src_a);
+    inst.src_b = remap(inst.src_b);
+    out.raw(inst);
+  }
+}
+
+/// Static per-element device-op costs for the vector kernels, measured
+/// from the micro-programs once per compile.
+struct VectorCosts {
+  NonlinearCostModel nl;
+};
+
+std::uint64_t estimate_cycles(const GraphNode& n, const Graph& g,
+                              const AcceleratorSystem& sys,
+                              const VectorCosts& costs) {
+  const auto elems = static_cast<std::uint64_t>(n.shape.elements());
+  switch (n.op) {
+    case GraphOp::kInput:
+    case GraphOp::kConstant:
+      return 0;
+    case GraphOp::kMatMul: {
+      const TensorShape& a = g.node(n.inputs[0]).shape;
+      return sys.gemm_latency(a.rows, a.cols, n.shape.cols).cycles;
+    }
+    case GraphOp::kAdd:
+    case GraphOp::kBiasAdd:
+      return sys.vector_latency(0, elems).cycles;
+    case GraphOp::kMul:
+    case GraphOp::kScale:
+      return sys.vector_latency(elems, 0).cycles;
+    case GraphOp::kTranspose:
+    case GraphOp::kSliceCols:
+    case GraphOp::kConcatCols:
+      return elems * 4 /
+             static_cast<std::uint64_t>(
+                 sys.memory().hbm().bytes_per_cycle_total());
+    case GraphOp::kLayerNorm:
+      return sys
+          .vector_latency(
+              static_cast<std::uint64_t>(
+                  static_cast<double>(elems) *
+                  costs.nl.layernorm_device_ops_per_elem),
+              0)
+          .cycles;
+    case GraphOp::kSoftmax:
+      return sys
+          .vector_latency(
+              static_cast<std::uint64_t>(
+                  static_cast<double>(elems) *
+                  costs.nl.softmax_device_ops_per_elem),
+              0)
+          .cycles;
+    case GraphOp::kGelu:
+    case GraphOp::kSilu:
+      return sys
+          .vector_latency(static_cast<std::uint64_t>(
+                              static_cast<double>(elems) *
+                              costs.nl.gelu_device_ops_per_elem),
+                          0)
+          .cycles;
+  }
+  BFP_ASSERT(false);
+  return 0;
+}
+
+const char* mode_name(GraphOp op) {
+  switch (op) {
+    case GraphOp::kInput: return "host-bind";
+    case GraphOp::kConstant: return "host-bind";
+    case GraphOp::kMatMul: return "bfp8-matmul";
+    case GraphOp::kAdd:
+    case GraphOp::kBiasAdd: return "fp32-acc";
+    case GraphOp::kMul:
+    case GraphOp::kScale: return "fp32-pe";
+    case GraphOp::kTranspose:
+    case GraphOp::kSliceCols:
+    case GraphOp::kConcatCols: return "dma";
+    case GraphOp::kLayerNorm:
+    case GraphOp::kSoftmax: return "fp32-vector (+host div)";
+    case GraphOp::kGelu:
+    case GraphOp::kSilu: return "fp32-vector";
+  }
+  return "?";
+}
+
+}  // namespace
+
+CompiledModel compile(const Graph& graph, const AcceleratorSystem& system) {
+  BFP_REQUIRE(graph.size() > 0 && graph.size() <= kMaxGraphNodes,
+              "compile: graph must have 1..240 nodes");
+
+  CompiledModel m;
+  m.system_ = &system;
+  m.output_node_ = graph.output();
+  m.output_shape_ = graph.node(m.output_node_).shape;
+
+  VectorCosts costs;
+  // Probe rows: use the output shape's column count as a representative
+  // reduction width (good enough for a static estimate).
+  costs.nl = measure_nonlinear_costs(
+      std::max(2, m.output_shape_.cols), std::max(2, m.output_shape_.cols));
+
+  ProgramBuilder pb;
+  for (const GraphNode& n : graph.nodes()) {
+    const int dst = n.id;  // register = node id
+    switch (n.op) {
+      case GraphOp::kInput:
+        m.input_nodes_.push_back(n.id);
+        break;
+      case GraphOp::kConstant:
+        m.constants_.push_back(n);
+        break;
+      case GraphOp::kMatMul: {
+        const TensorShape& a = graph.node(n.inputs[0]).shape;
+        pb.bfp_matmul(dst, n.inputs[0], n.inputs[1], a.rows, a.cols,
+                      n.shape.cols);
+        break;
+      }
+      case GraphOp::kAdd:
+        pb.vec_add(dst, n.inputs[0], n.inputs[1]);
+        break;
+      case GraphOp::kMul:
+        pb.vec_mul(dst, n.inputs[0], n.inputs[1]);
+        break;
+      case GraphOp::kScale:
+        pb.vec_mul_scalar(dst, n.inputs[0], n.imm);
+        break;
+      case GraphOp::kBiasAdd:
+        pb.col_add_bcast(dst, n.inputs[0], n.inputs[1], n.shape.rows,
+                         n.shape.cols);
+        break;
+      case GraphOp::kTranspose: {
+        const TensorShape& a = graph.node(n.inputs[0]).shape;
+        pb.transpose(dst, n.inputs[0], a.rows, a.cols);
+        break;
+      }
+      case GraphOp::kSliceCols:
+        pb.slice_cols(dst, n.inputs[0], n.shape.rows, n.iarg,
+                      n.shape.cols);
+        break;
+      case GraphOp::kConcatCols:
+        pb.concat_cols(dst, n.inputs[0], n.inputs[1]);
+        break;
+      case GraphOp::kLayerNorm: {
+        // Lowered inline with column broadcasts for gamma/beta.
+        const int rows = n.shape.rows;
+        const int cols = n.shape.cols;
+        const int s0 = kScratchWindow + 0;
+        const int s1 = kScratchWindow + 1;
+        const int s2 = kScratchWindow + 2;
+        const float invn = 1.0F / static_cast<float>(cols);
+        pb.row_sum(s0, n.inputs[0], rows, cols)
+            .vec_mul_scalar(s0, s0, invn)               // mean
+            .row_sub(s1, n.inputs[0], s0, rows, cols)   // centered
+            .vec_mul(s2, s1, s1)
+            .row_sum(s2, s2, rows, cols)
+            .vec_mul_scalar(s2, s2, invn)               // variance
+            .host_rsqrt(s2, s2, n.imm)
+            .row_mul_bcast(s1, s1, s2, rows, cols)      // normalized
+            .col_mul_bcast(s1, s1, n.inputs[1], rows, cols)  // * gamma
+            .col_add_bcast(dst, s1, n.inputs[2], rows, cols);  // + beta
+        break;
+      }
+      case GraphOp::kSoftmax: {
+        Program kernel = kernels::softmax(n.shape.rows, n.shape.cols);
+        inline_kernel(pb, kernel, n.inputs[0], dst);
+        break;
+      }
+      case GraphOp::kGelu: {
+        Program kernel = kernels::gelu();
+        inline_kernel(pb, kernel, n.inputs[0], dst);
+        break;
+      }
+      case GraphOp::kSilu: {
+        Program kernel = kernels::silu();
+        inline_kernel(pb, kernel, n.inputs[0], dst);
+        break;
+      }
+    }
+
+    NodePlan plan;
+    plan.id = n.id;
+    plan.name = n.name;
+    plan.op = n.op;
+    plan.shape = n.shape;
+    plan.mode = mode_name(n.op);
+    plan.est_cycles = estimate_cycles(n, graph, system, costs);
+    m.plan_.push_back(std::move(plan));
+  }
+  pb.halt();
+  m.program_ = pb.build();
+  return m;
+}
+
+RunResult CompiledModel::run(
+    std::span<const std::vector<float>> inputs) const {
+  BFP_REQUIRE(system_ != nullptr, "CompiledModel: not compiled");
+  BFP_REQUIRE(inputs.size() == input_nodes_.size(),
+              "CompiledModel::run: wrong number of inputs");
+  Executor ex(*system_);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    // Shapes are validated against the graph's input declarations.
+    const NodeId id = input_nodes_[i];
+    const NodePlan& plan = plan_[static_cast<std::size_t>(id)];
+    BFP_REQUIRE(inputs[i].size() == plan.shape.elements(),
+                "CompiledModel::run: input size mismatch for " + plan.name);
+    ex.set_tensor(id, plan.shape.rows, plan.shape.cols, inputs[i]);
+  }
+  for (const GraphNode& c : constants_) {
+    ex.set_tensor(c.id, c.shape.rows, c.shape.cols, c.value);
+  }
+  RunResult r;
+  r.stats = ex.run(program_);
+  r.output = ex.tensor(output_node_).data;
+  r.shape = output_shape_;
+  return r;
+}
+
+std::uint64_t CompiledModel::total_est_cycles() const {
+  std::uint64_t c = 0;
+  for (const NodePlan& p : plan_) c += p.est_cycles;
+  return c;
+}
+
+std::string CompiledModel::report() const {
+  std::ostringstream os;
+  const double total = static_cast<double>(std::max<std::uint64_t>(
+      1, total_est_cycles()));
+  os << "node  op          mode                     shape        est.cycles"
+        "   share\n";
+  for (const NodePlan& p : plan_) {
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "%-4d  %-10s  %-23s  %5dx%-5d  %10llu  %5.1f%%  %s\n",
+                  p.id, graph_op_name(p.op), p.mode.c_str(), p.shape.rows,
+                  p.shape.cols,
+                  static_cast<unsigned long long>(p.est_cycles),
+                  100.0 * static_cast<double>(p.est_cycles) / total,
+                  p.name.c_str());
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace bfpsim

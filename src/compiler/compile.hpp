@@ -1,0 +1,69 @@
+// Graph -> ISA compilation: assigns every graph node to a hardware mode of
+// the multi-mode unit, emits one executable Program, and carries a static
+// per-node latency plan (the schedule a deployment compiler would print).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "compiler/graph.hpp"
+#include "fabric/system.hpp"
+#include "isa/executor.hpp"
+#include "isa/program.hpp"
+
+namespace bfpsim {
+
+/// Per-node scheduling decision + static latency estimate.
+struct NodePlan {
+  NodeId id = -1;
+  std::string name;
+  GraphOp op = GraphOp::kInput;
+  TensorShape shape;
+  std::string mode;              ///< "bfp8-matmul" / "fp32-vector" / ...
+  std::uint64_t est_cycles = 0;  ///< system latency estimate
+};
+
+/// Result of executing a compiled model.
+struct RunResult {
+  std::vector<float> output;
+  TensorShape shape;
+  ExecutionStats stats;
+};
+
+class CompiledModel {
+ public:
+  /// Execute with the given input tensors (one per kInput node, in graph
+  /// order). Constants were captured at compile time.
+  RunResult run(std::span<const std::vector<float>> inputs) const;
+
+  /// The emitted instruction stream.
+  const Program& program() const { return program_; }
+
+  /// The static schedule.
+  const std::vector<NodePlan>& plan() const { return plan_; }
+  std::uint64_t total_est_cycles() const;
+
+  /// Human-readable schedule report (one row per node).
+  std::string report() const;
+
+ private:
+  friend CompiledModel compile(const Graph& graph,
+                               const AcceleratorSystem& system);
+
+  const AcceleratorSystem* system_ = nullptr;
+  Program program_;
+  std::vector<NodePlan> plan_;
+  std::vector<NodeId> input_nodes_;
+  std::vector<GraphNode> constants_;
+  NodeId output_node_ = -1;
+  TensorShape output_shape_;
+};
+
+/// Compile a graph for an accelerator system. Graphs are limited to 240
+/// nodes (the 8-bit tensor-register file, minus the compiler's scratch
+/// window).
+CompiledModel compile(const Graph& graph, const AcceleratorSystem& system);
+
+}  // namespace bfpsim

@@ -1,0 +1,208 @@
+#include "compiler/graph.hpp"
+
+namespace bfpsim {
+
+const char* graph_op_name(GraphOp op) {
+  switch (op) {
+    case GraphOp::kInput: return "input";
+    case GraphOp::kConstant: return "constant";
+    case GraphOp::kMatMul: return "matmul";
+    case GraphOp::kAdd: return "add";
+    case GraphOp::kMul: return "mul";
+    case GraphOp::kScale: return "scale";
+    case GraphOp::kBiasAdd: return "bias_add";
+    case GraphOp::kTranspose: return "transpose";
+    case GraphOp::kSliceCols: return "slice_cols";
+    case GraphOp::kConcatCols: return "concat_cols";
+    case GraphOp::kLayerNorm: return "layernorm";
+    case GraphOp::kSoftmax: return "softmax";
+    case GraphOp::kGelu: return "gelu";
+    case GraphOp::kSilu: return "silu";
+  }
+  return "?";
+}
+
+NodeId Graph::push(GraphNode n) {
+  n.id = static_cast<NodeId>(nodes_.size());
+  BFP_REQUIRE(n.shape.rows > 0 && n.shape.cols > 0,
+              "Graph: node shape must be positive");
+  for (NodeId in : n.inputs) {
+    BFP_REQUIRE(in >= 0 && in < n.id,
+                "Graph: inputs must reference earlier nodes");
+  }
+  nodes_.push_back(std::move(n));
+  return nodes_.back().id;
+}
+
+const GraphNode& Graph::node(NodeId id) const {
+  BFP_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
+              "Graph: node id out of range");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+const TensorShape& Graph::shape_of(NodeId id) const {
+  return node(id).shape;
+}
+
+NodeId Graph::output() const {
+  BFP_REQUIRE(output_ >= 0, "Graph: output not set");
+  return output_;
+}
+
+void Graph::set_output(NodeId id) {
+  BFP_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
+              "Graph: output id out of range");
+  output_ = id;
+}
+
+NodeId Graph::input(TensorShape shape, std::string name) {
+  GraphNode n;
+  n.op = GraphOp::kInput;
+  n.shape = shape;
+  n.name = std::move(name);
+  return push(std::move(n));
+}
+
+NodeId Graph::constant(std::vector<float> value, TensorShape shape,
+                       std::string name) {
+  BFP_REQUIRE(value.size() == shape.elements(),
+              "Graph: constant payload size must match shape");
+  GraphNode n;
+  n.op = GraphOp::kConstant;
+  n.shape = shape;
+  n.value = std::move(value);
+  n.name = std::move(name);
+  return push(std::move(n));
+}
+
+NodeId Graph::matmul(NodeId a, NodeId b, std::string name) {
+  const TensorShape& sa = shape_of(a);
+  const TensorShape& sb = shape_of(b);
+  BFP_REQUIRE(sa.cols == sb.rows, "Graph::matmul: inner dims must match");
+  GraphNode n;
+  n.op = GraphOp::kMatMul;
+  n.inputs = {a, b};
+  n.shape = {sa.rows, sb.cols};
+  n.name = std::move(name);
+  return push(std::move(n));
+}
+
+namespace {
+GraphNode elementwise(GraphOp op, NodeId a, NodeId b,
+                      const TensorShape& shape, std::string name) {
+  GraphNode n;
+  n.op = op;
+  n.inputs = {a, b};
+  n.shape = shape;
+  n.name = std::move(name);
+  return n;
+}
+}  // namespace
+
+NodeId Graph::add(NodeId a, NodeId b, std::string name) {
+  BFP_REQUIRE(shape_of(a) == shape_of(b),
+              "Graph::add: shapes must match");
+  return push(elementwise(GraphOp::kAdd, a, b, shape_of(a), std::move(name)));
+}
+
+NodeId Graph::mul(NodeId a, NodeId b, std::string name) {
+  BFP_REQUIRE(shape_of(a) == shape_of(b),
+              "Graph::mul: shapes must match");
+  return push(elementwise(GraphOp::kMul, a, b, shape_of(a), std::move(name)));
+}
+
+NodeId Graph::scale(NodeId a, float s, std::string name) {
+  GraphNode n;
+  n.op = GraphOp::kScale;
+  n.inputs = {a};
+  n.shape = shape_of(a);
+  n.imm = s;
+  n.name = std::move(name);
+  return push(std::move(n));
+}
+
+NodeId Graph::bias_add(NodeId a, NodeId bias, std::string name) {
+  const TensorShape& sa = shape_of(a);
+  const TensorShape& sb = shape_of(bias);
+  BFP_REQUIRE(sb.rows == 1 && sb.cols == sa.cols,
+              "Graph::bias_add: bias must be (1 x cols)");
+  return push(elementwise(GraphOp::kBiasAdd, a, bias, sa, std::move(name)));
+}
+
+NodeId Graph::transpose(NodeId a, std::string name) {
+  const TensorShape& sa = shape_of(a);
+  GraphNode n;
+  n.op = GraphOp::kTranspose;
+  n.inputs = {a};
+  n.shape = {sa.cols, sa.rows};
+  n.name = std::move(name);
+  return push(std::move(n));
+}
+
+NodeId Graph::slice_cols(NodeId a, int start, int width,
+                         std::string name) {
+  const TensorShape& sa = shape_of(a);
+  BFP_REQUIRE(start >= 0 && width > 0 && start + width <= sa.cols,
+              "Graph::slice_cols: slice out of range");
+  GraphNode n;
+  n.op = GraphOp::kSliceCols;
+  n.inputs = {a};
+  n.shape = {sa.rows, width};
+  n.iarg = start;
+  n.name = std::move(name);
+  return push(std::move(n));
+}
+
+NodeId Graph::concat_cols(NodeId a, NodeId b, std::string name) {
+  const TensorShape& sa = shape_of(a);
+  const TensorShape& sb = shape_of(b);
+  BFP_REQUIRE(sa.rows == sb.rows,
+              "Graph::concat_cols: row counts must match");
+  GraphNode n;
+  n.op = GraphOp::kConcatCols;
+  n.inputs = {a, b};
+  n.shape = {sa.rows, sa.cols + sb.cols};
+  n.name = std::move(name);
+  return push(std::move(n));
+}
+
+NodeId Graph::layernorm(NodeId a, NodeId gamma, NodeId beta, float eps,
+                        std::string name) {
+  const TensorShape& sa = shape_of(a);
+  const TensorShape expect{1, sa.cols};
+  BFP_REQUIRE(shape_of(gamma) == expect && shape_of(beta) == expect,
+              "Graph::layernorm: gamma/beta must be (1 x cols)");
+  GraphNode n;
+  n.op = GraphOp::kLayerNorm;
+  n.inputs = {a, gamma, beta};
+  n.shape = sa;
+  n.imm = eps;
+  n.name = std::move(name);
+  return push(std::move(n));
+}
+
+namespace {
+GraphNode unary(GraphOp op, NodeId a, const TensorShape& shape,
+                std::string name) {
+  GraphNode n;
+  n.op = op;
+  n.inputs = {a};
+  n.shape = shape;
+  n.name = std::move(name);
+  return n;
+}
+}  // namespace
+
+NodeId Graph::softmax(NodeId a, std::string name) {
+  return push(unary(GraphOp::kSoftmax, a, shape_of(a), std::move(name)));
+}
+
+NodeId Graph::gelu(NodeId a, std::string name) {
+  return push(unary(GraphOp::kGelu, a, shape_of(a), std::move(name)));
+}
+
+NodeId Graph::silu(NodeId a, std::string name) {
+  return push(unary(GraphOp::kSilu, a, shape_of(a), std::move(name)));
+}
+
+}  // namespace bfpsim

@@ -1,0 +1,99 @@
+// A small tensor-program graph IR — the front half of the "automatic
+// compilation framework that provides full stack acceleration of
+// Transformer models" the paper's conclusion announces as ongoing work.
+//
+// A Graph is a DAG of shaped tensor operations built in topological order.
+// The compiler (compile.hpp) assigns each node to a hardware mode of the
+// multi-mode unit (bfp8 MatMul / fp32 vector program / host op / DMA) and
+// emits one executable ISA Program for the whole graph.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace bfpsim {
+
+enum class GraphOp {
+  kInput,       ///< external tensor, bound at run time
+  kConstant,    ///< weights / parameters captured at build time
+  kMatMul,      ///< bfp8 MatMul mode
+  kAdd,         ///< elementwise add (fp32 ACC path)
+  kMul,         ///< elementwise multiply (fp32 PE path)
+  kScale,       ///< multiply by immediate
+  kBiasAdd,     ///< per-channel add (column broadcast)
+  kTranspose,   ///< DMA layout change
+  kSliceCols,   ///< DMA column slice
+  kConcatCols,  ///< DMA column concatenation
+  kLayerNorm,   ///< vector kernel (needs gamma/beta constant inputs)
+  kSoftmax,     ///< vector kernel (row-wise)
+  kGelu,        ///< vector kernel
+  kSilu,        ///< vector kernel
+};
+
+const char* graph_op_name(GraphOp op);
+
+struct TensorShape {
+  int rows = 0;
+  int cols = 0;
+
+  bool operator==(const TensorShape&) const = default;
+  std::size_t elements() const {
+    return static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+  }
+};
+
+using NodeId = int;
+
+struct GraphNode {
+  NodeId id = -1;
+  GraphOp op = GraphOp::kInput;
+  std::vector<NodeId> inputs;
+  TensorShape shape;          ///< output shape
+  float imm = 0.0F;           ///< kScale factor / LayerNorm eps
+  int iarg = 0;               ///< kSliceCols start column
+  std::vector<float> value;   ///< kConstant payload
+  std::string name;           ///< optional label for reports
+};
+
+/// Builder-style DAG. All shape checking happens at graph-construction
+/// time so the compiler can assume a valid program.
+class Graph {
+ public:
+  NodeId input(TensorShape shape, std::string name = "input");
+  NodeId constant(std::vector<float> value, TensorShape shape,
+                  std::string name = "const");
+  NodeId matmul(NodeId a, NodeId b, std::string name = "matmul");
+  NodeId add(NodeId a, NodeId b, std::string name = "add");
+  NodeId mul(NodeId a, NodeId b, std::string name = "mul");
+  NodeId scale(NodeId a, float s, std::string name = "scale");
+  NodeId bias_add(NodeId a, NodeId bias, std::string name = "bias");
+  NodeId transpose(NodeId a, std::string name = "transpose");
+  NodeId slice_cols(NodeId a, int start, int width,
+                    std::string name = "slice");
+  NodeId concat_cols(NodeId a, NodeId b, std::string name = "concat");
+  NodeId layernorm(NodeId a, NodeId gamma, NodeId beta, float eps = 1e-5F,
+                   std::string name = "layernorm");
+  NodeId softmax(NodeId a, std::string name = "softmax");
+  NodeId gelu(NodeId a, std::string name = "gelu");
+  NodeId silu(NodeId a, std::string name = "silu");
+
+  /// Mark the graph output (exactly one; called last).
+  void set_output(NodeId id);
+
+  const std::vector<GraphNode>& nodes() const { return nodes_; }
+  const GraphNode& node(NodeId id) const;
+  NodeId output() const;
+  std::size_t size() const { return nodes_.size(); }
+
+ private:
+  NodeId push(GraphNode n);
+  const TensorShape& shape_of(NodeId id) const;
+
+  std::vector<GraphNode> nodes_;
+  NodeId output_ = -1;
+};
+
+}  // namespace bfpsim

@@ -1,0 +1,123 @@
+#include "core/accelerator.hpp"
+
+#include "common/error.hpp"
+
+namespace bfpsim {
+
+Accelerator::Accelerator(const SystemConfig& cfg)
+    : system_(cfg), stream_pu_(cfg.pu) {}
+
+GemmRun Accelerator::matmul(std::span<const float> a, int m, int k,
+                            std::span<const float> b, int n) const {
+  return system_.gemm(a, m, k, b, n);
+}
+
+BfpMatrix Accelerator::quantize(std::span<const float> data, int rows,
+                                int cols) const {
+  BfpFormat fmt = bfp8_format();
+  fmt.rows = system_.config().pu.array.rows;
+  fmt.cols = system_.config().pu.array.cols;
+  return quantize_matrix(data, rows, cols, fmt,
+                         system_.config().pu.quant_round);
+}
+
+std::vector<float> Accelerator::dequantize(const BfpMatrix& m, int rows,
+                                           int cols) const {
+  return dequantize_matrix(m, rows, cols);
+}
+
+VecRun Accelerator::multiply(std::span<const float> x,
+                             std::span<const float> y) {
+  return stream_pu_.fp32_mul_stream(x, y);
+}
+
+VecRun Accelerator::add(std::span<const float> x, std::span<const float> y) {
+  return stream_pu_.fp32_add_stream(x, y);
+}
+
+std::vector<float> Accelerator::run_kernel(const Program& program,
+                                           std::span<const float> x,
+                                           int rows, int cols,
+                                           ExecutionStats* stats) const {
+  Executor ex(system_);
+  ex.set_tensor(kernels::kIn, rows, cols, x);
+  const ExecutionStats s = ex.run(program);
+  if (stats != nullptr) *stats = s;
+  return ex.tensor(kernels::kOut).data;
+}
+
+std::vector<float> Accelerator::softmax(std::span<const float> x, int rows,
+                                        int cols,
+                                        ExecutionStats* stats) const {
+  return run_kernel(kernels::softmax(rows, cols), x, rows, cols, stats);
+}
+
+std::vector<float> Accelerator::layernorm(std::span<const float> x, int rows,
+                                          int cols,
+                                          std::span<const float> gamma,
+                                          std::span<const float> beta,
+                                          ExecutionStats* stats) const {
+  BFP_REQUIRE(gamma.size() == static_cast<std::size_t>(cols) &&
+                  beta.size() == static_cast<std::size_t>(cols),
+              "Accelerator::layernorm: gamma/beta must have `cols` entries");
+  Executor ex(system_);
+  ex.set_tensor(kernels::kIn, rows, cols, x);
+  // Tile the per-channel affine parameters to the input shape (the layout
+  // converter's broadcast duplication in hardware).
+  std::vector<float> g(static_cast<std::size_t>(rows) * cols);
+  std::vector<float> bt(static_cast<std::size_t>(rows) * cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      g[static_cast<std::size_t>(r) * cols + c] =
+          gamma[static_cast<std::size_t>(c)];
+      bt[static_cast<std::size_t>(r) * cols + c] =
+          beta[static_cast<std::size_t>(c)];
+    }
+  }
+  ex.set_tensor(kernels::kGamma, rows, cols, g);
+  ex.set_tensor(kernels::kBeta, rows, cols, bt);
+  const ExecutionStats s = ex.run(kernels::layernorm(rows, cols));
+  if (stats != nullptr) *stats = s;
+  return ex.tensor(kernels::kOut).data;
+}
+
+std::vector<float> Accelerator::gelu(std::span<const float> x, int rows,
+                                     int cols, ExecutionStats* stats) const {
+  return run_kernel(kernels::gelu(), x, rows, cols, stats);
+}
+
+std::vector<float> Accelerator::silu(std::span<const float> x, int rows,
+                                     int cols, ExecutionStats* stats) const {
+  return run_kernel(kernels::silu(), x, rows, cols, stats);
+}
+
+Executor Accelerator::make_executor() const { return Executor(system_); }
+
+std::vector<float> Accelerator::run_transformer(const VitModel& model,
+                                                std::vector<float> embeddings,
+                                                ForwardStats* stats) const {
+  return model.forward_mixed(std::move(embeddings), system_, stats);
+}
+
+WorkloadBreakdown Accelerator::analyze_transformer(
+    const VitConfig& cfg) const {
+  return analyze_workload(cfg, system_);
+}
+
+double Accelerator::peak_bfp_ops() const {
+  return system_.peak_bfp_system();
+}
+
+double Accelerator::peak_fp32_flops() const {
+  return system_.peak_fp32_unit() * system_.config().num_units;
+}
+
+double Accelerator::sustained_bfp_ops() const {
+  return system_.sustained_bfp_system();
+}
+
+double Accelerator::sustained_fp32_flops() const {
+  return system_.sustained_fp32_system();
+}
+
+}  // namespace bfpsim

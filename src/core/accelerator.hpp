@@ -1,0 +1,98 @@
+// bfpsim's public facade: a single object representing the deployed
+// mixed-precision accelerator (the paper's 15-unit Alveo U280 system),
+// exposing:
+//
+//   * bfp8 matrix multiplication with the exact hardware numerics and the
+//     modelled system latency,
+//   * the fp32 vector modes (elementwise multiply / add on the
+//     reconfigured PE array),
+//   * the non-linear transformer kernels compiled to the vector-unit ISA
+//     (softmax / LayerNorm / GELU / SiLU), plus arbitrary user programs,
+//   * end-to-end mixed-precision transformer inference, and
+//   * throughput/peak queries matching the paper's equations.
+//
+// Everything is deterministic and runs on the host; see DESIGN.md for the
+// hardware-to-simulation substitution map.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fabric/system.hpp"
+#include "isa/executor.hpp"
+#include "numerics/quantizer.hpp"
+#include "isa/kernels.hpp"
+#include "pu/processing_unit.hpp"
+#include "transformer/latency.hpp"
+#include "transformer/model.hpp"
+
+namespace bfpsim {
+
+class Accelerator {
+ public:
+  explicit Accelerator(const SystemConfig& cfg = SystemConfig{});
+
+  /// ---- linear (bfp8) ----
+
+  /// C = A (m x k) * B (k x n), both quantized to bfp8 per 8x8 block on
+  /// the fly; returns the fp32 result with the system latency attached.
+  GemmRun matmul(std::span<const float> a, int m, int k,
+                 std::span<const float> b, int n) const;
+
+  /// Quantize a tensor to the device's bfp8 block format (what deploy()
+  /// ships to HBM); pairs with dequantize() for round trips.
+  BfpMatrix quantize(std::span<const float> data, int rows, int cols) const;
+  std::vector<float> dequantize(const BfpMatrix& m, int rows,
+                                int cols) const;
+
+  /// ---- fp32 vector modes (cycle-accurate single-unit streams) ----
+
+  VecRun multiply(std::span<const float> x, std::span<const float> y);
+  VecRun add(std::span<const float> x, std::span<const float> y);
+
+  /// ---- non-linear kernels on the vector-unit ISA ----
+
+  std::vector<float> softmax(std::span<const float> x, int rows, int cols,
+                             ExecutionStats* stats = nullptr) const;
+  std::vector<float> layernorm(std::span<const float> x, int rows, int cols,
+                               std::span<const float> gamma,
+                               std::span<const float> beta,
+                               ExecutionStats* stats = nullptr) const;
+  std::vector<float> gelu(std::span<const float> x, int rows, int cols,
+                          ExecutionStats* stats = nullptr) const;
+  std::vector<float> silu(std::span<const float> x, int rows, int cols,
+                          ExecutionStats* stats = nullptr) const;
+
+  /// Run an arbitrary program: bind inputs with `Executor::set_tensor`
+  /// via the returned executor, then call `run`.
+  Executor make_executor() const;
+
+  /// ---- transformer inference ----
+
+  std::vector<float> run_transformer(const VitModel& model,
+                                     std::vector<float> embeddings,
+                                     ForwardStats* stats = nullptr) const;
+
+  WorkloadBreakdown analyze_transformer(const VitConfig& cfg) const;
+
+  /// ---- platform queries ----
+
+  double peak_bfp_ops() const;           ///< Eqn 7 x arrays x units
+  double peak_fp32_flops() const;        ///< Eqn 8 x units
+  double sustained_bfp_ops() const;      ///< incl. memory model
+  double sustained_fp32_flops() const;   ///< incl. memory model
+
+  const AcceleratorSystem& system() const { return system_; }
+
+ private:
+  /// Helper: run a kernel program with kIn bound to (rows x cols) data.
+  std::vector<float> run_kernel(const Program& program,
+                                std::span<const float> x, int rows, int cols,
+                                ExecutionStats* stats) const;
+
+  AcceleratorSystem system_;
+  ProcessingUnit stream_pu_;  ///< cycle-accurate unit for vector streams
+};
+
+}  // namespace bfpsim

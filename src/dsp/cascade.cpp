@@ -1,0 +1,34 @@
+#include "dsp/cascade.hpp"
+
+#include "common/error.hpp"
+
+namespace bfpsim {
+
+CascadeColumn::CascadeColumn(int depth) {
+  BFP_REQUIRE(depth >= 1 && depth <= 64,
+              "CascadeColumn: depth must be in [1,64]");
+  slices_.resize(static_cast<std::size_t>(depth));
+}
+
+std::int64_t CascadeColumn::pass(std::span<const std::int64_t> a,
+                                 std::span<const std::int64_t> b) {
+  BFP_REQUIRE(a.size() == slices_.size() && b.size() == slices_.size(),
+              "CascadeColumn::pass: operand spans must match depth");
+  std::int64_t pc = 0;
+  for (std::size_t i = 0; i < slices_.size(); ++i) {
+    pc = slices_[i].mac_cascade(a[i], b[i], pc);
+  }
+  return pc;
+}
+
+std::uint64_t CascadeColumn::op_count() const {
+  std::uint64_t n = 0;
+  for (const auto& s : slices_) n += s.op_count();
+  return n;
+}
+
+void CascadeColumn::reset() {
+  for (auto& s : slices_) s.reset();
+}
+
+}  // namespace bfpsim

@@ -1,0 +1,41 @@
+// A column of DSP48E2 slices chained through the dedicated PCOUT -> PCIN
+// cascade, as used by both operating modes of the PE array: the bfp8 column
+// partial-sum chain and the fp32 partial-product adder tree (Fig. 5).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "dsp/dsp48e2.hpp"
+
+namespace bfpsim {
+
+/// N cascaded DSP slices; slice 0 is the top of the column (PCIN = 0).
+class CascadeColumn {
+ public:
+  explicit CascadeColumn(int depth);
+
+  /// One combinational pass down the chain: slice i computes
+  /// P_i = P_{i-1} + a[i] * b[i]; returns the bottom P (the column sum).
+  /// This models the steady-state value of the chain; the PE array adds the
+  /// per-stage pipeline latency on top.
+  std::int64_t pass(std::span<const std::int64_t> a,
+                    std::span<const std::int64_t> b);
+
+  int depth() const { return static_cast<int>(slices_.size()); }
+  Dsp48e2& slice(int i) { return slices_[static_cast<std::size_t>(i)]; }
+  const Dsp48e2& slice(int i) const {
+    return slices_[static_cast<std::size_t>(i)];
+  }
+
+  /// Total DSP operations issued across the column.
+  std::uint64_t op_count() const;
+
+  void reset();
+
+ private:
+  std::vector<Dsp48e2> slices_;
+};
+
+}  // namespace bfpsim

@@ -1,0 +1,52 @@
+#include "dsp/dsp48e2.hpp"
+
+namespace bfpsim {
+
+std::int64_t Dsp48e2::eval(std::int64_t a, std::int64_t b, std::int64_t d,
+                           std::int64_t c, std::int64_t pcin, DspAccSrc src,
+                           bool use_preadder) {
+  if (!fits_signed(a, kDspAWidth)) {
+    throw HardwareContractError("DSP48E2: A operand exceeds 27 bits");
+  }
+  if (!fits_signed(b, kDspBWidth)) {
+    throw HardwareContractError("DSP48E2: B operand exceeds 18 bits");
+  }
+  if (!fits_signed(d, kDspDWidth)) {
+    throw HardwareContractError("DSP48E2: D operand exceeds 27 bits");
+  }
+  if (!fits_signed(c, kDspCWidth)) {
+    throw HardwareContractError("DSP48E2: C operand exceeds 48 bits");
+  }
+  if (!fits_signed(pcin, kDspPWidth)) {
+    throw HardwareContractError("DSP48E2: PCIN exceeds 48 bits");
+  }
+
+  std::int64_t mul_in = a;
+  if (use_preadder) {
+    mul_in = a + d;
+    // The pre-adder output register AD is 27 bits; overflow wraps in silicon.
+    if (!fits_signed(mul_in, kDspDWidth)) {
+      throw HardwareContractError("DSP48E2: pre-adder result exceeds 27 bits");
+    }
+  }
+
+  const std::int64_t m = mul_in * b;
+  BFP_ASSERT(fits_signed(m, kDspMWidth));  // guaranteed by port widths
+
+  std::int64_t w = 0;
+  switch (src) {
+    case DspAccSrc::kZero: w = 0; break;
+    case DspAccSrc::kP: w = p_; break;
+    case DspAccSrc::kC: w = c; break;
+    case DspAccSrc::kPcin: w = pcin; break;
+  }
+  const std::int64_t p = w + m;
+  if (!fits_signed(p, kDspPWidth)) {
+    throw HardwareContractError("DSP48E2: ALU result exceeds 48 bits");
+  }
+  p_ = p;
+  ++ops_;
+  return p_;
+}
+
+}  // namespace bfpsim

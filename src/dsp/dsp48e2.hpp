@@ -1,0 +1,83 @@
+// Bit-accurate functional model of the AMD UltraScale DSP48E2 slice
+// (UG579), restricted to the features the paper's processing element uses:
+//
+//   * the 27-bit pre-adder path (A:D adder feeding the multiplier),
+//   * the 27x18 signed multiplier,
+//   * the 48-bit ALU accumulating M with one of {0, P, C, PCIN}, and
+//   * the PCIN/PCOUT 48-bit cascade chain.
+//
+// The model enforces the port widths: feeding a value that does not fit a
+// port throws HardwareContractError, because the real slice would silently
+// wrap. This is how the simulator proves the paper's packing / pre-shifting
+// claims actually fit the hardware.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+namespace bfpsim {
+
+/// DSP48E2 port widths (UG579 table 1-1; A is 30 bits but only A[26:0]
+/// reaches the multiplier, so the model exposes the 27-bit multiplier view).
+inline constexpr int kDspAWidth = 27;
+inline constexpr int kDspBWidth = 18;
+inline constexpr int kDspDWidth = 27;
+inline constexpr int kDspCWidth = 48;
+inline constexpr int kDspPWidth = 48;
+inline constexpr int kDspMWidth = 45;  ///< 27x18 signed product width
+
+/// Source selected by the ALU's W/Z multiplexer for the accumulate operand.
+enum class DspAccSrc {
+  kZero,   ///< P = M
+  kP,      ///< P = P + M (self-accumulate)
+  kC,      ///< P = C + M
+  kPcin,   ///< P = PCIN + M (cascade accumulate)
+};
+
+/// One DSP48E2 slice. The model is functional-with-state: `P` is the output
+/// register, updated by each eval call; pipeline registers (AREG/BREG/MREG)
+/// are modelled by the surrounding PE, which is where the RTL places its
+/// latency bookkeeping too.
+class Dsp48e2 {
+ public:
+  /// Multiply-accumulate with optional pre-adder:
+  ///   M = (use_preadder ? (a + d) : a) * b
+  ///   P = acc_operand(src) + M
+  /// Returns the new P. Throws HardwareContractError when any port value or
+  /// the pre-adder result exceeds its width.
+  std::int64_t eval(std::int64_t a, std::int64_t b, std::int64_t d,
+                    std::int64_t c, std::int64_t pcin, DspAccSrc src,
+                    bool use_preadder);
+
+  /// Convenience: P = pcin + a*b (the cascade-adder configuration used by
+  /// both the bfp8 column sum and the fp32 partial-product chain).
+  std::int64_t mac_cascade(std::int64_t a, std::int64_t b,
+                           std::int64_t pcin) {
+    return eval(a, b, /*d=*/0, /*c=*/0, pcin, DspAccSrc::kPcin,
+                /*use_preadder=*/false);
+  }
+
+  /// Convenience: self-accumulating MAC, P += a*b.
+  std::int64_t mac_accumulate(std::int64_t a, std::int64_t b) {
+    return eval(a, b, /*d=*/0, /*c=*/0, /*pcin=*/0, DspAccSrc::kP,
+                /*use_preadder=*/false);
+  }
+
+  /// Current P register (also driven onto PCOUT).
+  std::int64_t p() const { return p_; }
+  std::int64_t pcout() const { return p_; }
+
+  /// Clear the P register (the RSTP control).
+  void reset() { p_ = 0; ops_ = 0; }
+
+  /// Number of eval() calls since reset — one "DSP operation" each.
+  std::uint64_t op_count() const { return ops_; }
+
+ private:
+  std::int64_t p_ = 0;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace bfpsim

@@ -1,0 +1,33 @@
+#include "dsp/packing.hpp"
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+namespace bfpsim {
+
+std::int64_t pack_dual(std::int64_t a, std::int64_t d) {
+  if (!fits_signed(a, 8) || !fits_signed(d, 8)) {
+    throw HardwareContractError("pack_dual: operands must be 8-bit signed");
+  }
+  return (a << kPackShift) + d;
+}
+
+DualLanes unpack_dual(std::int64_t p) {
+  DualLanes lanes;
+  lanes.lower = sign_extend(static_cast<std::uint64_t>(p), kPackShift);
+  // Subtracting the sign-extended lower field removes its borrow from the
+  // upper field exactly.
+  lanes.upper = (p - lanes.lower) >> kPackShift;
+  return lanes;
+}
+
+std::int64_t packed_lane_worst_case(int n_terms, std::int64_t mant_max) {
+  return static_cast<std::int64_t>(n_terms) * mant_max * mant_max;
+}
+
+bool packed_accumulation_safe(int n_terms, std::int64_t mant_max) {
+  return fits_signed(packed_lane_worst_case(n_terms, mant_max),
+                     kPackShift);
+}
+
+}  // namespace bfpsim

@@ -1,0 +1,47 @@
+// Combined-MAC packing: two int8 multiplications per DSP48E2 (Fig. 3).
+//
+// Following the AMD INT8 optimization (WP486), two 8-bit operands a and d
+// sharing a multiplicand b are packed into the 27-bit A:D path as
+//     packed = (a << 18) + d
+// so one 27x18 multiply yields
+//     packed * b = (a*b) << 18 + (d*b).
+// Accumulating k such products down a column keeps both sums resident in
+// disjoint fields of the 48-bit accumulator, provided the lower field's
+// running sum stays within 18-bit signed range. With symmetric int8
+// mantissas in [-127, 127], 8 accumulated products reach at most
+// 8 * 127 * 127 = 129032 < 2^17, which is exactly the paper's "configuring
+// the row numbers as 8 cleverly circumvents such overflow" (Section II-B).
+#pragma once
+
+#include <cstdint>
+
+namespace bfpsim {
+
+/// Field shift between the two packed lanes.
+inline constexpr int kPackShift = 18;
+
+/// Pack two int8 values into the 27-bit pre-adder path. `a` rides in the
+/// upper lane, `d` in the lower. Values must be 8-bit signed.
+std::int64_t pack_dual(std::int64_t a, std::int64_t d);
+
+/// The two lanes recovered from an accumulated packed value.
+struct DualLanes {
+  std::int64_t upper = 0;  ///< running sum of a_k * b_k
+  std::int64_t lower = 0;  ///< running sum of d_k * b_k
+};
+
+/// Unpack an accumulated packed result. Exact as long as the lower lane's
+/// true sum fits 18-bit signed range: the lower field is sign-extended and
+/// its implicit borrow is returned to the upper field.
+DualLanes unpack_dual(std::int64_t p);
+
+/// Worst-case magnitude of an n-term lower-lane sum for mantissas bounded by
+/// `mant_max` (used to prove overflow-freedom in tests and in the PU's
+/// configuration validation).
+std::int64_t packed_lane_worst_case(int n_terms, std::int64_t mant_max);
+
+/// True iff an n-term packed accumulation with mantissas in
+/// [-mant_max, mant_max] cannot corrupt the lane boundary.
+bool packed_accumulation_safe(int n_terms, std::int64_t mant_max);
+
+}  // namespace bfpsim

@@ -1,0 +1,45 @@
+#include "fabric/hbm.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bfpsim {
+
+void HbmConfig::validate() const {
+  BFP_REQUIRE(axi_channels_per_unit >= 1 && axi_channels_per_unit <= 32,
+              "HbmConfig: channels per unit must be in [1,32]");
+  BFP_REQUIRE(bytes_per_cycle_per_channel > 0,
+              "HbmConfig: channel width must be positive");
+  BFP_REQUIRE(burst_overhead_cycles >= 0,
+              "HbmConfig: burst overhead must be non-negative");
+  BFP_REQUIRE(bfp_burst_bytes > 0 && fp32_burst_bytes > 0,
+              "HbmConfig: burst sizes must be positive");
+  BFP_REQUIRE(bfp_overlap >= 0.0 && bfp_overlap <= 1.0 &&
+                  fp32_overlap >= 0.0 && fp32_overlap <= 1.0,
+              "HbmConfig: overlap fractions must be in [0,1]");
+}
+
+std::uint64_t transfer_cycles(const HbmConfig& cfg, std::uint64_t bytes,
+                              int burst_bytes) {
+  if (bytes == 0) return 0;
+  const auto bpc = static_cast<std::uint64_t>(cfg.bytes_per_cycle_total());
+  const std::uint64_t data =
+      (bytes + bpc - 1) / bpc;
+  const std::uint64_t bursts =
+      (bytes + static_cast<std::uint64_t>(burst_bytes) - 1) /
+      static_cast<std::uint64_t>(burst_bytes);
+  return data +
+         bursts * static_cast<std::uint64_t>(cfg.burst_overhead_cycles);
+}
+
+std::uint64_t combine_overlap(std::uint64_t compute_cycles,
+                              std::uint64_t io_cycles, double overlap) {
+  const auto hidden_budget = static_cast<std::uint64_t>(
+      std::floor(static_cast<double>(io_cycles) * overlap));
+  const std::uint64_t hidden =
+      hidden_budget < compute_cycles ? hidden_budget : compute_cycles;
+  return compute_cycles + io_cycles - hidden;
+}
+
+}  // namespace bfpsim

@@ -1,0 +1,96 @@
+#include "fabric/memory_interface.hpp"
+
+#include "common/error.hpp"
+
+namespace bfpsim {
+
+MemoryInterface::MemoryInterface(const HbmConfig& hbm, int arrays_per_unit)
+    : hbm_(hbm), arrays_per_unit_(arrays_per_unit) {
+  hbm_.validate();
+  BFP_REQUIRE(arrays_per_unit >= 1 && arrays_per_unit <= 8,
+              "MemoryInterface: arrays_per_unit must be in [1,8]");
+}
+
+PassIo MemoryInterface::bfp_pass(int n_x, std::uint64_t compute_cycles,
+                                 bool write_back) const {
+  BFP_REQUIRE(n_x >= 1, "bfp_pass: n_x must be positive");
+  PassIo io;
+  // X stream is shared across the unit's arrays; each array holds its own
+  // resident Y pair (2 blocks each).
+  io.bytes_in = static_cast<std::uint64_t>(n_x) * kBfpBlockBytes +
+                static_cast<std::uint64_t>(arrays_per_unit_) * 2 *
+                    kBfpBlockBytes;
+  if (write_back) {
+    // Results leave re-quantized to bfp8 (2 lanes per array).
+    io.bytes_out = static_cast<std::uint64_t>(n_x) * kBfpBlockBytes * 2 *
+                   static_cast<std::uint64_t>(arrays_per_unit_);
+  }
+  io.io_cycles =
+      transfer_cycles(hbm_, io.bytes_in + io.bytes_out, hbm_.bfp_burst_bytes);
+  io.exposed_cycles =
+      combine_overlap(compute_cycles, io.io_cycles, hbm_.bfp_overlap);
+  return io;
+}
+
+namespace {
+PassIo scattered_vec_run(const HbmConfig& hbm, int l, int lanes,
+                         int bytes_per_elem, int streams,
+                         std::uint64_t compute_cycles);
+}  // namespace
+
+PassIo MemoryInterface::fp32_run(int l, int lanes,
+                                 std::uint64_t compute_cycles) const {
+  BFP_REQUIRE(l >= 1 && lanes >= 1, "fp32_run: l and lanes must be positive");
+  // Per-lane operand vectors live at unrelated addresses in the current
+  // compilation flow (2 * lanes input streams + 1 interleaved output).
+  return scattered_vec_run(hbm_, l, lanes, 4, 2 * lanes + 1,
+                           compute_cycles);
+}
+
+PassIo MemoryInterface::bf16_run(int l, int lanes,
+                                 std::uint64_t compute_cycles) const {
+  BFP_REQUIRE(l >= 1 && lanes >= 1, "bf16_run: l and lanes must be positive");
+  // The bf16 extension assumes the improved compilation flow the paper's
+  // Section III-B calls future work: lanes consume contiguous chunks of
+  // the same operand vectors, so only 3 streams (x, y, out) are issued.
+  return scattered_vec_run(hbm_, l, lanes, 2, 3, compute_cycles);
+}
+
+namespace {
+PassIo scattered_vec_run(const HbmConfig& hbm, int l, int lanes,
+                         int bytes_per_elem, int streams_in,
+                         std::uint64_t compute_cycles) {
+  PassIo io;
+  const std::uint64_t elems =
+      static_cast<std::uint64_t>(l) * static_cast<std::uint64_t>(lanes);
+  io.bytes_in =
+      elems * 2 * static_cast<std::uint64_t>(bytes_per_elem);
+  io.bytes_out = elems * static_cast<std::uint64_t>(bytes_per_elem);
+  // The fp32 modes issue one burst chain per *stream*: each lane's X and Y
+  // operand vectors live at unrelated addresses (2 * lanes streams), while
+  // the lanes' results interleave into a single output stream. Short
+  // streams therefore pay the per-burst latency many times over — the
+  // paper's "more random memory access ... without larger burst lengths"
+  // (Section III-B), and the reason measured fp32 throughput stays far
+  // from Eqn 10.
+  const std::uint64_t stream_bytes =
+      static_cast<std::uint64_t>(l) *
+      static_cast<std::uint64_t>(bytes_per_elem);
+  const std::uint64_t bursts_per_stream =
+      (stream_bytes + static_cast<std::uint64_t>(hbm.fp32_burst_bytes) - 1) /
+      static_cast<std::uint64_t>(hbm.fp32_burst_bytes);
+  const std::uint64_t streams = static_cast<std::uint64_t>(streams_in);
+  const std::uint64_t data_cycles =
+      (io.bytes_in + io.bytes_out +
+       static_cast<std::uint64_t>(hbm.bytes_per_cycle_total()) - 1) /
+      static_cast<std::uint64_t>(hbm.bytes_per_cycle_total());
+  io.io_cycles = data_cycles +
+                 streams * bursts_per_stream *
+                     static_cast<std::uint64_t>(hbm.burst_overhead_cycles);
+  io.exposed_cycles =
+      combine_overlap(compute_cycles, io.io_cycles, hbm.fp32_overlap);
+  return io;
+}
+}  // namespace
+
+}  // namespace bfpsim

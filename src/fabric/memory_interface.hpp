@@ -1,0 +1,49 @@
+// Per-unit memory interface (the "Memory Interface" row of Table II): DMA
+// cost models for each operating mode, combining transfer cycles with the
+// compute pipeline under the configured overlap.
+#pragma once
+
+#include <cstdint>
+
+#include "fabric/hbm.hpp"
+#include "pu/processing_unit.hpp"
+
+namespace bfpsim {
+
+/// Byte-level footprint of one bfp8 block in memory: 64 mantissa bytes plus
+/// the shared exponent byte.
+inline constexpr int kBfpBlockBytes = 65;
+
+/// One Y-stationary pass and one fp32 run as the DMA engine sees them.
+struct PassIo {
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t io_cycles = 0;       ///< raw transfer cycles
+  std::uint64_t exposed_cycles = 0;  ///< after overlap with compute
+};
+
+class MemoryInterface {
+ public:
+  MemoryInterface(const HbmConfig& hbm, int arrays_per_unit);
+
+  /// I/O of one bfp pass streaming `n_x` X blocks against resident Y pairs
+  /// on every array, with quantized write-back of the produced tiles.
+  PassIo bfp_pass(int n_x, std::uint64_t compute_cycles,
+                  bool write_back) const;
+
+  /// I/O of one fp32 vector run with per-lane stream length `l` over
+  /// `lanes` lanes (operands in, results out; scattered access pattern).
+  PassIo fp32_run(int l, int lanes, std::uint64_t compute_cycles) const;
+
+  /// I/O of one bf16 vector run (extension): same scattered pattern but
+  /// 2-byte operands/results over `lanes` lanes.
+  PassIo bf16_run(int l, int lanes, std::uint64_t compute_cycles) const;
+
+  const HbmConfig& hbm() const { return hbm_; }
+
+ private:
+  HbmConfig hbm_;
+  int arrays_per_unit_;
+};
+
+}  // namespace bfpsim

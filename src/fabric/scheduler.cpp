@@ -1,0 +1,50 @@
+#include "fabric/scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace bfpsim {
+
+ScheduleResult schedule_lpt(const std::vector<WorkItem>& items,
+                            int num_units) {
+  BFP_REQUIRE(num_units >= 1, "schedule_lpt: need at least one unit");
+  ScheduleResult r;
+  r.units.resize(static_cast<std::size_t>(num_units));
+  for (int u = 0; u < num_units; ++u) {
+    r.units[static_cast<std::size_t>(u)].unit = u;
+  }
+  if (items.empty()) return r;
+
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return items[a].cycles > items[b].cycles;
+  });
+
+  for (const std::size_t idx : order) {
+    auto& best = *std::min_element(
+        r.units.begin(), r.units.end(),
+        [](const UnitAssignment& a, const UnitAssignment& b) {
+          return a.cycles < b.cycles;
+        });
+    best.items.push_back(idx);
+    best.cycles += items[idx].cycles;
+  }
+
+  std::uint64_t busy = 0;
+  for (const auto& u : r.units) {
+    r.makespan = std::max(r.makespan, u.cycles);
+    busy += u.cycles;
+  }
+  r.utilization =
+      r.makespan == 0
+          ? 0.0
+          : static_cast<double>(busy) /
+                (static_cast<double>(num_units) *
+                 static_cast<double>(r.makespan));
+  return r;
+}
+
+}  // namespace bfpsim

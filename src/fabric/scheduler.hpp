@@ -1,0 +1,40 @@
+// Multi-unit workload scheduling. Section III-A: the resource efficiency
+// of the multi-mode unit "enables our design to be expanded to multiple
+// parallel units on FPGA, running with independent instructions" — this
+// module exploits exactly that: independent work items (whole images, or
+// independent layers) placed onto the 15 units.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fabric/system.hpp"
+
+namespace bfpsim {
+
+/// One independently schedulable piece of work.
+struct WorkItem {
+  std::string name;
+  std::uint64_t cycles = 0;
+};
+
+/// Per-unit placement produced by the scheduler.
+struct UnitAssignment {
+  int unit = 0;
+  std::vector<std::size_t> items;  ///< indices into the input list
+  std::uint64_t cycles = 0;
+};
+
+struct ScheduleResult {
+  std::vector<UnitAssignment> units;
+  std::uint64_t makespan = 0;
+  double utilization = 0.0;  ///< busy cycles / (units * makespan)
+};
+
+/// Longest-processing-time-first list scheduling (classic 4/3-approximate
+/// makespan minimization) of `items` onto `num_units` units.
+ScheduleResult schedule_lpt(const std::vector<WorkItem>& items,
+                            int num_units);
+
+}  // namespace bfpsim

@@ -1,0 +1,420 @@
+#include "isa/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "numerics/slices.hpp"
+
+namespace bfpsim {
+
+Executor::Executor(const AcceleratorSystem& system)
+    : system_(system), regs_(kNumTensorRegs) {}
+
+void Executor::set_tensor(int r, int rows, int cols,
+                          std::span<const float> data) {
+  BFP_REQUIRE(r >= 0 && r < kNumTensorRegs, "Executor: register out of range");
+  BFP_REQUIRE(rows > 0 && cols > 0 &&
+                  data.size() == static_cast<std::size_t>(rows) * cols,
+              "Executor: tensor shape mismatch");
+  RegTensor t;
+  t.rows = rows;
+  t.cols = cols;
+  t.data.assign(data.begin(), data.end());
+  regs_[static_cast<std::size_t>(r)] = std::move(t);
+}
+
+void Executor::set_tensor(int r, RegTensor t) {
+  BFP_REQUIRE(r >= 0 && r < kNumTensorRegs, "Executor: register out of range");
+  BFP_REQUIRE(t.data.size() == t.size(), "Executor: tensor shape mismatch");
+  regs_[static_cast<std::size_t>(r)] = std::move(t);
+}
+
+const RegTensor& Executor::tensor(int r) const {
+  BFP_REQUIRE(r >= 0 && r < kNumTensorRegs, "Executor: register out of range");
+  const auto& slot = regs_[static_cast<std::size_t>(r)];
+  BFP_REQUIRE(slot.has_value(), "Executor: reading an unset register");
+  return *slot;
+}
+
+RegTensor& Executor::mut_tensor(int r) {
+  BFP_REQUIRE(r >= 0 && r < kNumTensorRegs, "Executor: register out of range");
+  auto& slot = regs_[static_cast<std::size_t>(r)];
+  BFP_REQUIRE(slot.has_value(), "Executor: reading an unset register");
+  return *slot;
+}
+
+ExecutionStats Executor::run(const Program& program) {
+  ExecutionStats stats;
+  for (const Instruction& inst : program.instructions()) {
+    if (inst.op == Opcode::kHalt) break;
+    exec_one(inst, stats);
+    ++stats.instructions;
+  }
+  return stats;
+}
+
+void Executor::reset() {
+  for (auto& r : regs_) r.reset();
+}
+
+namespace {
+
+void require_same_shape(const RegTensor& a, const RegTensor& b,
+                        const char* what) {
+  BFP_REQUIRE(a.rows == b.rows && a.cols == b.cols,
+              std::string(what) + ": operand shapes must match");
+}
+
+RegTensor like(const RegTensor& a) {
+  RegTensor t;
+  t.rows = a.rows;
+  t.cols = a.cols;
+  t.data.assign(a.size(), 0.0F);
+  return t;
+}
+
+}  // namespace
+
+void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
+  switch (inst.op) {
+    case Opcode::kNop:
+    case Opcode::kSync:
+    case Opcode::kHalt:
+      return;
+
+    case Opcode::kBfpMatmul: {
+      const RegTensor& a = tensor(inst.src_a);
+      const RegTensor& b = tensor(inst.src_b);
+      BFP_REQUIRE(a.rows == inst.m && a.cols == inst.k,
+                  "bfp.matmul: A shape mismatch");
+      BFP_REQUIRE(b.rows == inst.k && b.cols == inst.n,
+                  "bfp.matmul: B shape mismatch");
+      const GemmRun run =
+          system_.gemm(a.data, a.rows, a.cols, b.data, b.cols);
+      RegTensor c;
+      c.rows = inst.m;
+      c.cols = inst.n;
+      c.data = run.c;
+      regs_[inst.dst] = std::move(c);
+      stats.device_cycles += run.compute_cycles;
+      return;
+    }
+
+    case Opcode::kVecMul: {
+      const RegTensor& a = tensor(inst.src_a);
+      const RegTensor& b = tensor(inst.src_b);
+      require_same_shape(a, b, "vec.mul");
+      RegTensor c = like(a);
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        c.data[i] = fp32_mul_sliced(a.data[i], b.data[i]);
+      }
+      stats.ops.fp_mul += a.size();
+      stats.device_cycles +=
+          system_.vector_latency(a.size(), 0).cycles;
+      regs_[inst.dst] = std::move(c);
+      return;
+    }
+
+    case Opcode::kVecAdd: {
+      const RegTensor& a = tensor(inst.src_a);
+      const RegTensor& b = tensor(inst.src_b);
+      require_same_shape(a, b, "vec.add");
+      RegTensor c = like(a);
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        c.data[i] = fp32_add_aligned(a.data[i], b.data[i]);
+      }
+      stats.ops.fp_add += a.size();
+      stats.device_cycles +=
+          system_.vector_latency(0, a.size()).cycles;
+      regs_[inst.dst] = std::move(c);
+      return;
+    }
+
+    case Opcode::kVecMulScalar: {
+      const RegTensor& a = tensor(inst.src_a);
+      RegTensor c = like(a);
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        c.data[i] = fp32_mul_sliced(a.data[i], inst.imm);
+      }
+      stats.ops.fp_mul += a.size();
+      stats.device_cycles +=
+          system_.vector_latency(a.size(), 0).cycles;
+      regs_[inst.dst] = std::move(c);
+      return;
+    }
+
+    case Opcode::kVecAddScalar: {
+      const RegTensor& a = tensor(inst.src_a);
+      RegTensor c = like(a);
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        c.data[i] = fp32_add_aligned(a.data[i], inst.imm);
+      }
+      stats.ops.fp_add += a.size();
+      stats.device_cycles +=
+          system_.vector_latency(0, a.size()).cycles;
+      regs_[inst.dst] = std::move(c);
+      return;
+    }
+
+    case Opcode::kVecExp: {
+      const RegTensor& a = tensor(inst.src_a);
+      RegTensor c = like(a);
+      OpCounter local;
+      const bool fast = (inst.flags & 1) != 0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        c.data[i] = fast ? approx_exp_split(a.data[i], &local)
+                         : approx_exp(a.data[i], &local);
+      }
+      stats.ops += local;
+      stats.device_cycles +=
+          system_.vector_latency(local.fp_mul, local.fp_add).cycles;
+      regs_[inst.dst] = std::move(c);
+      return;
+    }
+
+    case Opcode::kVecTanh: {
+      const RegTensor& a = tensor(inst.src_a);
+      RegTensor c = like(a);
+      OpCounter local;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        c.data[i] = approx_tanh(a.data[i], &local);
+      }
+      stats.ops += local;
+      stats.host_ops += local.host_other;
+      stats.device_cycles +=
+          system_.vector_latency(local.fp_mul, local.fp_add).cycles;
+      regs_[inst.dst] = std::move(c);
+      return;
+    }
+
+    case Opcode::kRowSum: {
+      const RegTensor& a = tensor(inst.src_a);
+      BFP_REQUIRE(a.rows == inst.m && a.cols == inst.n,
+                  "row.sum: shape mismatch");
+      RegTensor c;
+      c.rows = a.rows;
+      c.cols = 1;
+      c.data.assign(static_cast<std::size_t>(a.rows), 0.0F);
+      for (int r = 0; r < a.rows; ++r) {
+        float acc = 0.0F;
+        for (int j = 0; j < a.cols; ++j) {
+          acc = fp32_add_aligned(
+              acc, a.data[static_cast<std::size_t>(r) * a.cols + j]);
+        }
+        c.data[static_cast<std::size_t>(r)] = acc;
+      }
+      stats.ops.fp_add += a.size();
+      stats.device_cycles += system_.vector_latency(0, a.size()).cycles;
+      regs_[inst.dst] = std::move(c);
+      return;
+    }
+
+    case Opcode::kRowMax: {
+      const RegTensor& a = tensor(inst.src_a);
+      BFP_REQUIRE(a.rows == inst.m && a.cols == inst.n,
+                  "row.max: shape mismatch");
+      RegTensor c;
+      c.rows = a.rows;
+      c.cols = 1;
+      c.data.assign(static_cast<std::size_t>(a.rows), 0.0F);
+      for (int r = 0; r < a.rows; ++r) {
+        float mx = a.data[static_cast<std::size_t>(r) * a.cols];
+        for (int j = 1; j < a.cols; ++j) {
+          mx = std::max(mx,
+                        a.data[static_cast<std::size_t>(r) * a.cols + j]);
+        }
+        c.data[static_cast<std::size_t>(r)] = mx;
+      }
+      stats.ops.host_other += a.size();
+      stats.host_ops += a.size();
+      regs_[inst.dst] = std::move(c);
+      return;
+    }
+
+    case Opcode::kRowSub: {
+      const RegTensor& a = tensor(inst.src_a);
+      const RegTensor& v = tensor(inst.src_b);
+      BFP_REQUIRE(a.rows == inst.m && a.cols == inst.n,
+                  "row.sub: shape mismatch");
+      BFP_REQUIRE(v.rows == a.rows && v.cols == 1,
+                  "row.sub: row vector must be (rows x 1)");
+      RegTensor c = like(a);
+      for (int r = 0; r < a.rows; ++r) {
+        for (int j = 0; j < a.cols; ++j) {
+          c.data[static_cast<std::size_t>(r) * a.cols + j] = fp32_add_aligned(
+              a.data[static_cast<std::size_t>(r) * a.cols + j],
+              -v.data[static_cast<std::size_t>(r)]);
+        }
+      }
+      stats.ops.fp_add += a.size();
+      stats.device_cycles += system_.vector_latency(0, a.size()).cycles;
+      regs_[inst.dst] = std::move(c);
+      return;
+    }
+
+    case Opcode::kRowMulBcast: {
+      const RegTensor& a = tensor(inst.src_a);
+      const RegTensor& v = tensor(inst.src_b);
+      BFP_REQUIRE(a.rows == inst.m && a.cols == inst.n,
+                  "row.mulb: shape mismatch");
+      BFP_REQUIRE(v.rows == a.rows && v.cols == 1,
+                  "row.mulb: row vector must be (rows x 1)");
+      RegTensor c = like(a);
+      for (int r = 0; r < a.rows; ++r) {
+        for (int j = 0; j < a.cols; ++j) {
+          c.data[static_cast<std::size_t>(r) * a.cols + j] = fp32_mul_sliced(
+              a.data[static_cast<std::size_t>(r) * a.cols + j],
+              v.data[static_cast<std::size_t>(r)]);
+        }
+      }
+      stats.ops.fp_mul += a.size();
+      stats.device_cycles += system_.vector_latency(a.size(), 0).cycles;
+      regs_[inst.dst] = std::move(c);
+      return;
+    }
+
+    case Opcode::kColAddBcast:
+    case Opcode::kColMulBcast: {
+      const bool is_add = inst.op == Opcode::kColAddBcast;
+      const RegTensor& a = tensor(inst.src_a);
+      const RegTensor& v = tensor(inst.src_b);
+      BFP_REQUIRE(a.rows == inst.m && a.cols == inst.n,
+                  "col broadcast: shape mismatch");
+      BFP_REQUIRE(v.rows == 1 && v.cols == a.cols,
+                  "col broadcast: vector must be (1 x cols)");
+      RegTensor c = like(a);
+      for (int r = 0; r < a.rows; ++r) {
+        for (int j = 0; j < a.cols; ++j) {
+          const std::size_t i = static_cast<std::size_t>(r) * a.cols + j;
+          c.data[i] = is_add
+                          ? fp32_add_aligned(
+                                a.data[i], v.data[static_cast<std::size_t>(j)])
+                          : fp32_mul_sliced(
+                                a.data[i], v.data[static_cast<std::size_t>(j)]);
+        }
+      }
+      if (is_add) {
+        stats.ops.fp_add += a.size();
+        stats.device_cycles += system_.vector_latency(0, a.size()).cycles;
+      } else {
+        stats.ops.fp_mul += a.size();
+        stats.device_cycles += system_.vector_latency(a.size(), 0).cycles;
+      }
+      regs_[inst.dst] = std::move(c);
+      return;
+    }
+
+    case Opcode::kTranspose: {
+      const RegTensor& a = tensor(inst.src_a);
+      BFP_REQUIRE(a.rows == inst.m && a.cols == inst.n,
+                  "transpose: shape mismatch");
+      RegTensor c;
+      c.rows = a.cols;
+      c.cols = a.rows;
+      c.data.assign(a.size(), 0.0F);
+      for (int r = 0; r < a.rows; ++r) {
+        for (int j = 0; j < a.cols; ++j) {
+          c.data[static_cast<std::size_t>(j) * a.rows + r] =
+              a.data[static_cast<std::size_t>(r) * a.cols + j];
+        }
+      }
+      // Pure data movement on the DMA path; charge its transfer time.
+      stats.device_cycles += a.size() * 4 /
+                             static_cast<std::uint64_t>(
+                                 system_.memory().hbm().bytes_per_cycle_total());
+      regs_[inst.dst] = std::move(c);
+      return;
+    }
+
+    case Opcode::kSliceCols: {
+      const RegTensor& a = tensor(inst.src_a);
+      const int start = inst.k;
+      const int width = inst.n;
+      BFP_REQUIRE(a.rows == inst.m, "slice.cols: row count mismatch");
+      BFP_REQUIRE(width > 0 && start >= 0 && start + width <= a.cols,
+                  "slice.cols: slice out of range");
+      RegTensor c;
+      c.rows = a.rows;
+      c.cols = width;
+      c.data.resize(c.size());
+      for (int r = 0; r < a.rows; ++r) {
+        for (int j = 0; j < width; ++j) {
+          c.data[static_cast<std::size_t>(r) * width + j] =
+              a.data[static_cast<std::size_t>(r) * a.cols + start + j];
+        }
+      }
+      stats.device_cycles += c.size() * 4 /
+                             static_cast<std::uint64_t>(
+                                 system_.memory().hbm().bytes_per_cycle_total());
+      regs_[inst.dst] = std::move(c);
+      return;
+    }
+
+    case Opcode::kConcatCols: {
+      const RegTensor& a = tensor(inst.src_a);
+      const RegTensor& b = tensor(inst.src_b);
+      BFP_REQUIRE(a.rows == b.rows, "concat.cols: row counts must match");
+      RegTensor c;
+      c.rows = a.rows;
+      c.cols = a.cols + b.cols;
+      c.data.resize(c.size());
+      for (int r = 0; r < a.rows; ++r) {
+        for (int j = 0; j < a.cols; ++j) {
+          c.data[static_cast<std::size_t>(r) * c.cols + j] =
+              a.data[static_cast<std::size_t>(r) * a.cols + j];
+        }
+        for (int j = 0; j < b.cols; ++j) {
+          c.data[static_cast<std::size_t>(r) * c.cols + a.cols + j] =
+              b.data[static_cast<std::size_t>(r) * b.cols + j];
+        }
+      }
+      stats.device_cycles += c.size() * 4 /
+                             static_cast<std::uint64_t>(
+                                 system_.memory().hbm().bytes_per_cycle_total());
+      regs_[inst.dst] = std::move(c);
+      return;
+    }
+
+    case Opcode::kHostDiv: {
+      const RegTensor& a = tensor(inst.src_a);
+      const RegTensor& b = tensor(inst.src_b);
+      require_same_shape(a, b, "host.div");
+      RegTensor c = like(a);
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        c.data[i] = a.data[i] / b.data[i];
+      }
+      stats.ops.host_div += a.size();
+      stats.host_ops += a.size();
+      regs_[inst.dst] = std::move(c);
+      return;
+    }
+
+    case Opcode::kHostRecip: {
+      const RegTensor& a = tensor(inst.src_a);
+      RegTensor c = like(a);
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        c.data[i] = 1.0F / a.data[i];
+      }
+      stats.ops.host_div += a.size();
+      stats.host_ops += a.size();
+      regs_[inst.dst] = std::move(c);
+      return;
+    }
+
+    case Opcode::kHostRsqrt: {
+      const RegTensor& a = tensor(inst.src_a);
+      RegTensor c = like(a);
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        c.data[i] = 1.0F / std::sqrt(a.data[i] + inst.imm);
+      }
+      stats.ops.host_div += a.size();
+      stats.host_ops += a.size();
+      regs_[inst.dst] = std::move(c);
+      return;
+    }
+  }
+  BFP_ASSERT(false);
+}
+
+}  // namespace bfpsim

@@ -1,0 +1,70 @@
+// Interpreter for PU programs: a tensor register file bound to the
+// accelerator system's numerics and latency models.
+//
+// Device opcodes execute with the accelerator's exact arithmetic (bfp8 GEMM
+// through the golden PU path; fp32 vector ops through the sliced-multiply /
+// aligned-add datapaths) and charge cycles through the system's workload
+// models. Host opcodes use IEEE arithmetic and are tallied separately,
+// mirroring the paper's host-side division (Section III-B).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fabric/system.hpp"
+#include "isa/program.hpp"
+#include "numerics/nonlinear.hpp"
+
+namespace bfpsim {
+
+/// A register-file tensor: row-major rows x cols.
+struct RegTensor {
+  int rows = 0;
+  int cols = 0;
+  std::vector<float> data;
+
+  std::size_t size() const {
+    return static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+  }
+};
+
+/// What a program run consumed.
+struct ExecutionStats {
+  std::uint64_t device_cycles = 0;   ///< PU cycles incl. modelled memory I/O
+  std::uint64_t host_ops = 0;        ///< host-CPU scalar operations
+  OpCounter ops;                     ///< primitive operation mix
+  std::uint64_t instructions = 0;
+
+  double device_seconds(double freq_hz) const {
+    return static_cast<double>(device_cycles) / freq_hz;
+  }
+};
+
+class Executor {
+ public:
+  explicit Executor(const AcceleratorSystem& system);
+
+  /// Bind a tensor to register `r` (copies the data).
+  void set_tensor(int r, int rows, int cols, std::span<const float> data);
+  void set_tensor(int r, RegTensor t);
+
+  /// Read a register (throws if unset).
+  const RegTensor& tensor(int r) const;
+
+  /// Run a program to completion (or kHalt); returns the statistics.
+  ExecutionStats run(const Program& program);
+
+  /// Clear all registers.
+  void reset();
+
+ private:
+  RegTensor& mut_tensor(int r);
+  void exec_one(const Instruction& inst, ExecutionStats& stats);
+
+  const AcceleratorSystem& system_;
+  std::vector<std::optional<RegTensor>> regs_;
+};
+
+}  // namespace bfpsim

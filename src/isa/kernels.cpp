@@ -1,0 +1,85 @@
+#include "isa/kernels.hpp"
+
+namespace bfpsim::kernels {
+
+namespace {
+constexpr int kS0 = kScratchBase + 0;
+constexpr int kS1 = kScratchBase + 1;
+constexpr int kS2 = kScratchBase + 2;
+constexpr int kS3 = kScratchBase + 3;
+constexpr int kS4 = kScratchBase + 4;
+}  // namespace
+
+Program softmax(int rows, int cols, bool softermax) {
+  ProgramBuilder b;
+  b.row_max(kS0, kIn, rows, cols)       // m_i = max_j x_ij   (host compare)
+      .row_sub(kS1, kIn, kS0, rows, cols)  // x - m            (ACC path)
+      .vec_exp(kS2, kS1, softermax)     // exp               (mul/add program)
+      .row_sum(kS3, kS2, rows, cols)    // s_i = sum_j       (ACC path)
+      .host_recip(kS4, kS3)             // 1/s_i             (host division)
+      .row_mul_bcast(kOut, kS2, kS4, rows, cols)  // scale   (PE array)
+      .halt();
+  return b.build();
+}
+
+Program layernorm(int rows, int cols, float eps) {
+  const float invn = 1.0F / static_cast<float>(cols);
+  ProgramBuilder b;
+  b.row_sum(kS0, kIn, rows, cols)
+      .vec_mul_scalar(kS0, kS0, invn)           // mean_i
+      .row_sub(kS1, kIn, kS0, rows, cols)       // centered
+      .vec_mul(kS2, kS1, kS1)                   // squared
+      .row_sum(kS3, kS2, rows, cols)
+      .vec_mul_scalar(kS3, kS3, invn)           // var_i
+      .host_rsqrt(kS4, kS3, eps)                // 1/sqrt(var+eps)  (host)
+      .row_mul_bcast(kS1, kS1, kS4, rows, cols) // normalized
+      .vec_mul(kS2, kS1, kGamma)                // * gamma (tiled)
+      .vec_add(kOut, kS2, kBeta)                // + beta  (tiled)
+      .halt();
+  return b.build();
+}
+
+Program gelu() {
+  // 0.5 * x * (1 + tanh(sqrt(2/pi) * (x + 0.044715 x^3)))
+  ProgramBuilder b;
+  b.vec_mul(kS0, kIn, kIn)                    // x^2
+      .vec_mul(kS0, kS0, kIn)                 // x^3
+      .vec_mul_scalar(kS0, kS0, 0.044715F)
+      .vec_add(kS0, kS0, kIn)                 // x + 0.044715 x^3
+      .vec_mul_scalar(kS0, kS0, 0.7978845608028654F)
+      .vec_tanh(kS1, kS0)
+      .vec_add_scalar(kS1, kS1, 1.0F)
+      .vec_mul_scalar(kS2, kIn, 0.5F)
+      .vec_mul(kOut, kS1, kS2)
+      .halt();
+  return b.build();
+}
+
+Program silu() {
+  // x * sigmoid(x) with sigmoid(x) = 0.5 * (1 + tanh(x/2)): stays entirely
+  // on the device's mul/add path — no host division needed, unlike the
+  // exp-based form (the run-time programmability payoff of Section I).
+  ProgramBuilder b;
+  b.vec_mul_scalar(kS0, kIn, 0.5F)
+      .vec_tanh(kS1, kS0)
+      .vec_add_scalar(kS1, kS1, 1.0F)
+      .vec_mul_scalar(kS1, kS1, 0.5F)
+      .vec_mul(kOut, kIn, kS1)
+      .halt();
+  return b.build();
+}
+
+Program rmsnorm(int rows, int cols, float eps) {
+  const float invn = 1.0F / static_cast<float>(cols);
+  ProgramBuilder b;
+  b.vec_mul(kS0, kIn, kIn)                      // x^2
+      .row_sum(kS0, kS0, rows, cols)            // sum of squares
+      .vec_mul_scalar(kS0, kS0, invn)           // mean square
+      .host_rsqrt(kS0, kS0, eps)                // 1/rms (host)
+      .row_mul_bcast(kS1, kIn, kS0, rows, cols) // normalized
+      .col_mul_bcast(kOut, kS1, kGamma, rows, cols)  // * gamma
+      .halt();
+  return b.build();
+}
+
+}  // namespace bfpsim::kernels

@@ -1,0 +1,215 @@
+#include "isa/program.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace bfpsim {
+
+std::vector<std::uint8_t> Program::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(insts_.size() * 16);
+  for (const Instruction& inst : insts_) {
+    const InstructionWord w = encode(inst);
+    out.insert(out.end(), w.begin(), w.end());
+  }
+  return out;
+}
+
+Program Program::deserialize(const std::vector<std::uint8_t>& bytes) {
+  BFP_REQUIRE(bytes.size() % 16 == 0,
+              "Program::deserialize: image must be a multiple of 16 bytes");
+  Program p;
+  for (std::size_t i = 0; i < bytes.size(); i += 16) {
+    InstructionWord w{};
+    std::copy(bytes.begin() + static_cast<std::ptrdiff_t>(i),
+              bytes.begin() + static_cast<std::ptrdiff_t>(i + 16), w.begin());
+    p.push(decode(w));
+  }
+  return p;
+}
+
+std::string Program::disassemble() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < insts_.size(); ++i) {
+    os << i << ": " << to_string(insts_[i]) << "\n";
+  }
+  return os.str();
+}
+
+std::uint8_t ProgramBuilder::reg(int r) {
+  BFP_REQUIRE(r >= 0 && r < kNumTensorRegs,
+              "ProgramBuilder: register index out of range");
+  return static_cast<std::uint8_t>(r);
+}
+
+ProgramBuilder& ProgramBuilder::bfp_matmul(int dst, int a, int b, int m,
+                                           int k, int n) {
+  BFP_REQUIRE(m > 0 && k > 0 && n > 0 && m <= 0xFFFF && k <= 0xFFFF &&
+                  n <= 0xFFFF,
+              "bfp_matmul: shape fields must fit 16 bits");
+  Instruction inst;
+  inst.op = Opcode::kBfpMatmul;
+  inst.dst = reg(dst);
+  inst.src_a = reg(a);
+  inst.src_b = reg(b);
+  inst.m = static_cast<std::uint16_t>(m);
+  inst.k = static_cast<std::uint16_t>(k);
+  inst.n = static_cast<std::uint16_t>(n);
+  prog_.push(inst);
+  return *this;
+}
+
+namespace {
+Instruction three_op(Opcode op, std::uint8_t dst, std::uint8_t a,
+                     std::uint8_t b) {
+  Instruction inst;
+  inst.op = op;
+  inst.dst = dst;
+  inst.src_a = a;
+  inst.src_b = b;
+  return inst;
+}
+}  // namespace
+
+ProgramBuilder& ProgramBuilder::vec_mul(int dst, int a, int b) {
+  prog_.push(three_op(Opcode::kVecMul, reg(dst), reg(a), reg(b)));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::vec_add(int dst, int a, int b) {
+  prog_.push(three_op(Opcode::kVecAdd, reg(dst), reg(a), reg(b)));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::vec_mul_scalar(int dst, int a, float s) {
+  Instruction inst = three_op(Opcode::kVecMulScalar, reg(dst), reg(a), 0);
+  inst.imm = s;
+  prog_.push(inst);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::vec_add_scalar(int dst, int a, float s) {
+  Instruction inst = three_op(Opcode::kVecAddScalar, reg(dst), reg(a), 0);
+  inst.imm = s;
+  prog_.push(inst);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::vec_exp(int dst, int a, bool fast) {
+  Instruction inst = three_op(Opcode::kVecExp, reg(dst), reg(a), 0);
+  inst.flags = fast ? 1 : 0;
+  prog_.push(inst);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::vec_tanh(int dst, int a) {
+  prog_.push(three_op(Opcode::kVecTanh, reg(dst), reg(a), 0));
+  return *this;
+}
+
+namespace {
+Instruction shaped(Opcode op, std::uint8_t dst, std::uint8_t a,
+                   std::uint8_t b, int m, int n) {
+  BFP_REQUIRE(m > 0 && n > 0 && m <= 0xFFFF && n <= 0xFFFF,
+              "ProgramBuilder: shape fields must fit 16 bits");
+  Instruction inst = three_op(op, dst, a, b);
+  inst.m = static_cast<std::uint16_t>(m);
+  inst.n = static_cast<std::uint16_t>(n);
+  return inst;
+}
+}  // namespace
+
+ProgramBuilder& ProgramBuilder::row_sum(int dst, int a, int m, int n) {
+  prog_.push(shaped(Opcode::kRowSum, reg(dst), reg(a), 0, m, n));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::row_max(int dst, int a, int m, int n) {
+  prog_.push(shaped(Opcode::kRowMax, reg(dst), reg(a), 0, m, n));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::row_sub(int dst, int a, int rowvec, int m,
+                                        int n) {
+  prog_.push(shaped(Opcode::kRowSub, reg(dst), reg(a), reg(rowvec), m, n));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::row_mul_bcast(int dst, int a, int rowvec,
+                                              int m, int n) {
+  prog_.push(
+      shaped(Opcode::kRowMulBcast, reg(dst), reg(a), reg(rowvec), m, n));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::col_add_bcast(int dst, int a, int colvec,
+                                              int m, int n) {
+  prog_.push(
+      shaped(Opcode::kColAddBcast, reg(dst), reg(a), reg(colvec), m, n));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::col_mul_bcast(int dst, int a, int colvec,
+                                              int m, int n) {
+  prog_.push(
+      shaped(Opcode::kColMulBcast, reg(dst), reg(a), reg(colvec), m, n));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::transpose(int dst, int a, int m, int n) {
+  prog_.push(shaped(Opcode::kTranspose, reg(dst), reg(a), 0, m, n));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::slice_cols(int dst, int a, int m, int start,
+                                           int width) {
+  Instruction inst = shaped(Opcode::kSliceCols, reg(dst), reg(a), 0, m,
+                            width);
+  BFP_REQUIRE(start >= 0 && start <= 0xFFFF,
+              "slice_cols: start must fit 16 bits");
+  inst.k = static_cast<std::uint16_t>(start);
+  prog_.push(inst);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::concat_cols(int dst, int a, int b) {
+  prog_.push(three_op(Opcode::kConcatCols, reg(dst), reg(a), reg(b)));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::host_div(int dst, int a, int b) {
+  prog_.push(three_op(Opcode::kHostDiv, reg(dst), reg(a), reg(b)));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::host_rsqrt(int dst, int a, float eps) {
+  Instruction inst = three_op(Opcode::kHostRsqrt, reg(dst), reg(a), 0);
+  inst.imm = eps;
+  prog_.push(inst);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::host_recip(int dst, int a) {
+  prog_.push(three_op(Opcode::kHostRecip, reg(dst), reg(a), 0));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::sync() {
+  prog_.push(Instruction{Opcode::kSync});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::halt() {
+  prog_.push(Instruction{Opcode::kHalt});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::raw(const Instruction& inst) {
+  prog_.push(inst);
+  return *this;
+}
+
+Program ProgramBuilder::build() { return std::move(prog_); }
+
+}  // namespace bfpsim

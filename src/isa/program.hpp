@@ -1,0 +1,80 @@
+// Program container + builder for the PU instruction set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hpp"
+
+namespace bfpsim {
+
+/// Maximum tensor registers the executor exposes (8-bit register field).
+inline constexpr int kNumTensorRegs = 256;
+
+/// An instruction sequence plus binary serialization.
+class Program {
+ public:
+  void push(const Instruction& inst) { insts_.push_back(inst); }
+  const std::vector<Instruction>& instructions() const { return insts_; }
+  std::size_t size() const { return insts_.size(); }
+  bool empty() const { return insts_.empty(); }
+
+  /// Serialize to a flat byte image (what the host would DMA to the unit's
+  /// instruction memory) and parse it back.
+  std::vector<std::uint8_t> serialize() const;
+  static Program deserialize(const std::vector<std::uint8_t>& bytes);
+
+  /// Disassembly listing.
+  std::string disassemble() const;
+
+ private:
+  std::vector<Instruction> insts_;
+};
+
+/// Fluent builder with operand validation. Register indices are plain
+/// integers chosen by the caller (a real compiler's register allocator
+/// would assign them).
+class ProgramBuilder {
+ public:
+  ProgramBuilder& bfp_matmul(int dst, int a, int b, int m, int k, int n);
+  ProgramBuilder& vec_mul(int dst, int a, int b);
+  ProgramBuilder& vec_add(int dst, int a, int b);
+  ProgramBuilder& vec_mul_scalar(int dst, int a, float s);
+  ProgramBuilder& vec_add_scalar(int dst, int a, float s);
+  /// `fast` selects the Softermax-style split exp (needs the exp2-unit
+  /// hardware option; flags bit 0 in the encoding).
+  ProgramBuilder& vec_exp(int dst, int a, bool fast = false);
+  ProgramBuilder& vec_tanh(int dst, int a);
+  /// Reductions/broadcasts over an (m x n) view of the operand.
+  ProgramBuilder& row_sum(int dst, int a, int m, int n);
+  ProgramBuilder& row_max(int dst, int a, int m, int n);
+  ProgramBuilder& row_sub(int dst, int a, int rowvec, int m, int n);
+  ProgramBuilder& row_mul_bcast(int dst, int a, int rowvec, int m, int n);
+  /// Column broadcasts (per-channel bias/scale; colvec is 1 x n).
+  ProgramBuilder& col_add_bcast(int dst, int a, int colvec, int m, int n);
+  ProgramBuilder& col_mul_bcast(int dst, int a, int colvec, int m, int n);
+  /// Transpose an (m x n) tensor (DMA/crossbar op).
+  ProgramBuilder& transpose(int dst, int a, int m, int n);
+  /// C = A[:, start : start+width] of an (m x ?) tensor (DMA op).
+  ProgramBuilder& slice_cols(int dst, int a, int m, int start, int width);
+  /// C = [A | B] column-wise (DMA op; rows must match).
+  ProgramBuilder& concat_cols(int dst, int a, int b);
+  ProgramBuilder& host_div(int dst, int a, int b);
+  ProgramBuilder& host_rsqrt(int dst, int a, float eps);
+  ProgramBuilder& host_recip(int dst, int a);
+  ProgramBuilder& sync();
+  ProgramBuilder& halt();
+
+  /// Push a pre-formed instruction (used by the graph compiler when
+  /// inlining kernel programs with remapped registers).
+  ProgramBuilder& raw(const Instruction& inst);
+
+  Program build();
+
+ private:
+  static std::uint8_t reg(int r);
+  Program prog_;
+};
+
+}  // namespace bfpsim

@@ -1,0 +1,102 @@
+#include "numerics/bf16.hpp"
+
+#include <cmath>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+#include "numerics/fp32.hpp"
+
+namespace bfpsim {
+
+Bf16 bf16_from_float(float v) {
+  const std::uint32_t bits = float_to_bits(v);
+  BFP_REQUIRE(!std::isnan(v), "bf16_from_float: NaN is not supported");
+  // Round-to-nearest-even on the dropped 16 bits.
+  const std::uint32_t lower = bits & 0xFFFF;
+  std::uint32_t upper = bits >> 16;
+  const std::uint32_t half = 0x8000;
+  if (lower > half || (lower == half && (upper & 1))) {
+    ++upper;  // may carry into the exponent; inf results stay inf
+  }
+  return Bf16{static_cast<std::uint16_t>(upper)};
+}
+
+float bf16_to_float(Bf16 v) {
+  return bits_to_float(static_cast<std::uint32_t>(v.bits) << 16);
+}
+
+Bf16Parts decompose_bf16(Bf16 v) {
+  Bf16Parts p;
+  p.sign = (v.bits & 0x8000) != 0;
+  const std::uint16_t exp_field = (v.bits >> 7) & 0xFF;
+  const std::uint16_t frac = v.bits & 0x7F;
+  if (exp_field == 0) {
+    // Zero or subnormal: flush (no hidden-bit storage in the buffers).
+    p.biased_exp = 1;
+    p.man8 = 0;
+    return p;
+  }
+  p.biased_exp = exp_field;
+  p.man8 = static_cast<std::uint16_t>(frac | 0x80);
+  return p;
+}
+
+namespace {
+
+Bf16 compose_bf16(bool sign, std::int64_t biased_exp, std::uint32_t man,
+                  int frac_weight) {
+  // man carries the magnitude with bit `frac_weight` weighted as the
+  // hidden bit; normalize to 8 bits then assemble, RNE on dropped bits.
+  if (man == 0) {
+    return Bf16{static_cast<std::uint16_t>(sign ? 0x8000 : 0x0)};
+  }
+  const float f = compose_normalized(
+      sign,
+      static_cast<std::int32_t>(biased_exp),
+      static_cast<std::uint64_t>(man)
+          << (kFp32FracBits - frac_weight),
+      /*round_nearest_even=*/true);
+  return bf16_from_float(f);
+}
+
+}  // namespace
+
+Bf16 bf16_mul_reference(Bf16 x, Bf16 y) {
+  const Bf16Parts px = decompose_bf16(x);
+  const Bf16Parts py = decompose_bf16(y);
+  const bool sign = px.sign != py.sign;
+  if (px.man8 == 0 || py.man8 == 0) {
+    return Bf16{static_cast<std::uint16_t>(sign ? 0x8000 : 0x0)};
+  }
+  // One 8x8 multiply: 16-bit product, hidden-bit weight at bit 14.
+  const std::uint32_t prod = static_cast<std::uint32_t>(px.man8) * py.man8;
+  // Weight check: x = man8_x * 2^(ex-134), so the 16-bit product carries
+  // 2^(ex+ey-268); with the hidden-bit position at bit 14 the biased
+  // exponent handed to the normalizer is ex + ey - 127.
+  const std::int64_t be = static_cast<std::int64_t>(px.biased_exp) +
+                          py.biased_exp - kFp32Bias;
+  return compose_bf16(sign, be, prod, /*frac_weight=*/14);
+}
+
+Bf16 bf16_add_reference(Bf16 x, Bf16 y) {
+  const Bf16Parts px = decompose_bf16(x);
+  const Bf16Parts py = decompose_bf16(y);
+  const std::int32_t e = std::max(px.biased_exp, py.biased_exp);
+  const std::int64_t mx = asr(
+      px.sign ? -static_cast<std::int64_t>(px.man8) : px.man8,
+      e - px.biased_exp);
+  const std::int64_t my = asr(
+      py.sign ? -static_cast<std::int64_t>(py.man8) : py.man8,
+      e - py.biased_exp);
+  const std::int64_t s = mx + my;
+  const bool sign = s < 0;
+  const std::uint32_t mag = static_cast<std::uint32_t>(sign ? -s : s);
+  return compose_bf16(sign, e, mag, /*frac_weight=*/7);
+}
+
+Bf16 random_bf16(Rng& rng, int min_biased_exp, int max_biased_exp) {
+  return bf16_from_float(
+      random_normal_fp32(rng, min_biased_exp, max_biased_exp));
+}
+
+}  // namespace bfpsim

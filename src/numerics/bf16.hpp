@@ -1,0 +1,59 @@
+// bfloat16 support — the paper's future-work direction made concrete.
+//
+// Section III-C closes with: "we plan to delve deeper into high-precision
+// floating-point optimization within the mixed-precision unit, as the fp32
+// format is often overly precise for many machine learning systems."
+// bfloat16 is the natural next stop: its 8-bit mantissa (hidden bit
+// included) is exactly ONE slice of the existing datapath, so a bf16
+// multiply needs a single 8x8 DSP product instead of fp32's eight partial
+// products — every PE row becomes an independent bf16 multiplier and the
+// vector mode's throughput rises 8x per column (bounded to 8 lanes by the
+// 128-bit buffer port, i.e. 2x the fp32 lane count at 2 bytes/operand).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace bfpsim {
+
+/// bfloat16: 1 sign, 8 exponent, 7 fraction bits (fp32's top half).
+struct Bf16 {
+  std::uint16_t bits = 0;
+
+  bool operator==(const Bf16&) const = default;
+};
+
+/// Widths of the decomposed operand as the hardware sees it.
+inline constexpr int kBf16MantBits = 8;  ///< incl. hidden bit
+
+/// Decomposed bf16 operand (hidden bit explicit; subnormals flush to zero
+/// like the fp32 buffer layout does).
+struct Bf16Parts {
+  bool sign = false;
+  std::int32_t biased_exp = 0;
+  std::uint16_t man8 = 0;  ///< 8-bit magnitude incl. hidden bit; 0 == zero
+};
+
+/// fp32 -> bf16 with round-to-nearest-even; Inf stays Inf, NaN is
+/// rejected upstream (the datapath never produces it).
+Bf16 bf16_from_float(float v);
+
+/// Exact widening (bf16 is a prefix of binary32).
+float bf16_to_float(Bf16 v);
+
+/// Operand decomposition; subnormal inputs flush to zero.
+Bf16Parts decompose_bf16(Bf16 v);
+
+/// Reference bf16 multiply through the single-slice datapath: one 8x8
+/// mantissa product, exponent add, renormalize, round back to bf16.
+/// This is the golden model the PE array's bf16 mode must match.
+Bf16 bf16_mul_reference(Bf16 x, Bf16 y);
+
+/// Reference bf16 add on the align-shift-add path (no guard bits).
+Bf16 bf16_add_reference(Bf16 x, Bf16 y);
+
+/// Random finite bf16 (normal range) for property tests.
+Bf16 random_bf16(Rng& rng, int min_biased_exp = 100, int max_biased_exp = 150);
+
+}  // namespace bfpsim

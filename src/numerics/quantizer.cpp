@@ -1,0 +1,153 @@
+#include "numerics/quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bfpsim {
+
+std::vector<float> Int8Tensor::dequantize() const {
+  std::vector<float> out(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    out[i] = static_cast<float>(data[i]) * scale;
+  }
+  return out;
+}
+
+Int8Tensor quantize_int8_per_tensor(std::span<const float> v) {
+  BFP_REQUIRE(!v.empty(), "quantize_int8_per_tensor: empty input");
+  float max_abs = 0.0F;
+  for (float x : v) {
+    BFP_REQUIRE(std::isfinite(x), "quantize_int8_per_tensor: NaN/Inf input");
+    max_abs = std::max(max_abs, std::fabs(x));
+  }
+  Int8Tensor t;
+  t.scale = max_abs > 0.0F ? max_abs / 127.0F : 1.0F;
+  t.data.resize(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const float q = std::nearbyint(v[i] / t.scale);
+    t.data[i] = static_cast<std::int8_t>(
+        std::clamp(q, -127.0F, 127.0F));
+  }
+  return t;
+}
+
+std::vector<float> int8_gemm_reference(const Int8Tensor& a,
+                                       const Int8Tensor& b, int rows, int k,
+                                       int cols) {
+  BFP_REQUIRE(a.data.size() == static_cast<std::size_t>(rows) * k &&
+                  b.data.size() == static_cast<std::size_t>(k) * cols,
+              "int8_gemm_reference: shape mismatch");
+  std::vector<float> out(static_cast<std::size_t>(rows) * cols);
+  const float s = a.scale * b.scale;
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      std::int32_t acc = 0;
+      for (int x = 0; x < k; ++x) {
+        acc += static_cast<std::int32_t>(
+                   a.data[static_cast<std::size_t>(i) * k + x]) *
+               b.data[static_cast<std::size_t>(x) * cols + j];
+      }
+      out[static_cast<std::size_t>(i) * cols + j] =
+          static_cast<float>(acc) * s;
+    }
+  }
+  return out;
+}
+
+std::vector<float> Int8PerChannelTensor::dequantize() const {
+  std::vector<float> out(data.size());
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const std::size_t i = static_cast<std::size_t>(r) * cols + c;
+      out[i] = static_cast<float>(data[i]) *
+               scales[static_cast<std::size_t>(c)];
+    }
+  }
+  return out;
+}
+
+Int8PerChannelTensor quantize_int8_per_channel(std::span<const float> v,
+                                               int rows, int cols) {
+  BFP_REQUIRE(rows > 0 && cols > 0 &&
+                  v.size() == static_cast<std::size_t>(rows) * cols,
+              "quantize_int8_per_channel: size must equal rows*cols");
+  Int8PerChannelTensor t;
+  t.rows = rows;
+  t.cols = cols;
+  t.scales.assign(static_cast<std::size_t>(cols), 1.0F);
+  t.data.resize(v.size());
+  for (int c = 0; c < cols; ++c) {
+    float max_abs = 0.0F;
+    for (int r = 0; r < rows; ++r) {
+      const float x = v[static_cast<std::size_t>(r) * cols + c];
+      BFP_REQUIRE(std::isfinite(x),
+                  "quantize_int8_per_channel: NaN/Inf input");
+      max_abs = std::max(max_abs, std::fabs(x));
+    }
+    const float scale = max_abs > 0.0F ? max_abs / 127.0F : 1.0F;
+    t.scales[static_cast<std::size_t>(c)] = scale;
+    for (int r = 0; r < rows; ++r) {
+      const std::size_t i = static_cast<std::size_t>(r) * cols + c;
+      const float q = std::nearbyint(v[i] / scale);
+      t.data[i] = static_cast<std::int8_t>(std::clamp(q, -127.0F, 127.0F));
+    }
+  }
+  return t;
+}
+
+std::vector<float> int8_gemm_per_channel(const Int8Tensor& a,
+                                         const Int8PerChannelTensor& w,
+                                         int rows, int k, int cols) {
+  BFP_REQUIRE(a.data.size() == static_cast<std::size_t>(rows) * k &&
+                  w.rows == k && w.cols == cols,
+              "int8_gemm_per_channel: shape mismatch");
+  std::vector<float> out(static_cast<std::size_t>(rows) * cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      std::int32_t acc = 0;
+      for (int x = 0; x < k; ++x) {
+        acc += static_cast<std::int32_t>(
+                   a.data[static_cast<std::size_t>(i) * k + x]) *
+               w.data[static_cast<std::size_t>(x) * cols + j];
+      }
+      out[static_cast<std::size_t>(i) * cols + j] =
+          static_cast<float>(acc) * a.scale *
+          w.scales[static_cast<std::size_t>(j)];
+    }
+  }
+  return out;
+}
+
+std::vector<float> bfp_roundtrip(std::span<const float> v, int rows, int cols,
+                                 const BfpFormat& fmt, RoundMode round) {
+  const BfpMatrix m = quantize_matrix(v, rows, cols, fmt, round);
+  return dequantize_matrix(m, rows, cols);
+}
+
+std::vector<float> dequantize_matrix(const BfpMatrix& m, int logical_rows,
+                                     int logical_cols) {
+  BFP_REQUIRE(logical_rows <= m.rows && logical_cols <= m.cols,
+              "dequantize_matrix: logical dims exceed padded dims");
+  std::vector<float> out(static_cast<std::size_t>(logical_rows) *
+                         logical_cols);
+  for (int br = 0; br < m.block_rows(); ++br) {
+    for (int bc = 0; bc < m.block_cols(); ++bc) {
+      const BfpBlock& b = m.block(br, bc);
+      for (int r = 0; r < m.fmt.rows; ++r) {
+        const int gr = br * m.fmt.rows + r;
+        if (gr >= logical_rows) break;
+        for (int c = 0; c < m.fmt.cols; ++c) {
+          const int gc = bc * m.fmt.cols + c;
+          if (gc >= logical_cols) continue;
+          out[static_cast<std::size_t>(gr) * logical_cols + gc] =
+              b.value(r, c);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace bfpsim

@@ -1,0 +1,67 @@
+// Tensor-level quantization front-end: the software model of the hardware
+// Quantizer component (Table II), plus the int8 per-tensor baseline used by
+// the accuracy comparison experiments.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "numerics/bfp.hpp"
+
+namespace bfpsim {
+
+/// Per-tensor symmetric int8 quantization (the conventional fixed-point
+/// baseline the paper argues against for transformers): one fp32 scale for
+/// the whole tensor, man = round(v / scale) clamped to [-127, 127].
+struct Int8Tensor {
+  float scale = 1.0F;
+  std::vector<std::int8_t> data;
+
+  std::vector<float> dequantize() const;
+};
+
+Int8Tensor quantize_int8_per_tensor(std::span<const float> v);
+
+/// Per-output-channel symmetric int8 (the stronger conventional baseline
+/// used for *weights* in practice): one scale per column of a rows x cols
+/// matrix. Activations cannot use this trick — their scales would have to
+/// be per-row-of-the-output, which breaks int8 GEMM accumulation — which
+/// is precisely the gap block floating point closes.
+struct Int8PerChannelTensor {
+  int rows = 0;
+  int cols = 0;
+  std::vector<float> scales;      ///< one per column
+  std::vector<std::int8_t> data;  ///< row-major
+
+  std::vector<float> dequantize() const;
+};
+
+Int8PerChannelTensor quantize_int8_per_channel(std::span<const float> v,
+                                               int rows, int cols);
+
+/// GEMM with per-tensor activations x per-channel weights (the practical
+/// int8 deployment): C[i][j] = (sum_k a[i][k]*w[k][j]) * a_scale *
+/// w_scale[j], 32-bit accumulation.
+std::vector<float> int8_gemm_per_channel(const Int8Tensor& a,
+                                         const Int8PerChannelTensor& w,
+                                         int rows, int k, int cols);
+
+/// int8 GEMM baseline: C = (A.data * B.data) * (A.scale * B.scale), with
+/// 32-bit accumulation. A is rows x k, B is k x cols, both row-major.
+std::vector<float> int8_gemm_reference(const Int8Tensor& a,
+                                       const Int8Tensor& b, int rows, int k,
+                                       int cols);
+
+/// Round-trip a float tensor through bfp blocks of `fmt` (quantize +
+/// dequantize); rows*cols need not be block-aligned (zero padding is used
+/// internally and stripped from the result).
+std::vector<float> bfp_roundtrip(std::span<const float> v, int rows, int cols,
+                                 const BfpFormat& fmt,
+                                 RoundMode round = RoundMode::kNearestEven);
+
+/// Extract the dequantized logical matrix from a BfpMatrix.
+std::vector<float> dequantize_matrix(const BfpMatrix& m, int logical_rows,
+                                     int logical_cols);
+
+}  // namespace bfpsim

@@ -1,0 +1,128 @@
+#include "numerics/slices.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+namespace bfpsim {
+
+MantissaSlices slice_mantissa(std::uint32_t man24) {
+  BFP_REQUIRE(man24 < (std::uint32_t{1} << kFp32MantBits),
+              "slice_mantissa: mantissa must fit 24 bits");
+  MantissaSlices sl;
+  for (int i = 0; i < kNumSlices; ++i) {
+    sl.s[static_cast<std::size_t>(i)] =
+        static_cast<std::uint16_t>((man24 >> (8 * i)) & 0xFF);
+  }
+  return sl;
+}
+
+std::uint32_t join_slices(const MantissaSlices& sl) {
+  std::uint32_t m = 0;
+  for (int i = 0; i < kNumSlices; ++i) {
+    m |= static_cast<std::uint32_t>(sl[i]) << (8 * i);
+  }
+  return m;
+}
+
+const std::array<PartialProductTerm, kNumPartialProducts>&
+fp32_mul_schedule() {
+  // Pre-shift split per relative shift:
+  //   0  -> (0, 0)
+  //   8  -> (4, 4)   (the paper's "row 1 shifts X_c and Y_c by 4 bits")
+  //   16 -> (8, 8)
+  //   24 -> (16, 8)  (X path has the wider 27-bit port)
+  // Port-width check: X slice 8b << 16 = 24b <= 26 usable bits of the signed
+  // 27-bit A:D path; Y slice 8b << 8 = 16b <= 17 usable bits of the signed
+  // 18-bit B path.
+  static const std::array<PartialProductTerm, kNumPartialProducts> kSchedule =
+      [] {
+        auto split = [](int rel) -> std::pair<int, int> {
+          switch (rel) {
+            case 0: return {0, 0};
+            case 8: return {4, 4};
+            case 16: return {8, 8};
+            case 24: return {16, 8};
+            default: BFP_ASSERT(false); return {0, 0};
+          }
+        };
+        std::array<PartialProductTerm, kNumPartialProducts> t{};
+        int row = 0;
+        for (int i = 0; i < kNumSlices; ++i) {
+          for (int j = 0; j < kNumSlices; ++j) {
+            if (i == 0 && j == 0) continue;  // omitted LSB partial product
+            PartialProductTerm& term = t[static_cast<std::size_t>(row++)];
+            term.xi = i;
+            term.yj = j;
+            term.rel_shift = 8 * (i + j) - kDroppedShift;
+            const auto [sx, sy] = split(term.rel_shift);
+            term.pre_shift_x = sx;
+            term.pre_shift_y = sy;
+          }
+        }
+        BFP_ASSERT(row == kNumPartialProducts);
+        return t;
+      }();
+  return kSchedule;
+}
+
+std::uint64_t sliced_mantissa_product(std::uint32_t man_x,
+                                      std::uint32_t man_y) {
+  const MantissaSlices sx = slice_mantissa(man_x);
+  const MantissaSlices sy = slice_mantissa(man_y);
+  std::uint64_t sum = 0;
+  for (const auto& t : fp32_mul_schedule()) {
+    const std::uint64_t px = static_cast<std::uint64_t>(sx[t.xi])
+                             << t.pre_shift_x;
+    const std::uint64_t py = static_cast<std::uint64_t>(sy[t.yj])
+                             << t.pre_shift_y;
+    BFP_ASSERT(t.pre_shift_x + t.pre_shift_y == t.rel_shift);
+    sum += px * py;
+  }
+  return sum;
+}
+
+float fp32_mul_sliced(float x, float y, bool round_nearest_even) {
+  const Fp32Parts px = decompose(x);
+  const Fp32Parts py = decompose(y);
+  BFP_REQUIRE(!px.is_nan && !px.is_inf && !py.is_nan && !py.is_inf,
+              "fp32_mul_sliced: NaN/Inf operands are not supported by the "
+              "accelerator datapath");
+  const bool sign = px.sign != py.sign;  // the XOR gate of Section II-B
+  if (px.is_zero() || py.is_zero()) {
+    return compose(sign, 1, 0);
+  }
+  const std::uint64_t sum = sliced_mantissa_product(px.mantissa, py.mantissa);
+  // Weighting: x = (-1)^sx * man_x * 2^(ex-127-23), likewise for y, and the
+  // schedule drops a factor 2^8, so
+  //   x*y = (-1)^s * sum * 2^(ex+ey-254-46+8).
+  // compose_normalized treats mantissa bit 23 as weight 2^(be-127), i.e.
+  // value = m * 2^(be-150); solve be = ex + ey - 292 + 150.
+  const std::int32_t be = px.biased_exp + py.biased_exp - 142;
+  return compose_normalized(sign, be, sum, round_nearest_even);
+}
+
+float fp32_add_aligned(float x, float y, bool round_nearest_even,
+                       int acc_bits) {
+  const Fp32Parts px = decompose(x);
+  const Fp32Parts py = decompose(y);
+  BFP_REQUIRE(!px.is_nan && !px.is_inf && !py.is_nan && !py.is_inf,
+              "fp32_add_aligned: NaN/Inf operands are not supported by the "
+              "accelerator datapath");
+  // Align the smaller exponent's signed mantissa right (Eqn 6).
+  const std::int32_t e = std::max(px.biased_exp, py.biased_exp);
+  const std::int64_t mx = asr(px.signed_mantissa(), e - px.biased_exp);
+  const std::int64_t my = asr(py.signed_mantissa(), e - py.biased_exp);
+  const std::int64_t s = mx + my;
+  BFP_REQUIRE(fits_signed(s, acc_bits),
+              "fp32_add_aligned: accumulator overflow");
+  const bool sign = s < 0;
+  const std::uint64_t mag = sign ? static_cast<std::uint64_t>(-s)
+                                 : static_cast<std::uint64_t>(s);
+  return compose_normalized(sign, e, mag, round_nearest_even);
+}
+
+}  // namespace bfpsim

@@ -1,0 +1,32 @@
+#include "pu/baseline_arrays.hpp"
+
+#include "common/error.hpp"
+
+namespace bfpsim {
+
+Int8Accelerator::Int8Accelerator(const PuConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+}
+
+GemmRun Int8Accelerator::gemm_int8(std::span<const float> a, int m, int k,
+                                   std::span<const float> b, int n) const {
+  BFP_REQUIRE(m > 0 && k > 0 && n > 0, "gemm_int8: dims must be positive");
+  const Int8Tensor qa = quantize_int8_per_tensor(a);
+  const Int8Tensor qb = quantize_int8_per_tensor(b);
+  GemmRun out;
+  out.c = int8_gemm_reference(qa, qb, m, k, n);
+  out.macs = static_cast<std::uint64_t>(m) * k * n;
+  // Same systolic sequencing, same cycle count (the int8 array differs in
+  // what it lacks — exponent unit and shifters — not in its schedule).
+  out.compute_cycles = ProcessingUnit::gemm_cycles(cfg_, m, k, n);
+  return out;
+}
+
+Bfp8OnlyAccelerator::Bfp8OnlyAccelerator(const PuConfig& cfg) : pu_(cfg) {}
+
+GemmRun Bfp8OnlyAccelerator::gemm_bfp8(std::span<const float> a, int m, int k,
+                                       std::span<const float> b, int n) {
+  return pu_.gemm_bfp8(a, m, k, b, n);
+}
+
+}  // namespace bfpsim

@@ -1,0 +1,52 @@
+// Baseline accelerator variants used by the paper's comparisons (Fig. 6):
+//
+//  1) an int8 systolic array (conventional fixed-point design),
+//  2) a bfp8-only array (no fp32 reconfiguration),
+//  3) the proposed multi-mode unit (ProcessingUnit), and
+//  4) individual bfp8 + fp32 units side by side.
+//
+// Variants 1 and 2 are functional here (numerics + the same cycle model);
+// the resource comparison between all four lives in src/resource/.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "numerics/quantizer.hpp"
+#include "pu/processing_unit.hpp"
+
+namespace bfpsim {
+
+/// Conventional int8 accelerator baseline: per-tensor symmetric
+/// quantization, int8 systolic matmul with 32-bit accumulation. Shares the
+/// PE-array cycle model (same geometry, same combined-MAC packing).
+class Int8Accelerator {
+ public:
+  explicit Int8Accelerator(const PuConfig& cfg = PuConfig{});
+
+  GemmRun gemm_int8(std::span<const float> a, int m, int k,
+                    std::span<const float> b, int n) const;
+
+  const PuConfig& config() const { return cfg_; }
+
+ private:
+  PuConfig cfg_;
+};
+
+/// bfp8-only accelerator: the proposed unit minus the fp32 path. Linear
+/// layers behave identically; any fp32 request must go to a separate unit
+/// (which is the Fig. 6 "indiv" design) or the host.
+class Bfp8OnlyAccelerator {
+ public:
+  explicit Bfp8OnlyAccelerator(const PuConfig& cfg = PuConfig{});
+
+  GemmRun gemm_bfp8(std::span<const float> a, int m, int k,
+                    std::span<const float> b, int n);
+
+  const PuConfig& config() const { return pu_.config(); }
+
+ private:
+  ProcessingUnit pu_;
+};
+
+}  // namespace bfpsim

@@ -1,0 +1,105 @@
+#include "pu/controller.hpp"
+
+#include <sstream>
+
+#include "bram/buffers.hpp"
+#include "common/error.hpp"
+#include "pu/psu_buffer.hpp"
+
+namespace bfpsim {
+
+const char* pu_state_name(PuState s) {
+  switch (s) {
+    case PuState::kIdle: return "idle";
+    case PuState::kModeSwitch: return "mode-switch";
+    case PuState::kLoadY: return "load-y";
+    case PuState::kStreamX: return "stream-x";
+    case PuState::kDrain: return "drain";
+    case PuState::kFp32Issue: return "fp32-issue";
+    case PuState::kFp32Stream: return "fp32-stream";
+    case PuState::kFp32Drain: return "fp32-drain";
+  }
+  return "?";
+}
+
+Controller::Controller(const PeArrayConfig& array) : array_(array) {
+  array_.validate();
+}
+
+std::uint64_t Controller::command_cycles(const DeviceCommand& cmd) const {
+  switch (cmd.kind) {
+    case DeviceCommand::Kind::kBfpPass: {
+      BFP_REQUIRE(cmd.length >= 1 && cmd.length <= kPsuSlots,
+                  "Controller: N_X exceeds the PSU slot capacity");
+      // load-y (1) + stream (rows * N_X) + drain (rows + cols - 2):
+      // exactly Eqn 9's rows*N_X + (rows + cols - 1).
+      return 1ull +
+             static_cast<std::uint64_t>(array_.rows) *
+                 static_cast<std::uint64_t>(cmd.length) +
+             static_cast<std::uint64_t>(array_.rows + array_.cols - 2);
+    }
+    case DeviceCommand::Kind::kFp32MulRun:
+    case DeviceCommand::Kind::kFp32AddRun: {
+      BFP_REQUIRE(cmd.length >= 1 && cmd.length <= kMaxFpStream,
+                  "Controller: L exceeds the BRAM stream capacity");
+      // issue (1) + stream (L) + drain (pipeline - 1): Eqn 10's L + rows.
+      return 1ull + static_cast<std::uint64_t>(cmd.length) +
+             static_cast<std::uint64_t>(array_.fp32_pipeline_cycles() - 1);
+    }
+  }
+  BFP_ASSERT(false);
+  return 0;
+}
+
+ControllerSchedule Controller::run(
+    std::span<const DeviceCommand> commands) const {
+  ControllerSchedule s;
+  auto visit = [&](PuState st, std::uint64_t cycles) {
+    if (cycles == 0) return;
+    s.trace.push_back({st, cycles});
+    s.total_cycles += cycles;
+  };
+
+  bool have_mode = false;
+  bool bfp_mode = true;
+  for (const DeviceCommand& cmd : commands) {
+    const bool wants_bfp = cmd.kind == DeviceCommand::Kind::kBfpPass;
+    if (have_mode && wants_bfp != bfp_mode) {
+      visit(PuState::kModeSwitch, kModeSwitchCycles);
+      ++s.mode_switches;
+    }
+    have_mode = true;
+    bfp_mode = wants_bfp;
+
+    if (wants_bfp) {
+      BFP_REQUIRE(cmd.length >= 1 && cmd.length <= kPsuSlots,
+                  "Controller: N_X exceeds the PSU slot capacity");
+      visit(PuState::kLoadY, 1);
+      visit(PuState::kStreamX,
+            static_cast<std::uint64_t>(array_.rows) *
+                static_cast<std::uint64_t>(cmd.length));
+      visit(PuState::kDrain,
+            static_cast<std::uint64_t>(array_.rows + array_.cols - 2));
+    } else {
+      BFP_REQUIRE(cmd.length >= 1 && cmd.length <= kMaxFpStream,
+                  "Controller: L exceeds the BRAM stream capacity");
+      visit(PuState::kFp32Issue, 1);
+      visit(PuState::kFp32Stream, static_cast<std::uint64_t>(cmd.length));
+      visit(PuState::kFp32Drain,
+            static_cast<std::uint64_t>(array_.fp32_pipeline_cycles() - 1));
+    }
+  }
+  return s;
+}
+
+std::string to_string(const ControllerSchedule& s) {
+  std::ostringstream os;
+  for (const StateVisit& v : s.trace) {
+    os << pu_state_name(v.state) << ":" << v.cycles << " ";
+  }
+  os << "(total " << s.total_cycles << ", " << s.mode_switches
+     << " mode switches)";
+  return os.str();
+}
+
+}  // namespace bfpsim

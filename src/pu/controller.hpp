@@ -1,0 +1,83 @@
+// The run-time controller FSM of the multi-mode processing unit — the
+// "Controller" row of Table II, and the machinery behind the paper's
+// headline claim that the array "can be reconfigured into a fp32 vector
+// processing unit during run time".
+//
+// The controller walks a device-command list (each command is one
+// hardware pass: a Y-stationary bfp8 pass, an fp32 multiply run, or an
+// fp32 add run) through explicit states with documented per-state cycle
+// costs. Reconfiguring between bfp8 and fp32 modes costs kModeSwitchCycles
+// (draining the datapath configuration registers) — run-time, not
+// bitstream, reconfiguration.
+//
+// The FSM's totals are pinned by tests to the analytic cycle models
+// (Eqns 9/10), so the three layers — closed-form equations, controller
+// schedule, and the cycle-stepped array — all agree.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pu/pe_array.hpp"
+
+namespace bfpsim {
+
+/// Controller states (one FSM; mode is part of the state).
+enum class PuState {
+  kIdle,
+  kModeSwitch,   ///< datapath reconfiguration between bfp8 and fp32
+  kLoadY,        ///< issue the resident Y pair (overlapped with drain)
+  kStreamX,      ///< systolic streaming of N_X blocks
+  kDrain,        ///< pipeline triangle + ACC writeback
+  kFp32Issue,    ///< layout-converter setup for a vector run
+  kFp32Stream,   ///< L elements per lane
+  kFp32Drain,    ///< cascade pipeline flush
+};
+
+const char* pu_state_name(PuState s);
+
+/// Cycles to reconfigure the datapath between modes.
+inline constexpr std::uint64_t kModeSwitchCycles = 2;
+
+/// One hardware pass, as the host enqueues it.
+struct DeviceCommand {
+  enum class Kind { kBfpPass, kFp32MulRun, kFp32AddRun };
+  Kind kind = Kind::kBfpPass;
+  int length = 1;  ///< N_X for bfp passes, per-lane L for fp32 runs
+};
+
+/// One visited state with its dwell time.
+struct StateVisit {
+  PuState state = PuState::kIdle;
+  std::uint64_t cycles = 0;
+};
+
+/// Command-list execution schedule.
+struct ControllerSchedule {
+  std::vector<StateVisit> trace;
+  std::uint64_t total_cycles = 0;
+  std::uint64_t mode_switches = 0;
+};
+
+class Controller {
+ public:
+  explicit Controller(const PeArrayConfig& array);
+
+  /// Walk the command list; returns the schedule. Throws on invalid
+  /// command lengths (PSU/BRAM capacity limits).
+  ControllerSchedule run(std::span<const DeviceCommand> commands) const;
+
+  /// Cycles of one command in isolation (no mode switch) — must equal the
+  /// analytic models.
+  std::uint64_t command_cycles(const DeviceCommand& cmd) const;
+
+ private:
+  PeArrayConfig array_;
+};
+
+/// Render a schedule as text (state, dwell), for traces and docs.
+std::string to_string(const ControllerSchedule& s);
+
+}  // namespace bfpsim

@@ -1,0 +1,45 @@
+#include "pu/exponent_unit.hpp"
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+namespace bfpsim {
+
+std::int32_t ExponentUnit::bfp_product_exp(std::int32_t exp_x,
+                                           std::int32_t exp_y) {
+  BFP_REQUIRE(fits_signed(exp_x, 8) && fits_signed(exp_y, 8),
+              "ExponentUnit: bfp exponents must be 8-bit");
+  const std::int32_t s = exp_x + exp_y;
+  BFP_ASSERT(fits_signed(s, kEuCarrierBits));
+  counters_.add("eu.bfp_exp_add");
+  return s;
+}
+
+AlignDecision ExponentUnit::align(std::int32_t exp_a, std::int32_t exp_b) {
+  BFP_REQUIRE(fits_signed(exp_a, kEuCarrierBits) &&
+                  fits_signed(exp_b, kEuCarrierBits),
+              "ExponentUnit: exponent exceeds EU carrier width");
+  AlignDecision d;
+  if (exp_a >= exp_b) {
+    d.result_exp = exp_a;
+    d.shift_a = 0;
+    d.shift_b = exp_a - exp_b;
+  } else {
+    d.result_exp = exp_b;
+    d.shift_a = exp_b - exp_a;
+    d.shift_b = 0;
+  }
+  counters_.add("eu.align");
+  return d;
+}
+
+std::int32_t ExponentUnit::fp32_product_exp(std::int32_t biased_ex,
+                                            std::int32_t biased_ey) {
+  BFP_REQUIRE(biased_ex >= 0 && biased_ex <= 255 && biased_ey >= 0 &&
+                  biased_ey <= 255,
+              "ExponentUnit: fp32 exponents must be 8-bit biased");
+  counters_.add("eu.fp32_exp_add");
+  return biased_ex + biased_ey - 127;
+}
+
+}  // namespace bfpsim

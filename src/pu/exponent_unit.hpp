@@ -1,0 +1,53 @@
+// The Exponent Unit (EU) of Fig. 2: handles all exponent arithmetic for
+// both operating modes while the PE array works on mantissas.
+//
+//  * bfp8 MatMul: product exponent expZ = expX + expY (Eqn 2) and the
+//    alignment shift between a new partial block and the PSU buffer's
+//    resident exponent (Eqn 3).
+//  * fp32 mul:   biased exponent sum with bias correction (Eqn 4).
+//  * fp32 add:   exponent compare + alignment shift (Eqn 6).
+//
+// All results are range-checked against the carrier widths of the real
+// datapath; an out-of-range exponent raises HardwareContractError just as
+// the RTL's saturation logic would flag it.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/counters.hpp"
+
+namespace bfpsim {
+
+/// Exponent carrier width inside the EU (one guard bit over the 8-bit
+/// storage format so the sum of two int8 exponents is representable).
+inline constexpr int kEuCarrierBits = 10;
+
+struct AlignDecision {
+  std::int32_t result_exp = 0;  ///< exponent of the aligned sum
+  int shift_a = 0;              ///< right-shift for operand A's mantissa
+  int shift_b = 0;              ///< right-shift for operand B's mantissa
+};
+
+class ExponentUnit {
+ public:
+  /// expZ = expX + expY for bfp blocks (both int8 two's complement).
+  std::int32_t bfp_product_exp(std::int32_t exp_x, std::int32_t exp_y);
+
+  /// Alignment between two exponents: the smaller-exponent operand shifts
+  /// right by the difference (Eqn 3 / Eqn 6, with the comparator the paper
+  /// notes a real design needs).
+  AlignDecision align(std::int32_t exp_a, std::int32_t exp_b);
+
+  /// fp32 product exponent: biased ex + ey - 127 (Eqn 4, bias pre-removed
+  /// in the paper's presentation; the EU does the correction in hardware).
+  std::int32_t fp32_product_exp(std::int32_t biased_ex,
+                                std::int32_t biased_ey);
+
+  const Counters& counters() const { return counters_; }
+  void reset() { counters_.reset(); }
+
+ private:
+  Counters counters_;
+};
+
+}  // namespace bfpsim

@@ -1,0 +1,245 @@
+#include "pu/pe_array.hpp"
+
+#include "common/error.hpp"
+#include "dsp/packing.hpp"
+
+namespace bfpsim {
+
+void PeArrayConfig::validate() const {
+  BFP_REQUIRE(rows >= 1 && rows <= 32 && cols >= 1 && cols <= 32,
+              "PeArrayConfig: rows/cols must be in [1,32]");
+  if (combined_mac) {
+    // The packed lower lane must survive `rows` accumulated int8 products
+    // in the DSP's 18-bit field (Section II-B). With symmetric mantissas
+    // this holds exactly up to 8 rows.
+    BFP_REQUIRE(packed_accumulation_safe(rows, 127),
+                "PeArrayConfig: combined-MAC unsafe at this column depth");
+  }
+}
+
+PeArray::PeArray(const PeArrayConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+  dsps_.resize(static_cast<std::size_t>(cfg_.rows * cfg_.cols));
+}
+
+BfpMatmulRun PeArray::run_bfp_matmul(const BfpBlock& y0, const BfpBlock* y1,
+                                     std::span<const BfpBlock> xs) {
+  BFP_REQUIRE(!xs.empty(), "run_bfp_matmul: need at least one X block");
+  BFP_REQUIRE(y0.fmt.rows == cfg_.rows && y0.fmt.cols == cfg_.cols,
+              "run_bfp_matmul: Y block shape must match the array");
+  BFP_REQUIRE(y1 == nullptr || cfg_.combined_mac,
+              "run_bfp_matmul: second Y block requires combined-MAC");
+  if (y1 != nullptr) {
+    BFP_REQUIRE(y1->fmt.rows == cfg_.rows && y1->fmt.cols == cfg_.cols,
+                "run_bfp_matmul: Y1 block shape must match the array");
+  }
+  for (const BfpBlock& x : xs) {
+    BFP_REQUIRE(x.fmt.rows == cfg_.rows && x.fmt.cols == cfg_.rows,
+                "run_bfp_matmul: X block shape must match the array");
+  }
+
+  const int rows = cfg_.rows;
+  const int cols = cfg_.cols;
+  const int n_x = static_cast<int>(xs.size());
+  const int stream_rows = rows * n_x;  // total X rows streamed
+
+  // Y-stationary operands: PE(r,c) holds y[r][c] of both lanes, packed into
+  // the 27-bit A:D path when combined-MAC is on.
+  std::vector<std::int64_t> y_station(
+      static_cast<std::size_t>(rows * cols));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const std::int64_t v0 = y0.at(r, c);
+      const std::int64_t v1 = y1 != nullptr ? y1->at(r, c) : 0;
+      y_station[static_cast<std::size_t>(r * cols + c)] =
+          cfg_.combined_mac ? pack_dual(v0, v1) : v0;
+    }
+  }
+
+  BfpMatmulRun run;
+  run.lane0.assign(static_cast<std::size_t>(n_x), WideBlock(rows, cols));
+  if (cfg_.combined_mac) {
+    run.lane1.assign(static_cast<std::size_t>(n_x), WideBlock(rows, cols));
+  }
+  for (int b = 0; b < n_x; ++b) {
+    run.lane0[static_cast<std::size_t>(b)].expb = xs[b].expb + y0.expb;
+    if (cfg_.combined_mac && y1 != nullptr) {
+      run.lane1[static_cast<std::size_t>(b)].expb = xs[b].expb + y1->expb;
+    }
+  }
+
+  // X element for global stream row i, array row r: xs[i/rows].at(i%rows, r)
+  // (array row r consumes the k = r operand of each X matrix row).
+  auto x_stream = [&](int i, int r) -> std::int64_t {
+    if (i < 0 || i >= stream_rows) return 0;
+    return xs[static_cast<std::size_t>(i / rows)].at(i % rows, r);
+  };
+
+  // Cycle loop. PE(r,c) processes X stream row i = t - r - c at cycle t;
+  // column c's cascade completes row i at cycle i + (rows-1) + c. The loop
+  // therefore spans t = 0 .. stream_rows + rows + cols - 3.
+  const int last_cycle = stream_rows + rows + cols - 3;
+  for (int t = 0; t <= last_cycle; ++t) {
+    // Evaluate rows bottom-up so each PCIN reads the *previous-cycle* P of
+    // the slice above (registered cascade).
+    for (int r = rows - 1; r >= 0; --r) {
+      for (int c = 0; c < cols; ++c) {
+        const std::int64_t pcin = r == 0 ? 0 : dsp(r - 1, c).p();
+        const std::int64_t xv = x_stream(t - r - c, r);
+        dsp(r, c).eval(
+            y_station[static_cast<std::size_t>(r * cols + c)], xv,
+            /*d=*/0, /*c=*/0, pcin,
+            r == 0 ? DspAccSrc::kZero : DspAccSrc::kPcin,
+            /*use_preadder=*/false);
+      }
+    }
+    // Collect column-bottom results.
+    for (int c = 0; c < cols; ++c) {
+      const int i = t - (rows - 1) - c;
+      if (i < 0 || i >= stream_rows) continue;
+      const std::int64_t p = dsp(rows - 1, c).p();
+      const int b = i / rows;
+      const int br = i % rows;
+      if (cfg_.combined_mac) {
+        const DualLanes lanes = unpack_dual(p);
+        run.lane0[static_cast<std::size_t>(b)].at(br, c) = lanes.upper;
+        run.lane1[static_cast<std::size_t>(b)].at(br, c) = lanes.lower;
+      } else {
+        run.lane0[static_cast<std::size_t>(b)].at(br, c) = p;
+      }
+      counters_.add("pe.outputs");
+    }
+  }
+
+  const int macs_per_dsp = cfg_.combined_mac ? 2 : 1;
+  counters_.add("pe.useful_macs",
+                static_cast<std::uint64_t>(stream_rows) * rows * cols *
+                    static_cast<std::uint64_t>(macs_per_dsp));
+
+  // Reported cycles: Eqn 9's 8*Nx + 15 for the 8x8 geometry — the compute
+  // span above plus the Y-preload issue slot and the ACC writeback register
+  // (preload otherwise overlaps the previous tile's drain; Section II-D).
+  run.cycles = static_cast<std::uint64_t>(stream_rows) +
+               static_cast<std::uint64_t>(cfg_.bfp_overhead_cycles());
+  counters_.add("pe.bfp_cycles", run.cycles);
+  return run;
+}
+
+Fp32MulRun PeArray::run_fp32_mul(
+    std::span<const std::vector<Fp32RowInputs>> lane_streams) {
+  const int n_lanes = static_cast<int>(lane_streams.size());
+  BFP_REQUIRE(n_lanes >= 1 && n_lanes <= cfg_.cols,
+              "run_fp32_mul: lane count exceeds array columns");
+  BFP_REQUIRE(cfg_.rows >= kNumPartialProducts,
+              "run_fp32_mul: need 8 rows for the partial-product schedule");
+  const std::size_t len = lane_streams[0].size();
+  BFP_REQUIRE(len > 0, "run_fp32_mul: empty stream");
+  for (const auto& s : lane_streams) {
+    BFP_REQUIRE(s.size() == len,
+                "run_fp32_mul: lanes must have equal stream lengths");
+  }
+
+  Fp32MulRun run;
+  run.lanes.assign(static_cast<std::size_t>(n_lanes), {});
+  for (auto& l : run.lanes) l.resize(len);
+
+  const int rows = kNumPartialProducts;
+  // Pair p enters row r at cycle p + r; bottom completes it at p + rows - 1.
+  const int last_cycle = static_cast<int>(len) - 1 + rows - 1;
+  for (int t = 0; t <= last_cycle; ++t) {
+    for (int r = rows - 1; r >= 0; --r) {
+      const int p = t - r;
+      for (int lane = 0; lane < n_lanes; ++lane) {
+        const std::int64_t pcin = r == 0 ? 0 : dsp(r - 1, lane).p();
+        std::int64_t a = 0;
+        std::int64_t b = 0;
+        if (p >= 0 && p < static_cast<int>(len)) {
+          const Fp32RowInputs& in =
+              lane_streams[static_cast<std::size_t>(lane)]
+                          [static_cast<std::size_t>(p)];
+          if (!in.zero) {
+            a = in.x_in[static_cast<std::size_t>(r)];
+            b = in.y_in[static_cast<std::size_t>(r)];
+          }
+        }
+        dsp(r, lane).eval(a, b, /*d=*/0, /*c=*/0, pcin,
+                          r == 0 ? DspAccSrc::kZero : DspAccSrc::kPcin,
+                          /*use_preadder=*/false);
+      }
+    }
+    for (int lane = 0; lane < n_lanes; ++lane) {
+      const int p = t - (rows - 1);
+      if (p < 0 || p >= static_cast<int>(len)) continue;
+      const Fp32RowInputs& in = lane_streams[static_cast<std::size_t>(lane)]
+                                            [static_cast<std::size_t>(p)];
+      auto& out = run.lanes[static_cast<std::size_t>(lane)]
+                           [static_cast<std::size_t>(p)];
+      out.mant_sum =
+          in.zero ? 0
+                  : static_cast<std::uint64_t>(dsp(rows - 1, lane).p());
+      out.sign = in.result_sign;
+      out.exp_x = in.exp_x;
+      out.exp_y = in.exp_y;
+      out.zero = in.zero;
+      counters_.add("pe.fp32_products");
+    }
+  }
+
+  // Eqn 10: L + 8 (no Y preload in this mode, Section II-D).
+  run.cycles = static_cast<std::uint64_t>(len) +
+               static_cast<std::uint64_t>(cfg_.fp32_pipeline_cycles());
+  counters_.add("pe.fp32_cycles", run.cycles);
+  return run;
+}
+
+Bf16MulRun PeArray::run_bf16_mul(
+    std::span<const std::vector<Bf16Pair>> lane_streams) {
+  const int n_lanes = static_cast<int>(lane_streams.size());
+  BFP_REQUIRE(n_lanes >= 1 && n_lanes <= cfg_.cols,
+              "run_bf16_mul: lane count exceeds array columns");
+  const std::size_t len = lane_streams[0].size();
+  BFP_REQUIRE(len > 0, "run_bf16_mul: empty stream");
+  for (const auto& s : lane_streams) {
+    BFP_REQUIRE(s.size() == len,
+                "run_bf16_mul: lanes must have equal stream lengths");
+  }
+
+  Bf16MulRun run;
+  run.lanes.assign(static_cast<std::size_t>(n_lanes), {});
+  for (auto& l : run.lanes) l.resize(len);
+
+  // One product per lane per cycle on the top-row DSP, cascade off.
+  for (std::size_t p = 0; p < len; ++p) {
+    for (int lane = 0; lane < n_lanes; ++lane) {
+      const Bf16Pair& in = lane_streams[static_cast<std::size_t>(lane)][p];
+      auto& out = run.lanes[static_cast<std::size_t>(lane)][p];
+      out.sign = in.x.sign != in.y.sign;
+      out.exp_x = in.x.biased_exp;
+      out.exp_y = in.y.biased_exp;
+      out.zero = in.x.man8 == 0 || in.y.man8 == 0;
+      const std::int64_t prod = dsp(0, lane).eval(
+          in.x.man8, in.y.man8, /*d=*/0, /*c=*/0, /*pcin=*/0,
+          DspAccSrc::kZero, /*use_preadder=*/false);
+      out.prod = out.zero ? 0 : static_cast<std::uint32_t>(prod);
+      counters_.add("pe.bf16_products");
+    }
+  }
+
+  // Two pipeline stages: multiplier register + output register.
+  run.cycles = static_cast<std::uint64_t>(len) + 2;
+  counters_.add("pe.bf16_cycles", run.cycles);
+  return run;
+}
+
+std::uint64_t PeArray::dsp_ops() const {
+  std::uint64_t n = 0;
+  for (const auto& d : dsps_) n += d.op_count();
+  return n;
+}
+
+void PeArray::reset() {
+  for (auto& d : dsps_) d.reset();
+  counters_.reset();
+}
+
+}  // namespace bfpsim

@@ -1,0 +1,142 @@
+// The 8x8 systolic PE array of Fig. 2, simulated cycle by cycle.
+//
+// Each PE wraps one DSP48E2 slice (Fig. 3). The array operates in two
+// modes:
+//
+//  * bfp8 MatMul (Fig. 5 (a)): Y-stationary. Two Y blocks are packed into
+//    the 27-bit A:D path of every PE (combined-MAC, two int8 MACs per DSP);
+//    X blocks stream through the 18-bit B path moving horizontally while
+//    partial sums accumulate down each column through the PCIN/PCOUT
+//    cascade. Column c emits Z[i][c] for X row i at cycle i + rows + c
+//    (the systolic triangle), giving the 8*Nx + 15 cycle count of Eqn 9.
+//
+//  * fp32 multiply (Fig. 5 (b)): no data reuse, so no systolic X motion.
+//    The layout converter broadcasts pre-shifted mantissa slices of one
+//    operand pair per active column; the 8 rows compute the 8 retained
+//    partial products and the cascade sums them, one new pair per cycle per
+//    lane, result after the 8-deep pipeline (Eqn 10's L + 8).
+//
+// The simulation is bit-accurate (every multiply goes through the Dsp48e2
+// model with port-width checking) and cycle-accurate (outputs are collected
+// on the exact cycle the modelled pipeline produces them).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "bram/layout_converter.hpp"
+#include "dsp/dsp48e2.hpp"
+#include "numerics/bf16.hpp"
+#include "numerics/bfp.hpp"
+#include "sim/counters.hpp"
+
+namespace bfpsim {
+
+/// Geometry/feature configuration of one PE array.
+struct PeArrayConfig {
+  int rows = 8;
+  int cols = 8;
+  /// Pack two Y operands per DSP (Fig. 3). Disabling halves bfp throughput
+  /// (the int8/bfp8-only ablation knob).
+  bool combined_mac = true;
+  /// Fixed pipeline overhead of a bfp run: Y preload + systolic triangle
+  /// (the "+15" of Eqn 9 for the 8x8 geometry: rows + cols - 1).
+  int bfp_overhead_cycles() const { return rows + cols - 1; }
+  /// fp32 pipeline depth (the "+8" of Eqn 10).
+  int fp32_pipeline_cycles() const { return rows; }
+
+  void validate() const;
+};
+
+/// Result of streaming Nx X-blocks against one (pair of) resident Y
+/// block(s): per-X-block wide product tiles for each combined-MAC lane,
+/// plus the exact cycle count consumed.
+struct BfpMatmulRun {
+  std::vector<WideBlock> lane0;  ///< X_b * Y0 for each streamed block b
+  std::vector<WideBlock> lane1;  ///< X_b * Y1 (empty if combined_mac off)
+  std::uint64_t cycles = 0;
+};
+
+/// One bf16 operand pair as presented to a PE (extension mode).
+struct Bf16Pair {
+  Bf16Parts x;
+  Bf16Parts y;
+};
+
+/// Result of a bf16 multiply stream (extension mode): each lane is one PE
+/// computing one full product per cycle — no cascade, no slicing.
+struct Bf16MulRun {
+  struct RawProduct {
+    std::uint32_t prod = 0;  ///< 16-bit mantissa product
+    bool sign = false;
+    std::int32_t exp_x = 0;
+    std::int32_t exp_y = 0;
+    bool zero = false;
+  };
+  std::vector<std::vector<RawProduct>> lanes;
+  std::uint64_t cycles = 0;
+};
+
+/// Result of an fp32 multiply stream on the active lanes.
+struct Fp32MulRun {
+  /// results[lane][i]: raw 48-bit mantissa sum, result sign, and the biased
+  /// exponent sum, before normalization (the quantizer normalizes).
+  struct RawProduct {
+    std::uint64_t mant_sum = 0;
+    bool sign = false;
+    std::int32_t exp_x = 0;
+    std::int32_t exp_y = 0;
+    bool zero = false;
+  };
+  std::vector<std::vector<RawProduct>> lanes;
+  std::uint64_t cycles = 0;
+};
+
+class PeArray {
+ public:
+  explicit PeArray(const PeArrayConfig& cfg);
+
+  /// Stream `xs` (each rows x cols, 8-bit mantissas) against resident
+  /// blocks y0 (and y1 when combined-MAC is enabled; pass nullptr to leave
+  /// lane 1 idle). Exponents of the produced tiles are expX + expY per lane.
+  BfpMatmulRun run_bfp_matmul(const BfpBlock& y0, const BfpBlock* y1,
+                              std::span<const BfpBlock> xs);
+
+  /// Multiply operand streams pairwise on `active_lanes` columns; all
+  /// streams must have equal length. pairs[lane][i] are pre-converted row
+  /// inputs from the LayoutConverter.
+  Fp32MulRun run_fp32_mul(
+      std::span<const std::vector<Fp32RowInputs>> lane_streams);
+
+  /// bf16 multiply streams (extension, see numerics/bf16.hpp): each lane
+  /// maps to one column's top-row DSP with the cascade disabled, so a
+  /// column computes a complete bf16 product per cycle. Up to `cols` lanes
+  /// (the deployed configuration uses 8, the 128-bit buffer port limit at
+  /// 2 bytes per operand).
+  Bf16MulRun run_bf16_mul(
+      std::span<const std::vector<Bf16Pair>> lane_streams);
+
+  const PeArrayConfig& config() const { return cfg_; }
+  const Counters& counters() const { return counters_; }
+
+  /// DSPs instantiated (one per PE).
+  int dsp_count() const { return cfg_.rows * cfg_.cols; }
+
+  /// Total DSP eval operations since construction/reset.
+  std::uint64_t dsp_ops() const;
+
+  void reset();
+
+ private:
+  Dsp48e2& dsp(int r, int c) {
+    return dsps_[static_cast<std::size_t>(r * cfg_.cols + c)];
+  }
+
+  PeArrayConfig cfg_;
+  std::vector<Dsp48e2> dsps_;
+  Counters counters_;
+};
+
+}  // namespace bfpsim

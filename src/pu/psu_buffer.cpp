@@ -1,0 +1,91 @@
+#include "pu/psu_buffer.hpp"
+
+#include <algorithm>
+
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+
+namespace bfpsim {
+
+PsuBuffer::PsuBuffer(const PsuConfig& cfg) : cfg_(cfg) {
+  BFP_REQUIRE(cfg.psu_bits >= 16 && cfg.psu_bits <= 48,
+              "PsuBuffer: psu_bits must be in [16,48]");
+  BFP_REQUIRE(cfg.rows >= 1 && cfg.cols >= 1,
+              "PsuBuffer: invalid geometry");
+  tiles_.resize(static_cast<std::size_t>(2 * kPsuSlots));
+  for (auto& t : tiles_) {
+    t.psu.assign(static_cast<std::size_t>(cfg.rows * cfg.cols), 0);
+  }
+}
+
+PsuBuffer::Tile& PsuBuffer::tile(int lane, int slot) {
+  BFP_REQUIRE(lane >= 0 && lane < 2, "PsuBuffer: lane out of range");
+  BFP_REQUIRE(slot >= 0 && slot < kPsuSlots,
+              "PsuBuffer: slot out of range");
+  return tiles_[static_cast<std::size_t>(lane * kPsuSlots + slot)];
+}
+
+const PsuBuffer::Tile& PsuBuffer::tile(int lane, int slot) const {
+  return const_cast<PsuBuffer*>(this)->tile(lane, slot);
+}
+
+void PsuBuffer::clear_slot(int lane, int slot) {
+  Tile& t = tile(lane, slot);
+  t.valid = false;
+  t.expb = 0;
+  std::fill(t.psu.begin(), t.psu.end(), 0);
+}
+
+void PsuBuffer::clear_all() {
+  for (int lane = 0; lane < 2; ++lane) {
+    for (int slot = 0; slot < kPsuSlots; ++slot) clear_slot(lane, slot);
+  }
+}
+
+void PsuBuffer::accumulate(int lane, int slot, const WideBlock& in,
+                           ExponentUnit& eu) {
+  BFP_REQUIRE(in.rows == cfg_.rows && in.cols == cfg_.cols,
+              "PsuBuffer: tile shape mismatch");
+  Tile& t = tile(lane, slot);
+  if (!t.valid) {
+    for (std::size_t i = 0; i < in.psu.size(); ++i) {
+      if (!fits_signed(in.psu[i], cfg_.psu_bits)) {
+        throw HardwareContractError(
+            "PsuBuffer: incoming partial sum exceeds carrier");
+      }
+      t.psu[i] = in.psu[i];
+    }
+    t.expb = in.expb;
+    t.valid = true;
+    return;
+  }
+  const AlignDecision d = eu.align(t.expb, in.expb);
+  for (std::size_t i = 0; i < in.psu.size(); ++i) {
+    const std::int64_t a =
+        round_shift(t.psu[i], d.shift_a, cfg_.align_round);
+    const std::int64_t b =
+        round_shift(in.psu[i], d.shift_b, cfg_.align_round);
+    const std::int64_t s = a + b;
+    if (!fits_signed(s, cfg_.psu_bits)) {
+      throw HardwareContractError(
+          "PsuBuffer: accumulation overflows the PSU carrier");
+    }
+    t.psu[i] = s;
+  }
+  t.expb = d.result_exp;
+}
+
+WideBlock PsuBuffer::read(int lane, int slot) const {
+  const Tile& t = tile(lane, slot);
+  BFP_REQUIRE(t.valid, "PsuBuffer: reading an empty slot");
+  WideBlock w(cfg_.rows, cfg_.cols);
+  w.expb = t.expb;
+  w.psu = t.psu;
+  return w;
+}
+
+bool PsuBuffer::valid(int lane, int slot) const {
+  return tile(lane, slot).valid;
+}
+
+}  // namespace bfpsim

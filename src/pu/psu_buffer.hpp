@@ -1,0 +1,67 @@
+// The per-column partial-sum (PSU) buffer and accumulator of Fig. 2.
+//
+// Each PE-array column ends in an alignment shifter and an accumulator that
+// adds the column's new partial sums to previously stored ones, fetching
+// the old value from a 512-deep PSU buffer (64 block slots x 8 rows,
+// Section II-D). Exponent alignment between the resident tile and incoming
+// partial products follows Eqn 3; the mantissa carrier is `psu_bits` wide.
+//
+// The buffer is modelled at tile granularity (one shared exponent per
+// (slot, lane) tile) exactly as the EU tracks it in hardware.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "numerics/bfp.hpp"
+#include "pu/exponent_unit.hpp"
+
+namespace bfpsim {
+
+/// Depth of the PSU buffer in block slots (64 slots x 8 rows = 512 entries
+/// per column, the BRAM18-derived limit of Section II-D).
+inline constexpr int kPsuSlots = 64;
+
+/// Configuration of the shifter & ACC stage.
+struct PsuConfig {
+  int psu_bits = 32;  ///< accumulator carrier width
+  int rows = 8;       ///< block rows
+  int cols = 8;       ///< array columns
+  RoundMode align_round = RoundMode::kTruncate;  ///< shifter behaviour
+};
+
+class PsuBuffer {
+ public:
+  explicit PsuBuffer(const PsuConfig& cfg);
+
+  /// Clear slot `slot` of lane `lane` (start of a fresh output tile).
+  void clear_slot(int lane, int slot);
+  void clear_all();
+
+  /// Accumulate an incoming wide tile (mantissas `in`, exponent `in_exp`)
+  /// into (lane, slot), aligning exponents through the EU. On first use of
+  /// a slot the tile is stored directly.
+  void accumulate(int lane, int slot, const WideBlock& in, ExponentUnit& eu);
+
+  /// Read back the resident tile.
+  WideBlock read(int lane, int slot) const;
+
+  /// True if the slot holds data.
+  bool valid(int lane, int slot) const;
+
+  const PsuConfig& config() const { return cfg_; }
+
+ private:
+  struct Tile {
+    bool valid = false;
+    std::int32_t expb = 0;
+    std::vector<std::int64_t> psu;
+  };
+  Tile& tile(int lane, int slot);
+  const Tile& tile(int lane, int slot) const;
+
+  PsuConfig cfg_;
+  std::vector<Tile> tiles_;  ///< [lane][slot] flattened, 2 lanes
+};
+
+}  // namespace bfpsim

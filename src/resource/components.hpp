@@ -1,0 +1,55 @@
+// Component-level resource estimators. Coefficients are per-structural-
+// element (per PE, per column, per BRAM) and calibrated against Table II at
+// the default 8x8 geometry; each function documents its structure.
+#pragma once
+
+#include "resource/resources.hpp"
+
+namespace bfpsim {
+
+/// Which datapath features a PE array variant carries.
+enum class ArrayKind {
+  kInt8,       ///< plain int8 MAC array
+  kBfp8Only,   ///< + shared-exponent handling hooks (no fp32 path)
+  kMultiMode,  ///< + fp32 pre-shifters and slice muxing (the proposed PE)
+};
+
+/// PE array: one DSP48E2 per PE; FFs for the X/Y operand registers and the
+/// mode/config bits; LUTs for operand muxing and, in the multi-mode PE, the
+/// per-row input pre-shifters of Fig. 5 (b).
+Resources pe_array(ArrayKind kind, int rows, int cols);
+
+/// Exponent unit: int8 adders + comparator (Eqns 2/3/6).
+Resources exponent_unit();
+
+/// Per-column mantissa alignment shifter + PSU accumulator (one DSP each
+/// for the wide adds, per Table II's 8 DSPs on 8 columns). The int8
+/// baseline keeps the accumulator but drops the alignment barrel shifter
+/// (`with_aligner = false`).
+Resources shifter_acc(int cols, bool with_aligner = true);
+
+/// X/Y operand buffers (17 + 16 BRAM18) plus the fp32 layout converter
+/// crossbar, and the PSU buffer BRAM.
+Resources buffers_and_layout(int cols, bool multimode);
+
+/// Output quantizer (wide-to-bfp8 normalization).
+Resources quantizer();
+
+/// Delay chains, AXI-Stream register slices, etc. (Table II "Misc.").
+Resources misc();
+
+/// HBM/AXI DMA engines (2 channels per unit).
+Resources memory_interface();
+
+/// Mode controller/FSM; the multi-mode variant sequences three modes.
+Resources controller(bool multimode);
+
+/// One lane of the AMD floating-point IP (fp32 multiplier + adder) used by
+/// the "individual units" baseline of Fig. 6.
+Resources fp32_ip_lane();
+
+/// The Softermax-style exp2 unit (extension): a float-to-int split plus an
+/// exponent-injection adder beside the EU, enabling the fast split-exp.
+Resources exp2_unit();
+
+}  // namespace bfpsim

@@ -1,0 +1,110 @@
+#include "resource/designs.hpp"
+
+#include "common/error.hpp"
+
+namespace bfpsim {
+
+const char* design_name(DesignVariant v) {
+  switch (v) {
+    case DesignVariant::kInt8: return "int8";
+    case DesignVariant::kBfp8Only: return "bfp8-only";
+    case DesignVariant::kMultiMode: return "multi-mode (ours)";
+    case DesignVariant::kIndividual: return "individual bfp8+fp32";
+  }
+  return "?";
+}
+
+DesignUsage multimode_pu_breakdown(int rows, int cols) {
+  DesignUsage d;
+  d.name = "multi-mode PU";
+  d.components = {
+      {"PE Array", pe_array(ArrayKind::kMultiMode, rows, cols)},
+      {"Shifter & ACC", shifter_acc(cols)},
+      {"Buffer & Layout Converter", buffers_and_layout(cols, true)},
+      {"Exponent Unit", exponent_unit()},
+      {"Quantizer", quantizer()},
+      {"Misc.", misc()},
+      {"Memory Interface", memory_interface()},
+      {"Controller", controller(/*multimode=*/true)},
+  };
+  return d;
+}
+
+DesignUsage assessed_subset(DesignVariant v, int rows, int cols) {
+  DesignUsage d;
+  d.name = design_name(v);
+  switch (v) {
+    case DesignVariant::kInt8:
+      d.components = {
+          {"PE Array", pe_array(ArrayKind::kInt8, rows, cols)},
+          {"ACC", shifter_acc(cols, /*with_aligner=*/false)},
+          {"Controller", controller(/*multimode=*/false)},
+      };
+      return d;
+    case DesignVariant::kBfp8Only:
+      d.components = {
+          {"PE Array", pe_array(ArrayKind::kBfp8Only, rows, cols)},
+          {"Exponent Unit", exponent_unit()},
+          {"Shifter & ACC", shifter_acc(cols)},
+          {"Controller", controller(/*multimode=*/false)},
+      };
+      return d;
+    case DesignVariant::kMultiMode:
+      d.components = {
+          {"PE Array", pe_array(ArrayKind::kMultiMode, rows, cols)},
+          {"Exponent Unit", exponent_unit()},
+          {"Shifter & ACC", shifter_acc(cols)},
+          {"Controller", controller(/*multimode=*/true)},
+      };
+      return d;
+    case DesignVariant::kIndividual: {
+      DesignUsage bfp = assessed_subset(DesignVariant::kBfp8Only, rows, cols);
+      d.components = bfp.components;
+      d.components.push_back(
+          {"fp32 IP (4 lanes)", fp32_ip_lane() * 4.0});
+      d.components.push_back(
+          {"fp32 controller", controller(/*multimode=*/false)});
+      return d;
+    }
+  }
+  BFP_ASSERT(false);
+  return d;
+}
+
+DesignUsage full_system(const SystemConfig& sys) {
+  sys.validate();
+  const int rows = sys.pu.array.rows;
+  const int cols = sys.pu.array.cols;
+  const double arrays = sys.arrays_per_unit;
+
+  // One deployed unit: per-array datapath replicated, shared misc/memory
+  // interface/controller.
+  Resources unit;
+  unit += pe_array(ArrayKind::kMultiMode, rows, cols) * arrays;
+  unit += shifter_acc(cols) * arrays;
+  // The X buffer (17 BRAM18 of the 50 per buffer set) is shared by all
+  // arrays of a unit — they consume the same X stream (Fig. 5 (a)); each
+  // extra array adds only its own Y and PSU BRAM.
+  Resources bufs = buffers_and_layout(cols, true) * arrays;
+  bufs.bram = 50.0 * (static_cast<double>(cols) / 8.0) *
+              (1.0 + 0.64 * (arrays - 1.0));
+  unit += bufs;
+  unit += exponent_unit() * arrays;
+  unit += quantizer() * arrays;
+  unit += misc();
+  unit += memory_interface();
+  unit += controller(/*multimode=*/true);
+
+  DesignUsage d;
+  d.name = "full system";
+  d.components.push_back({"processing units",
+                          unit * static_cast<double>(sys.num_units)});
+  // U280 shell / HMSS / interconnect residual, calibrated against the
+  // Table III totals (410.6k LUT / 602.7k FF / 1353 BRAM / 2163 DSP) at
+  // the default 15-unit, 2-array configuration.
+  d.components.push_back({"platform shell + interconnect",
+                          Resources{248570.0, 392820.0, 10.5, 3.0}});
+  return d;
+}
+
+}  // namespace bfpsim

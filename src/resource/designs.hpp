@@ -1,0 +1,38 @@
+// Assembled design-level resource estimates:
+//   * Table II — the component breakdown of one full multi-mode PU,
+//   * Fig. 6  — the assessed subset (PE array + EU + shifters + controller)
+//               of the four compared designs, and
+//   * Table III "Ours" — the full 15-unit Alveo U280 deployment.
+#pragma once
+
+#include "fabric/system.hpp"
+#include "resource/components.hpp"
+#include "resource/resources.hpp"
+
+namespace bfpsim {
+
+/// The four designs compared in Fig. 6.
+enum class DesignVariant {
+  kInt8,        ///< plain int8 MatMul array
+  kBfp8Only,    ///< exclusive bfp8 MatMul array
+  kMultiMode,   ///< the proposed unified bfp8 + fp32 unit
+  kIndividual,  ///< separate bfp8 array + 4-lane AMD fp32 IP units
+};
+
+const char* design_name(DesignVariant v);
+
+/// Table II: one processing unit with all supporting modules.
+DesignUsage multimode_pu_breakdown(int rows = 8, int cols = 8);
+
+/// Fig. 6: the assessed subset of a variant (PE array, exponent unit,
+/// mantissa shifters, run-time controller — Section III-A's "fair
+/// comparison" scope; the int8 variant has no exponent unit and a
+/// shifter-free accumulator).
+DesignUsage assessed_subset(DesignVariant v, int rows = 8, int cols = 8);
+
+/// Full-FPGA deployment (Table III "Ours" row): `num_units` units of
+/// `arrays_per_unit` arrays plus the U280 shell/platform logic (HMSS, XDMA,
+/// interconnect), whose residual is calibrated against Table III's totals.
+DesignUsage full_system(const SystemConfig& sys = SystemConfig{});
+
+}  // namespace bfpsim

@@ -1,0 +1,85 @@
+// Activity-based energy model for the accelerator.
+//
+// The paper's evaluation section names energy consumption as an evaluated
+// quantity but publishes no numbers, so this model is built from typical
+// UltraScale+ activity energies (per-op dynamic energy for DSP slices,
+// BRAM ports and HBM transfers, plus static leakage proportional to the
+// occupied resources) rather than calibrated against the paper. It exists
+// to answer the *relative* questions the architecture poses:
+//
+//   * bfp8 vs int8 energy per MAC (the exponent unit & shifters are tiny),
+//   * fp32-mode energy per FLOP vs bfp8 energy per OP (the 9x DSP-op
+//     blow-up of the sliced multiply),
+//   * what clock-gating the idle PE columns in fp32 mode saves
+//     (Section II-C: "keeping the remaining PEs idle to save power").
+#pragma once
+
+#include <cstdint>
+
+#include "fabric/system.hpp"
+#include "resource/resources.hpp"
+
+namespace bfpsim {
+
+/// Energy coefficients. Defaults are representative 16 nm UltraScale+
+/// figures (order-of-magnitude correct; see energy.cpp for sources).
+struct EnergyConfig {
+  double pj_per_dsp_op = 19.0;        ///< one 27x18 MAC @0.85V
+  double pj_per_bram_byte = 2.6;      ///< BRAM18 port access per byte
+  double pj_per_hbm_byte = 55.0;      ///< HBM2 access incl. PHY
+  double pj_per_lut_toggle = 0.012;   ///< misc fabric activity per LUT-cycle
+  double static_mw_per_klut = 0.9;    ///< leakage per 1k LUTs
+  double static_mw_per_dsp = 0.12;    ///< leakage per DSP slice
+  /// Fraction of dynamic fabric energy still burned by an idle (clock
+  /// gated) PE column in fp32 mode.
+  double idle_column_activity = 0.08;
+
+  void validate() const;
+};
+
+/// Energy tally for one workload.
+struct EnergyEstimate {
+  double dynamic_dsp_uj = 0.0;
+  double dynamic_bram_uj = 0.0;
+  double dynamic_hbm_uj = 0.0;
+  double dynamic_fabric_uj = 0.0;
+  double static_uj = 0.0;
+
+  double total_uj() const {
+    return dynamic_dsp_uj + dynamic_bram_uj + dynamic_hbm_uj +
+           dynamic_fabric_uj + static_uj;
+  }
+};
+
+class EnergyModel {
+ public:
+  EnergyModel(const SystemConfig& sys, const EnergyConfig& cfg = {});
+
+  /// Energy of a bfp8 GEMM (m x k x n) executed on the full system.
+  EnergyEstimate gemm_energy(std::int64_t m, std::int64_t k,
+                             std::int64_t n) const;
+
+  /// Energy of an fp32 vector workload of `mul_ops` multiplies and
+  /// `add_ops` adds. When `gate_idle_columns` is false, the 4 unused PE
+  /// columns keep toggling (the ablation knob for the Section II-C claim).
+  EnergyEstimate vector_energy(std::uint64_t mul_ops, std::uint64_t add_ops,
+                               bool gate_idle_columns = true) const;
+
+  /// Average power (mW) of a workload given its energy and cycle count.
+  double average_power_mw(const EnergyEstimate& e,
+                          std::uint64_t cycles) const;
+
+  /// Energy per effective operation (pJ/op).
+  static double pj_per_op(const EnergyEstimate& e, std::uint64_t ops);
+
+  const EnergyConfig& config() const { return cfg_; }
+
+ private:
+  double static_power_mw() const;
+
+  SystemConfig sys_;
+  EnergyConfig cfg_;
+  Resources system_total_;
+};
+
+}  // namespace bfpsim

@@ -1,0 +1,46 @@
+#include "resource/related_work.hpp"
+
+#include "resource/designs.hpp"
+
+namespace bfpsim {
+
+std::vector<AcceleratorRow> related_work_rows() {
+  std::vector<AcceleratorRow> rows = {
+      {"Lian et al. [17]", "bfp8", "CNN", false, "VX690T", 231.8, 141.0,
+       913, 1027, 200, 760.83, 0.0},
+      {"Wu et al. [18]", "fp8", "CNN", false, "XC7K325T", 154.6, 180.6,
+       234.5, 768, 200, 1086.8, 0.0},
+      {"Fan et al. [19]", "bfp8", "CNN", false, "Intel GX1150", 437.2,
+       170.9, 2713, 1518, 220, 1667, 0.0},
+      {"Wong et al. [20]", "bfp10", "CNN", false, "KU115", 386.3, 425.6,
+       1426, 4492, 125, 794, 0.0},
+      {"Auto-ViT-Acc [21]", "int4 & int8", "Transformer", true, "ZCU102",
+       185.0, 0.0, 0.0, 1152, 150, 907.8, 0.0},
+      {"ViA [22]", "fp16", "Transformer", false, "Alveo U50", 258.0, 257.0,
+       1002, 2420, 300, 309.6, 0.0},
+      {"Ye et al. [23]", "int8 & int16", "Transformer", true, "Alveo U250",
+       736.0, 0.0, 1781, 4189, 300, 1800, 0.0},
+  };
+  for (auto& r : rows) r.finalize();
+  return rows;
+}
+
+AcceleratorRow ours_row(const AcceleratorSystem& sys) {
+  AcceleratorRow r;
+  r.work = "Ours";
+  r.data_format = "bfp8 & fp32";
+  r.application = "Transformer";
+  r.needs_retraining = false;
+  r.platform = "Alveo U280";
+  const Resources total = full_system(sys.config()).total();
+  r.lut_k = total.lut / 1000.0;
+  r.ff_k = total.ff / 1000.0;
+  r.bram = total.bram;
+  r.dsp = total.dsp;
+  r.freq_mhz = sys.config().pu.freq_hz / 1.0e6;
+  r.throughput_gops = sys.sustained_bfp_system() / 1.0e9;
+  r.finalize();
+  return r;
+}
+
+}  // namespace bfpsim

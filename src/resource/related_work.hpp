@@ -1,0 +1,38 @@
+// The prior mixed-precision FPGA accelerators of Table III, as published
+// constants, plus the computation of our own row from the system model.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fabric/system.hpp"
+
+namespace bfpsim {
+
+struct AcceleratorRow {
+  std::string work;
+  std::string data_format;
+  std::string application;
+  bool needs_retraining = false;
+  std::string platform;
+  double lut_k = 0.0;       ///< thousands of LUTs (0 = not reported)
+  double ff_k = 0.0;        ///< thousands of FFs
+  double bram = 0.0;
+  double dsp = 0.0;
+  double freq_mhz = 0.0;
+  double throughput_gops = 0.0;
+  double gops_per_dsp = 0.0;
+
+  /// Recompute the efficiency column.
+  void finalize() {
+    gops_per_dsp = dsp > 0.0 ? throughput_gops / dsp : 0.0;
+  }
+};
+
+/// Published rows of Table III (constants from the paper).
+std::vector<AcceleratorRow> related_work_rows();
+
+/// Our row, derived from the resource + throughput models of `sys`.
+AcceleratorRow ours_row(const AcceleratorSystem& sys);
+
+}  // namespace bfpsim

@@ -1,0 +1,29 @@
+#include "resource/resources.hpp"
+
+namespace bfpsim {
+
+Resources& Resources::operator+=(const Resources& o) {
+  lut += o.lut;
+  ff += o.ff;
+  bram += o.bram;
+  dsp += o.dsp;
+  return *this;
+}
+
+Resources Resources::operator*(double s) const {
+  return Resources{lut * s, ff * s, bram * s, dsp * s};
+}
+
+Resources Resources::normalized_to(const Resources& base) const {
+  auto ratio = [](double v, double b) { return b == 0.0 ? 1.0 : v / b; };
+  return Resources{ratio(lut, base.lut), ratio(ff, base.ff),
+                   ratio(bram, base.bram), ratio(dsp, base.dsp)};
+}
+
+Resources DesignUsage::total() const {
+  Resources t;
+  for (const auto& c : components) t += c.res;
+  return t;
+}
+
+}  // namespace bfpsim

@@ -1,0 +1,51 @@
+// FPGA resource vectors (LUT / FF / BRAM / DSP) and arithmetic on them.
+//
+// The estimates in this module are an *analytical model*, not synthesis
+// results: per-component coefficients are calibrated so that the default
+// 8x8 multi-mode configuration reproduces the paper's Table II exactly,
+// and variant designs reproduce the stated Fig. 6 / Section I ratios
+// (bfp8 = int8 DSPs and 1.19x FF; multi-mode = 2.94x the bfp8 PE-array
+// LUTs; individual units = +25% DSP, +158% FF, +77% LUT over multi-mode).
+// Scaling with geometry follows the structure of each component (registers
+// per PE, shifter width per column, BRAM count per buffer), so ablation
+// sweeps move the numbers the way the RTL would.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bfpsim {
+
+struct Resources {
+  double lut = 0.0;
+  double ff = 0.0;
+  double bram = 0.0;  ///< in BRAM18 units (0.5 = one half of a BRAM36)
+  double dsp = 0.0;
+
+  Resources& operator+=(const Resources& o);
+  friend Resources operator+(Resources a, const Resources& b) {
+    a += b;
+    return a;
+  }
+  Resources operator*(double s) const;
+
+  /// Elementwise ratio against a baseline (0 maps to 1.0 to keep
+  /// normalized plots meaningful for absent resources).
+  Resources normalized_to(const Resources& base) const;
+};
+
+/// A named sub-block with its resources (one Table II row).
+struct ComponentUsage {
+  std::string name;
+  Resources res;
+};
+
+/// A named design with a component breakdown.
+struct DesignUsage {
+  std::string name;
+  std::vector<ComponentUsage> components;
+
+  Resources total() const;
+};
+
+}  // namespace bfpsim

@@ -1,0 +1,192 @@
+#include "runtime/session.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "fabric/scheduler.hpp"
+#include "transformer/checkpoint.hpp"
+
+namespace bfpsim {
+
+Session::Session(const SystemConfig& cfg)
+    : cfg_(cfg), system_(cfg), memory_() {}
+
+namespace {
+
+/// Serialize a quantized matrix to its device image.
+std::vector<std::uint8_t> to_image(const BfpMatrix& m) {
+  std::ostringstream os;
+  save_bfp_matrix(os, m);
+  const std::string s = os.str();
+  return {s.begin(), s.end()};
+}
+
+}  // namespace
+
+ModelId Session::deploy(const VitWeights& weights, const std::string& name) {
+  weights.cfg.validate();
+  const BfpFormat fmt = bfp8_format();
+  const int d = weights.cfg.embed_dim;
+  const int m = weights.cfg.mlp_hidden();
+
+  Deployed dep{true, VitModel(weights), DeploymentInfo{}, {}};
+  dep.info.id = static_cast<ModelId>(models_.size());
+  dep.info.name = name.empty() ? weights.cfg.name : name;
+
+  std::uint64_t fp32_weight_bytes = 0;
+  auto upload_matrix = [&](const std::vector<float>& w, int rows,
+                           int cols) {
+    const BfpMatrix q = quantize_matrix(w, rows, cols, fmt);
+    const std::vector<std::uint8_t> image = to_image(q);
+    const DeviceBuffer buf = memory_.alloc(image.size());
+    const std::uint64_t cycles = memory_.write(buf, 0, image);
+    dep.buffers.push_back(buf);
+    dep.info.quantized_weight_bytes += image.size();
+    dep.info.upload_cycles += cycles;
+    fp32_weight_bytes += w.size() * sizeof(float);
+  };
+  auto upload_params = [&](const std::vector<float>& p) {
+    const std::size_t bytes = p.size() * sizeof(float);
+    const DeviceBuffer buf = memory_.alloc(bytes);
+    std::vector<std::uint8_t> raw(bytes);
+    std::memcpy(raw.data(), p.data(), bytes);
+    dep.info.upload_cycles += memory_.write(buf, 0, raw);
+    dep.buffers.push_back(buf);
+    dep.info.fp32_param_bytes += bytes;
+  };
+
+  for (const BlockWeights& b : weights.blocks) {
+    upload_matrix(b.qkv_w, d, 3 * d);
+    upload_matrix(b.proj_w, d, d);
+    upload_matrix(b.fc1_w, d, m);
+    upload_matrix(b.fc2_w, m, d);
+    upload_params(b.qkv_b);
+    upload_params(b.proj_b);
+    upload_params(b.fc1_b);
+    upload_params(b.fc2_b);
+    upload_params(b.ln1_gamma);
+    upload_params(b.ln1_beta);
+    upload_params(b.ln2_gamma);
+    upload_params(b.ln2_beta);
+  }
+  upload_params(weights.head_gamma);
+  upload_params(weights.head_beta);
+  upload_matrix(weights.head_w, d, weights.cfg.num_classes);
+  upload_params(weights.head_b);
+
+  dep.info.compression_ratio =
+      static_cast<double>(fp32_weight_bytes) /
+      static_cast<double>(dep.info.quantized_weight_bytes);
+
+  log_.push_back({CommandRecord::Kind::kDmaIn,
+                  "deploy " + dep.info.name,
+                  dep.info.quantized_weight_bytes + dep.info.fp32_param_bytes,
+                  dep.info.upload_cycles});
+  models_.push_back(std::move(dep));
+  return models_.back().info.id;
+}
+
+InferenceResult Session::infer(ModelId model,
+                               std::span<const float> embeddings) {
+  BFP_REQUIRE(model >= 0 &&
+                  static_cast<std::size_t>(model) < models_.size() &&
+                  models_[static_cast<std::size_t>(model)].live,
+              "Session::infer: unknown or undeployed model");
+  Deployed& dep = models_[static_cast<std::size_t>(model)];
+  const VitConfig& cfg = dep.model.config();
+  const std::size_t expect =
+      static_cast<std::size_t>(cfg.tokens()) *
+      static_cast<std::size_t>(cfg.embed_dim);
+  BFP_REQUIRE(embeddings.size() == expect,
+              "Session::infer: embeddings must be tokens x embed_dim");
+
+  InferenceResult r;
+
+  // DMA activations in (scratch buffer, freed after the run).
+  const std::uint64_t in_bytes = embeddings.size() * sizeof(float);
+  const DeviceBuffer in_buf = memory_.alloc(in_bytes);
+  std::vector<std::uint8_t> raw(in_bytes);
+  std::memcpy(raw.data(), embeddings.data(), in_bytes);
+  const std::uint64_t in_cycles = memory_.write(in_buf, 0, raw);
+  log_.push_back(
+      {CommandRecord::Kind::kDmaIn, "embeddings", in_bytes, in_cycles});
+
+  // Mixed-precision forward (see the header's numerics note).
+  std::vector<float> x(embeddings.begin(), embeddings.end());
+  r.features = dep.model.forward_mixed(std::move(x), system_, &r.stats);
+  log_.push_back({CommandRecord::Kind::kCompute, "forward (bfp8+fp32)", 0,
+                  r.stats.total_cycles()});
+  log_.push_back({CommandRecord::Kind::kHost,
+                  "host divisions",
+                  0,
+                  r.stats.nonlinear_ops.host_div});
+
+  // Classifier head (host-side in this deployment).
+  r.logits = dep.model.classify(r.features);
+
+  // DMA features out.
+  const std::uint64_t out_bytes = r.features.size() * sizeof(float);
+  const DeviceBuffer out_buf = memory_.alloc(out_bytes);
+  std::vector<std::uint8_t> out_raw(out_bytes);
+  std::memcpy(out_raw.data(), r.features.data(), out_bytes);
+  const std::uint64_t out_cycles = memory_.write(out_buf, 0, out_raw);
+  log_.push_back(
+      {CommandRecord::Kind::kDmaOut, "features", out_bytes, out_cycles});
+
+  memory_.free(in_buf);
+  memory_.free(out_buf);
+
+  r.dma_cycles = in_cycles + out_cycles;
+  r.total_cycles = r.dma_cycles + r.stats.total_cycles();
+  return r;
+}
+
+Session::BatchInference Session::infer_batch(
+    ModelId model, std::span<const std::vector<float>> embeddings) {
+  BFP_REQUIRE(!embeddings.empty(), "Session::infer_batch: empty batch");
+  BatchInference out;
+  out.results.reserve(embeddings.size());
+  std::vector<WorkItem> items;
+  items.reserve(embeddings.size());
+  for (std::size_t i = 0; i < embeddings.size(); ++i) {
+    out.results.push_back(infer(model, embeddings[i]));
+    // infer()'s latency spreads one image across all units; in batch mode
+    // each image instead runs whole on a single unit (weights resident, no
+    // cross-unit traffic), so its schedulable cost is the all-units
+    // latency scaled back up by the unit count.
+    items.push_back(
+        {"img" + std::to_string(i),
+         out.results.back().total_cycles *
+             static_cast<std::uint64_t>(cfg_.num_units)});
+  }
+  const ScheduleResult s = schedule_lpt(items, cfg_.num_units);
+  out.makespan_cycles = s.makespan;
+  out.utilization = s.utilization;
+  const double freq = cfg_.pu.freq_hz;
+  out.images_per_second =
+      static_cast<double>(embeddings.size()) /
+      (static_cast<double>(std::max<std::uint64_t>(1, s.makespan)) / freq);
+  return out;
+}
+
+void Session::undeploy(ModelId model) {
+  BFP_REQUIRE(model >= 0 &&
+                  static_cast<std::size_t>(model) < models_.size() &&
+                  models_[static_cast<std::size_t>(model)].live,
+              "Session::undeploy: unknown or undeployed model");
+  Deployed& dep = models_[static_cast<std::size_t>(model)];
+  for (const DeviceBuffer& b : dep.buffers) memory_.free(b);
+  dep.buffers.clear();
+  dep.live = false;
+}
+
+const DeploymentInfo& Session::info(ModelId model) const {
+  BFP_REQUIRE(model >= 0 &&
+                  static_cast<std::size_t>(model) < models_.size(),
+              "Session::info: unknown model");
+  return models_[static_cast<std::size_t>(model)].info;
+}
+
+}  // namespace bfpsim

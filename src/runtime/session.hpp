@@ -1,0 +1,112 @@
+// The host runtime session: the software a deployment would actually link.
+//
+// A Session owns the device (memory + accelerator system models) and
+// provides the full deployment flow the paper's conclusion sketches as its
+// "full stack acceleration" framework:
+//
+//   1. deploy(weights): quantize every linear layer to bfp8 once (this is
+//      the no-retraining deployment step), serialize the blocks into HBM,
+//      and keep the fp32 non-linear parameters resident alongside;
+//   2. infer(model, embeddings): DMA the activations in, run the mixed
+//      bfp8 + fp32 forward, DMA the features out — with a command log and
+//      a cycle budget covering both compute and data movement.
+//
+// Numerics note: the forward path quantizes activations per call and
+// weights deterministically, so results are bit-identical to streaming the
+// resident quantized blocks (quantization is a pure function of the fp32
+// weights; the resident copy exists for footprint and upload accounting).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fabric/system.hpp"
+#include "runtime/device_memory.hpp"
+#include "transformer/model.hpp"
+
+namespace bfpsim {
+
+/// One entry of the session's command log.
+struct CommandRecord {
+  enum class Kind { kDmaIn, kDmaOut, kCompute, kHost };
+  Kind kind = Kind::kCompute;
+  std::string detail;
+  std::uint64_t bytes = 0;
+  std::uint64_t cycles = 0;
+};
+
+using ModelId = int;
+
+/// Everything a deployed model occupies on the device.
+struct DeploymentInfo {
+  ModelId id = -1;
+  std::string name;
+  std::uint64_t quantized_weight_bytes = 0;  ///< bfp8 blocks in HBM
+  std::uint64_t fp32_param_bytes = 0;        ///< LN params, biases
+  std::uint64_t upload_cycles = 0;
+  double compression_ratio = 0.0;  ///< fp32 weight bytes / device bytes
+};
+
+/// Outcome of one inference.
+struct InferenceResult {
+  std::vector<float> features;  ///< final block output (tokens x d)
+  std::vector<float> logits;
+  ForwardStats stats;
+  std::uint64_t dma_cycles = 0;
+  std::uint64_t total_cycles = 0;
+
+  double latency_ms(double freq_hz) const {
+    return static_cast<double>(total_cycles) / freq_hz * 1e3;
+  }
+};
+
+class Session {
+ public:
+  explicit Session(const SystemConfig& cfg = SystemConfig{});
+
+  /// Quantize + upload a model; weights become device-resident.
+  ModelId deploy(const VitWeights& weights, const std::string& name = "");
+
+  /// Run one image (tokens x d embeddings) through a deployed model.
+  InferenceResult infer(ModelId model, std::span<const float> embeddings);
+
+  /// Serve a batch of images: functional results for each, plus the
+  /// batch-level schedule (images placed whole-per-unit via the LPT
+  /// scheduler; see transformer/serving.hpp).
+  struct BatchInference {
+    std::vector<InferenceResult> results;
+    std::uint64_t makespan_cycles = 0;
+    double images_per_second = 0.0;
+    double utilization = 0.0;
+  };
+  BatchInference infer_batch(
+      ModelId model, std::span<const std::vector<float>> embeddings);
+
+  /// Release a deployed model's device memory.
+  void undeploy(ModelId model);
+
+  const DeploymentInfo& info(ModelId model) const;
+  const std::vector<CommandRecord>& log() const { return log_; }
+  void clear_log() { log_.clear(); }
+
+  DeviceMemory& memory() { return memory_; }
+  const AcceleratorSystem& system() const { return system_; }
+
+ private:
+  struct Deployed {
+    bool live = false;
+    VitModel model;
+    DeploymentInfo info;
+    std::vector<DeviceBuffer> buffers;
+  };
+
+  SystemConfig cfg_;
+  AcceleratorSystem system_;
+  DeviceMemory memory_;
+  std::vector<Deployed> models_;
+  std::vector<CommandRecord> log_;
+};
+
+}  // namespace bfpsim

@@ -1,0 +1,34 @@
+#include "sim/clock.hpp"
+
+#include "common/error.hpp"
+
+namespace bfpsim {
+
+SimClock::SimClock(double freq_hz) : freq_hz_(freq_hz) {
+  BFP_REQUIRE(freq_hz > 0.0, "SimClock: frequency must be positive");
+}
+
+void SimClock::charge(const std::string& phase, std::uint64_t cycles) {
+  phase_cycles_[phase] += cycles;
+}
+
+std::uint64_t SimClock::charged(const std::string& phase) const {
+  const auto it = phase_cycles_.find(phase);
+  return it == phase_cycles_.end() ? 0 : it->second;
+}
+
+void SimClock::reset() {
+  cycle_ = 0;
+  phase_cycles_.clear();
+}
+
+double ops_per_second(std::uint64_t ops, std::uint64_t cycles,
+                      double freq_hz) {
+  if (cycles == 0) return 0.0;
+  return static_cast<double>(ops) * freq_hz / static_cast<double>(cycles);
+}
+
+double to_gops(double ops_per_sec) { return ops_per_sec / 1e9; }
+double to_tops(double ops_per_sec) { return ops_per_sec / 1e12; }
+
+}  // namespace bfpsim

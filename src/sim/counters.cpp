@@ -1,0 +1,22 @@
+#include "sim/counters.hpp"
+
+#include <sstream>
+
+namespace bfpsim {
+
+std::uint64_t Counters::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? 0 : it->second;
+}
+
+void Counters::merge(const Counters& other) {
+  for (const auto& [k, v] : other.all()) values_[k] += v;
+}
+
+std::string Counters::report() const {
+  std::ostringstream os;
+  for (const auto& [k, v] : values_) os << k << "=" << v << "\n";
+  return os.str();
+}
+
+}  // namespace bfpsim

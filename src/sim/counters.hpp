@@ -1,0 +1,31 @@
+// Named statistics counters shared by hardware components.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace bfpsim {
+
+/// A bag of named monotonically increasing counters. std::map keeps report
+/// output deterministically ordered.
+class Counters {
+ public:
+  void add(const std::string& name, std::uint64_t n = 1) {
+    values_[name] += n;
+  }
+  std::uint64_t get(const std::string& name) const;
+  const std::map<std::string, std::uint64_t>& all() const { return values_; }
+  void reset() { values_.clear(); }
+
+  /// Merge another counter bag into this one.
+  void merge(const Counters& other);
+
+  /// Render "name=value" lines.
+  std::string report() const;
+
+ private:
+  std::map<std::string, std::uint64_t> values_;
+};
+
+}  // namespace bfpsim

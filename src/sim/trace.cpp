@@ -1,0 +1,30 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace bfpsim {
+
+void Trace::record(std::uint64_t cycle, std::string component,
+                   std::string message) {
+  if (!enabled_) return;
+  events_.push_back({cycle, std::move(component), std::move(message)});
+}
+
+std::vector<TraceEvent> Trace::for_component(
+    const std::string& component) const {
+  std::vector<TraceEvent> out;
+  for (const auto& e : events_) {
+    if (e.component == component) out.push_back(e);
+  }
+  return out;
+}
+
+std::string Trace::to_string() const {
+  std::ostringstream os;
+  for (const auto& e : events_) {
+    os << "[" << e.cycle << "] " << e.component << ": " << e.message << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bfpsim

@@ -1,0 +1,40 @@
+// Cycle-stamped event tracing for debugging the hardware models. Disabled
+// by default; when enabled it records (cycle, component, message) triples
+// that tests can assert against and humans can read.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bfpsim {
+
+struct TraceEvent {
+  std::uint64_t cycle = 0;
+  std::string component;
+  std::string message;
+};
+
+class Trace {
+ public:
+  void enable(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void record(std::uint64_t cycle, std::string component,
+              std::string message);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// Events from one component, in order.
+  std::vector<TraceEvent> for_component(const std::string& component) const;
+
+  /// Render the whole trace as text.
+  std::string to_string() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace bfpsim

@@ -1,0 +1,129 @@
+#include "transformer/config.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "numerics/nonlinear.hpp"
+
+namespace bfpsim {
+
+void VitConfig::validate() const {
+  BFP_REQUIRE(image_size > 0 && patch_size > 0 &&
+                  image_size % patch_size == 0,
+              "VitConfig: image_size must be a multiple of patch_size");
+  BFP_REQUIRE(embed_dim > 0 && num_heads > 0 &&
+                  embed_dim % num_heads == 0,
+              "VitConfig: embed_dim must be a multiple of num_heads");
+  BFP_REQUIRE(depth > 0 && mlp_ratio > 0 && num_classes > 0,
+              "VitConfig: depth/mlp_ratio/num_classes must be positive");
+}
+
+VitConfig deit_small() { return VitConfig{}; }
+
+VitConfig deit_tiny() {
+  VitConfig c;
+  c.name = "deit-tiny";
+  c.embed_dim = 192;
+  c.num_heads = 3;
+  return c;
+}
+
+VitConfig deit_base() {
+  VitConfig c;
+  c.name = "deit-base";
+  c.embed_dim = 768;
+  c.num_heads = 12;
+  return c;
+}
+
+VitConfig vit_test_tiny() {
+  VitConfig c;
+  c.name = "vit-test-tiny";
+  c.image_size = 32;
+  c.patch_size = 8;     // 17 tokens
+  c.embed_dim = 64;
+  c.depth = 2;
+  c.num_heads = 2;
+  c.num_classes = 10;
+  return c;
+}
+
+LinearOpCounts count_linear_macs(const VitConfig& cfg) {
+  cfg.validate();
+  const auto t = static_cast<std::uint64_t>(cfg.tokens());
+  const auto d = static_cast<std::uint64_t>(cfg.embed_dim);
+  const auto h = static_cast<std::uint64_t>(cfg.num_heads);
+  const auto hd = static_cast<std::uint64_t>(cfg.head_dim());
+  const auto m = static_cast<std::uint64_t>(cfg.mlp_hidden());
+  const auto blocks = static_cast<std::uint64_t>(cfg.depth);
+  LinearOpCounts c;
+  c.qkv = blocks * t * d * (3 * d);
+  c.attn_qk = blocks * h * t * t * hd;
+  c.attn_av = blocks * h * t * t * hd;
+  c.proj = blocks * t * d * d;
+  c.mlp = blocks * (t * d * m + t * m * d);
+  return c;
+}
+
+NonlinearElemCounts count_nonlinear_elems(const VitConfig& cfg) {
+  cfg.validate();
+  const auto t = static_cast<std::uint64_t>(cfg.tokens());
+  const auto d = static_cast<std::uint64_t>(cfg.embed_dim);
+  const auto h = static_cast<std::uint64_t>(cfg.num_heads);
+  const auto m = static_cast<std::uint64_t>(cfg.mlp_hidden());
+  const auto blocks = static_cast<std::uint64_t>(cfg.depth);
+  NonlinearElemCounts c;
+  c.layernorm_elems = blocks * 2 * t * d;
+  c.softmax_elems = blocks * h * t * t;
+  c.gelu_elems = blocks * t * m;
+  c.residual_elems = blocks * 2 * t * d;
+  return c;
+}
+
+NonlinearCostModel measure_nonlinear_costs(int softmax_row, int ln_row,
+                                           bool fast_exp) {
+  BFP_REQUIRE(softmax_row > 0 && ln_row > 0,
+              "measure_nonlinear_costs: row sizes must be positive");
+  NonlinearCostModel m;
+  Rng rng(4242);
+  {
+    const int rows = 4;
+    const auto x = rng.normal_vec(
+        static_cast<std::size_t>(rows) * softmax_row, 0.0F, 2.0F);
+    OpCounter ops;
+    approx_softmax(x, rows, softmax_row, &ops, fast_exp);
+    const double n = static_cast<double>(x.size());
+    m.softmax_device_ops_per_elem =
+        static_cast<double>(ops.device_flops()) / n;
+    m.softmax_host_ops_per_elem =
+        static_cast<double>(ops.host_div + ops.host_other) / n;
+  }
+  {
+    const int rows = 4;
+    const auto x = rng.normal_vec(
+        static_cast<std::size_t>(rows) * ln_row, 0.0F, 1.0F);
+    const std::vector<float> gamma(static_cast<std::size_t>(ln_row), 1.0F);
+    const std::vector<float> beta(static_cast<std::size_t>(ln_row), 0.0F);
+    OpCounter ops;
+    approx_layernorm(x, rows, ln_row, gamma, beta, &ops);
+    const double n = static_cast<double>(x.size());
+    m.layernorm_device_ops_per_elem =
+        static_cast<double>(ops.device_flops()) / n;
+    m.layernorm_host_ops_per_elem =
+        static_cast<double>(ops.host_div + ops.host_other) / n;
+  }
+  {
+    const auto x = rng.normal_vec(4096, 0.0F, 2.0F);
+    OpCounter ops;
+    approx_gelu(std::span<const float>(x), &ops);
+    const double n = static_cast<double>(x.size());
+    m.gelu_device_ops_per_elem =
+        static_cast<double>(ops.device_flops()) / n;
+    m.gelu_host_ops_per_elem =
+        static_cast<double>(ops.host_div + ops.host_other) / n;
+  }
+  return m;
+}
+
+}  // namespace bfpsim

@@ -1,0 +1,83 @@
+// Vision-transformer architecture configuration and analytic operation
+// counting for the mixed-precision workload partition of Table IV.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bfpsim {
+
+/// DeiT/ViT-style encoder configuration.
+struct VitConfig {
+  std::string name = "deit-small";
+  int image_size = 224;
+  int patch_size = 16;
+  int embed_dim = 384;
+  int depth = 12;        ///< number of transformer blocks
+  int num_heads = 6;
+  int mlp_ratio = 4;
+  int num_classes = 1000;
+
+  int tokens() const {
+    const int p = image_size / patch_size;
+    return p * p + 1;  // patches + [CLS]
+  }
+  int head_dim() const { return embed_dim / num_heads; }
+  int mlp_hidden() const { return embed_dim * mlp_ratio; }
+
+  void validate() const;
+};
+
+VitConfig deit_small();
+VitConfig deit_tiny();
+VitConfig deit_base();
+/// A miniature config for fast functional tests.
+VitConfig vit_test_tiny();
+
+/// MAC counts of the linear (bfp8) workload, per full model (all blocks).
+struct LinearOpCounts {
+  std::uint64_t qkv = 0;
+  std::uint64_t attn_qk = 0;    ///< Q K^T scores
+  std::uint64_t attn_av = 0;    ///< scores * V
+  std::uint64_t proj = 0;
+  std::uint64_t mlp = 0;
+
+  std::uint64_t total_macs() const {
+    return qkv + attn_qk + attn_av + proj + mlp;
+  }
+  std::uint64_t total_ops() const { return 2 * total_macs(); }
+};
+
+LinearOpCounts count_linear_macs(const VitConfig& cfg);
+
+/// Element counts of each non-linear (fp32) workload, per full model.
+struct NonlinearElemCounts {
+  std::uint64_t layernorm_elems = 0;  ///< 2 LayerNorms per block
+  std::uint64_t softmax_elems = 0;    ///< heads x tokens x tokens per block
+  std::uint64_t gelu_elems = 0;       ///< MLP hidden activations
+  std::uint64_t residual_elems = 0;   ///< 2 residual adds per block
+};
+
+NonlinearElemCounts count_nonlinear_elems(const VitConfig& cfg);
+
+/// Device-op cost per element of each non-linear function, derived from
+/// the vector-unit micro-programs (src/isa/kernels.*): what one element
+/// costs in fp32 mul/add (+ exponent-unit) operations on the PU, and in
+/// host operations (divisions, comparisons).
+struct NonlinearCostModel {
+  double softmax_device_ops_per_elem = 0.0;
+  double softmax_host_ops_per_elem = 0.0;
+  double layernorm_device_ops_per_elem = 0.0;
+  double layernorm_host_ops_per_elem = 0.0;
+  double gelu_device_ops_per_elem = 0.0;
+  double gelu_host_ops_per_elem = 0.0;
+};
+
+/// Measure the cost model by running the kernels' op counters on a probe
+/// tile (row length matters for reductions; pass the model's realistic
+/// row sizes). `fast_exp` measures the Softermax-style split-exp softmax
+/// (the exp2-unit hardware option).
+NonlinearCostModel measure_nonlinear_costs(int softmax_row, int ln_row,
+                                           bool fast_exp = false);
+
+}  // namespace bfpsim

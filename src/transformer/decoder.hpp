@@ -1,0 +1,101 @@
+// Decoder-only (LLM) workload analysis — the models the paper's
+// introduction leads with ("the largest OPT model contains 175B
+// parameters"). Autoregressive decoding is a different regime from the
+// ViT case study: every generated token multiplies 1 x d activations
+// against every weight matrix (GEMV), so
+//
+//   * the 8x8 bfp block forces m=1 rows up to 8 (only 1/8 of each streamed
+//     X block is real work), and
+//   * weights stream from HBM once per token, making decode bandwidth-
+//     bound — where bfp8's 4x compression over fp32 (2x over fp16)
+//     directly multiplies tokens/s and model capacity.
+//
+// This module quantifies both effects with the same system model used for
+// the paper's tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "fabric/system.hpp"
+
+namespace bfpsim {
+
+/// Decoder-only transformer configuration (GPT/OPT-style).
+struct DecoderConfig {
+  std::string name = "opt-1.3b";
+  int d_model = 2048;
+  int num_layers = 24;
+  int num_heads = 32;
+  int ffn_mult = 4;
+  int context_len = 1024;  ///< resident KV length during decode
+
+  std::int64_t ffn_hidden() const {
+    return static_cast<std::int64_t>(d_model) * ffn_mult;
+  }
+  /// Weight parameters per layer (QKV + proj + 2 FFN matrices).
+  std::int64_t params_per_layer() const;
+  std::int64_t total_params() const;
+
+  void validate() const;
+};
+
+DecoderConfig opt_125m();
+DecoderConfig opt_350m();
+DecoderConfig opt_1_3b();
+DecoderConfig opt_6_7b();
+DecoderConfig opt_13b();
+
+/// Per-token decode analysis on a given system.
+struct DecodeAnalysis {
+  std::int64_t params = 0;
+  double weight_bytes_bfp8 = 0.0;     ///< streamed per token
+  double kv_bytes = 0.0;              ///< KV cache read per token (bfp8)
+  double macs_per_token = 0.0;
+
+  std::uint64_t compute_cycles = 0;   ///< tiled-GEMM latency model (padded)
+  std::uint64_t bandwidth_cycles = 0; ///< weights+KV over aggregate HBM
+  std::uint64_t cycles_per_token = 0; ///< max of the two
+  double tokens_per_second = 0.0;
+  double compute_utilization = 0.0;   ///< useful MACs / peak during decode
+  bool bandwidth_bound = false;
+
+  /// Capacity check: does the bfp8 model image fit the device HBM?
+  double model_gib_bfp8 = 0.0;
+  double model_gib_fp16 = 0.0;
+  bool fits_hbm_bfp8 = false;
+  bool fits_hbm_fp16 = false;
+};
+
+/// Analyze decode of `cfg` on `sys` with `batch` concurrent streams
+/// (batched decode multiplies the activation rows per GEMV: batch 8 fills
+/// the 8-row bfp block exactly), with `hbm_gib` of device memory and the
+/// system's aggregate HBM bandwidth.
+///
+/// `compute_cycles` is the *scheduled* tiled execution (including each
+/// pass's weight-streaming I/O at its achievable burst sizes);
+/// `bandwidth_cycles` is the ideal weights+KV stream lower bound. Their
+/// ratio measures how far the ViT-oriented tiling is from a decode-optimal
+/// dataflow.
+DecodeAnalysis analyze_decode(const DecoderConfig& cfg,
+                              const AcceleratorSystem& sys,
+                              double hbm_gib = 8.0, int batch = 1);
+
+/// Prefill (prompt processing) analysis: the same layers at
+/// m = prompt_len rows — large GEMMs, the regime the paper's ViT study
+/// already covers. Reporting it beside decode exposes the classic
+/// prefill/decode asymmetry.
+struct PrefillAnalysis {
+  int prompt_len = 0;
+  std::uint64_t cycles = 0;
+  double macs = 0.0;
+  double seconds = 0.0;
+  double sustained_gops = 0.0;       ///< 2*macs / time
+  double peak_fraction = 0.0;
+};
+
+PrefillAnalysis analyze_prefill(const DecoderConfig& cfg,
+                                const AcceleratorSystem& sys,
+                                int prompt_len = 1024);
+
+}  // namespace bfpsim

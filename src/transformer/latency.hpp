@@ -1,0 +1,46 @@
+// Table IV: the mixed-precision workload partition of a DeiT model —
+// operation counts, their proportions, end-to-end latency per partition
+// under the system's throughput models, and latency proportions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fabric/system.hpp"
+#include "transformer/config.hpp"
+
+namespace bfpsim {
+
+struct WorkloadRow {
+  std::string partition;
+  double mega_ops = 0.0;          ///< operations in millions
+  double ops_proportion = 0.0;    ///< share of total operations
+  double latency_ms = 0.0;
+  double latency_proportion = 0.0;
+};
+
+struct WorkloadBreakdown {
+  std::vector<WorkloadRow> rows;
+  double total_mega_ops = 0.0;
+  double total_latency_ms = 0.0;
+  double fp32_ops_share = 0.0;      ///< the paper's "1.35% of workload"
+  double fp32_latency_share = 0.0;  ///< the paper's "92.45% of latency"
+};
+
+/// Compute the Table IV breakdown for `cfg` on `sys`. When
+/// `include_residuals` is set, an extra row accounts for the residual/bias
+/// adds the paper folds away (reported separately for transparency).
+/// `softermax` analyzes the system with the exp2-unit hardware option
+/// (Softermax-style fast exp, the paper's cited optimization direction).
+WorkloadBreakdown analyze_workload(const VitConfig& cfg,
+                                   const AcceleratorSystem& sys,
+                                   bool include_residuals = false,
+                                   bool softermax = false);
+
+/// The bfp8 GEMM latency of every linear layer of the model, summed
+/// through the system latency model (shapes: QKV, per-head QK^T and AV,
+/// projection, both MLP layers, for every block).
+WorkloadResult linear_workload_latency(const VitConfig& cfg,
+                                       const AcceleratorSystem& sys);
+
+}  // namespace bfpsim

@@ -1,0 +1,465 @@
+#include "transformer/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "numerics/quantizer.hpp"
+#include "numerics/slices.hpp"
+
+namespace bfpsim {
+
+namespace {
+
+std::vector<float> init_matrix(Rng& rng, int rows, int cols, float std_dev) {
+  std::vector<float> w(static_cast<std::size_t>(rows) * cols);
+  for (auto& v : w) {
+    // Truncated-normal-ish: resample outside 2 sigma.
+    float s = rng.normal(0.0F, std_dev);
+    while (std::fabs(s) > 2.0F * std_dev) s = rng.normal(0.0F, std_dev);
+    v = s;
+  }
+  return w;
+}
+
+std::vector<float> matmul_ref(const std::vector<float>& a, int m, int k,
+                              const std::vector<float>& b, int n) {
+  std::vector<float> c(static_cast<std::size_t>(m) * n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int x = 0; x < k; ++x) {
+        acc += static_cast<double>(a[static_cast<std::size_t>(i) * k + x]) *
+               b[static_cast<std::size_t>(x) * n + j];
+      }
+      c[static_cast<std::size_t>(i) * n + j] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+std::vector<float> transpose(const std::vector<float>& a, int rows,
+                             int cols) {
+  std::vector<float> t(a.size());
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      t[static_cast<std::size_t>(c) * rows + r] =
+          a[static_cast<std::size_t>(r) * cols + c];
+    }
+  }
+  return t;
+}
+
+}  // namespace
+
+VitWeights random_weights(const VitConfig& cfg, std::uint64_t seed) {
+  cfg.validate();
+  Rng rng(seed);
+  const int d = cfg.embed_dim;
+  const int m = cfg.mlp_hidden();
+  VitWeights w;
+  w.cfg = cfg;
+  w.blocks.resize(static_cast<std::size_t>(cfg.depth));
+  for (auto& b : w.blocks) {
+    b.ln1_gamma.assign(static_cast<std::size_t>(d), 1.0F);
+    b.ln1_beta.assign(static_cast<std::size_t>(d), 0.0F);
+    b.qkv_w = init_matrix(rng, d, 3 * d, 0.02F);
+    b.qkv_b.assign(static_cast<std::size_t>(3 * d), 0.0F);
+    b.proj_w = init_matrix(rng, d, d, 0.02F);
+    b.proj_b.assign(static_cast<std::size_t>(d), 0.0F);
+    b.ln2_gamma.assign(static_cast<std::size_t>(d), 1.0F);
+    b.ln2_beta.assign(static_cast<std::size_t>(d), 0.0F);
+    b.fc1_w = init_matrix(rng, d, m, 0.02F);
+    b.fc1_b.assign(static_cast<std::size_t>(m), 0.0F);
+    b.fc2_w = init_matrix(rng, m, d, 0.02F);
+    b.fc2_b.assign(static_cast<std::size_t>(d), 0.0F);
+  }
+  w.head_gamma.assign(static_cast<std::size_t>(d), 1.0F);
+  w.head_beta.assign(static_cast<std::size_t>(d), 0.0F);
+  w.head_w = init_matrix(rng, d, cfg.num_classes, 0.02F);
+  w.head_b.assign(static_cast<std::size_t>(cfg.num_classes), 0.0F);
+  return w;
+}
+
+std::vector<float> random_embeddings(const VitConfig& cfg,
+                                     std::uint64_t seed,
+                                     double outlier_fraction,
+                                     float outlier_scale) {
+  cfg.validate();
+  Rng rng(seed);
+  const int t = cfg.tokens();
+  const int d = cfg.embed_dim;
+  // Pick outlier channels once (channel-structured, like real transformer
+  // activations), then scale those columns.
+  std::vector<bool> outlier(static_cast<std::size_t>(d), false);
+  for (int c = 0; c < d; ++c) {
+    outlier[static_cast<std::size_t>(c)] = rng.bernoulli(outlier_fraction);
+  }
+  std::vector<float> x(static_cast<std::size_t>(t) * d);
+  for (int r = 0; r < t; ++r) {
+    for (int c = 0; c < d; ++c) {
+      float v = rng.normal(0.0F, 1.0F);
+      if (outlier[static_cast<std::size_t>(c)]) v *= outlier_scale;
+      x[static_cast<std::size_t>(r) * d + c] = v;
+    }
+  }
+  return x;
+}
+
+VitModel::VitModel(VitWeights weights) : w_(std::move(weights)) {
+  w_.cfg.validate();
+  BFP_REQUIRE(w_.blocks.size() == static_cast<std::size_t>(w_.cfg.depth),
+              "VitModel: weight count must match depth");
+}
+
+std::vector<float> VitModel::forward_reference(std::vector<float> x) const {
+  const int t = w_.cfg.tokens();
+  const int d = w_.cfg.embed_dim;
+  const int h = w_.cfg.num_heads;
+  const int hd = w_.cfg.head_dim();
+  const int m = w_.cfg.mlp_hidden();
+  BFP_REQUIRE(x.size() == static_cast<std::size_t>(t) * d,
+              "forward_reference: input must be tokens x embed_dim");
+  const float scale = 1.0F / std::sqrt(static_cast<float>(hd));
+
+  for (const BlockWeights& b : w_.blocks) {
+    // ---- attention ----
+    const auto ln1 = layernorm_reference(x, t, d, b.ln1_gamma, b.ln1_beta);
+    auto qkv = matmul_ref(ln1, t, d, b.qkv_w, 3 * d);
+    for (int r = 0; r < t; ++r) {
+      for (int c = 0; c < 3 * d; ++c) {
+        qkv[static_cast<std::size_t>(r) * 3 * d + c] +=
+            b.qkv_b[static_cast<std::size_t>(c)];
+      }
+    }
+    std::vector<float> attn_out(static_cast<std::size_t>(t) * d);
+    for (int head = 0; head < h; ++head) {
+      std::vector<float> q(static_cast<std::size_t>(t) * hd);
+      std::vector<float> kk(static_cast<std::size_t>(t) * hd);
+      std::vector<float> v(static_cast<std::size_t>(t) * hd);
+      for (int r = 0; r < t; ++r) {
+        for (int c = 0; c < hd; ++c) {
+          const std::size_t base = static_cast<std::size_t>(r) * 3 * d;
+          q[static_cast<std::size_t>(r) * hd + c] =
+              qkv[base + static_cast<std::size_t>(head * hd + c)];
+          kk[static_cast<std::size_t>(r) * hd + c] =
+              qkv[base + static_cast<std::size_t>(d + head * hd + c)];
+          v[static_cast<std::size_t>(r) * hd + c] =
+              qkv[base + static_cast<std::size_t>(2 * d + head * hd + c)];
+        }
+      }
+      auto scores = matmul_ref(q, t, hd, transpose(kk, t, hd), t);
+      for (auto& s : scores) s *= scale;
+      const auto probs = softmax_reference(scores, t, t);
+      const auto ctx = matmul_ref(probs, t, t, v, hd);
+      for (int r = 0; r < t; ++r) {
+        for (int c = 0; c < hd; ++c) {
+          attn_out[static_cast<std::size_t>(r) * d + head * hd + c] =
+              ctx[static_cast<std::size_t>(r) * hd + c];
+        }
+      }
+    }
+    auto proj = matmul_ref(attn_out, t, d, b.proj_w, d);
+    for (int r = 0; r < t; ++r) {
+      for (int c = 0; c < d; ++c) {
+        const std::size_t i = static_cast<std::size_t>(r) * d + c;
+        x[i] += proj[i] + b.proj_b[static_cast<std::size_t>(c)];
+      }
+    }
+    // ---- MLP ----
+    const auto ln2 = layernorm_reference(x, t, d, b.ln2_gamma, b.ln2_beta);
+    auto hdn = matmul_ref(ln2, t, d, b.fc1_w, m);
+    for (int r = 0; r < t; ++r) {
+      for (int c = 0; c < m; ++c) {
+        hdn[static_cast<std::size_t>(r) * m + c] +=
+            b.fc1_b[static_cast<std::size_t>(c)];
+      }
+    }
+    const auto act = gelu_reference(hdn);
+    auto out = matmul_ref(act, t, m, b.fc2_w, d);
+    for (int r = 0; r < t; ++r) {
+      for (int c = 0; c < d; ++c) {
+        const std::size_t i = static_cast<std::size_t>(r) * d + c;
+        x[i] += out[i] + b.fc2_b[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+  return x;
+}
+
+namespace {
+
+/// Mixed-mode elementwise helpers: bias and residual adds go through the
+/// fp32 aligned-add datapath and are charged to the vector mode.
+void add_bias_mixed(std::vector<float>& x, int rows, int cols,
+                    const std::vector<float>& bias, ForwardStats* stats,
+                    const AcceleratorSystem& sys) {
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      auto& v = x[static_cast<std::size_t>(r) * cols + c];
+      v = fp32_add_aligned(v, bias[static_cast<std::size_t>(c)]);
+    }
+  }
+  if (stats != nullptr) {
+    const auto n = static_cast<std::uint64_t>(rows) * cols;
+    stats->nonlinear_ops.fp_add += n;
+    stats->vector_cycles += sys.vector_latency(0, n).cycles;
+  }
+}
+
+void add_residual_mixed(std::vector<float>& x, const std::vector<float>& y,
+                        ForwardStats* stats, const AcceleratorSystem& sys) {
+  BFP_ASSERT(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = fp32_add_aligned(x[i], y[i]);
+  }
+  if (stats != nullptr) {
+    stats->nonlinear_ops.fp_add += x.size();
+    stats->vector_cycles += sys.vector_latency(0, x.size()).cycles;
+  }
+}
+
+std::vector<float> gemm_mixed(const AcceleratorSystem& sys,
+                              const std::vector<float>& a, int m, int k,
+                              const std::vector<float>& b, int n,
+                              ForwardStats* stats, bool bfp8) {
+  if (!bfp8) {
+    // Policy keeps this layer group in fp32: exact matmul, no bfp stats.
+    std::vector<float> c(static_cast<std::size_t>(m) *
+                         static_cast<std::size_t>(n));
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (int x = 0; x < k; ++x) {
+          acc += static_cast<double>(a[static_cast<std::size_t>(i) * k + x]) *
+                 b[static_cast<std::size_t>(x) * n + j];
+        }
+        c[static_cast<std::size_t>(i) * n + j] = static_cast<float>(acc);
+      }
+    }
+    return c;
+  }
+  GemmRun run = sys.gemm(a, m, k, b, n);
+  if (stats != nullptr) {
+    stats->bfp_macs += run.macs;
+    stats->linear_cycles += run.compute_cycles;
+  }
+  return std::move(run.c);
+}
+
+}  // namespace
+
+std::vector<float> VitModel::forward_mixed(
+    std::vector<float> x, const AcceleratorSystem& system,
+    ForwardStats* stats, const PrecisionPolicy& policy) const {
+  const int t = w_.cfg.tokens();
+  const int d = w_.cfg.embed_dim;
+  const int h = w_.cfg.num_heads;
+  const int hd = w_.cfg.head_dim();
+  const int m = w_.cfg.mlp_hidden();
+  BFP_REQUIRE(x.size() == static_cast<std::size_t>(t) * d,
+              "forward_mixed: input must be tokens x embed_dim");
+  const float scale = 1.0F / std::sqrt(static_cast<float>(hd));
+
+  auto charge_vec = [&](const OpCounter& before, const OpCounter& after) {
+    if (stats == nullptr) return;
+    stats->vector_cycles +=
+        system
+            .vector_latency(after.fp_mul - before.fp_mul,
+                            after.fp_add - before.fp_add)
+            .cycles;
+  };
+  OpCounter* ops = stats != nullptr ? &stats->nonlinear_ops : nullptr;
+
+  for (const BlockWeights& b : w_.blocks) {
+    // ---- attention (LN -> QKV -> per-head SDPA -> proj -> residual) ----
+    OpCounter snap = ops != nullptr ? *ops : OpCounter{};
+    const auto ln1 =
+        approx_layernorm(x, t, d, b.ln1_gamma, b.ln1_beta, ops);
+    if (ops != nullptr) charge_vec(snap, *ops);
+
+    auto qkv = gemm_mixed(system, ln1, t, d, b.qkv_w, 3 * d, stats,
+                          policy.qkv);
+    add_bias_mixed(qkv, t, 3 * d, b.qkv_b, stats, system);
+
+    std::vector<float> attn_out(static_cast<std::size_t>(t) * d);
+    for (int head = 0; head < h; ++head) {
+      std::vector<float> q(static_cast<std::size_t>(t) * hd);
+      std::vector<float> kk(static_cast<std::size_t>(t) * hd);
+      std::vector<float> v(static_cast<std::size_t>(t) * hd);
+      for (int r = 0; r < t; ++r) {
+        for (int c = 0; c < hd; ++c) {
+          const std::size_t base = static_cast<std::size_t>(r) * 3 * d;
+          q[static_cast<std::size_t>(r) * hd + c] =
+              qkv[base + static_cast<std::size_t>(head * hd + c)];
+          kk[static_cast<std::size_t>(r) * hd + c] =
+              qkv[base + static_cast<std::size_t>(d + head * hd + c)];
+          v[static_cast<std::size_t>(r) * hd + c] =
+              qkv[base + static_cast<std::size_t>(2 * d + head * hd + c)];
+        }
+      }
+      auto scores = gemm_mixed(system, q, t, hd, transpose(kk, t, hd), t,
+                               stats, policy.attention);
+      // 1/sqrt(head_dim) scaling on the fp32 multiply path.
+      for (auto& s : scores) s = fp32_mul_sliced(s, scale);
+      if (stats != nullptr) {
+        stats->nonlinear_ops.fp_mul += scores.size();
+        stats->vector_cycles +=
+            system.vector_latency(scores.size(), 0).cycles;
+      }
+      snap = ops != nullptr ? *ops : OpCounter{};
+      const auto probs = approx_softmax(scores, t, t, ops);
+      if (ops != nullptr) charge_vec(snap, *ops);
+      const auto ctx =
+          gemm_mixed(system, probs, t, t, v, hd, stats, policy.attention);
+      for (int r = 0; r < t; ++r) {
+        for (int c = 0; c < hd; ++c) {
+          attn_out[static_cast<std::size_t>(r) * d + head * hd + c] =
+              ctx[static_cast<std::size_t>(r) * hd + c];
+        }
+      }
+    }
+    auto proj = gemm_mixed(system, attn_out, t, d, b.proj_w, d, stats,
+                           policy.proj);
+    add_bias_mixed(proj, t, d, b.proj_b, stats, system);
+    add_residual_mixed(x, proj, stats, system);
+
+    // ---- MLP (LN -> fc1 -> GELU -> fc2 -> residual) ----
+    snap = ops != nullptr ? *ops : OpCounter{};
+    const auto ln2 =
+        approx_layernorm(x, t, d, b.ln2_gamma, b.ln2_beta, ops);
+    if (ops != nullptr) charge_vec(snap, *ops);
+    auto hdn = gemm_mixed(system, ln2, t, d, b.fc1_w, m, stats, policy.mlp);
+    add_bias_mixed(hdn, t, m, b.fc1_b, stats, system);
+    snap = ops != nullptr ? *ops : OpCounter{};
+    const auto act = approx_gelu(std::span<const float>(hdn), ops);
+    if (ops != nullptr) charge_vec(snap, *ops);
+    auto out = gemm_mixed(system, act, t, m, b.fc2_w, d, stats, policy.mlp);
+    add_bias_mixed(out, t, d, b.fc2_b, stats, system);
+    add_residual_mixed(x, out, stats, system);
+  }
+  return x;
+}
+
+std::vector<float> VitModel::forward_int8(std::vector<float> x) const {
+  const int t = w_.cfg.tokens();
+  const int d = w_.cfg.embed_dim;
+  const int h = w_.cfg.num_heads;
+  const int hd = w_.cfg.head_dim();
+  const int m = w_.cfg.mlp_hidden();
+  BFP_REQUIRE(x.size() == static_cast<std::size_t>(t) * d,
+              "forward_int8: input must be tokens x embed_dim");
+  const float scale = 1.0F / std::sqrt(static_cast<float>(hd));
+
+  auto mm_int8 = [](const std::vector<float>& a, int mm, int kk,
+                    const std::vector<float>& b, int nn) {
+    return int8_gemm_reference(quantize_int8_per_tensor(a),
+                               quantize_int8_per_tensor(b), mm, kk, nn);
+  };
+  // A fixed-point datapath stores inter-layer activations (the residual
+  // stream) in int8 as well; the proposed design keeps them on the fp32
+  // vector path instead — this is where per-tensor int8 loses the small-
+  // channel signal once outliers stretch its single scale.
+  auto requantize = [](std::vector<float>& v) {
+    v = quantize_int8_per_tensor(v).dequantize();
+  };
+  requantize(x);
+
+  for (const BlockWeights& b : w_.blocks) {
+    const auto ln1 = layernorm_reference(x, t, d, b.ln1_gamma, b.ln1_beta);
+    auto qkv = mm_int8(ln1, t, d, b.qkv_w, 3 * d);
+    for (int r = 0; r < t; ++r) {
+      for (int c = 0; c < 3 * d; ++c) {
+        qkv[static_cast<std::size_t>(r) * 3 * d + c] +=
+            b.qkv_b[static_cast<std::size_t>(c)];
+      }
+    }
+    std::vector<float> attn_out(static_cast<std::size_t>(t) * d);
+    for (int head = 0; head < h; ++head) {
+      std::vector<float> q(static_cast<std::size_t>(t) * hd);
+      std::vector<float> kk(static_cast<std::size_t>(t) * hd);
+      std::vector<float> v(static_cast<std::size_t>(t) * hd);
+      for (int r = 0; r < t; ++r) {
+        for (int c = 0; c < hd; ++c) {
+          const std::size_t base = static_cast<std::size_t>(r) * 3 * d;
+          q[static_cast<std::size_t>(r) * hd + c] =
+              qkv[base + static_cast<std::size_t>(head * hd + c)];
+          kk[static_cast<std::size_t>(r) * hd + c] =
+              qkv[base + static_cast<std::size_t>(d + head * hd + c)];
+          v[static_cast<std::size_t>(r) * hd + c] =
+              qkv[base + static_cast<std::size_t>(2 * d + head * hd + c)];
+        }
+      }
+      auto scores = mm_int8(q, t, hd, transpose(kk, t, hd), t);
+      for (auto& s : scores) s *= scale;
+      const auto probs = softmax_reference(scores, t, t);
+      const auto ctx = mm_int8(probs, t, t, v, hd);
+      for (int r = 0; r < t; ++r) {
+        for (int c = 0; c < hd; ++c) {
+          attn_out[static_cast<std::size_t>(r) * d + head * hd + c] =
+              ctx[static_cast<std::size_t>(r) * hd + c];
+        }
+      }
+    }
+    auto proj = mm_int8(attn_out, t, d, b.proj_w, d);
+    for (int r = 0; r < t; ++r) {
+      for (int c = 0; c < d; ++c) {
+        const std::size_t i = static_cast<std::size_t>(r) * d + c;
+        x[i] += proj[i] + b.proj_b[static_cast<std::size_t>(c)];
+      }
+    }
+    requantize(x);
+    const auto ln2 = layernorm_reference(x, t, d, b.ln2_gamma, b.ln2_beta);
+    auto hdn = mm_int8(ln2, t, d, b.fc1_w, m);
+    for (int r = 0; r < t; ++r) {
+      for (int c = 0; c < m; ++c) {
+        hdn[static_cast<std::size_t>(r) * m + c] +=
+            b.fc1_b[static_cast<std::size_t>(c)];
+      }
+    }
+    const auto act = gelu_reference(hdn);
+    auto out = mm_int8(act, t, m, b.fc2_w, d);
+    for (int r = 0; r < t; ++r) {
+      for (int c = 0; c < d; ++c) {
+        const std::size_t i = static_cast<std::size_t>(r) * d + c;
+        x[i] += out[i] + b.fc2_b[static_cast<std::size_t>(c)];
+      }
+    }
+    requantize(x);
+  }
+  return x;
+}
+
+std::vector<float> VitModel::classify(const std::vector<float>& features) const {
+  const int t = w_.cfg.tokens();
+  const int d = w_.cfg.embed_dim;
+  BFP_REQUIRE(features.size() == static_cast<std::size_t>(t) * d,
+              "classify: features must be tokens x embed_dim");
+  const auto ln =
+      layernorm_reference(features, t, d, w_.head_gamma, w_.head_beta);
+  // [CLS] token is row 0.
+  const std::vector<float> cls(ln.begin(), ln.begin() + d);
+  auto logits = matmul_ref(cls, 1, d, w_.head_w, w_.cfg.num_classes);
+  for (int c = 0; c < w_.cfg.num_classes; ++c) {
+    logits[static_cast<std::size_t>(c)] += w_.head_b[static_cast<std::size_t>(c)];
+  }
+  return logits;
+}
+
+double top1_agreement(const std::vector<std::vector<float>>& a,
+                      const std::vector<std::vector<float>>& b) {
+  BFP_REQUIRE(a.size() == b.size() && !a.empty(),
+              "top1_agreement: batch sizes must match and be non-empty");
+  int agree = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto ia = std::distance(
+        a[i].begin(), std::max_element(a[i].begin(), a[i].end()));
+    const auto ib = std::distance(
+        b[i].begin(), std::max_element(b[i].begin(), b[i].end()));
+    if (ia == ib) ++agree;
+  }
+  return static_cast<double>(agree) / static_cast<double>(a.size());
+}
+
+}  // namespace bfpsim

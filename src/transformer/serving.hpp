@@ -1,0 +1,29 @@
+// Batch transformer serving on the multi-unit system: each image runs
+// wholly on one unit (weights stay resident, no cross-unit traffic) and
+// the batch spreads across units through the LPT scheduler — the
+// deployment mode Section III-A's "independent instructions" enables.
+#pragma once
+
+#include <cstdint>
+
+#include "fabric/scheduler.hpp"
+#include "fabric/system.hpp"
+#include "transformer/config.hpp"
+
+namespace bfpsim {
+
+struct BatchResult {
+  int batch = 0;
+  std::uint64_t per_image_cycles = 0;  ///< single-unit end-to-end latency
+  std::uint64_t makespan_cycles = 0;
+  double latency_ms_per_image = 0.0;
+  double images_per_second = 0.0;
+  double utilization = 0.0;
+};
+
+/// Throughput/latency of serving `batch` images of model `cfg` on `sys`.
+BatchResult batch_transformer_throughput(const VitConfig& cfg,
+                                         const AcceleratorSystem& sys,
+                                         int batch);
+
+}  // namespace bfpsim

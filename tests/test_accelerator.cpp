@@ -1,0 +1,138 @@
+// Integration tests for the public Accelerator facade.
+#include "core/accelerator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "numerics/nonlinear.hpp"
+
+namespace bfpsim {
+namespace {
+
+class AcceleratorTest : public ::testing::Test {
+ protected:
+  Accelerator acc_;
+  Rng rng_{91};
+};
+
+TEST_F(AcceleratorTest, MatmulAccuracyAndLatency) {
+  const int m = 64;
+  const int k = 96;
+  const int n = 48;
+  const auto a = rng_.normal_vec(static_cast<std::size_t>(m) * k, 0.0F, 1.0F);
+  const auto b = rng_.normal_vec(static_cast<std::size_t>(k) * n, 0.0F, 1.0F);
+  const GemmRun run = acc_.matmul(a, m, k, b, n);
+  ASSERT_EQ(run.c.size(), static_cast<std::size_t>(m) * n);
+  EXPECT_GT(run.compute_cycles, 0u);
+  EXPECT_EQ(run.macs, static_cast<std::uint64_t>(m) * k * n);
+  std::vector<float> ref(static_cast<std::size_t>(m) * n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double accum = 0.0;
+      for (int x = 0; x < k; ++x) {
+        accum += static_cast<double>(a[static_cast<std::size_t>(i) * k + x]) *
+                 b[static_cast<std::size_t>(x) * n + j];
+      }
+      ref[static_cast<std::size_t>(i) * n + j] = static_cast<float>(accum);
+    }
+  }
+  EXPECT_GT(compute_error_stats(run.c, ref).snr_db, 25.0);
+}
+
+TEST_F(AcceleratorTest, MultiplyAndAddStreams) {
+  std::vector<float> x(100);
+  std::vector<float> y(100);
+  for (int i = 0; i < 100; ++i) {
+    x[static_cast<std::size_t>(i)] = rng_.uniform(0.5F, 2.0F);
+    y[static_cast<std::size_t>(i)] = rng_.uniform(0.5F, 2.0F);
+  }
+  const VecRun mul = acc_.multiply(x, y);
+  const VecRun add = acc_.add(x, y);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NEAR(mul.out[static_cast<std::size_t>(i)],
+                x[static_cast<std::size_t>(i)] *
+                    y[static_cast<std::size_t>(i)],
+                1e-5F);
+    EXPECT_NEAR(add.out[static_cast<std::size_t>(i)],
+                x[static_cast<std::size_t>(i)] +
+                    y[static_cast<std::size_t>(i)],
+                1e-5F);
+  }
+  EXPECT_GT(mul.compute_cycles, 0u);
+  EXPECT_GT(add.compute_cycles, 0u);
+}
+
+TEST_F(AcceleratorTest, SoftmaxKernel) {
+  const int rows = 6;
+  const int cols = 40;
+  const auto x =
+      rng_.normal_vec(static_cast<std::size_t>(rows) * cols, 0.0F, 1.5F);
+  ExecutionStats stats;
+  const auto got = acc_.softmax(x, rows, cols, &stats);
+  const auto ref = softmax_reference(x, rows, cols);
+  EXPECT_LT(compute_error_stats(got, ref).max_abs, 1e-4);
+  EXPECT_EQ(stats.ops.host_div, static_cast<std::uint64_t>(rows));
+}
+
+TEST_F(AcceleratorTest, LayernormKernel) {
+  const int rows = 5;
+  const int cols = 32;
+  const auto x =
+      rng_.normal_vec(static_cast<std::size_t>(rows) * cols, 0.5F, 2.0F);
+  const std::vector<float> gamma(static_cast<std::size_t>(cols), 1.25F);
+  const std::vector<float> beta(static_cast<std::size_t>(cols), -0.5F);
+  const auto got = acc_.layernorm(x, rows, cols, gamma, beta);
+  const auto ref = layernorm_reference(x, rows, cols, gamma, beta);
+  EXPECT_LT(compute_error_stats(got, ref).rel_rmse, 1e-3);
+}
+
+TEST_F(AcceleratorTest, GeluAndSiluKernels) {
+  const auto x = rng_.normal_vec(256, 0.0F, 2.0F);
+  const auto g = acc_.gelu(x, 16, 16);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(g[i], gelu_reference(x[i]), 8e-3F);
+  }
+  const auto s = acc_.silu(x, 16, 16);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double ref = static_cast<double>(x[i]) /
+                       (1.0 + std::exp(-static_cast<double>(x[i])));
+    EXPECT_NEAR(s[i], ref, 1.5e-2F);
+  }
+}
+
+TEST_F(AcceleratorTest, QuantizeDequantizeRoundTrip) {
+  const int rows = 20;
+  const int cols = 28;
+  const auto x =
+      rng_.normal_vec(static_cast<std::size_t>(rows) * cols, 0.0F, 1.0F);
+  const BfpMatrix q = acc_.quantize(x, rows, cols);
+  EXPECT_EQ(q.fmt.rows, 8);
+  EXPECT_EQ(q.rows % 8, 0);
+  const auto back = acc_.dequantize(q, rows, cols);
+  EXPECT_LT(compute_error_stats(back, x).rel_rmse, 0.01);
+}
+
+TEST_F(AcceleratorTest, PlatformQueriesMatchPaper) {
+  EXPECT_DOUBLE_EQ(acc_.peak_bfp_ops(), 2304.0e9);
+  EXPECT_DOUBLE_EQ(acc_.peak_fp32_flops(), 36.0e9);
+  EXPECT_NEAR(acc_.sustained_bfp_ops() / 1e9, 2052.0, 100.0);
+  EXPECT_NEAR(acc_.sustained_fp32_flops() / 1e9, 15.0, 3.0);
+}
+
+TEST_F(AcceleratorTest, TransformerEndToEnd) {
+  const VitConfig cfg = vit_test_tiny();
+  const VitModel model(random_weights(cfg, 11));
+  const auto x = random_embeddings(cfg, 12);
+  ForwardStats stats;
+  const auto out = acc_.run_transformer(model, x, &stats);
+  EXPECT_EQ(out.size(), x.size());
+  EXPECT_GT(stats.total_cycles(), 0u);
+  const WorkloadBreakdown b = acc_.analyze_transformer(deit_small());
+  EXPECT_EQ(b.rows.size(), 4u);
+}
+
+}  // namespace
+}  // namespace bfpsim

@@ -1,0 +1,172 @@
+// Tests for the bf16 extension: the format itself, the single-slice
+// multiply/add references, the PE-array bf16 mode, and the throughput
+// advantage over fp32 mode.
+#include "numerics/bf16.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "fabric/system.hpp"
+#include "pu/processing_unit.hpp"
+
+namespace bfpsim {
+namespace {
+
+TEST(Bf16Format, RoundTripExactForBf16Values) {
+  Rng rng(101);
+  for (int i = 0; i < 5000; ++i) {
+    const Bf16 v = random_bf16(rng);
+    EXPECT_EQ(bf16_from_float(bf16_to_float(v)), v);
+  }
+}
+
+TEST(Bf16Format, ConversionRoundsNearestEven) {
+  // 1.0 + 2^-9 is below the bf16 half-ulp -> rounds to 1.0.
+  EXPECT_EQ(bf16_to_float(bf16_from_float(1.0F + 1.0F / 512.0F)), 1.0F);
+  // 1.0 + 3*2^-9 is above half-ulp -> rounds up to 1 + 2^-7.
+  EXPECT_EQ(bf16_to_float(bf16_from_float(1.0F + 3.0F / 512.0F)),
+            1.0F + 1.0F / 128.0F);
+  // Exact tie 1.0 + 2^-8: rounds to even (1.0).
+  EXPECT_EQ(bf16_to_float(bf16_from_float(1.0F + 1.0F / 256.0F)), 1.0F);
+}
+
+TEST(Bf16Format, ConversionErrorWithinHalfUlp) {
+  Rng rng(102);
+  for (int i = 0; i < 5000; ++i) {
+    const float v = random_normal_fp32(rng, 100, 150);
+    const float back = bf16_to_float(bf16_from_float(v));
+    // bf16 has 8 mantissa bits -> relative error <= 2^-9.
+    EXPECT_LE(std::fabs(back - v), std::fabs(v) * (1.0F / 256.0F));
+  }
+}
+
+TEST(Bf16Format, DecomposeHiddenBit) {
+  const Bf16Parts p = decompose_bf16(bf16_from_float(1.5F));
+  EXPECT_FALSE(p.sign);
+  EXPECT_EQ(p.biased_exp, 127);
+  EXPECT_EQ(p.man8, 0x80 | 0x40);  // 1.1 binary
+  EXPECT_EQ(decompose_bf16(bf16_from_float(0.0F)).man8, 0);
+}
+
+TEST(Bf16Format, SubnormalsFlush) {
+  const float sub = std::numeric_limits<float>::denorm_min();
+  EXPECT_EQ(decompose_bf16(bf16_from_float(sub)).man8, 0);
+}
+
+TEST(Bf16Mul, MatchesFloatMultiplyWithinOneUlp) {
+  Rng rng(103);
+  for (int i = 0; i < 20000; ++i) {
+    const Bf16 x = random_bf16(rng);
+    const Bf16 y = random_bf16(rng);
+    const Bf16 z = bf16_mul_reference(x, y);
+    // Reference: exact float product of the bf16 values, rounded to bf16.
+    const Bf16 expect =
+        bf16_from_float(bf16_to_float(x) * bf16_to_float(y));
+    // The single-slice product is exact pre-rounding, so results agree.
+    EXPECT_EQ(z, expect) << bf16_to_float(x) << " * " << bf16_to_float(y);
+  }
+}
+
+TEST(Bf16Mul, Zeros) {
+  const Bf16 z = bf16_mul_reference(bf16_from_float(0.0F),
+                                    bf16_from_float(3.5F));
+  EXPECT_EQ(bf16_to_float(z), 0.0F);
+  const Bf16 nz = bf16_mul_reference(bf16_from_float(-0.0F),
+                                     bf16_from_float(3.5F));
+  EXPECT_TRUE(std::signbit(bf16_to_float(nz)));
+}
+
+TEST(Bf16Add, BoundedError) {
+  Rng rng(104);
+  for (int i = 0; i < 20000; ++i) {
+    const Bf16 x = random_bf16(rng, 110, 140);
+    const Bf16 y = random_bf16(rng, 110, 140);
+    const float ieee = bf16_to_float(x) + bf16_to_float(y);
+    const float got = bf16_to_float(bf16_add_reference(x, y));
+    if (ieee == 0.0F) continue;
+    // Truncation costs up to one unit of the larger operand's grid
+    // (2^-7 relative to the larger magnitude), plus result rounding; with
+    // cancellation the first term dominates.
+    const float larger =
+        std::max(std::fabs(bf16_to_float(x)), std::fabs(bf16_to_float(y)));
+    const float allowed =
+        std::fabs(ieee) * (1.0F / 128.0F) + larger * (1.5F / 128.0F);
+    EXPECT_LE(std::fabs(got - ieee), allowed);
+  }
+}
+
+TEST(Bf16PeArray, StreamMatchesReference) {
+  Rng rng(105);
+  PeArray array{PeArrayConfig{}};
+  std::vector<std::vector<Bf16Pair>> lanes(8);
+  std::vector<std::vector<Bf16>> xs(8);
+  std::vector<std::vector<Bf16>> ys(8);
+  for (int lane = 0; lane < 8; ++lane) {
+    for (int i = 0; i < 24; ++i) {
+      const Bf16 x = random_bf16(rng);
+      const Bf16 y = random_bf16(rng);
+      xs[static_cast<std::size_t>(lane)].push_back(x);
+      ys[static_cast<std::size_t>(lane)].push_back(y);
+      lanes[static_cast<std::size_t>(lane)].push_back(
+          Bf16Pair{decompose_bf16(x), decompose_bf16(y)});
+    }
+  }
+  const Bf16MulRun run = array.run_bf16_mul(lanes);
+  EXPECT_EQ(run.cycles, 26u);  // L + 2
+  for (int lane = 0; lane < 8; ++lane) {
+    for (int i = 0; i < 24; ++i) {
+      const auto& raw = run.lanes[static_cast<std::size_t>(lane)]
+                                 [static_cast<std::size_t>(i)];
+      const Bf16Parts px = decompose_bf16(xs[static_cast<std::size_t>(lane)]
+                                             [static_cast<std::size_t>(i)]);
+      const Bf16Parts py = decompose_bf16(ys[static_cast<std::size_t>(lane)]
+                                             [static_cast<std::size_t>(i)]);
+      EXPECT_EQ(raw.prod, static_cast<std::uint32_t>(px.man8) * py.man8);
+      EXPECT_EQ(raw.sign, px.sign != py.sign);
+    }
+  }
+}
+
+TEST(Bf16ProcessingUnit, MulStreamMatchesReference) {
+  Rng rng(106);
+  ProcessingUnit pu;
+  const int n = 300;  // not a lane multiple
+  std::vector<float> x(n);
+  std::vector<float> y(n);
+  for (int i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] = random_normal_fp32(rng, 100, 150);
+    y[static_cast<std::size_t>(i)] = random_normal_fp32(rng, 100, 150);
+  }
+  const VecRun run = pu.bf16_mul_stream(x, y);
+  for (int i = 0; i < n; ++i) {
+    const Bf16 expect = bf16_mul_reference(
+        bf16_from_float(x[static_cast<std::size_t>(i)]),
+        bf16_from_float(y[static_cast<std::size_t>(i)]));
+    ASSERT_EQ(float_to_bits(run.out[static_cast<std::size_t>(i)]),
+              float_to_bits(bf16_to_float(expect)))
+        << "i=" << i;
+  }
+}
+
+TEST(Bf16ProcessingUnit, TwiceTheFp32Peak) {
+  PuConfig cfg;
+  EXPECT_DOUBLE_EQ(ProcessingUnit::bf16_peak_flops(cfg),
+                   2.0 * ProcessingUnit::fp32_peak_flops(cfg));
+}
+
+TEST(Bf16System, MeasuredThroughputBeatsFp32) {
+  AcceleratorSystem sys;
+  for (int l : {16, 64, 128}) {
+    const double bf16 = sys.measure_bf16_unit(l).ops_per_sec();
+    const double fp32 = sys.measure_fp32_unit(l).ops_per_sec();
+    EXPECT_GT(bf16, 1.5 * fp32) << "l=" << l;
+    EXPECT_LT(bf16, sys.theoretical_bf16_unit(l));
+  }
+}
+
+}  // namespace
+}  // namespace bfpsim

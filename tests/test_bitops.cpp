@@ -1,0 +1,144 @@
+// Unit tests for the bit-manipulation primitives everything else rests on.
+#include "common/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace bfpsim {
+namespace {
+
+TEST(Bitops, LowMask) {
+  EXPECT_EQ(low_mask(0), 0u);
+  EXPECT_EQ(low_mask(1), 1u);
+  EXPECT_EQ(low_mask(8), 0xFFu);
+  EXPECT_EQ(low_mask(18), 0x3FFFFu);
+  EXPECT_EQ(low_mask(63), 0x7FFFFFFFFFFFFFFFull);
+  EXPECT_EQ(low_mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bitops, SignExtend) {
+  EXPECT_EQ(sign_extend(0xFF, 8), -1);
+  EXPECT_EQ(sign_extend(0x7F, 8), 127);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0x00, 8), 0);
+  EXPECT_EQ(sign_extend(0x20000, 18), -131072);
+  EXPECT_EQ(sign_extend(0x1FFFF, 18), 131071);
+}
+
+TEST(Bitops, SignExtendRoundTripsThroughTruncate) {
+  Rng rng(42);
+  for (int bits : {4, 8, 12, 18, 27, 48}) {
+    for (int i = 0; i < 200; ++i) {
+      const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
+      const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
+      const std::int64_t v = rng.uniform_int(lo, hi);
+      EXPECT_EQ(sign_extend(truncate(static_cast<std::uint64_t>(v), bits),
+                            bits),
+                v)
+          << "bits=" << bits;
+    }
+  }
+}
+
+TEST(Bitops, FitsSigned) {
+  EXPECT_TRUE(fits_signed(127, 8));
+  EXPECT_TRUE(fits_signed(-128, 8));
+  EXPECT_FALSE(fits_signed(128, 8));
+  EXPECT_FALSE(fits_signed(-129, 8));
+  EXPECT_TRUE(fits_signed(131071, 18));
+  EXPECT_FALSE(fits_signed(131072, 18));
+  EXPECT_TRUE(fits_signed(-131072, 18));
+}
+
+TEST(Bitops, FitsUnsigned) {
+  EXPECT_TRUE(fits_unsigned(255, 8));
+  EXPECT_FALSE(fits_unsigned(256, 8));
+  EXPECT_FALSE(fits_unsigned(-1, 8));
+}
+
+TEST(Bitops, SaturateSigned) {
+  EXPECT_EQ(saturate_signed(1000, 8), 127);
+  EXPECT_EQ(saturate_signed(-1000, 8), -128);
+  EXPECT_EQ(saturate_signed(5, 8), 5);
+}
+
+TEST(Bitops, AsrTruncatesTowardNegInfinity) {
+  EXPECT_EQ(asr(7, 1), 3);
+  EXPECT_EQ(asr(-7, 1), -4);
+  EXPECT_EQ(asr(-1, 30), -1);
+  EXPECT_EQ(asr(-1, 100), -1);
+  EXPECT_EQ(asr(1, 100), 0);
+  EXPECT_EQ(asr(123, 0), 123);
+}
+
+TEST(Bitops, AsrRneRoundsTiesToEven) {
+  EXPECT_EQ(asr_rne(2, 1), 1);   // 1.0 exact
+  EXPECT_EQ(asr_rne(3, 1), 2);   // 1.5 -> 2 (even)
+  EXPECT_EQ(asr_rne(5, 1), 2);   // 2.5 -> 2 (even)
+  EXPECT_EQ(asr_rne(7, 1), 4);   // 3.5 -> 4 (even)
+  EXPECT_EQ(asr_rne(-3, 1), -2); // -1.5 -> -2 (even)
+  EXPECT_EQ(asr_rne(-5, 1), -2); // -2.5 -> -2 (even)
+  EXPECT_EQ(asr_rne(9, 2), 2);   // 2.25 -> 2
+  EXPECT_EQ(asr_rne(11, 2), 3);  // 2.75 -> 3
+}
+
+TEST(Bitops, AsrRneMatchesDoubleRounding) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = rng.uniform_int(-(1 << 20), 1 << 20);
+    const int shift = static_cast<int>(rng.uniform_int(1, 16));
+    const double exact =
+        static_cast<double>(v) / static_cast<double>(1LL << shift);
+    const double expect = std::nearbyint(exact);  // default RNE mode
+    EXPECT_EQ(asr_rne(v, shift), static_cast<std::int64_t>(expect))
+        << "v=" << v << " shift=" << shift;
+  }
+}
+
+TEST(Bitops, AsrHalfAway) {
+  EXPECT_EQ(asr_round_half_away(3, 1), 2);    // 1.5 -> 2
+  EXPECT_EQ(asr_round_half_away(5, 1), 3);    // 2.5 -> 3
+  EXPECT_EQ(asr_round_half_away(-3, 1), -1);  // -1.5 -> -1 (half-up)
+}
+
+TEST(Bitops, MsbIndex) {
+  EXPECT_EQ(msb_index(0), -1);
+  EXPECT_EQ(msb_index(1), 0);
+  EXPECT_EQ(msb_index(2), 1);
+  EXPECT_EQ(msb_index(255), 7);
+  EXPECT_EQ(msb_index(256), 8);
+  EXPECT_EQ(msb_index(-1), 0);
+  EXPECT_EQ(msb_index(-128), 7);
+}
+
+TEST(Bitops, SignedWidth) {
+  EXPECT_EQ(signed_width(0), 1);
+  EXPECT_EQ(signed_width(1), 2);
+  EXPECT_EQ(signed_width(127), 8);
+  EXPECT_EQ(signed_width(128), 9);
+  EXPECT_EQ(signed_width(-128), 8);
+  EXPECT_EQ(signed_width(-129), 9);
+}
+
+TEST(Bitops, ShlCheckedThrowsOnOverflow) {
+  EXPECT_EQ(shl_checked(1, 4, 8, "t"), 16);
+  EXPECT_EQ(shl_checked(-2, 2, 8, "t"), -8);
+  EXPECT_THROW(shl_checked(127, 4, 8, "t"), HardwareContractError);
+  EXPECT_NO_THROW(shl_checked(255, 16, 27, "t"));
+  EXPECT_THROW(shl_checked(255, 19, 27, "t"), HardwareContractError);
+}
+
+TEST(Bitops, Formatting) {
+  EXPECT_EQ(to_bin(0b1010, 4), "1010");
+  EXPECT_EQ(to_bin(1, 8), "00000001");
+  EXPECT_EQ(to_hex(0xAB, 8), "ab");
+  EXPECT_EQ(to_hex(0x1, 16), "0001");
+}
+
+}  // namespace
+}  // namespace bfpsim

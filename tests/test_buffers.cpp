@@ -1,0 +1,180 @@
+// Tests for the BRAM model, the Fig. 4 operand-buffer layout, and the fp32
+// layout converter.
+#include "bram/buffers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "bram/layout_converter.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "numerics/slices.hpp"
+
+namespace bfpsim {
+namespace {
+
+TEST(Bram18, ReadWriteAndBounds) {
+  Bram18 b;
+  b.write(0, 0xAB);
+  b.write(2047, 0xCD);
+  EXPECT_EQ(b.read(0), 0xAB);
+  EXPECT_EQ(b.read(2047), 0xCD);
+  EXPECT_THROW(b.read(2048), Error);
+  EXPECT_THROW(b.write(-1, 0), Error);
+  EXPECT_EQ(b.reads(), 2u);
+  EXPECT_EQ(b.writes(), 2u);
+}
+
+BfpBlock random_block(Rng& rng) {
+  const BfpFormat fmt = bfp8_format();
+  std::vector<float> tile(64);
+  for (auto& v : tile) v = rng.normal(0.0F, 1.0F);
+  return quantize_block(tile, fmt);
+}
+
+TEST(OperandBuffer, BfpBlockRoundTrip) {
+  Rng rng(41);
+  OperandBuffer buf;
+  for (int slot = 0; slot < kMaxXBlocks; ++slot) {
+    const BfpBlock b = random_block(rng);
+    buf.write_bfp_block(slot, b);
+    EXPECT_EQ(buf.read_bfp_exp(slot), b.expb);
+    for (int k = 0; k < 8; ++k) {
+      const auto v = buf.read_bfp_vector(slot, k);
+      for (int r = 0; r < 8; ++r) {
+        EXPECT_EQ(v[static_cast<std::size_t>(r)], b.at(r, k))
+            << "slot=" << slot << " k=" << k << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(OperandBuffer, AdjacentSlotsDoNotClobber) {
+  Rng rng(42);
+  OperandBuffer buf;
+  const BfpBlock b0 = random_block(rng);
+  const BfpBlock b1 = random_block(rng);
+  const BfpBlock b2 = random_block(rng);
+  buf.write_bfp_block(0, b0);
+  buf.write_bfp_block(1, b1);
+  buf.write_bfp_block(2, b2);
+  for (int k = 0; k < 8; ++k) {
+    const auto v0 = buf.read_bfp_vector(0, k);
+    const auto v1 = buf.read_bfp_vector(1, k);
+    const auto v2 = buf.read_bfp_vector(2, k);
+    for (int r = 0; r < 8; ++r) {
+      EXPECT_EQ(v0[static_cast<std::size_t>(r)], b0.at(r, k));
+      EXPECT_EQ(v1[static_cast<std::size_t>(r)], b1.at(r, k));
+      EXPECT_EQ(v2[static_cast<std::size_t>(r)], b2.at(r, k));
+    }
+  }
+}
+
+TEST(OperandBuffer, SlotBoundsChecked) {
+  Rng rng(43);
+  OperandBuffer buf;
+  EXPECT_THROW(buf.write_bfp_block(kMaxXBlocks, random_block(rng)), Error);
+  EXPECT_THROW(buf.read_bfp_vector(-1, 0), Error);
+  EXPECT_THROW(buf.read_bfp_vector(0, 8), Error);
+}
+
+TEST(OperandBuffer, Fp32RoundTripNormalValues) {
+  Rng rng(44);
+  OperandBuffer buf;
+  for (int lane = 0; lane < kFp32Lanes; ++lane) {
+    for (int i = 0; i < 32; ++i) {
+      const float v = random_normal_fp32(rng);
+      buf.write_fp32(lane, i, v);
+      const Fp32Operand op = buf.read_fp32(lane, i);
+      const Fp32Parts p = decompose(v);
+      EXPECT_EQ(op.sign, p.sign);
+      EXPECT_EQ(op.biased_exp, p.biased_exp);
+      EXPECT_EQ(op.man24, p.mantissa);
+    }
+  }
+}
+
+TEST(OperandBuffer, Fp32ZeroAndSubnormalFlush) {
+  OperandBuffer buf;
+  buf.write_fp32(0, 0, 0.0F);
+  EXPECT_EQ(buf.read_fp32(0, 0).man24, 0u);
+  // Subnormals cannot carry a hidden bit in the 24-bit layout: flushed.
+  buf.write_fp32(0, 1, std::numeric_limits<float>::denorm_min());
+  EXPECT_EQ(buf.read_fp32(0, 1).man24, 0u);
+  // Sign of negative zero survives.
+  buf.write_fp32(0, 2, -0.0F);
+  EXPECT_TRUE(buf.read_fp32(0, 2).sign);
+}
+
+TEST(OperandBuffer, Fp32RejectsSpecials) {
+  OperandBuffer buf;
+  EXPECT_THROW(buf.write_fp32(0, 0, std::numeric_limits<float>::infinity()),
+               Error);
+  EXPECT_THROW(buf.write_fp32(0, 0, std::numeric_limits<float>::quiet_NaN()),
+               Error);
+}
+
+TEST(OperandBuffer, Fp32LaneBounds) {
+  OperandBuffer buf;
+  EXPECT_THROW(buf.write_fp32(kFp32Lanes, 0, 1.0F), Error);
+  EXPECT_THROW(buf.write_fp32(0, kMaxFpStream, 1.0F), Error);
+}
+
+TEST(LayoutConverter, ProducesScheduleInputs) {
+  OperandBuffer buf;
+  buf.write_fp32(0, 0, 3.0F);
+  buf.write_fp32(1, 0, -5.0F);
+  const Fp32Operand x = buf.read_fp32(0, 0);
+  const Fp32Operand y = buf.read_fp32(1, 0);
+  const Fp32RowInputs in = LayoutConverter::convert_fp32_pair(x, y);
+  EXPECT_TRUE(in.result_sign);  // + * - = -
+  EXPECT_FALSE(in.zero);
+  const auto& sched = fp32_mul_schedule();
+  const MantissaSlices sx = slice_mantissa(x.man24);
+  const MantissaSlices sy = slice_mantissa(y.man24);
+  for (int r = 0; r < kNumPartialProducts; ++r) {
+    const auto& t = sched[static_cast<std::size_t>(r)];
+    EXPECT_EQ(in.x_in[static_cast<std::size_t>(r)],
+              static_cast<std::int64_t>(sx[t.xi]) << t.pre_shift_x);
+    EXPECT_EQ(in.y_in[static_cast<std::size_t>(r)],
+              static_cast<std::int64_t>(sy[t.yj]) << t.pre_shift_y);
+  }
+}
+
+TEST(LayoutConverter, ZeroOperandShortCircuits) {
+  Fp32Operand x;  // zero
+  Fp32Operand y;
+  y.man24 = 0x800000;
+  y.biased_exp = 127;
+  const Fp32RowInputs in = LayoutConverter::convert_fp32_pair(x, y);
+  EXPECT_TRUE(in.zero);
+}
+
+TEST(LayoutConverter, RowInputSumEqualsSlicedProduct) {
+  // The converter's per-row operands, multiplied and summed, must equal the
+  // sliced mantissa product — this ties the hardware mapping to Eqn 5.
+  Rng rng(45);
+  for (int i = 0; i < 1000; ++i) {
+    Fp32Operand x;
+    x.man24 = static_cast<std::uint32_t>(
+        rng.uniform_int(1 << 23, (1 << 24) - 1));
+    x.biased_exp = 127;
+    Fp32Operand y;
+    y.man24 = static_cast<std::uint32_t>(
+        rng.uniform_int(1 << 23, (1 << 24) - 1));
+    y.biased_exp = 127;
+    const Fp32RowInputs in = LayoutConverter::convert_fp32_pair(x, y);
+    std::uint64_t sum = 0;
+    for (int r = 0; r < kNumPartialProducts; ++r) {
+      sum += static_cast<std::uint64_t>(
+                 in.x_in[static_cast<std::size_t>(r)]) *
+             static_cast<std::uint64_t>(in.y_in[static_cast<std::size_t>(r)]);
+    }
+    EXPECT_EQ(sum, sliced_mantissa_product(x.man24, y.man24));
+  }
+}
+
+}  // namespace
+}  // namespace bfpsim

@@ -1,0 +1,84 @@
+// Tests for the LLM decode analysis module.
+#include "transformer/decoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace bfpsim {
+namespace {
+
+TEST(DecoderConfig, ParamCounts) {
+  // 12 * d^2 per layer for ffn_mult = 4.
+  const DecoderConfig c = opt_1_3b();
+  EXPECT_EQ(c.params_per_layer(), 12ll * 2048 * 2048);
+  EXPECT_EQ(c.total_params(), 24ll * 12 * 2048 * 2048);
+  // opt-1.3b's published weight count is ~1.3B incl. embeddings; the
+  // block-weight count lands close below it.
+  EXPECT_NEAR(static_cast<double>(c.total_params()) / 1e9, 1.21, 0.02);
+}
+
+TEST(DecoderConfig, Validation) {
+  DecoderConfig bad = opt_125m();
+  bad.num_heads = 7;  // 768 % 7 != 0
+  EXPECT_THROW(bad.validate(), Error);
+  bad = opt_125m();
+  bad.context_len = 0;
+  EXPECT_THROW(bad.validate(), Error);
+}
+
+TEST(DecodeAnalysis, CapacityStory) {
+  const AcceleratorSystem sys;
+  const DecodeAnalysis small = analyze_decode(opt_125m(), sys, 8.0);
+  EXPECT_TRUE(small.fits_hbm_bfp8);
+  EXPECT_TRUE(small.fits_hbm_fp16);
+  const DecodeAnalysis big = analyze_decode(opt_6_7b(), sys, 8.0);
+  // The paper's compression argument: 6.7B fits only in bfp8.
+  EXPECT_TRUE(big.fits_hbm_bfp8);
+  EXPECT_FALSE(big.fits_hbm_fp16);
+  // ~3.94x smaller than fp32 = ~1.97x smaller than fp16.
+  EXPECT_NEAR(big.model_gib_fp16 / big.model_gib_bfp8, 1.97, 0.02);
+}
+
+TEST(DecodeAnalysis, ScheduleLimitedAndMonotone) {
+  const AcceleratorSystem sys;
+  const DecodeAnalysis a = analyze_decode(opt_1_3b(), sys, 8.0);
+  // Single-stream decode: scheduled cost far above the ideal stream.
+  EXPECT_FALSE(a.bandwidth_bound);
+  EXPECT_GT(a.compute_cycles, 5 * a.bandwidth_cycles);
+  EXPECT_EQ(a.cycles_per_token, a.compute_cycles);
+  // Bigger models decode slower.
+  const DecodeAnalysis s = analyze_decode(opt_125m(), sys, 8.0);
+  EXPECT_GT(s.tokens_per_second, a.tokens_per_second);
+}
+
+TEST(DecodeAnalysis, BatchingImprovesAggregateThroughput) {
+  const AcceleratorSystem sys;
+  const DecodeAnalysis b1 = analyze_decode(opt_1_3b(), sys, 8.0, 1);
+  const DecodeAnalysis b8 = analyze_decode(opt_1_3b(), sys, 8.0, 8);
+  EXPECT_GT(b8.tokens_per_second, 2.0 * b1.tokens_per_second);
+  // Per-step cost grows, but sublinearly in batch for the weight GEMMs.
+  EXPECT_GT(b8.compute_cycles, b1.compute_cycles);
+  EXPECT_LT(b8.compute_cycles, 8 * b1.compute_cycles);
+}
+
+TEST(PrefillAnalysis, HighUtilizationUnlikeDecode) {
+  const AcceleratorSystem sys;
+  const PrefillAnalysis pf = analyze_prefill(opt_1_3b(), sys, 1024);
+  EXPECT_GT(pf.peak_fraction, 0.5);   // prefill behaves like the ViT study
+  EXPECT_GT(pf.sustained_gops, 1000.0);
+  const DecodeAnalysis d = analyze_decode(opt_1_3b(), sys, 8.0);
+  EXPECT_LT(d.compute_utilization, 0.1);  // decode collapses
+  // Longer prompts take longer.
+  const PrefillAnalysis shorter = analyze_prefill(opt_1_3b(), sys, 128);
+  EXPECT_LT(shorter.cycles, pf.cycles);
+  EXPECT_THROW(analyze_prefill(opt_1_3b(), sys, 0), Error);
+}
+
+TEST(DecodeAnalysis, RejectsBadBatch) {
+  const AcceleratorSystem sys;
+  EXPECT_THROW(analyze_decode(opt_125m(), sys, 8.0, 0), Error);
+}
+
+}  // namespace
+}  // namespace bfpsim

@@ -1,0 +1,133 @@
+// Tests for the binary32 decomposition/composition layer.
+#include "numerics/fp32.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace bfpsim {
+namespace {
+
+TEST(Fp32, DecomposeOne) {
+  const Fp32Parts p = decompose(1.0F);
+  EXPECT_FALSE(p.sign);
+  EXPECT_EQ(p.biased_exp, 127);
+  EXPECT_EQ(p.mantissa, 1u << 23);
+}
+
+TEST(Fp32, DecomposeNegativeTwo) {
+  const Fp32Parts p = decompose(-2.0F);
+  EXPECT_TRUE(p.sign);
+  EXPECT_EQ(p.biased_exp, 128);
+  EXPECT_EQ(p.mantissa, 1u << 23);
+  EXPECT_EQ(p.signed_mantissa(), -(std::int64_t{1} << 23));
+}
+
+TEST(Fp32, DecomposeZero) {
+  const Fp32Parts p = decompose(0.0F);
+  EXPECT_TRUE(p.is_zero());
+  EXPECT_EQ(p.mantissa, 0u);
+  const Fp32Parts n = decompose(-0.0F);
+  EXPECT_TRUE(n.is_zero());
+  EXPECT_TRUE(n.sign);
+}
+
+TEST(Fp32, DecomposeSubnormal) {
+  const float sub = std::numeric_limits<float>::denorm_min();
+  const Fp32Parts p = decompose(sub);
+  EXPECT_EQ(p.biased_exp, 1);
+  EXPECT_EQ(p.mantissa, 1u);
+  EXPECT_FALSE(p.is_zero());
+}
+
+TEST(Fp32, DecomposeSpecials) {
+  EXPECT_TRUE(decompose(std::numeric_limits<float>::infinity()).is_inf);
+  EXPECT_TRUE(decompose(-std::numeric_limits<float>::infinity()).is_inf);
+  EXPECT_TRUE(decompose(std::numeric_limits<float>::quiet_NaN()).is_nan);
+}
+
+TEST(Fp32, ValueReconstruction) {
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    const float v = random_finite_fp32(rng);
+    const Fp32Parts p = decompose(v);
+    if (p.is_nan || p.is_inf) continue;
+    const double rec =
+        (p.sign ? -1.0 : 1.0) *
+        std::ldexp(static_cast<double>(p.mantissa),
+                   p.biased_exp - kFp32Bias - kFp32FracBits);
+    EXPECT_EQ(static_cast<float>(rec), v) << fp32_fields(v);
+  }
+}
+
+TEST(Fp32, ComposeRoundTripsDecompose) {
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const float v = random_finite_fp32(rng);
+    const Fp32Parts p = decompose(v);
+    const float back = compose(p.sign, p.biased_exp, p.mantissa);
+    EXPECT_EQ(float_to_bits(back), float_to_bits(v)) << fp32_fields(v);
+  }
+}
+
+TEST(Fp32, ComposeNormalizedHandlesWideMantissas) {
+  // 3 * 2^20 expressed as an unnormalized 25-bit value.
+  const float v = compose_normalized(false, 127, 3u << 23, true);
+  EXPECT_FLOAT_EQ(v, 3.0F);
+}
+
+TEST(Fp32, ComposeNormalizedRoundsNearestEven) {
+  // mantissa = 2^24 + 1: shifting right by 1 drops a 1 at the tie point?
+  // 0x1000001 >> 1 with RNE: dropped bit is 1, rest zero -> tie -> even.
+  const float v = compose_normalized(false, 127, (1u << 24) + 1, true);
+  EXPECT_FLOAT_EQ(v, 2.0F);
+  // Truncation keeps the floor.
+  const float t = compose_normalized(false, 127, (1u << 24) + 1, false);
+  EXPECT_FLOAT_EQ(t, 2.0F);
+  // A clearly-above-half value rounds up under RNE, down under truncation.
+  const float v2 = compose_normalized(false, 127, (1u << 24) + 3, true);
+  const float t2 = compose_normalized(false, 127, (1u << 24) + 3, false);
+  EXPECT_GT(v2, t2);
+}
+
+TEST(Fp32, ComposeNormalizedOverflowGivesInf) {
+  const float v = compose_normalized(false, 254, 1ull << 40, true);
+  EXPECT_TRUE(std::isinf(v));
+}
+
+TEST(Fp32, ComposeNormalizedUnderflowGoesSubnormal) {
+  const float v = compose_normalized(false, 1, (1u << 23) >> 2, true);
+  EXPECT_GT(v, 0.0F);
+  EXPECT_LT(v, std::numeric_limits<float>::min());
+}
+
+TEST(Fp32, ComposeNormalizedZero) {
+  EXPECT_EQ(compose_normalized(false, 100, 0, true), 0.0F);
+  EXPECT_TRUE(std::signbit(compose_normalized(true, 100, 0, true)));
+}
+
+TEST(Fp32, UlpDistance) {
+  EXPECT_EQ(ulp_distance(1.0F, 1.0F), 0);
+  EXPECT_EQ(ulp_distance(1.0F, std::nextafter(1.0F, 2.0F)), 1);
+  EXPECT_EQ(ulp_distance(1.0F, std::nextafter(1.0F, 0.0F)), 1);
+  EXPECT_EQ(ulp_distance(-1.0F, std::nextafter(-1.0F, 0.0F)), 1);
+  // Across zero: +0 and -0 are adjacent on the monotone line.
+  EXPECT_EQ(ulp_distance(0.0F, -0.0F), 0);
+}
+
+TEST(Fp32, RandomNormalRespectsExponentBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = random_normal_fp32(rng, 100, 150);
+    const Fp32Parts p = decompose(v);
+    EXPECT_GE(p.biased_exp, 100);
+    EXPECT_LE(p.biased_exp, 150);
+    EXPECT_TRUE(std::isnormal(v));
+  }
+}
+
+}  // namespace
+}  // namespace bfpsim

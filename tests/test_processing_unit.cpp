@@ -1,0 +1,260 @@
+// Integration tests for the multi-mode ProcessingUnit: GEMM correctness
+// (cycle path == fast golden path), fp32 vector modes, and the analytic
+// throughput models.
+#include "pu/processing_unit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "numerics/slices.hpp"
+#include "pu/baseline_arrays.hpp"
+
+namespace bfpsim {
+namespace {
+
+TEST(ProcessingUnit, GemmSmallMatchesFastPath) {
+  Rng rng(61);
+  ProcessingUnit pu;
+  const int m = 16;
+  const int k = 24;
+  const int n = 16;
+  const auto a = rng.normal_vec(static_cast<std::size_t>(m) * k, 0.0F, 1.0F);
+  const auto b = rng.normal_vec(static_cast<std::size_t>(k) * n, 0.0F, 1.0F);
+  const GemmRun cyc = pu.gemm_bfp8(a, m, k, b, n);
+  const GemmRun fast = pu.gemm_bfp8_fast(a, m, k, b, n);
+  ASSERT_EQ(cyc.c.size(), fast.c.size());
+  for (std::size_t i = 0; i < cyc.c.size(); ++i) {
+    ASSERT_EQ(cyc.c[i], fast.c[i]) << "i=" << i;
+  }
+  EXPECT_EQ(cyc.compute_cycles, fast.compute_cycles);
+  EXPECT_EQ(cyc.macs, fast.macs);
+}
+
+TEST(ProcessingUnit, GemmOddShapesMatchFastPath) {
+  Rng rng(62);
+  ProcessingUnit pu;
+  // Non-multiples of the block size and an odd number of column tiles
+  // (exercises the zero Y1 lane).
+  const int m = 13;
+  const int k = 17;
+  const int n = 21;
+  const auto a = rng.normal_vec(static_cast<std::size_t>(m) * k, 0.0F, 1.0F);
+  const auto b = rng.normal_vec(static_cast<std::size_t>(k) * n, 0.0F, 1.0F);
+  const GemmRun cyc = pu.gemm_bfp8(a, m, k, b, n);
+  const GemmRun fast = pu.gemm_bfp8_fast(a, m, k, b, n);
+  for (std::size_t i = 0; i < cyc.c.size(); ++i) {
+    ASSERT_EQ(cyc.c[i], fast.c[i]) << "i=" << i;
+  }
+}
+
+TEST(ProcessingUnit, GemmAccuracyAgainstFloat) {
+  Rng rng(63);
+  ProcessingUnit pu;
+  const int m = 32;
+  const int k = 64;
+  const int n = 24;
+  const auto a = rng.normal_vec(static_cast<std::size_t>(m) * k, 0.0F, 1.0F);
+  const auto b = rng.normal_vec(static_cast<std::size_t>(k) * n, 0.0F, 1.0F);
+  const GemmRun run = pu.gemm_bfp8_fast(a, m, k, b, n);
+  std::vector<float> ref(static_cast<std::size_t>(m) * n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int x = 0; x < k; ++x) {
+        acc += static_cast<double>(a[static_cast<std::size_t>(i) * k + x]) *
+               b[static_cast<std::size_t>(x) * n + j];
+      }
+      ref[static_cast<std::size_t>(i) * n + j] = static_cast<float>(acc);
+    }
+  }
+  const ErrorStats s = compute_error_stats(run.c, ref);
+  // bfp8 quantization noise on Gaussian data: a few percent relative RMSE.
+  EXPECT_LT(s.rel_rmse, 0.05);
+  EXPECT_GT(s.snr_db, 25.0);
+}
+
+TEST(ProcessingUnit, GemmCycleModelMatchesEqn9Composition) {
+  // One Y pair, one PSU chunk: cycles = Kb * (8 * Nx + 15).
+  PuConfig cfg;
+  const std::uint64_t c = ProcessingUnit::gemm_cycles(cfg, 64, 16, 16);
+  // mb = 8, kb = 2, nb = 2 -> one lane-pair pass, chunk = 8:
+  // 2 * (8*8 + 15) = 158.
+  EXPECT_EQ(c, 158u);
+}
+
+TEST(ProcessingUnit, PeakThroughputEquations) {
+  PuConfig cfg;  // 8x8, combined MAC, 300 MHz
+  // Eqn 7: 8 * 8 * 2 * 2 * 300e6 = 76.8 GOPS.
+  EXPECT_DOUBLE_EQ(ProcessingUnit::bfp_peak_ops(cfg), 76.8e9);
+  // Eqn 8 (with the mul+add accounting): 4 * 2 * 300e6 = 2.4 GFLOPS.
+  EXPECT_DOUBLE_EQ(ProcessingUnit::fp32_peak_flops(cfg), 2.4e9);
+}
+
+TEST(ProcessingUnit, BfpEfficiencyAtMaxStreamMatchesPaper) {
+  // Section II-D: at Nx = 64 the array reaches 97.15% of peak.
+  PuConfig cfg;
+  const double eff =
+      static_cast<double>(8 * 64) /
+      static_cast<double>(ProcessingUnit::bfp_run_cycles(cfg.array, 64));
+  EXPECT_NEAR(eff, 0.9715, 5e-4);
+}
+
+TEST(ProcessingUnit, Fp32MulStreamMatchesSlicedScalar) {
+  Rng rng(64);
+  ProcessingUnit pu;
+  const int n = 250;  // not a multiple of 4 lanes
+  std::vector<float> x(n);
+  std::vector<float> y(n);
+  for (int i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] = random_normal_fp32(rng, 100, 150);
+    y[static_cast<std::size_t>(i)] = random_normal_fp32(rng, 100, 150);
+  }
+  const VecRun run = pu.fp32_mul_stream(x, y);
+  ASSERT_EQ(run.out.size(), x.size());
+  for (int i = 0; i < n; ++i) {
+    const float expect = fp32_mul_sliced(x[static_cast<std::size_t>(i)],
+                                         y[static_cast<std::size_t>(i)]);
+    ASSERT_EQ(float_to_bits(run.out[static_cast<std::size_t>(i)]),
+              float_to_bits(expect))
+        << "i=" << i;
+  }
+}
+
+TEST(ProcessingUnit, Fp32MulCycleModel) {
+  Rng rng(65);
+  ProcessingUnit pu;
+  // 64 elements over 4 lanes -> per-lane 16 -> one run of 16 + 8 cycles.
+  std::vector<float> x(64, 1.5F);
+  std::vector<float> y(64, 2.5F);
+  const VecRun run = pu.fp32_mul_stream(x, y);
+  EXPECT_EQ(run.compute_cycles, 24u);
+  // 1024 elements -> per-lane 256 -> two runs of (128+8).
+  std::vector<float> x2(1024, 1.5F);
+  std::vector<float> y2(1024, 2.5F);
+  const VecRun run2 = pu.fp32_mul_stream(x2, y2);
+  EXPECT_EQ(run2.compute_cycles, 2u * (128 + 8));
+}
+
+TEST(ProcessingUnit, Fp32AddStreamMatchesAlignedScalar) {
+  Rng rng(66);
+  ProcessingUnit pu;
+  const int n = 100;
+  std::vector<float> x(n);
+  std::vector<float> y(n);
+  for (int i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] = random_normal_fp32(rng, 110, 140);
+    y[static_cast<std::size_t>(i)] = random_normal_fp32(rng, 110, 140);
+  }
+  const VecRun run = pu.fp32_add_stream(x, y);
+  for (int i = 0; i < n; ++i) {
+    const float expect = fp32_add_aligned(x[static_cast<std::size_t>(i)],
+                                          y[static_cast<std::size_t>(i)]);
+    ASSERT_EQ(float_to_bits(run.out[static_cast<std::size_t>(i)]),
+              float_to_bits(expect))
+        << "i=" << i;
+  }
+}
+
+TEST(ProcessingUnit, SustainedThroughputApproachesPeakForLongStreams) {
+  Rng rng(67);
+  ProcessingUnit pu;
+  const PuConfig& cfg = pu.config();
+  // 512x64x16: mb = 64 (one full PSU chunk), long stream.
+  const int m = 512;
+  const int k = 64;
+  const int n = 16;
+  const auto a = rng.normal_vec(static_cast<std::size_t>(m) * k, 0.0F, 1.0F);
+  const auto b = rng.normal_vec(static_cast<std::size_t>(k) * n, 0.0F, 1.0F);
+  const GemmRun run = pu.gemm_bfp8_fast(a, m, k, b, n);
+  const double sustained = run.sustained_ops_per_sec(cfg.freq_hz);
+  const double peak = ProcessingUnit::bfp_peak_ops(cfg);
+  EXPECT_GT(sustained / peak, 0.95);
+  EXPECT_LE(sustained / peak, 0.9716);
+}
+
+TEST(ProcessingUnit, TraceRecordsControllerAndPassEvents) {
+  Rng rng(70);
+  ProcessingUnit pu;
+  Trace trace;
+  trace.enable(true);
+  pu.set_trace(&trace);
+  const int m = 16;
+  const int k = 16;
+  const int n = 16;
+  const auto a = rng.normal_vec(static_cast<std::size_t>(m) * k, 0.0F, 1.0F);
+  const auto b = rng.normal_vec(static_cast<std::size_t>(k) * n, 0.0F, 1.0F);
+  pu.gemm_bfp8(a, m, k, b, n);
+  // One controller mode event + one pe-array event per (k-tile, n-pair).
+  EXPECT_EQ(trace.for_component("controller").size(), 1u);
+  EXPECT_EQ(trace.for_component("pe-array").size(), 2u);  // kb=2, 1 pair
+  // Cycle stamps are non-decreasing.
+  std::uint64_t prev = 0;
+  for (const TraceEvent& e : trace.events()) {
+    EXPECT_GE(e.cycle, prev);
+    prev = e.cycle;
+  }
+  // fp32 streams also trace, and detaching stops recording.
+  std::vector<float> x(8, 1.5F);
+  std::vector<float> y(8, 2.0F);
+  pu.fp32_mul_stream(x, y);
+  EXPECT_EQ(trace.for_component("controller").size(), 2u);
+  pu.set_trace(nullptr);
+  pu.fp32_mul_stream(x, y);
+  EXPECT_EQ(trace.for_component("controller").size(), 2u);
+}
+
+TEST(Int8Accelerator, MatchesQuantizedReference) {
+  Rng rng(68);
+  Int8Accelerator acc;
+  const int m = 16;
+  const int k = 32;
+  const int n = 8;
+  const auto a = rng.normal_vec(static_cast<std::size_t>(m) * k, 0.0F, 1.0F);
+  const auto b = rng.normal_vec(static_cast<std::size_t>(k) * n, 0.0F, 1.0F);
+  const GemmRun run = acc.gemm_int8(a, m, k, b, n);
+  std::vector<float> ref(static_cast<std::size_t>(m) * n);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc2 = 0.0;
+      for (int x = 0; x < k; ++x) {
+        acc2 += static_cast<double>(a[static_cast<std::size_t>(i) * k + x]) *
+                b[static_cast<std::size_t>(x) * n + j];
+      }
+      ref[static_cast<std::size_t>(i) * n + j] = static_cast<float>(acc2);
+    }
+  }
+  const ErrorStats s = compute_error_stats(run.c, ref);
+  EXPECT_LT(s.rel_rmse, 0.05);
+}
+
+TEST(Int8Accelerator, LosesToBfpOnOutlierChannels) {
+  // The motivating observation (Section I / IV-A): transformer activations
+  // carry a few large-magnitude *channels*; a single per-tensor int8 scale
+  // is stretched by them and the regular values lose most of their levels,
+  // while per-block bfp8 confines the damage to the blocks containing the
+  // outlier channels.
+  Rng rng(69);
+  const int m = 64;
+  const int k = 64;
+  std::vector<float> a(static_cast<std::size_t>(m) * k);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < k; ++j) {
+      float v = rng.normal(0.0F, 1.0F);
+      if (j < 4) v *= 20.0F;  // outlier channels 0..3
+      a[static_cast<std::size_t>(i) * k + j] = v;
+    }
+  }
+  const auto int8_back = quantize_int8_per_tensor(a).dequantize();
+  const auto bfp_back = bfp_roundtrip(a, m, k, bfp8_format());
+  const ErrorStats se = compute_error_stats(int8_back, a);
+  const ErrorStats sb = compute_error_stats(bfp_back, a);
+  EXPECT_LT(sb.rel_rmse, se.rel_rmse);
+  EXPECT_GT(sb.snr_db, se.snr_db + 5.0);  // several dB better
+}
+
+}  // namespace
+}  // namespace bfpsim

@@ -1,0 +1,134 @@
+// Tests pinning the resource model to the paper's published numbers:
+// Table II component breakdown, the Fig. 6 / Section I ratios, and the
+// Table III full-system totals.
+#include "resource/designs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "resource/related_work.hpp"
+
+namespace bfpsim {
+namespace {
+
+TEST(ResourceVec, Arithmetic) {
+  const Resources a{10, 20, 2, 4};
+  const Resources b{1, 2, 0.5, 1};
+  const Resources s = a + b;
+  EXPECT_DOUBLE_EQ(s.lut, 11);
+  EXPECT_DOUBLE_EQ(s.ff, 22);
+  EXPECT_DOUBLE_EQ(s.bram, 2.5);
+  EXPECT_DOUBLE_EQ(s.dsp, 5);
+  const Resources d = (a * 2.0).normalized_to(a);
+  EXPECT_DOUBLE_EQ(d.lut, 2.0);
+  EXPECT_DOUBLE_EQ(d.dsp, 2.0);
+}
+
+TEST(TableII, ComponentBreakdownMatchesPaper) {
+  const DesignUsage pu = multimode_pu_breakdown();
+  auto find = [&](const std::string& name) -> Resources {
+    for (const auto& c : pu.components) {
+      if (c.name == name) return c.res;
+    }
+    ADD_FAILURE() << "missing component " << name;
+    return {};
+  };
+  // Exact Table II anchors.
+  const Resources pe = find("PE Array");
+  EXPECT_NEAR(pe.lut, 1317, 1);
+  EXPECT_NEAR(pe.ff, 1536, 1);
+  EXPECT_DOUBLE_EQ(pe.dsp, 64);
+  const Resources sh = find("Shifter & ACC");
+  EXPECT_NEAR(sh.lut, 768, 1);
+  EXPECT_NEAR(sh.ff, 644, 1);
+  EXPECT_DOUBLE_EQ(sh.dsp, 8);
+  const Resources buf = find("Buffer & Layout Converter");
+  EXPECT_NEAR(buf.lut, 752, 1);
+  EXPECT_NEAR(buf.ff, 764, 1);
+  EXPECT_NEAR(buf.bram, 50.0, 0.1);
+  const Resources eu = find("Exponent Unit");
+  EXPECT_NEAR(eu.lut, 269, 1);
+  EXPECT_NEAR(eu.ff, 195, 1);
+  // Totals.
+  const Resources total = pu.total();
+  EXPECT_NEAR(total.lut, 7348, 5);
+  EXPECT_NEAR(total.ff, 10329, 5);
+  EXPECT_NEAR(total.bram, 57.5, 0.1);
+  EXPECT_DOUBLE_EQ(total.dsp, 72);
+}
+
+TEST(Fig6, Bfp8MatchesInt8DspAndFfClaims) {
+  const Resources int8 = assessed_subset(DesignVariant::kInt8).total();
+  const Resources bfp8 = assessed_subset(DesignVariant::kBfp8Only).total();
+  // Section I: "consumes the same number of DSPs and 1.19x more FFs".
+  EXPECT_DOUBLE_EQ(bfp8.dsp, int8.dsp);
+  EXPECT_NEAR(bfp8.ff / int8.ff, 1.19, 0.01);
+  // More LUTs due to the mantissa alignment shifter.
+  EXPECT_GT(bfp8.lut, int8.lut);
+}
+
+TEST(Fig6, MultiModeLutOverheadIs294xOnPeArray) {
+  const DesignUsage bfp = assessed_subset(DesignVariant::kBfp8Only);
+  const DesignUsage multi = assessed_subset(DesignVariant::kMultiMode);
+  const double bfp_pe = bfp.components.front().res.lut;
+  const double multi_pe = multi.components.front().res.lut;
+  EXPECT_NEAR(multi_pe / bfp_pe, 2.94, 0.01);
+  // FF and DSP nearly identical to the bfp8-only array (Section III-A).
+  EXPECT_DOUBLE_EQ(multi.total().dsp, bfp.total().dsp);
+  EXPECT_NEAR(multi.total().ff / bfp.total().ff, 1.0, 0.1);
+}
+
+TEST(Fig6, IndividualDesignCostsMatchSavingsClaims) {
+  const Resources multi = assessed_subset(DesignVariant::kMultiMode).total();
+  const Resources indiv =
+      assessed_subset(DesignVariant::kIndividual).total();
+  // Section I: multi-mode saves 20.0% DSP, 61.2% FF, 43.6% LUT vs indiv.
+  EXPECT_NEAR(1.0 - multi.dsp / indiv.dsp, 0.200, 0.005);
+  EXPECT_NEAR(1.0 - multi.ff / indiv.ff, 0.612, 0.005);
+  EXPECT_NEAR(1.0 - multi.lut / indiv.lut, 0.436, 0.005);
+}
+
+TEST(Fig6, ScalesWithGeometry) {
+  const Resources small = assessed_subset(DesignVariant::kMultiMode, 4, 4).total();
+  const Resources big = assessed_subset(DesignVariant::kMultiMode, 16, 16).total();
+  EXPECT_LT(small.dsp, big.dsp);
+  EXPECT_LT(small.lut, big.lut);
+  EXPECT_DOUBLE_EQ(small.dsp, 4 * 4 + 4);   // PEs + per-column ACC DSPs
+  EXPECT_DOUBLE_EQ(big.dsp, 16 * 16 + 16);
+}
+
+TEST(TableIII, FullSystemTotalsMatchPaper) {
+  const Resources total = full_system().total();
+  EXPECT_NEAR(total.lut / 1000.0, 410.6, 2.0);
+  EXPECT_NEAR(total.ff / 1000.0, 602.7, 2.0);
+  EXPECT_NEAR(total.bram, 1353, 10);
+  EXPECT_NEAR(total.dsp, 2163, 5);
+}
+
+TEST(TableIII, RelatedWorkRowsComplete) {
+  const auto rows = related_work_rows();
+  ASSERT_EQ(rows.size(), 7u);
+  for (const auto& r : rows) {
+    EXPECT_FALSE(r.work.empty());
+    EXPECT_GT(r.throughput_gops, 0.0);
+    if (r.dsp > 0) {
+      EXPECT_NEAR(r.gops_per_dsp, r.throughput_gops / r.dsp, 1e-9);
+    }
+  }
+  // Spot-check a published efficiency figure: Lian et al. = 0.74 GOPS/DSP.
+  EXPECT_NEAR(rows[0].gops_per_dsp, 0.74, 0.01);
+}
+
+TEST(TableIII, OurRowBeatsTransformerPeersOnEfficiency) {
+  const AcceleratorSystem sys;
+  const AcceleratorRow ours = ours_row(sys);
+  EXPECT_NEAR(ours.gops_per_dsp, 0.95, 0.05);  // paper: 0.95 GOPS/DSP
+  for (const auto& r : related_work_rows()) {
+    if (r.application == "Transformer") {
+      EXPECT_GT(ours.gops_per_dsp, r.gops_per_dsp) << r.work;
+    }
+  }
+  EXPECT_FALSE(ours.needs_retraining);
+}
+
+}  // namespace
+}  // namespace bfpsim

@@ -1,0 +1,144 @@
+// Tests for the simulation bookkeeping substrate (clock, counters, trace)
+// and the table formatter the benches rely on.
+#include "sim/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sim/counters.hpp"
+#include "sim/trace.hpp"
+
+namespace bfpsim {
+namespace {
+
+TEST(SimClock, TickAndSeconds) {
+  SimClock clk(100e6);
+  EXPECT_EQ(clk.cycle(), 0u);
+  clk.tick();
+  clk.tick(99);
+  EXPECT_EQ(clk.cycle(), 100u);
+  EXPECT_DOUBLE_EQ(clk.seconds(), 1e-6);
+}
+
+TEST(SimClock, PhaseCharging) {
+  SimClock clk;
+  clk.charge("preload", 8);
+  clk.charge("stream", 512);
+  clk.charge("preload", 8);
+  EXPECT_EQ(clk.charged("preload"), 16u);
+  EXPECT_EQ(clk.charged("stream"), 512u);
+  EXPECT_EQ(clk.charged("unknown"), 0u);
+  clk.reset();
+  EXPECT_EQ(clk.charged("preload"), 0u);
+  EXPECT_EQ(clk.cycle(), 0u);
+}
+
+TEST(SimClock, RejectsBadFrequency) {
+  EXPECT_THROW(SimClock(-1.0), Error);
+}
+
+TEST(SimClock, ThroughputHelpers) {
+  EXPECT_DOUBLE_EQ(ops_per_second(1000, 100, 300e6), 3e9);
+  EXPECT_DOUBLE_EQ(ops_per_second(1, 0, 300e6), 0.0);
+  EXPECT_DOUBLE_EQ(to_gops(2.052e12), 2052.0);
+  EXPECT_DOUBLE_EQ(to_tops(2.052e12), 2.052);
+}
+
+TEST(Counters, AddGetMergeReport) {
+  Counters a;
+  a.add("dsp.ops", 10);
+  a.add("dsp.ops", 5);
+  a.add("bram.reads");
+  EXPECT_EQ(a.get("dsp.ops"), 15u);
+  EXPECT_EQ(a.get("missing"), 0u);
+  Counters b;
+  b.add("dsp.ops", 1);
+  b.add("other", 7);
+  a.merge(b);
+  EXPECT_EQ(a.get("dsp.ops"), 16u);
+  EXPECT_EQ(a.get("other"), 7u);
+  const std::string rep = a.report();
+  EXPECT_NE(rep.find("dsp.ops=16"), std::string::npos);
+  a.reset();
+  EXPECT_EQ(a.get("dsp.ops"), 0u);
+}
+
+TEST(Trace, RecordsOnlyWhenEnabled) {
+  Trace t;
+  t.record(1, "pe", "ignored");
+  EXPECT_TRUE(t.events().empty());
+  t.enable(true);
+  t.record(2, "pe", "mac");
+  t.record(3, "eu", "align");
+  t.record(4, "pe", "mac2");
+  EXPECT_EQ(t.events().size(), 3u);
+  EXPECT_EQ(t.for_component("pe").size(), 2u);
+  EXPECT_NE(t.to_string().find("[3] eu: align"), std::string::npos);
+  t.clear();
+  EXPECT_TRUE(t.events().empty());
+}
+
+TEST(TextTable, RendersAlignedGrid) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_separator();
+  t.add_row({"b", "23456"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| alpha |"), std::string::npos);
+  EXPECT_NE(s.find("| 23456 |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TextTable, RejectsBadRows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+  EXPECT_THROW(t.set_align(5, Align::kLeft), Error);
+}
+
+TEST(TextTable, Formatters) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_ratio(1.190, 2), "1.19x");
+  EXPECT_EQ(fmt_percent(97.154, 2), "97.15%");
+  const std::string bar = ascii_bar("x", 5.0, 10.0, 10, "u");
+  EXPECT_NE(bar.find("#####"), std::string::npos);
+  EXPECT_NE(bar.find("5.00 u"), std::string::npos);
+}
+
+TEST(Stats, MeanAndStddev) {
+  const double xs[] = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_NEAR(stddev(xs), 1.2909944, 1e-6);
+  EXPECT_EQ(mean(std::span<const double>{}), 0.0);
+  const double one[] = {5.0};
+  EXPECT_EQ(stddev(one), 0.0);
+}
+
+TEST(Stats, ErrorStatsBasics) {
+  const float a[] = {1.0F, 2.0F, 3.0F};
+  const float b[] = {1.0F, 2.0F, 3.0F};
+  const ErrorStats s = compute_error_stats(a, b);
+  EXPECT_EQ(s.max_abs, 0.0);
+  EXPECT_TRUE(std::isinf(s.snr_db));
+  const float c[] = {1.1F, 2.0F, 3.0F};
+  const ErrorStats s2 = compute_error_stats(c, b);
+  EXPECT_NEAR(s2.max_abs, 0.1, 1e-6);
+  EXPECT_GT(s2.snr_db, 20.0);
+  EXPECT_LT(s2.snr_db, 40.0);
+}
+
+TEST(Stats, CosineSimilarity) {
+  const float a[] = {1.0F, 0.0F};
+  const float b[] = {0.0F, 1.0F};
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, a), 1.0);
+  const float z[] = {0.0F, 0.0F};
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, z), 0.0);
+}
+
+}  // namespace
+}  // namespace bfpsim

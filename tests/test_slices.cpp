@@ -1,0 +1,195 @@
+// Tests for fp32 mantissa slicing (Eqn 5) and the sliced multiply / aligned
+// add datapaths, including ULP-error bounds against IEEE arithmetic.
+#include "numerics/slices.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dsp/dsp48e2.hpp"
+#include "numerics/fp32.hpp"
+
+namespace bfpsim {
+namespace {
+
+TEST(Slices, SliceJoinRoundTrip) {
+  Rng rng(21);
+  for (int i = 0; i < 2000; ++i) {
+    const auto m = static_cast<std::uint32_t>(
+        rng.uniform_int(0, (1 << 24) - 1));
+    EXPECT_EQ(join_slices(slice_mantissa(m)), m);
+  }
+}
+
+TEST(Slices, SliceValues) {
+  const MantissaSlices s = slice_mantissa(0xABCDEFu);
+  EXPECT_EQ(s[0], 0xEF);
+  EXPECT_EQ(s[1], 0xCD);
+  EXPECT_EQ(s[2], 0xAB);
+}
+
+TEST(Slices, ScheduleHasEightTermsCoveringAllButLsb) {
+  const auto& sched = fp32_mul_schedule();
+  bool seen[3][3] = {};
+  for (const auto& t : sched) {
+    EXPECT_FALSE(t.xi == 0 && t.yj == 0) << "LSB product must be omitted";
+    EXPECT_FALSE(seen[t.xi][t.yj]) << "duplicate term";
+    seen[t.xi][t.yj] = true;
+    EXPECT_EQ(t.rel_shift, 8 * (t.xi + t.yj) - kDroppedShift);
+    EXPECT_EQ(t.pre_shift_x + t.pre_shift_y, t.rel_shift);
+  }
+  int count = 0;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      if (seen[i][j]) ++count;
+    }
+  }
+  EXPECT_EQ(count, 8);
+}
+
+TEST(Slices, PreShiftedSlicesFitDspPorts) {
+  // Section II-D: "the 27-bit & 18-bit input widths of DSP48E2 support such
+  // pre-shifting without encountering overflow" — verify for the maximal
+  // slice value 0xFF.
+  for (const auto& t : fp32_mul_schedule()) {
+    const std::int64_t x = std::int64_t{0xFF} << t.pre_shift_x;
+    const std::int64_t y = std::int64_t{0xFF} << t.pre_shift_y;
+    EXPECT_TRUE(fits_signed(x, kDspAWidth))
+        << "xi=" << t.xi << " shift=" << t.pre_shift_x;
+    EXPECT_TRUE(fits_signed(y, kDspBWidth))
+        << "yj=" << t.yj << " shift=" << t.pre_shift_y;
+  }
+}
+
+TEST(Slices, MaxTotalPreShiftIs24) {
+  int max_shift = 0;
+  for (const auto& t : fp32_mul_schedule()) {
+    max_shift = std::max(max_shift, t.rel_shift);
+  }
+  EXPECT_EQ(max_shift, 24);  // Section II-D's stated maximum
+}
+
+TEST(Slices, SlicedProductEqualsFullProductMinusLsbTerm) {
+  Rng rng(22);
+  for (int i = 0; i < 5000; ++i) {
+    const auto mx = static_cast<std::uint32_t>(
+        rng.uniform_int(0, (1 << 24) - 1));
+    const auto my = static_cast<std::uint32_t>(
+        rng.uniform_int(0, (1 << 24) - 1));
+    const std::uint64_t full =
+        static_cast<std::uint64_t>(mx) * my;
+    const std::uint64_t lsb = static_cast<std::uint64_t>(mx & 0xFF) *
+                              (my & 0xFF);
+    EXPECT_EQ(sliced_mantissa_product(mx, my), (full - lsb) >> 8);
+  }
+}
+
+TEST(SlicedMul, ExactForSmallMantissas) {
+  // Products whose exact result fits 24 bits and whose LSB slices are zero
+  // are computed exactly.
+  EXPECT_FLOAT_EQ(fp32_mul_sliced(2.0F, 3.0F), 6.0F);
+  EXPECT_FLOAT_EQ(fp32_mul_sliced(-2.0F, 3.0F), -6.0F);
+  EXPECT_FLOAT_EQ(fp32_mul_sliced(0.5F, 0.25F), 0.125F);
+  EXPECT_FLOAT_EQ(fp32_mul_sliced(1.5F, -1.5F), -2.25F);
+}
+
+TEST(SlicedMul, ZeroHandling) {
+  EXPECT_EQ(fp32_mul_sliced(0.0F, 123.456F), 0.0F);
+  EXPECT_TRUE(std::signbit(fp32_mul_sliced(-0.0F, 2.0F)));
+  EXPECT_TRUE(std::signbit(fp32_mul_sliced(5.0F, -0.0F)));
+}
+
+TEST(SlicedMul, RejectsSpecials) {
+  EXPECT_THROW(
+      fp32_mul_sliced(std::numeric_limits<float>::infinity(), 1.0F), Error);
+  EXPECT_THROW(
+      fp32_mul_sliced(1.0F, std::numeric_limits<float>::quiet_NaN()), Error);
+}
+
+TEST(SlicedMul, WithinOneUlpOfIeee) {
+  // Dropping the (0,0) partial product perturbs the 48-bit product by less
+  // than 2^16, i.e. below half an output ulp except at rounding boundaries:
+  // the sliced result is within 1 ulp of the IEEE product.
+  Rng rng(23);
+  std::int64_t worst = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const float x = random_normal_fp32(rng, 90, 160);
+    const float y = random_normal_fp32(rng, 90, 160);
+    const float ieee = x * y;
+    if (!std::isfinite(ieee) || std::fabs(ieee) <
+        std::numeric_limits<float>::min()) {
+      continue;  // stay within the normal range for the ULP metric
+    }
+    const float got = fp32_mul_sliced(x, y, /*round_nearest_even=*/true);
+    const std::int64_t d = ulp_distance(got, ieee);
+    worst = std::max(worst, d);
+    ASSERT_LE(d, 1) << fp32_fields(x) << " * " << fp32_fields(y);
+  }
+  // The error is not always zero (the dropped term matters sometimes).
+  EXPECT_GE(worst, 0);
+}
+
+TEST(SlicedMul, TruncationIsAtMostTwoUlps) {
+  Rng rng(24);
+  for (int i = 0; i < 10000; ++i) {
+    const float x = random_normal_fp32(rng, 90, 160);
+    const float y = random_normal_fp32(rng, 90, 160);
+    const float ieee = x * y;
+    if (!std::isfinite(ieee) || std::fabs(ieee) <
+        std::numeric_limits<float>::min()) {
+      continue;
+    }
+    const float got = fp32_mul_sliced(x, y, /*round_nearest_even=*/false);
+    ASSERT_LE(ulp_distance(got, ieee), 2);
+  }
+}
+
+TEST(AlignedAdd, ExactWhenExponentsMatch) {
+  EXPECT_FLOAT_EQ(fp32_add_aligned(1.5F, 1.25F), 2.75F);
+  EXPECT_FLOAT_EQ(fp32_add_aligned(-1.5F, 1.25F), -0.25F);
+  EXPECT_FLOAT_EQ(fp32_add_aligned(3.0F, -3.0F), 0.0F);
+}
+
+TEST(AlignedAdd, TruncationErrorBounded) {
+  Rng rng(25);
+  for (int i = 0; i < 20000; ++i) {
+    const float x = random_normal_fp32(rng, 110, 140);
+    const float y = random_normal_fp32(rng, 110, 140);
+    const float ieee = x + y;
+    const float got = fp32_add_aligned(x, y);
+    if (ieee == 0.0F) {
+      // Catastrophic cancellation: the aligned path also returns ~0.
+      EXPECT_NEAR(got, 0.0F, 1e-30F);
+      continue;
+    }
+    if (std::fabs(ieee) < std::numeric_limits<float>::min()) continue;
+    // Heavy cancellation amplifies the dropped alignment bits arbitrarily
+    // (no guard bits in this datapath — a documented deviation from IEEE);
+    // bound the error only away from cancellation.
+    if (std::fabs(ieee) < 1e-3F * std::max(std::fabs(x), std::fabs(y))) {
+      continue;
+    }
+    // No guard/round/sticky bits: the alignment truncation costs up to one
+    // unit of the pre-normalization grid, which renormalization amplifies
+    // by the cancellation factor.
+    const double cancel =
+        std::max(std::fabs(x), std::fabs(y)) / std::fabs(ieee);
+    const auto allowed = static_cast<std::int64_t>(2.0 + 2.0 * cancel);
+    ASSERT_LE(ulp_distance(got, ieee), allowed)
+        << fp32_fields(x) << " + " << fp32_fields(y);
+  }
+}
+
+TEST(AlignedAdd, LargeExponentGapReturnsLargerOperand) {
+  const float big = 1.0e20F;
+  const float small = 1.0e-20F;
+  EXPECT_FLOAT_EQ(fp32_add_aligned(big, small), big);
+  EXPECT_FLOAT_EQ(fp32_add_aligned(small, big), big);
+}
+
+}  // namespace
+}  // namespace bfpsim

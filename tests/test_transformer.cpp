@@ -1,0 +1,203 @@
+// Tests for the transformer substrate: op counting, the workload/latency
+// breakdown behind Table IV, and mixed-precision forward accuracy on a
+// small model.
+#include "transformer/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "transformer/latency.hpp"
+
+namespace bfpsim {
+namespace {
+
+TEST(VitConfig, TokenCounts) {
+  EXPECT_EQ(deit_small().tokens(), 197);
+  EXPECT_EQ(deit_tiny().tokens(), 197);
+  EXPECT_EQ(deit_small().head_dim(), 64);
+  EXPECT_EQ(deit_small().mlp_hidden(), 1536);
+  EXPECT_EQ(vit_test_tiny().tokens(), 17);
+}
+
+TEST(VitConfig, Validation) {
+  VitConfig bad = deit_small();
+  bad.embed_dim = 100;  // not a multiple of heads=6
+  EXPECT_THROW(bad.validate(), Error);
+}
+
+TEST(OpCounts, DeitSmallLinearMacs) {
+  const LinearOpCounts c = count_linear_macs(deit_small());
+  // Per block: QKV 197*384*1152 = 87.2M, attention 2*6*197*197*64 = 29.8M,
+  // proj 29.1M, MLP 232.4M -> ~378.5M MACs; x12 blocks ~4.54G.
+  EXPECT_NEAR(static_cast<double>(c.total_macs()) / 1e9, 4.54, 0.05);
+  EXPECT_EQ(c.qkv, 12ull * 197 * 384 * 1152);
+  EXPECT_EQ(c.attn_qk, c.attn_av);
+  EXPECT_EQ(c.mlp, 12ull * 2 * 197 * 384 * 1536);
+}
+
+TEST(OpCounts, NonlinearElementCounts) {
+  const NonlinearElemCounts e = count_nonlinear_elems(deit_small());
+  EXPECT_EQ(e.layernorm_elems, 12ull * 2 * 197 * 384);
+  EXPECT_EQ(e.softmax_elems, 12ull * 6 * 197 * 197);
+  EXPECT_EQ(e.gelu_elems, 12ull * 197 * 1536);
+}
+
+TEST(OpCounts, NonlinearCostModelSane) {
+  const NonlinearCostModel m = measure_nonlinear_costs(197, 384);
+  // exp-dominated softmax: the degree-16 Chebyshev exp costs ~53 device
+  // ops per element (the paper's Table IV implies ~52).
+  EXPECT_GT(m.softmax_device_ops_per_elem, 40.0);
+  EXPECT_LT(m.softmax_device_ops_per_elem, 75.0);
+  // One host division per row amortized over the row.
+  EXPECT_GT(m.softmax_host_ops_per_elem, 0.9);  // incl. row-max compares
+  // GELU: polynomial tanh.
+  EXPECT_GT(m.gelu_device_ops_per_elem, 10.0);
+  EXPECT_LT(m.gelu_device_ops_per_elem, 30.0);
+  // LayerNorm: a handful of ops per element.
+  EXPECT_GT(m.layernorm_device_ops_per_elem, 3.0);
+  EXPECT_LT(m.layernorm_device_ops_per_elem, 12.0);
+}
+
+TEST(TableIV, ShapeMatchesPaperClaims) {
+  const AcceleratorSystem sys;
+  const WorkloadBreakdown b = analyze_workload(deit_small(), sys);
+  ASSERT_EQ(b.rows.size(), 4u);
+  EXPECT_EQ(b.rows[0].partition, "bfp8 MatMul");
+  // The paper's headline claims: fp32 is a tiny share of the operations...
+  EXPECT_LT(b.fp32_ops_share, 0.05);
+  // ...but dominates the end-to-end latency.
+  EXPECT_GT(b.fp32_latency_share, 0.60);
+  // SoftMax is the largest fp32 latency contributor (Table IV: 65.9%).
+  double softmax_lat = 0.0;
+  double max_other = 0.0;
+  for (const auto& r : b.rows) {
+    if (r.partition == "fp32 SoftMax") {
+      softmax_lat = r.latency_ms;
+    } else if (r.partition != "bfp8 MatMul") {
+      max_other = std::max(max_other, r.latency_ms);
+    }
+  }
+  EXPECT_GT(softmax_lat, max_other);
+  // Proportions sum to one.
+  double ops_sum = 0.0;
+  double lat_sum = 0.0;
+  for (const auto& r : b.rows) {
+    ops_sum += r.ops_proportion;
+    lat_sum += r.latency_proportion;
+  }
+  EXPECT_NEAR(ops_sum, 1.0, 1e-9);
+  EXPECT_NEAR(lat_sum, 1.0, 1e-9);
+}
+
+TEST(TableIV, ResidualRowIsExtra) {
+  const AcceleratorSystem sys;
+  const WorkloadBreakdown b =
+      analyze_workload(deit_small(), sys, /*include_residuals=*/true);
+  EXPECT_EQ(b.rows.size(), 5u);
+}
+
+TEST(VitModel, ReferenceForwardIsDeterministic) {
+  const VitConfig cfg = vit_test_tiny();
+  const VitModel model(random_weights(cfg, 1));
+  const auto x = random_embeddings(cfg, 2);
+  const auto y1 = model.forward_reference(x);
+  const auto y2 = model.forward_reference(x);
+  ASSERT_EQ(y1.size(), y2.size());
+  for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_EQ(y1[i], y2[i]);
+}
+
+TEST(VitModel, MixedForwardTracksReference) {
+  const VitConfig cfg = vit_test_tiny();
+  const VitModel model(random_weights(cfg, 3));
+  const AcceleratorSystem sys;
+  const auto x = random_embeddings(cfg, 4);
+  const auto ref = model.forward_reference(x);
+  ForwardStats stats;
+  const auto mixed = model.forward_mixed(x, sys, &stats);
+  const ErrorStats s = compute_error_stats(mixed, ref);
+  // bfp8 linear + approximate non-linear: closely tracks fp32 without any
+  // retraining (the paper's deployment claim).
+  EXPECT_GT(s.snr_db, 20.0);
+  EXPECT_GT(cosine_similarity(mixed, ref), 0.995);
+  // Stats recorded.
+  EXPECT_GT(stats.bfp_macs, 0u);
+  EXPECT_GT(stats.linear_cycles, 0u);
+  EXPECT_GT(stats.vector_cycles, 0u);
+  EXPECT_GT(stats.nonlinear_ops.host_div, 0u);
+}
+
+TEST(VitModel, MixedMacCountMatchesAnalytic) {
+  const VitConfig cfg = vit_test_tiny();
+  const VitModel model(random_weights(cfg, 5));
+  const AcceleratorSystem sys;
+  ForwardStats stats;
+  model.forward_mixed(random_embeddings(cfg, 6), sys, &stats);
+  EXPECT_EQ(stats.bfp_macs, count_linear_macs(cfg).total_macs());
+}
+
+TEST(VitModel, PrecisionPolicyControlsQuantization) {
+  const VitConfig cfg = vit_test_tiny();
+  const VitModel model(random_weights(cfg, 10));
+  const AcceleratorSystem sys;
+  const auto x = random_embeddings(cfg, 11);
+  const auto ref = model.forward_reference(x);
+
+  ForwardStats all_stats;
+  const auto all = model.forward_mixed(x, sys, &all_stats,
+                                       PrecisionPolicy::all_bfp8());
+  ForwardStats none_stats;
+  const auto none = model.forward_mixed(x, sys, &none_stats,
+                                        PrecisionPolicy::all_fp32());
+  // The fp32 policy performs no bfp MACs and tracks the reference far more
+  // closely (only the nonlinear approximations remain).
+  EXPECT_EQ(none_stats.bfp_macs, 0u);
+  EXPECT_GT(all_stats.bfp_macs, 0u);
+  EXPECT_GT(compute_error_stats(none, ref).snr_db,
+            compute_error_stats(all, ref).snr_db + 10.0);
+
+  // A partial policy quantizes strictly fewer MACs than the full one.
+  PrecisionPolicy mlp_only = PrecisionPolicy::all_fp32();
+  mlp_only.mlp = true;
+  ForwardStats part_stats;
+  model.forward_mixed(x, sys, &part_stats, mlp_only);
+  EXPECT_GT(part_stats.bfp_macs, 0u);
+  EXPECT_LT(part_stats.bfp_macs, all_stats.bfp_macs);
+}
+
+TEST(VitModel, Int8ForwardRunsAndIsWorseThanMixed) {
+  const VitConfig cfg = vit_test_tiny();
+  const VitModel model(random_weights(cfg, 8));
+  const AcceleratorSystem sys;
+  // Channel-structured outliers make per-tensor int8 (with its int8
+  // residual stream) measurably worse than the bfp8+fp32 deployment.
+  const auto x = random_embeddings(cfg, 9, /*outlier_fraction=*/0.06,
+                                   /*outlier_scale=*/30.0F);
+  const auto ref = model.forward_reference(x);
+  const auto mixed = model.forward_mixed(x, sys);
+  const auto i8 = model.forward_int8(x);
+  ASSERT_EQ(i8.size(), ref.size());
+  const double snr_mixed = compute_error_stats(mixed, ref).snr_db;
+  const double snr_i8 = compute_error_stats(i8, ref).snr_db;
+  EXPECT_GT(snr_mixed, snr_i8 + 3.0);
+  // Deterministic.
+  const auto i8b = model.forward_int8(x);
+  for (std::size_t i = 0; i < i8.size(); ++i) ASSERT_EQ(i8[i], i8b[i]);
+}
+
+TEST(VitModel, ClassifyAgreesBetweenModes) {
+  const VitConfig cfg = vit_test_tiny();
+  const VitModel model(random_weights(cfg, 7));
+  const AcceleratorSystem sys;
+  std::vector<std::vector<float>> ref_logits;
+  std::vector<std::vector<float>> mixed_logits;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto x = random_embeddings(cfg, 100 + seed);
+    ref_logits.push_back(model.classify(model.forward_reference(x)));
+    mixed_logits.push_back(model.classify(model.forward_mixed(x, sys)));
+  }
+  // Top-1 decisions should almost always agree (no-retraining deployment).
+  EXPECT_GE(top1_agreement(ref_logits, mixed_logits), 0.75);
+}
+
+}  // namespace
+}  // namespace bfpsim

@@ -1,0 +1,237 @@
+// bfpsim command-line driver: poke the accelerator model without writing
+// C++. Subcommands:
+//
+//   bfpsim info
+//   bfpsim gemm <M> <K> <N>
+//   bfpsim softmax <ROWS> <COLS> [--softermax]
+//   bfpsim deit <tiny|small|base> [--softermax]
+//   bfpsim throughput
+//   bfpsim batch <tiny|small|base> <BATCH>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "core/accelerator.hpp"
+#include "numerics/nonlinear.hpp"
+#include "resource/designs.hpp"
+#include "transformer/latency.hpp"
+#include "transformer/serving.hpp"
+
+namespace {
+
+using namespace bfpsim;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  bfpsim info\n"
+      "  bfpsim gemm <M> <K> <N>\n"
+      "  bfpsim softmax <ROWS> <COLS> [--softermax]\n"
+      "  bfpsim deit <tiny|small|base> [--softermax]\n"
+      "  bfpsim throughput\n"
+      "  bfpsim batch <tiny|small|base> <BATCH>\n"
+      "  bfpsim resources [unit|system]\n");
+  return 2;
+}
+
+VitConfig pick_config(const std::string& which) {
+  if (which == "tiny") return deit_tiny();
+  if (which == "small") return deit_small();
+  if (which == "base") return deit_base();
+  throw Error("unknown model '" + which + "' (tiny|small|base)");
+}
+
+int cmd_info() {
+  const Accelerator acc;
+  const auto& cfg = acc.system().config();
+  std::printf("bfpsim — bfp8/fp32 multi-mode transformer accelerator model\n");
+  std::printf("platform: %d units x %d arrays (8x8 PEs) @ %.0f MHz, "
+              "2x256-bit AXI/unit\n",
+              cfg.num_units, cfg.arrays_per_unit, cfg.pu.freq_hz / 1e6);
+  std::printf("  bfp8 peak        : %8.1f GOPS   (Eqn 7)\n",
+              acc.peak_bfp_ops() / 1e9);
+  std::printf("  bfp8 sustained   : %8.1f GOPS   (memory model; paper "
+              "2052.06)\n",
+              acc.sustained_bfp_ops() / 1e9);
+  std::printf("  fp32 theoretical : %8.2f GFLOPS (Eqn 8/10 @L=128; paper "
+              "33.88)\n",
+              acc.system().theoretical_fp32_system(128) / 1e9);
+  std::printf("  fp32 sustained   : %8.2f GFLOPS (memory model)\n",
+              acc.sustained_fp32_flops() / 1e9);
+  return 0;
+}
+
+int cmd_gemm(int m, int k, int n) {
+  const Accelerator acc;
+  Rng rng(1);
+  const auto a = rng.normal_vec(
+      static_cast<std::size_t>(m) * static_cast<std::size_t>(k), 0.0F, 1.0F);
+  const auto b = rng.normal_vec(
+      static_cast<std::size_t>(k) * static_cast<std::size_t>(n), 0.0F, 1.0F);
+  const GemmRun run = acc.matmul(a, m, k, b, n);
+
+  std::vector<float> ref(static_cast<std::size_t>(m) *
+                         static_cast<std::size_t>(n));
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (int x = 0; x < k; ++x) {
+        s += static_cast<double>(a[static_cast<std::size_t>(i) * k + x]) *
+             b[static_cast<std::size_t>(x) * n + j];
+      }
+      ref[static_cast<std::size_t>(i) * n + j] = static_cast<float>(s);
+    }
+  }
+  const double freq = acc.system().config().pu.freq_hz;
+  std::printf("bfp8 GEMM %dx%dx%d:\n", m, k, n);
+  std::printf("  SNR vs fp32 : %.1f dB\n",
+              compute_error_stats(run.c, ref).snr_db);
+  std::printf("  latency     : %.3f ms (%llu cycles)\n",
+              static_cast<double>(run.compute_cycles) / freq * 1e3,
+              static_cast<unsigned long long>(run.compute_cycles));
+  std::printf("  sustained   : %.1f GOPS\n",
+              static_cast<double>(2 * run.macs) /
+                  (static_cast<double>(run.compute_cycles) / freq) / 1e9);
+  return 0;
+}
+
+int cmd_softmax(int rows, int cols, bool softermax) {
+  const Accelerator acc;
+  Rng rng(2);
+  const auto x = rng.normal_vec(
+      static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), 0.0F,
+      2.0F);
+  Executor ex = acc.make_executor();
+  ex.set_tensor(kernels::kIn, rows, cols, x);
+  const ExecutionStats stats =
+      ex.run(kernels::softmax(rows, cols, softermax));
+  const auto got = ex.tensor(kernels::kOut).data;
+  const auto ref = softmax_reference(x, rows, cols);
+  const double freq = acc.system().config().pu.freq_hz;
+  std::printf("softmax %dx%d (%s exp):\n", rows, cols,
+              softermax ? "softermax split" : "plain Chebyshev");
+  std::printf("  max abs err : %.2e\n",
+              compute_error_stats(got, ref).max_abs);
+  std::printf("  device ops  : %llu\n",
+              static_cast<unsigned long long>(stats.ops.device_flops()));
+  std::printf("  host divs   : %llu\n",
+              static_cast<unsigned long long>(stats.ops.host_div));
+  std::printf("  latency     : %.3f ms\n",
+              static_cast<double>(stats.device_cycles) / freq * 1e3);
+  return 0;
+}
+
+int cmd_deit(const std::string& which, bool softermax) {
+  const AcceleratorSystem sys;
+  const VitConfig cfg = pick_config(which);
+  const WorkloadBreakdown b =
+      analyze_workload(cfg, sys, false, softermax);
+  std::printf("%s workload partition%s:\n\n", cfg.name.c_str(),
+              softermax ? " (with exp2 unit)" : "");
+  TextTable t({"partition", "MOPs", "ops %", "latency (ms)", "latency %"});
+  for (const auto& r : b.rows) {
+    t.add_row({r.partition, fmt_double(r.mega_ops, 1),
+               fmt_percent(100.0 * r.ops_proportion, 2),
+               fmt_double(r.latency_ms, 3),
+               fmt_percent(100.0 * r.latency_proportion, 2)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("total %.2f ms; fp32 share of latency %.1f%%\n",
+              b.total_latency_ms, 100.0 * b.fp32_latency_share);
+  return 0;
+}
+
+int cmd_throughput() {
+  const AcceleratorSystem sys;
+  std::printf("one unit, measured vs theoretical (Fig. 7):\n\n");
+  TextTable t({"workload", "measured", "theoretical"});
+  for (int n_x : {8, 16, 32, 64}) {
+    t.add_row({"bfp8 N_X=" + std::to_string(n_x),
+               fmt_double(sys.measure_bfp_unit(n_x).ops_per_sec() / 1e9, 1) +
+                   " GOPS",
+               fmt_double(sys.theoretical_bfp_unit(n_x) / 1e9, 1) + " GOPS"});
+  }
+  for (int l : {16, 32, 64, 128}) {
+    t.add_row({"fp32 L=" + std::to_string(l),
+               fmt_double(sys.measure_fp32_unit(l).ops_per_sec() / 1e9, 3) +
+                   " GF",
+               fmt_double(sys.theoretical_fp32_unit(l) / 1e9, 3) + " GF"});
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
+int cmd_batch(const std::string& which, int batch) {
+  const AcceleratorSystem sys;
+  const BatchResult r =
+      batch_transformer_throughput(pick_config(which), sys, batch);
+  std::printf("%s, batch %d on %d units:\n", which.c_str(), batch,
+              sys.config().num_units);
+  std::printf("  per-image latency : %.2f ms\n", r.latency_ms_per_image);
+  std::printf("  throughput        : %.1f images/s\n", r.images_per_second);
+  std::printf("  utilization       : %.1f%%\n", 100.0 * r.utilization);
+  return 0;
+}
+
+int cmd_resources(const std::string& scope) {
+  const DesignUsage d =
+      scope == "system" ? full_system() : multimode_pu_breakdown();
+  std::printf("%s resource utilization (analytical model):\n\n",
+              scope == "system" ? "full-system" : "per-unit");
+  TextTable t({"component", "LUT", "FF", "BRAM", "DSP"});
+  for (const auto& c : d.components) {
+    t.add_row({c.name, fmt_double(c.res.lut, 0), fmt_double(c.res.ff, 0),
+               fmt_double(c.res.bram, 1), fmt_double(c.res.dsp, 0)});
+  }
+  const Resources total = d.total();
+  t.add_separator();
+  t.add_row({"total", fmt_double(total.lut, 0), fmt_double(total.ff, 0),
+             fmt_double(total.bram, 1), fmt_double(total.dsp, 0)});
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
+bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "info") return cmd_info();
+    if (cmd == "gemm" && argc >= 5) {
+      return cmd_gemm(std::atoi(argv[2]), std::atoi(argv[3]),
+                      std::atoi(argv[4]));
+    }
+    if (cmd == "softmax" && argc >= 4) {
+      return cmd_softmax(std::atoi(argv[2]), std::atoi(argv[3]),
+                         has_flag(argc, argv, "--softermax"));
+    }
+    if (cmd == "deit" && argc >= 3) {
+      return cmd_deit(argv[2], has_flag(argc, argv, "--softermax"));
+    }
+    if (cmd == "throughput") return cmd_throughput();
+    if (cmd == "batch" && argc >= 4) {
+      return cmd_batch(argv[2], std::atoi(argv[3]));
+    }
+    if (cmd == "resources") {
+      return cmd_resources(argc >= 3 ? argv[2] : "unit");
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

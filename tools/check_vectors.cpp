@@ -1,0 +1,218 @@
+// Golden-vector checker: re-verifies files produced by gen_vectors against
+// the model. Together the pair forms the handshake an RTL bring-up uses:
+// generate vectors here, replay them on the Verilog, and run this checker
+// on any vectors the RTL side produced.
+//
+// Usage: check_vectors [--dir DIR]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "dsp/packing.hpp"
+#include "numerics/bf16.hpp"
+#include "numerics/bfp.hpp"
+#include "numerics/slices.hpp"
+
+namespace {
+
+using namespace bfpsim;
+
+int failures = 0;
+
+void fail(const std::string& file, int line, const std::string& what) {
+  std::fprintf(stderr, "MISMATCH %s:%d: %s\n", file.c_str(), line,
+               what.c_str());
+  ++failures;
+}
+
+std::uint64_t parse_hex(const std::string& s) {
+  return std::stoull(s, nullptr, 16);
+}
+
+/// Split "lhs -> rhs" into token lists.
+bool split_case(const std::string& line, std::vector<std::string>& lhs,
+                std::vector<std::string>& rhs) {
+  const auto arrow = line.find("->");
+  if (arrow == std::string::npos) return false;
+  auto tokens = [](const std::string& part) {
+    std::vector<std::string> out;
+    std::istringstream is(part);
+    std::string t;
+    while (is >> t) out.push_back(t);
+    return out;
+  };
+  lhs = tokens(line.substr(0, arrow));
+  rhs = tokens(line.substr(arrow + 2));
+  return true;
+}
+
+int check_file(const std::string& dir, const std::string& name,
+               int (*checker)(const std::vector<std::string>&,
+                              const std::vector<std::string>&,
+                              std::string&)) {
+  const std::string path = dir + "/" + name;
+  std::ifstream is(path);
+  if (!is.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 0;
+  }
+  std::string line;
+  int lineno = 0;
+  int cases = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> lhs;
+    std::vector<std::string> rhs;
+    if (!split_case(line, lhs, rhs)) {
+      fail(name, lineno, "malformed line");
+      continue;
+    }
+    std::string why;
+    if (checker(lhs, rhs, why) != 0) fail(name, lineno, why);
+    ++cases;
+  }
+  std::printf("%-16s %d cases checked\n", name.c_str(), cases);
+  return cases;
+}
+
+int check_fp32_mul(const std::vector<std::string>& lhs,
+                   const std::vector<std::string>& rhs, std::string& why) {
+  if (lhs.size() != 2 || rhs.size() != 1) {
+    why = "wrong field count";
+    return 1;
+  }
+  const float x = bits_to_float(static_cast<std::uint32_t>(parse_hex(lhs[0])));
+  const float y = bits_to_float(static_cast<std::uint32_t>(parse_hex(lhs[1])));
+  const auto expect = static_cast<std::uint32_t>(parse_hex(rhs[0]));
+  const std::uint32_t got = float_to_bits(fp32_mul_sliced(x, y, true));
+  if (got != expect) {
+    why = "got " + to_hex(got, 32) + " expected " + to_hex(expect, 32);
+    return 1;
+  }
+  return 0;
+}
+
+int check_fp32_add(const std::vector<std::string>& lhs,
+                   const std::vector<std::string>& rhs, std::string& why) {
+  if (lhs.size() != 2 || rhs.size() != 1) {
+    why = "wrong field count";
+    return 1;
+  }
+  const float x = bits_to_float(static_cast<std::uint32_t>(parse_hex(lhs[0])));
+  const float y = bits_to_float(static_cast<std::uint32_t>(parse_hex(lhs[1])));
+  const auto expect = static_cast<std::uint32_t>(parse_hex(rhs[0]));
+  const std::uint32_t got = float_to_bits(fp32_add_aligned(x, y));
+  if (got != expect) {
+    why = "got " + to_hex(got, 32) + " expected " + to_hex(expect, 32);
+    return 1;
+  }
+  return 0;
+}
+
+int check_bf16_mul(const std::vector<std::string>& lhs,
+                   const std::vector<std::string>& rhs, std::string& why) {
+  if (lhs.size() != 2 || rhs.size() != 1) {
+    why = "wrong field count";
+    return 1;
+  }
+  const Bf16 x{static_cast<std::uint16_t>(parse_hex(lhs[0]))};
+  const Bf16 y{static_cast<std::uint16_t>(parse_hex(lhs[1]))};
+  const auto expect = static_cast<std::uint16_t>(parse_hex(rhs[0]));
+  const Bf16 got = bf16_mul_reference(x, y);
+  if (got.bits != expect) {
+    why = "got " + to_hex(got.bits, 16) + " expected " + to_hex(expect, 16);
+    return 1;
+  }
+  return 0;
+}
+
+int check_packed_mac(const std::vector<std::string>& lhs,
+                     const std::vector<std::string>& rhs, std::string& why) {
+  if (lhs.size() != 24 || rhs.size() != 2) {
+    why = "wrong field count";
+    return 1;
+  }
+  std::int64_t p = 0;
+  for (int k = 0; k < 8; ++k) {
+    const std::int64_t a =
+        sign_extend(parse_hex(lhs[static_cast<std::size_t>(3 * k)]), 8);
+    const std::int64_t d =
+        sign_extend(parse_hex(lhs[static_cast<std::size_t>(3 * k + 1)]), 8);
+    const std::int64_t b =
+        sign_extend(parse_hex(lhs[static_cast<std::size_t>(3 * k + 2)]), 8);
+    p += pack_dual(a, d) * b;
+  }
+  const DualLanes lanes = unpack_dual(p);
+  const std::int64_t eu = sign_extend(parse_hex(rhs[0]), 32);
+  const std::int64_t el = sign_extend(parse_hex(rhs[1]), 32);
+  if (lanes.upper != eu || lanes.lower != el) {
+    why = "lane sums differ";
+    return 1;
+  }
+  return 0;
+}
+
+int check_bfp_matmul(const std::vector<std::string>& lhs,
+                     const std::vector<std::string>& rhs, std::string& why) {
+  // lhs: expX man64 expY man64 (each man64 is one 128-hex-char token).
+  if (lhs.size() != 4 || rhs.size() != 2) {
+    why = "wrong field count";
+    return 1;
+  }
+  const BfpFormat fmt = bfp8_format();
+  auto parse_block = [&](const std::string& exp_tok,
+                         const std::string& man_tok) {
+    BfpBlock b(fmt);
+    b.expb = static_cast<std::int32_t>(sign_extend(parse_hex(exp_tok), 8));
+    for (int i = 0; i < 64; ++i) {
+      const std::string byte = man_tok.substr(static_cast<std::size_t>(2 * i), 2);
+      b.man[static_cast<std::size_t>(i)] =
+          static_cast<std::int16_t>(sign_extend(parse_hex(byte), 8));
+    }
+    return b;
+  };
+  const BfpBlock x = parse_block(lhs[0], lhs[1]);
+  const BfpBlock y = parse_block(lhs[2], lhs[3]);
+  const WideBlock z = bfp_matmul_block(x, y);
+  const std::int64_t expz = sign_extend(parse_hex(rhs[0]), 16);
+  if (z.expb != expz) {
+    why = "exponent differs";
+    return 1;
+  }
+  for (int i = 0; i < 64; ++i) {
+    const std::string word =
+        rhs[1].substr(static_cast<std::size_t>(8 * i), 8);
+    const std::int64_t expect = sign_extend(parse_hex(word), 32);
+    if (z.psu[static_cast<std::size_t>(i)] != expect) {
+      why = "psu[" + std::to_string(i) + "] differs";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = "vectors";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--dir") == 0) dir = argv[i + 1];
+  }
+  int cases = 0;
+  cases += check_file(dir, "fp32_mul.txt", check_fp32_mul);
+  cases += check_file(dir, "fp32_add.txt", check_fp32_add);
+  cases += check_file(dir, "bf16_mul.txt", check_bf16_mul);
+  cases += check_file(dir, "packed_mac.txt", check_packed_mac);
+  cases += check_file(dir, "bfp_matmul.txt", check_bfp_matmul);
+  if (failures != 0) {
+    std::fprintf(stderr, "%d mismatches\n", failures);
+    return 1;
+  }
+  std::printf("all %d cases verified\n", cases);
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Golden test-vector generator: emits stimulus/expected files in a plain
+// hex format that an RTL testbench (the Verilog implementation the paper
+// actually built) could replay against this model. One file per datapath.
+//
+// Usage: gen_vectors [--out DIR] [--count N] [--seed S]
+//
+// Formats (one test case per line, fields space-separated, all hex):
+//   bfp_matmul.txt : expX man64(X) expY man64(Y) -> expZ psu64 (32b each)
+//   fp32_mul.txt   : bits(x) bits(y) -> bits(x*y sliced, RNE)
+//   fp32_add.txt   : bits(x) bits(y) -> bits(x+y aligned)
+//   bf16_mul.txt   : bits16(x) bits16(y) -> bits16(x*y)
+//   packed_mac.txt : 8 x (a d b) int8 hex -> upper lower (lane sums)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/bitops.hpp"
+#include "common/rng.hpp"
+#include "dsp/packing.hpp"
+#include "numerics/bf16.hpp"
+#include "numerics/bfp.hpp"
+#include "numerics/slices.hpp"
+
+namespace {
+
+using namespace bfpsim;
+
+std::ofstream open_out(const std::string& dir, const std::string& name) {
+  const std::string path = dir + "/" + name;
+  std::ofstream os(path);
+  if (!os.is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  return os;
+}
+
+void gen_bfp_matmul(std::ofstream os, Rng& rng, int count) {
+  os << "# expX man64(X) expY man64(Y) -> expZ psu64(32b each)\n"
+     << "# block layout: row-major 8x8; mantissas 8-bit two's complement\n";
+  const BfpFormat fmt = bfp8_format();
+  for (int c = 0; c < count; ++c) {
+    const BfpBlock x = quantize_block(
+        rng.normal_vec(64, 0.0F, std::exp(rng.uniform(-3.0F, 3.0F))), fmt);
+    const BfpBlock y = quantize_block(
+        rng.normal_vec(64, 0.0F, 1.0F), fmt);
+    const WideBlock z = bfp_matmul_block(x, y);
+    os << to_hex(static_cast<std::uint8_t>(x.expb), 8) << " ";
+    for (std::int16_t m : x.man) {
+      os << to_hex(static_cast<std::uint8_t>(m & 0xFF), 8);
+    }
+    os << " " << to_hex(static_cast<std::uint8_t>(y.expb), 8) << " ";
+    for (std::int16_t m : y.man) {
+      os << to_hex(static_cast<std::uint8_t>(m & 0xFF), 8);
+    }
+    os << " -> " << to_hex(static_cast<std::uint16_t>(z.expb & 0xFFFF), 16)
+       << " ";
+    for (std::int64_t p : z.psu) {
+      os << to_hex(static_cast<std::uint32_t>(p & 0xFFFFFFFF), 32);
+    }
+    os << "\n";
+  }
+}
+
+void gen_fp32_mul(std::ofstream os, Rng& rng, int count) {
+  os << "# bits(x) bits(y) -> bits(sliced multiply, RNE)\n";
+  for (int c = 0; c < count; ++c) {
+    const float x = random_normal_fp32(rng, 64, 190);
+    const float y = random_normal_fp32(rng, 64, 190);
+    const float z = fp32_mul_sliced(x, y, true);
+    os << to_hex(float_to_bits(x), 32) << " " << to_hex(float_to_bits(y), 32)
+       << " -> " << to_hex(float_to_bits(z), 32) << "\n";
+  }
+}
+
+void gen_fp32_add(std::ofstream os, Rng& rng, int count) {
+  os << "# bits(x) bits(y) -> bits(aligned add, no guard bits)\n";
+  for (int c = 0; c < count; ++c) {
+    const float x = random_normal_fp32(rng, 100, 150);
+    const float y = random_normal_fp32(rng, 100, 150);
+    const float z = fp32_add_aligned(x, y);
+    os << to_hex(float_to_bits(x), 32) << " " << to_hex(float_to_bits(y), 32)
+       << " -> " << to_hex(float_to_bits(z), 32) << "\n";
+  }
+}
+
+void gen_bf16_mul(std::ofstream os, Rng& rng, int count) {
+  os << "# bits16(x) bits16(y) -> bits16(single-slice multiply)\n";
+  for (int c = 0; c < count; ++c) {
+    const Bf16 x = random_bf16(rng);
+    const Bf16 y = random_bf16(rng);
+    const Bf16 z = bf16_mul_reference(x, y);
+    os << to_hex(x.bits, 16) << " " << to_hex(y.bits, 16) << " -> "
+       << to_hex(z.bits, 16) << "\n";
+  }
+}
+
+void gen_packed_mac(std::ofstream os, Rng& rng, int count) {
+  os << "# 8 x (a d b) int8 hex -> upper lower (signed 32b hex lane sums)\n";
+  for (int c = 0; c < count; ++c) {
+    std::int64_t p = 0;
+    std::int64_t upper = 0;
+    std::int64_t lower = 0;
+    std::vector<std::string> ops;
+    for (int k = 0; k < 8; ++k) {
+      const std::int64_t a = rng.uniform_int(-127, 127);
+      const std::int64_t d = rng.uniform_int(-127, 127);
+      const std::int64_t b = rng.uniform_int(-127, 127);
+      p += pack_dual(a, d) * b;
+      upper += a * b;
+      lower += d * b;
+      os << to_hex(static_cast<std::uint8_t>(a & 0xFF), 8) << " "
+         << to_hex(static_cast<std::uint8_t>(d & 0xFF), 8) << " "
+         << to_hex(static_cast<std::uint8_t>(b & 0xFF), 8) << " ";
+    }
+    const DualLanes lanes = unpack_dual(p);
+    if (lanes.upper != upper || lanes.lower != lower) {
+      std::fprintf(stderr, "internal packing mismatch\n");
+      std::exit(1);
+    }
+    os << "-> " << to_hex(static_cast<std::uint32_t>(upper & 0xFFFFFFFF), 32)
+       << " " << to_hex(static_cast<std::uint32_t>(lower & 0xFFFFFFFF), 32)
+       << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = "vectors";
+  int count = 256;
+  std::uint64_t seed = 20240701;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--out") == 0) {
+      dir = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--count") == 0) {
+      count = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(argv[i + 1]));
+    }
+  }
+  std::system(("mkdir -p " + dir).c_str());
+
+  Rng rng(seed);
+  gen_bfp_matmul(open_out(dir, "bfp_matmul.txt"), rng, count);
+  gen_fp32_mul(open_out(dir, "fp32_mul.txt"), rng, count);
+  gen_fp32_add(open_out(dir, "fp32_add.txt"), rng, count);
+  gen_bf16_mul(open_out(dir, "bf16_mul.txt"), rng, count);
+  gen_packed_mac(open_out(dir, "packed_mac.txt"), rng, count);
+  std::printf("wrote 5 vector files x %d cases to %s/ (seed %llu)\n", count,
+              dir.c_str(), static_cast<unsigned long long>(seed));
+  return 0;
+}
