@@ -1,0 +1,138 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace bfpsim {
+
+namespace {
+/// Set while a thread is executing parallel_for work items; nested
+/// parallel_for calls from such a context run inline instead of
+/// re-entering the pool.
+thread_local bool t_in_parallel = false;
+}  // namespace
+
+/// Shared state of one parallel_for invocation. Every participating thread
+/// (the submitter plus any workers that adopted the batch) grabs indices
+/// from `next` until exhausted or poisoned. `participants` / `finished`
+/// are only touched under the pool mutex; the submitter retires the batch
+/// once finished == participants, at which point no other thread holds a
+/// reference to it.
+struct ThreadPool::Batch {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;  ///< first exception (guarded by error_mu)
+  std::mutex error_mu;
+
+  int participants = 0;  ///< workers that adopted this batch (pool mu_)
+  int finished = 0;      ///< workers whose drain() returned (pool mu_)
+
+  /// Claim and run indices until the batch is exhausted or a work item
+  /// throws. A serial loop that throws at index i abandons indices > i;
+  /// the poisoned parallel batch likewise abandons unclaimed indices.
+  void drain() {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        (*body)(i);
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mu);
+          if (!error) error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_release);
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
+  // The submitting thread drains batches alongside the workers (lane 0),
+  // so a pool of size N spawns N-1 worker threads.
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  t_in_parallel = true;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || current_ != nullptr; });
+    if (stop_) return;
+    Batch* batch = current_;
+    ++batch->participants;
+    lock.unlock();
+    batch->drain();
+    lock.lock();
+    ++batch->finished;
+    done_cv_.notify_all();
+    // Wait for the submitter to retire the batch before re-polling, else
+    // this worker would spin on the same exhausted batch.
+    work_cv_.wait(lock,
+                  [this, batch] { return stop_ || current_ != batch; });
+    if (stop_) return;
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // Inline paths: single-threaded pool, a single index, or a nested call
+  // from inside another parallel_for (running nested work serially on the
+  // current thread keeps the pool deadlock-free; determinism is unaffected
+  // because work items are independent either way).
+  if (threads_ == 1 || n == 1 || t_in_parallel) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  Batch batch;
+  batch.n = n;
+  batch.body = &body;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    current_ = &batch;
+  }
+  work_cv_.notify_all();
+
+  // Lane 0: the submitting thread drains too. Mark it in-parallel so work
+  // items that themselves call parallel_for run those calls inline.
+  t_in_parallel = true;
+  batch.drain();
+  t_in_parallel = false;
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Close the batch to new adopters, wake workers parked on it, then
+    // wait until every adopter's drain() has returned — after which no
+    // other thread references `batch` and the stack object may die.
+    current_ = nullptr;
+    work_cv_.notify_all();
+    done_cv_.wait(lock,
+                  [&batch] { return batch.finished == batch.participants; });
+  }
+
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+int ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+}  // namespace bfpsim

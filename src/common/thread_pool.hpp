@@ -1,0 +1,71 @@
+// A deterministic fork-join thread pool for the parallel execution engine.
+//
+// The simulator's parallelism is *embarrassing* by construction: the paper's
+// 15 units run "with independent instructions" (Section III-A), images in a
+// batch never share state, and the output column tiles of a bfp8 GEMM are
+// independent k-reductions. The pool therefore only offers an indexed
+// parallel_for: work item i reads shared immutable inputs and writes slot i
+// of a pre-sized output. Because no work item observes another's writes and
+// every per-item reduction keeps its serial order, results are bit-identical
+// to the single-threaded path for any worker count or interleaving.
+//
+// Design rules that keep it deterministic and deadlock-free:
+//  * no shared accumulators — callers own per-index output slots;
+//  * nested parallel_for calls from inside a worker run inline (serial)
+//    on that worker, so a task can call parallel code without a second
+//    pool or a deadlock on its own completion;
+//  * the first exception thrown by any work item is captured and rethrown
+//    on the calling thread after all workers quiesce (remaining indices
+//    are abandoned, matching a serial loop that stopped at the throw);
+//  * no wall-clock, no unseeded RNG — any randomness a work item needs is
+//    seeded per index by the caller.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bfpsim {
+
+class ThreadPool {
+ public:
+  /// Create a pool with `threads` workers. Values < 1 clamp to 1. A pool of
+  /// size 1 spawns no threads: parallel_for degenerates to the plain loop.
+  explicit ThreadPool(int threads = 1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker count (>= 1; 1 means inline execution).
+  int size() const { return threads_; }
+
+  /// Run body(i) for every i in [0, n). Blocks until all indices complete
+  /// (or one throws). Safe to call from inside a work item: nested calls
+  /// execute inline on the calling worker.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Hardware concurrency with a sane floor (std::thread reports 0 when
+  /// unknown).
+  static int hardware_threads();
+
+ private:
+  struct Batch;  ///< one parallel_for invocation's shared state
+
+  void worker_loop();
+
+  int threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   ///< signals workers: batch available
+  std::condition_variable done_cv_;   ///< signals submitter: worker finished
+  Batch* current_ = nullptr;          ///< batch being drained (guarded by mu_)
+  bool stop_ = false;
+};
+
+}  // namespace bfpsim

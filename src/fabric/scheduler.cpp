@@ -3,14 +3,15 @@
 #include <algorithm>
 #include <numeric>
 
-#include "common/error.hpp"
-
 namespace bfpsim {
 
 ScheduleResult schedule_lpt(const std::vector<WorkItem>& items,
                             int num_units) {
-  BFP_REQUIRE(num_units >= 1, "schedule_lpt: need at least one unit");
   ScheduleResult r;
+  // Degenerate inputs produce a well-defined empty schedule instead of a
+  // division by zero (or a throw deep inside a sweep): no units means no
+  // placements, zero makespan, zero utilization.
+  if (num_units <= 0) return r;
   r.units.resize(static_cast<std::size_t>(num_units));
   for (int u = 0; u < num_units; ++u) {
     r.units[static_cast<std::size_t>(u)].unit = u;

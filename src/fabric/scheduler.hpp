@@ -34,6 +34,10 @@ struct ScheduleResult {
 
 /// Longest-processing-time-first list scheduling (classic 4/3-approximate
 /// makespan minimization) of `items` onto `num_units` units.
+///
+/// Degenerate inputs are well-defined rather than errors: `num_units <= 0`
+/// returns an empty schedule (no units, zero makespan/utilization), and an
+/// empty item list returns idle units with zero makespan/utilization.
 ScheduleResult schedule_lpt(const std::vector<WorkItem>& items,
                             int num_units);
 

@@ -190,7 +190,7 @@ WorkloadResult AcceleratorSystem::vector_latency(std::uint64_t mul_ops,
 
 GemmRun AcceleratorSystem::gemm(std::span<const float> a, int m, int k,
                                 std::span<const float> b, int n) const {
-  GemmRun run = pu_.gemm_bfp8_fast(a, m, k, b, n);
+  GemmRun run = pu_.gemm_bfp8_fast(a, m, k, b, n, pool_);
   // Replace the single-PU compute-cycle count with the distributed system
   // latency including memory I/O.
   run.compute_cycles = gemm_latency(m, k, n).cycles;

@@ -107,10 +107,19 @@ class AcceleratorSystem {
   const SystemConfig& config() const { return cfg_; }
   const MemoryInterface& memory() const { return mem_; }
 
+  /// Attach a (caller-owned) thread pool; functional GEMMs then spread
+  /// their independent output column tiles across its workers. Pass
+  /// nullptr to detach. Results and the analytic cycle/latency models are
+  /// bit-identical with or without a pool — the pool only changes host
+  /// wall-clock. The pool must outlive the system (or be detached first).
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
+
  private:
   SystemConfig cfg_;
   MemoryInterface mem_;
   mutable ProcessingUnit pu_;  ///< functional engine (stateless between ops)
+  ThreadPool* pool_ = nullptr;  ///< optional parallel execution engine
 };
 
 }  // namespace bfpsim

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/bitops.hpp"
+#include "common/thread_pool.hpp"
 
 namespace bfpsim {
 
@@ -239,7 +240,7 @@ BfpMatrix quantize_matrix(std::span<const float> data, int rows, int cols,
 
 std::vector<float> bfp_gemm_reference(const BfpMatrix& a, const BfpMatrix& b,
                                       int logical_rows, int logical_cols,
-                                      int psu_bits) {
+                                      int psu_bits, ThreadPool* pool) {
   BFP_REQUIRE(a.cols == b.rows, "bfp_gemm_reference: inner dims must match");
   BFP_REQUIRE(logical_rows <= a.rows && logical_cols <= b.cols,
               "bfp_gemm_reference: logical dims exceed padded dims");
@@ -248,32 +249,42 @@ std::vector<float> bfp_gemm_reference(const BfpMatrix& a, const BfpMatrix& b,
   const int bks = a.block_cols();
   std::vector<float> out(static_cast<std::size_t>(logical_rows) *
                          logical_cols);
-  for (int br = 0; br < brs; ++br) {
-    for (int bc = 0; bc < bcs; ++bc) {
-      WideBlock acc(a.fmt.rows, b.fmt.cols);
-      acc.expb = std::numeric_limits<std::int32_t>::min() / 2;  // -inf-ish
-      bool first = true;
-      for (int bk = 0; bk < bks; ++bk) {
-        WideBlock p = bfp_matmul_block(a.block(br, bk), b.block(bk, bc));
-        if (first) {
-          acc = std::move(p);
-          first = false;
-        } else {
-          psu_accumulate(acc, p, psu_bits);
-        }
-      }
-      for (int r = 0; r < a.fmt.rows; ++r) {
-        const int gr = br * a.fmt.rows + r;
-        if (gr >= logical_rows) break;
-        for (int c = 0; c < b.fmt.cols; ++c) {
-          const int gc = bc * b.fmt.cols + c;
-          if (gc >= logical_cols) continue;
-          out[static_cast<std::size_t>(gr) * logical_cols + gc] =
-              static_cast<float>(
-                  std::ldexp(static_cast<double>(acc.at(r, c)), acc.expb));
-        }
+  // One task per output tile. Tiles write disjoint `out` regions and run
+  // their k-reduction in ascending bk order, so the result does not depend
+  // on which worker computes which tile.
+  auto compute_tile = [&](std::size_t tile) {
+    const int br = static_cast<int>(tile) / bcs;
+    const int bc = static_cast<int>(tile) % bcs;
+    WideBlock acc(a.fmt.rows, b.fmt.cols);
+    acc.expb = std::numeric_limits<std::int32_t>::min() / 2;  // -inf-ish
+    bool first = true;
+    for (int bk = 0; bk < bks; ++bk) {
+      WideBlock p = bfp_matmul_block(a.block(br, bk), b.block(bk, bc));
+      if (first) {
+        acc = std::move(p);
+        first = false;
+      } else {
+        psu_accumulate(acc, p, psu_bits);
       }
     }
+    for (int r = 0; r < a.fmt.rows; ++r) {
+      const int gr = br * a.fmt.rows + r;
+      if (gr >= logical_rows) break;
+      for (int c = 0; c < b.fmt.cols; ++c) {
+        const int gc = bc * b.fmt.cols + c;
+        if (gc >= logical_cols) continue;
+        out[static_cast<std::size_t>(gr) * logical_cols + gc] =
+            static_cast<float>(
+                std::ldexp(static_cast<double>(acc.at(r, c)), acc.expb));
+      }
+    }
+  };
+  const std::size_t tiles =
+      static_cast<std::size_t>(brs) * static_cast<std::size_t>(bcs);
+  if (pool != nullptr) {
+    pool->parallel_for(tiles, compute_tile);
+  } else {
+    for (std::size_t t = 0; t < tiles; ++t) compute_tile(t);
   }
   return out;
 }

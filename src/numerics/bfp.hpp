@@ -175,9 +175,17 @@ BfpMatrix quantize_matrix(std::span<const float> data, int rows, int cols,
 /// dequantized float result (logical_rows x logical_cols, unpadded).
 ///
 /// This is the end-to-end golden model for the accelerator's bfp8 MatMul.
+///
+/// When `pool` is non-null the independent output tiles (each an 8-column
+/// block with its own sequential k-reduction) are computed concurrently —
+/// the software analogue of spreading output column tiles across PE
+/// arrays. Results are bit-identical to the serial path for any worker
+/// count: tiles share no state and each tile's k-order is unchanged.
+class ThreadPool;
 std::vector<float> bfp_gemm_reference(const BfpMatrix& a, const BfpMatrix& b,
                                       int logical_rows, int logical_cols,
-                                      int psu_bits = 32);
+                                      int psu_bits = 32,
+                                      ThreadPool* pool = nullptr);
 
 /// Debug dump of a block.
 std::string to_string(const BfpBlock& b);

@@ -158,15 +158,15 @@ GemmRun ProcessingUnit::gemm_bfp8(std::span<const float> a, int m, int k,
 }
 
 GemmRun ProcessingUnit::gemm_bfp8_fast(std::span<const float> a, int m, int k,
-                                       std::span<const float> b,
-                                       int n) const {
+                                       std::span<const float> b, int n,
+                                       ThreadPool* pool) const {
   BFP_REQUIRE(m > 0 && k > 0 && n > 0,
               "gemm_bfp8_fast: dims must be positive");
   const BfpFormat fmt = pu_format(cfg_.array);
   const BfpMatrix am = quantize_matrix(a, m, k, fmt, cfg_.quant_round);
   const BfpMatrix bm = quantize_matrix(b, k, n, fmt, cfg_.quant_round);
   GemmRun out;
-  out.c = bfp_gemm_reference(am, bm, m, n, cfg_.psu_bits);
+  out.c = bfp_gemm_reference(am, bm, m, n, cfg_.psu_bits, pool);
   out.macs = static_cast<std::uint64_t>(m) * k * n;
   out.compute_cycles = gemm_cycles(cfg_, m, k, n);
   return out;

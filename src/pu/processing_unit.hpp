@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bram/buffers.hpp"
+#include "common/thread_pool.hpp"
 #include "numerics/bfp.hpp"
 #include "pu/exponent_unit.hpp"
 #include "pu/pe_array.hpp"
@@ -70,8 +71,15 @@ class ProcessingUnit {
                     std::span<const float> b, int n);
 
   /// Same numerics and cycle model through the golden reference (fast).
+  ///
+  /// `pool` (optional) spreads the independent 8-column output tiles of a
+  /// large MatMul across workers — the software analogue of the paper's
+  /// per-array output-tile partitioning. Bit-identical to the serial path
+  /// for any worker count (tiles share no state; each tile's k-reduction
+  /// order is unchanged), and the analytic cycle model is unaffected.
   GemmRun gemm_bfp8_fast(std::span<const float> a, int m, int k,
-                         std::span<const float> b, int n) const;
+                         std::span<const float> b, int n,
+                         ThreadPool* pool = nullptr) const;
 
   /// ---- fp32 vector modes ----
 

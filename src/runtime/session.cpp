@@ -88,21 +88,19 @@ ModelId Session::deploy(const VitWeights& weights, const std::string& name) {
   return models_.back().info.id;
 }
 
-InferenceResult Session::infer(ModelId model,
-                               std::span<const float> embeddings) {
+Session::Deployed& Session::checked(ModelId model) {
   BFP_REQUIRE(model >= 0 &&
                   static_cast<std::size_t>(model) < models_.size() &&
                   models_[static_cast<std::size_t>(model)].live,
-              "Session::infer: unknown or undeployed model");
-  Deployed& dep = models_[static_cast<std::size_t>(model)];
-  const VitConfig& cfg = dep.model.config();
-  const std::size_t expect =
-      static_cast<std::size_t>(cfg.tokens()) *
-      static_cast<std::size_t>(cfg.embed_dim);
-  BFP_REQUIRE(embeddings.size() == expect,
-              "Session::infer: embeddings must be tokens x embed_dim");
+              "Session: unknown or undeployed model");
+  return models_[static_cast<std::size_t>(model)];
+}
 
+InferenceResult Session::account_inference(
+    std::span<const float> embeddings, std::vector<float> features,
+    std::vector<float> logits, const ForwardStats& stats) {
   InferenceResult r;
+  r.stats = stats;
 
   // DMA activations in (scratch buffer, freed after the run).
   const std::uint64_t in_bytes = embeddings.size() * sizeof(float);
@@ -113,9 +111,7 @@ InferenceResult Session::infer(ModelId model,
   log_.push_back(
       {CommandRecord::Kind::kDmaIn, "embeddings", in_bytes, in_cycles});
 
-  // Mixed-precision forward (see the header's numerics note).
-  std::vector<float> x(embeddings.begin(), embeddings.end());
-  r.features = dep.model.forward_mixed(std::move(x), system_, &r.stats);
+  r.features = std::move(features);
   log_.push_back({CommandRecord::Kind::kCompute, "forward (bfp8+fp32)", 0,
                   r.stats.total_cycles()});
   log_.push_back({CommandRecord::Kind::kHost,
@@ -123,8 +119,7 @@ InferenceResult Session::infer(ModelId model,
                   0,
                   r.stats.nonlinear_ops.host_div});
 
-  // Classifier head (host-side in this deployment).
-  r.logits = dep.model.classify(r.features);
+  r.logits = std::move(logits);
 
   // DMA features out.
   const std::uint64_t out_bytes = r.features.size() * sizeof(float);
@@ -143,15 +138,71 @@ InferenceResult Session::infer(ModelId model,
   return r;
 }
 
+InferenceResult Session::infer(ModelId model,
+                               std::span<const float> embeddings) {
+  Deployed& dep = checked(model);
+  const VitConfig& cfg = dep.model.config();
+  const std::size_t expect =
+      static_cast<std::size_t>(cfg.tokens()) *
+      static_cast<std::size_t>(cfg.embed_dim);
+  BFP_REQUIRE(embeddings.size() == expect,
+              "Session::infer: embeddings must be tokens x embed_dim");
+
+  // Mixed-precision forward (see the header's numerics note), then the
+  // classifier head (host-side in this deployment).
+  ForwardStats stats;
+  std::vector<float> x(embeddings.begin(), embeddings.end());
+  std::vector<float> features =
+      dep.model.forward_mixed(std::move(x), system_, &stats);
+  std::vector<float> logits = dep.model.classify(features);
+  return account_inference(embeddings, std::move(features),
+                           std::move(logits), stats);
+}
+
 Session::BatchInference Session::infer_batch(
-    ModelId model, std::span<const std::vector<float>> embeddings) {
+    ModelId model, std::span<const std::vector<float>> embeddings,
+    ThreadPool* pool) {
   BFP_REQUIRE(!embeddings.empty(), "Session::infer_batch: empty batch");
+  Deployed& dep = checked(model);
+  const VitConfig& cfg = dep.model.config();
+  const std::size_t expect =
+      static_cast<std::size_t>(cfg.tokens()) *
+      static_cast<std::size_t>(cfg.embed_dim);
+  for (const auto& img : embeddings) {
+    BFP_REQUIRE(img.size() == expect,
+                "Session::infer_batch: embeddings must be tokens x embed_dim");
+  }
+
+  // Parallel phase: the functional forwards. Image i owns slot i of each
+  // vector; every work item builds its own AcceleratorSystem (one
+  // simulated PU per work item) from the session config, so items share
+  // only the read-only deployed model and produce the same bits as the
+  // serial loop under any worker interleaving.
+  const std::size_t n = embeddings.size();
+  std::vector<std::vector<float>> features(n);
+  std::vector<std::vector<float>> logits(n);
+  std::vector<ForwardStats> stats(n);
+  auto run_image = [&](std::size_t i) {
+    const AcceleratorSystem local(cfg_);
+    std::vector<float> x = embeddings[i];
+    features[i] = dep.model.forward_mixed(std::move(x), local, &stats[i]);
+    logits[i] = dep.model.classify(features[i]);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(n, run_image);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) run_image(i);
+  }
+
+  // Serial phase, fixed image order: DMA modelling, command log, schedule.
   BatchInference out;
-  out.results.reserve(embeddings.size());
+  out.results.reserve(n);
   std::vector<WorkItem> items;
-  items.reserve(embeddings.size());
-  for (std::size_t i = 0; i < embeddings.size(); ++i) {
-    out.results.push_back(infer(model, embeddings[i]));
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.results.push_back(account_inference(embeddings[i],
+                                            std::move(features[i]),
+                                            std::move(logits[i]), stats[i]));
     // infer()'s latency spreads one image across all units; in batch mode
     // each image instead runs whole on a single unit (weights resident, no
     // cross-unit traffic), so its schedulable cost is the all-units

@@ -75,14 +75,22 @@ class Session {
   /// Serve a batch of images: functional results for each, plus the
   /// batch-level schedule (images placed whole-per-unit via the LPT
   /// scheduler; see transformer/serving.hpp).
+  ///
+  /// `pool` (optional) runs the per-image forwards on the parallel
+  /// execution engine — each image's compute is independent and lands in
+  /// its own result slot, while DMA modelling and the command log are
+  /// applied serially in image order afterwards, so results, cycle
+  /// counts, and the log are bit-identical to the serial path for any
+  /// worker count.
   struct BatchInference {
     std::vector<InferenceResult> results;
     std::uint64_t makespan_cycles = 0;
     double images_per_second = 0.0;
     double utilization = 0.0;
   };
-  BatchInference infer_batch(
-      ModelId model, std::span<const std::vector<float>> embeddings);
+  BatchInference infer_batch(ModelId model,
+                             std::span<const std::vector<float>> embeddings,
+                             ThreadPool* pool = nullptr);
 
   /// Release a deployed model's device memory.
   void undeploy(ModelId model);
@@ -101,6 +109,16 @@ class Session {
     DeploymentInfo info;
     std::vector<DeviceBuffer> buffers;
   };
+
+  Deployed& checked(ModelId model);
+
+  /// Apply the DMA model and command log to one precomputed forward and
+  /// assemble its InferenceResult (serial, deterministic order — the
+  /// counterpart of the parallel compute phase).
+  InferenceResult account_inference(std::span<const float> embeddings,
+                                    std::vector<float> features,
+                                    std::vector<float> logits,
+                                    const ForwardStats& stats);
 
   SystemConfig cfg_;
   AcceleratorSystem system_;

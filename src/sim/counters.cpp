@@ -5,17 +5,23 @@
 namespace bfpsim {
 
 std::uint64_t Counters::get(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = values_.find(name);
   return it == values_.end() ? 0 : it->second;
 }
 
 void Counters::merge(const Counters& other) {
-  for (const auto& [k, v] : other.all()) values_[k] += v;
+  // Snapshot first: merging a bag into itself (or a bag another thread is
+  // updating) must not deadlock on the two locks.
+  const auto theirs = other.snapshot();
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [k, v] : theirs) values_[k] += v;
 }
 
 std::string Counters::report() const {
+  const auto values = snapshot();
   std::ostringstream os;
-  for (const auto& [k, v] : values_) os << k << "=" << v << "\n";
+  for (const auto& [k, v] : values) os << k << "=" << v << "\n";
   return os.str();
 }
 

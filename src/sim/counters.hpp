@@ -3,20 +3,47 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 namespace bfpsim {
 
 /// A bag of named monotonically increasing counters. std::map keeps report
 /// output deterministically ordered.
+///
+/// Thread safety: every operation takes an internal lock, so components
+/// running on parallel-engine workers may bump counters concurrently.
+/// Totals stay deterministic because uint64 addition commutes; when a
+/// deterministic *merge order* matters (e.g. aggregating per-worker bags
+/// into a report), callers merge in a fixed order — unit index, image
+/// index — not completion order.
 class Counters {
  public:
+  Counters() = default;
+  Counters(const Counters& other) : values_(other.snapshot()) {}
+  Counters& operator=(const Counters& other) {
+    if (this != &other) {
+      auto copy = other.snapshot();
+      const std::lock_guard<std::mutex> lock(mu_);
+      values_ = std::move(copy);
+    }
+    return *this;
+  }
+
   void add(const std::string& name, std::uint64_t n = 1) {
+    const std::lock_guard<std::mutex> lock(mu_);
     values_[name] += n;
   }
   std::uint64_t get(const std::string& name) const;
-  const std::map<std::string, std::uint64_t>& all() const { return values_; }
-  void reset() { values_.clear(); }
+  /// Copy of the current counter map (the lock never escapes).
+  std::map<std::string, std::uint64_t> snapshot() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return values_;
+  }
+  void reset() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    values_.clear();
+  }
 
   /// Merge another counter bag into this one.
   void merge(const Counters& other);
@@ -25,6 +52,7 @@ class Counters {
   std::string report() const;
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, std::uint64_t> values_;
 };
 

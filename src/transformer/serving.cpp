@@ -1,5 +1,7 @@
 #include "transformer/serving.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "transformer/latency.hpp"
 
@@ -32,6 +34,113 @@ BatchResult batch_transformer_throughput(const VitConfig& cfg,
       static_cast<double>(batch) / (static_cast<double>(s.makespan) / freq);
   r.utilization = s.utilization;
   return r;
+}
+
+BatchExecution execute_transformer_batch(
+    const VitModel& model, const AcceleratorSystem& sys,
+    std::span<const std::vector<float>> images, ThreadPool* pool) {
+  BFP_REQUIRE(!images.empty(), "execute_transformer_batch: empty batch");
+  const VitConfig& cfg = model.config();
+  const std::size_t expect = static_cast<std::size_t>(cfg.tokens()) *
+                             static_cast<std::size_t>(cfg.embed_dim);
+  for (const auto& img : images) {
+    BFP_REQUIRE(img.size() == expect,
+                "execute_transformer_batch: image must be tokens x embed_dim");
+  }
+
+  BatchExecution out;
+  const std::size_t n = images.size();
+  out.features.resize(n);
+  out.image_cycles.resize(n);
+  std::vector<ForwardStats> stats(n);
+
+  // Each image runs whole on one unit, so its functional forward sees a
+  // single-unit system (weights resident, no cross-unit traffic).
+  SystemConfig one = sys.config();
+  one.num_units = 1;
+
+  // ---- parallel phase: one simulated PU per work item ----
+  // Work item i owns slot i of features/image_cycles/stats and constructs
+  // its own AcceleratorSystem (hence its own ProcessingUnit): no shared
+  // mutable state between items, so any worker interleaving produces the
+  // same bits as the serial loop. The model is shared read-only.
+  auto run_image = [&](std::size_t i) {
+    const AcceleratorSystem unit(one);
+    std::vector<float> x = images[i];
+    out.features[i] = model.forward_mixed(std::move(x), unit, &stats[i]);
+    out.image_cycles[i] = stats[i].total_cycles();
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(n, run_image);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) run_image(i);
+  }
+
+  // ---- serial reduction phase, fixed index order ----
+  std::vector<WorkItem> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    items.push_back({"img" + std::to_string(i), out.image_cycles[i]});
+  }
+  out.schedule = schedule_lpt(items, sys.config().num_units);
+
+  const double freq = sys.config().pu.freq_hz;
+  out.timing.batch = static_cast<int>(n);
+  out.timing.per_image_cycles = out.image_cycles.front();
+  out.timing.makespan_cycles = out.schedule.makespan;
+  out.timing.latency_ms_per_image =
+      static_cast<double>(out.image_cycles.front()) / freq * 1e3;
+  out.timing.images_per_second =
+      out.schedule.makespan == 0
+          ? 0.0
+          : static_cast<double>(n) /
+                (static_cast<double>(out.schedule.makespan) / freq);
+  out.timing.utilization = out.schedule.utilization;
+
+  // ---- per-unit event-driven timelines ----
+  // One pass per assigned image: DMA the embeddings in, compute, DMA the
+  // features out, double-buffered over the unit's AXI channel pair. Units
+  // are independent, so their timelines compute concurrently; each unit's
+  // result lands in its own slot (unit order, not completion order).
+  const HbmConfig& hbm = sys.config().hbm;
+  const std::uint64_t in_bytes = expect * sizeof(float);
+  out.unit_timelines.resize(out.schedule.units.size());
+  auto run_unit = [&](std::size_t u) {
+    const UnitAssignment& ua = out.schedule.units[u];
+    std::vector<PassSpec> passes;
+    passes.reserve(ua.items.size());
+    for (const std::size_t img : ua.items) {
+      PassSpec p;
+      p.load_cycles = transfer_cycles(hbm, in_bytes, hbm.bfp_burst_bytes);
+      p.compute_cycles = out.image_cycles[img];
+      p.store_cycles = transfer_cycles(
+          hbm, out.features[img].size() * sizeof(float), hbm.bfp_burst_bytes);
+      passes.push_back(p);
+    }
+    out.unit_timelines[u] =
+        simulate_pipeline(passes, /*double_buffered=*/true);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(out.unit_timelines.size(), run_unit);
+  } else {
+    for (std::size_t u = 0; u < out.unit_timelines.size(); ++u) run_unit(u);
+  }
+  for (const PipelineResult& t : out.unit_timelines) {
+    out.io_makespan_cycles =
+        std::max(out.io_makespan_cycles, t.total_cycles);
+  }
+
+  // ---- deterministic counter aggregation (image-index order) ----
+  for (std::size_t i = 0; i < n; ++i) {
+    out.counters.add("serving.images");
+    out.counters.add("serving.bfp_macs", stats[i].bfp_macs);
+    out.counters.add("serving.linear_cycles", stats[i].linear_cycles);
+    out.counters.add("serving.vector_cycles", stats[i].vector_cycles);
+    out.counters.add("serving.host_divs", stats[i].nonlinear_ops.host_div);
+  }
+  out.counters.add("serving.makespan_cycles", out.schedule.makespan);
+  out.counters.add("serving.io_makespan_cycles", out.io_makespan_cycles);
+  return out;
 }
 
 }  // namespace bfpsim

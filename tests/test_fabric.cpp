@@ -5,9 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "fabric/scheduler.hpp"
 
 namespace bfpsim {
 namespace {
@@ -135,6 +139,67 @@ TEST(System, FunctionalGemmMatchesPu) {
   // System latency includes I/O: more cycles per unit of work than the
   // bare compute model when work is small, but distributed across units.
   EXPECT_GT(sys_run.compute_cycles, 0u);
+}
+
+TEST(Scheduler, ZeroOrNegativeUnitsReturnsEmptySchedule) {
+  // The documented degenerate contract: no units -> no placements, zero
+  // makespan, zero utilization. No division by zero, no throw.
+  for (const int units : {0, -1, -15}) {
+    const ScheduleResult r =
+        schedule_lpt({{"a", 100}, {"b", 50}}, units);
+    EXPECT_TRUE(r.units.empty()) << "units=" << units;
+    EXPECT_EQ(r.makespan, 0u) << "units=" << units;
+    EXPECT_DOUBLE_EQ(r.utilization, 0.0) << "units=" << units;
+    EXPECT_TRUE(std::isfinite(r.utilization)) << "units=" << units;
+  }
+}
+
+TEST(Scheduler, EmptyItemsOnRealUnitsIsWellDefined) {
+  const ScheduleResult r = schedule_lpt({}, 4);
+  ASSERT_EQ(r.units.size(), 4u);
+  for (const UnitAssignment& u : r.units) {
+    EXPECT_TRUE(u.items.empty());
+    EXPECT_EQ(u.cycles, 0u);
+  }
+  EXPECT_EQ(r.makespan, 0u);
+  EXPECT_DOUBLE_EQ(r.utilization, 0.0);
+  EXPECT_TRUE(std::isfinite(r.utilization));
+}
+
+TEST(Scheduler, ZeroCycleItemsDoNotDivideByZero) {
+  // All-zero work: makespan 0 must yield utilization 0, not NaN.
+  const std::vector<WorkItem> items(8, WorkItem{"noop", 0});
+  const ScheduleResult r = schedule_lpt(items, 3);
+  EXPECT_EQ(r.makespan, 0u);
+  EXPECT_DOUBLE_EQ(r.utilization, 0.0);
+  std::size_t placed = 0;
+  for (const auto& u : r.units) placed += u.items.size();
+  EXPECT_EQ(placed, items.size());
+}
+
+TEST(System, GemmWithThreadPoolIsBitIdentical) {
+  Rng rng(103);
+  const int m = 70;
+  const int k = 48;
+  const int n = 90;
+  const auto a = rng.normal_vec(static_cast<std::size_t>(m) * k, 0.0F, 1.0F);
+  const auto b = rng.normal_vec(static_cast<std::size_t>(k) * n, 0.0F, 1.0F);
+
+  AcceleratorSystem serial;
+  const GemmRun want = serial.gemm(a, m, k, b, n);
+
+  ThreadPool pool(4);
+  AcceleratorSystem parallel;
+  parallel.set_thread_pool(&pool);
+  EXPECT_EQ(parallel.thread_pool(), &pool);
+  const GemmRun got = parallel.gemm(a, m, k, b, n);
+
+  EXPECT_EQ(got.compute_cycles, want.compute_cycles);
+  EXPECT_EQ(got.macs, want.macs);
+  ASSERT_EQ(got.c.size(), want.c.size());
+  for (std::size_t i = 0; i < got.c.size(); ++i) {
+    ASSERT_EQ(got.c[i], want.c[i]) << "element " << i;
+  }
 }
 
 TEST(System, ConfigValidation) {

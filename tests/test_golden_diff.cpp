@@ -1,0 +1,528 @@
+// Golden-reference differential harness for the bfp8 MatMul datapath and
+// the sliced fp32 multiplier.
+//
+// The golden model here is written *independently* of src/numerics: plain
+// scalar loops over plain arrays, mirroring only the documented contracts
+// (quantize_block's smallest-exponent search, Eqn 2's integer dot product,
+// Eqn 3's truncating alignment in the PSU). It deliberately avoids
+// BfpBlock/WideBlock/psu_accumulate so that a bug in that machinery cannot
+// cancel out of the comparison. The cycle-accurate systolic path
+// (ProcessingUnit::gemm_bfp8), the fast path (gemm_bfp8_fast), and the
+// golden scalar model must agree bit-for-bit on every output float.
+#include <gtest/gtest.h>
+
+#include <cfloat>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "numerics/bfp.hpp"
+#include "numerics/fp32.hpp"
+#include "numerics/slices.hpp"
+#include "pu/processing_unit.hpp"
+
+namespace bfpsim {
+namespace {
+
+/// ----------------- independent scalar golden model -----------------
+
+constexpr int kEdge = 8;                 // bfp8 block edge
+constexpr std::int64_t kManMax = 127;    // symmetric 8-bit mantissa range
+constexpr int kExpMin = -128;            // 8-bit two's-complement exponent
+constexpr int kExpMax = 127;
+
+/// Scalar mirror of the documented per-element rounding.
+std::int64_t golden_round(double scaled, RoundMode mode) {
+  switch (mode) {
+    case RoundMode::kTruncate: return static_cast<std::int64_t>(
+        std::floor(scaled));
+    case RoundMode::kNearestEven: return static_cast<std::int64_t>(
+        std::nearbyint(scaled));
+    case RoundMode::kHalfAway: return static_cast<std::int64_t>(
+        std::floor(scaled + 0.5));
+  }
+  return 0;
+}
+
+/// Truncating arithmetic right shift (what the PSU alignment shifter does).
+std::int64_t golden_asr(std::int64_t v, int shift) {
+  if (shift <= 0) return v;
+  if (shift >= 63) return v < 0 ? -1 : 0;
+  return v >> shift;  // arithmetic for signed types since C++20
+}
+
+/// A quantized matrix in flat form: padded mantissa grid + per-tile
+/// exponents. No block objects.
+struct GoldenQuant {
+  int rows = 0;  ///< padded to a multiple of kEdge
+  int cols = 0;
+  std::vector<int> expb;          ///< tile grid, row-major
+  std::vector<std::int64_t> man;  ///< rows x cols, row-major
+
+  int tile_rows() const { return rows / kEdge; }
+  int tile_cols() const { return cols / kEdge; }
+  int tile_exp(int tr, int tc) const {
+    return expb[static_cast<std::size_t>(tr * tile_cols() + tc)];
+  }
+  std::int64_t at(int r, int c) const {
+    return man[static_cast<std::size_t>(r) * cols + c];
+  }
+};
+
+/// Quantize per the documented contract: per 8x8 tile of the zero-padded
+/// matrix, the shared exponent is the smallest e such that every
+/// round(v * 2^-e) fits [-127, 127]; an all-zero tile gets the exponent
+/// floor. Search starts at the floor and walks up — no analytic shortcut,
+/// so a bug in the library's estimate-and-nudge search would be caught.
+GoldenQuant golden_quantize(const std::vector<float>& data, int rows,
+                            int cols, RoundMode mode) {
+  GoldenQuant q;
+  q.rows = ((rows + kEdge - 1) / kEdge) * kEdge;
+  q.cols = ((cols + kEdge - 1) / kEdge) * kEdge;
+  q.expb.assign(static_cast<std::size_t>(q.tile_rows()) * q.tile_cols(), 0);
+  q.man.assign(static_cast<std::size_t>(q.rows) * q.cols, 0);
+
+  std::vector<double> tile(kEdge * kEdge);
+  for (int tr = 0; tr < q.tile_rows(); ++tr) {
+    for (int tc = 0; tc < q.tile_cols(); ++tc) {
+      bool all_zero = true;
+      for (int r = 0; r < kEdge; ++r) {
+        for (int c = 0; c < kEdge; ++c) {
+          const int gr = tr * kEdge + r;
+          const int gc = tc * kEdge + c;
+          const double v = (gr < rows && gc < cols)
+              ? static_cast<double>(
+                    data[static_cast<std::size_t>(gr) * cols + gc])
+              : 0.0;
+          tile[static_cast<std::size_t>(r * kEdge + c)] = v;
+          if (v != 0.0) all_zero = false;
+        }
+      }
+      const std::size_t t =
+          static_cast<std::size_t>(tr * q.tile_cols() + tc);
+      if (all_zero) {
+        q.expb[t] = kExpMin;
+        continue;
+      }
+      int e = kExpMin;
+      for (;; ++e) {
+        EXPECT_LE(e, kExpMax) << "value exceeds bfp8 exponent range";
+        bool fits = true;
+        for (double v : tile) {
+          const std::int64_t m = golden_round(std::ldexp(v, -e), mode);
+          if (m < -kManMax || m > kManMax) {
+            fits = false;
+            break;
+          }
+        }
+        if (fits) break;
+      }
+      q.expb[t] = e;
+      for (int r = 0; r < kEdge; ++r) {
+        for (int c = 0; c < kEdge; ++c) {
+          q.man[static_cast<std::size_t>(tr * kEdge + r) * q.cols +
+                (tc * kEdge + c)] =
+              golden_round(
+                  std::ldexp(tile[static_cast<std::size_t>(r * kEdge + c)],
+                             -e),
+                  mode);
+        }
+      }
+    }
+  }
+  return q;
+}
+
+/// Golden GEMM result: dequantized floats plus the per-output-tile final
+/// exponent (needed by the fp64 error-bound test).
+struct GoldenGemm {
+  std::vector<float> c;        ///< m x n, row-major
+  std::vector<int> tile_expb;  ///< final accumulator exponent per out tile
+  int tile_cols = 0;
+};
+
+/// Naive scalar GEMM through the documented bfp8 pipeline: per k-tile
+/// integer dot products at exponent ea+eb, accumulated in ascending k order
+/// with truncating alignment to the max exponent, 32-bit partial-sum
+/// carrier, final dequantization through double.
+GoldenGemm golden_gemm(const GoldenQuant& a, const GoldenQuant& b, int m,
+                       int n) {
+  GoldenGemm g;
+  g.c.assign(static_cast<std::size_t>(m) * n, 0.0F);
+  g.tile_cols = b.tile_cols();
+  g.tile_expb.assign(
+      static_cast<std::size_t>(a.tile_rows()) * b.tile_cols(), 0);
+  const int kt = a.tile_cols();
+  std::int64_t acc[kEdge][kEdge];
+  std::int64_t part[kEdge][kEdge];
+  for (int tr = 0; tr < a.tile_rows(); ++tr) {
+    for (int tc = 0; tc < b.tile_cols(); ++tc) {
+      int acc_exp = 0;
+      for (int tk = 0; tk < kt; ++tk) {
+        const int p_exp = a.tile_exp(tr, tk) + b.tile_exp(tk, tc);
+        for (int r = 0; r < kEdge; ++r) {
+          for (int c = 0; c < kEdge; ++c) {
+            std::int64_t s = 0;
+            for (int k = 0; k < kEdge; ++k) {
+              s += a.at(tr * kEdge + r, tk * kEdge + k) *
+                   b.at(tk * kEdge + k, tc * kEdge + c);
+            }
+            part[r][c] = s;
+          }
+        }
+        if (tk == 0) {
+          std::memcpy(acc, part, sizeof(acc));
+          acc_exp = p_exp;
+          continue;
+        }
+        const int e = std::max(acc_exp, p_exp);
+        for (int r = 0; r < kEdge; ++r) {
+          for (int c = 0; c < kEdge; ++c) {
+            const std::int64_t s = golden_asr(acc[r][c], e - acc_exp) +
+                                   golden_asr(part[r][c], e - p_exp);
+            // 32-bit PSU carrier: the shapes in this harness never
+            // overflow it (the library path would throw if they did).
+            EXPECT_GE(s, -(std::int64_t{1} << 31));
+            EXPECT_LT(s, std::int64_t{1} << 31);
+            acc[r][c] = s;
+          }
+        }
+        acc_exp = e;
+      }
+      g.tile_expb[static_cast<std::size_t>(tr * g.tile_cols + tc)] = acc_exp;
+      for (int r = 0; r < kEdge; ++r) {
+        const int gr = tr * kEdge + r;
+        if (gr >= m) break;
+        for (int c = 0; c < kEdge; ++c) {
+          const int gc = tc * kEdge + c;
+          if (gc >= n) continue;
+          g.c[static_cast<std::size_t>(gr) * n + gc] = static_cast<float>(
+              std::ldexp(static_cast<double>(acc[r][c]), acc_exp));
+        }
+      }
+    }
+  }
+  return g;
+}
+
+/// Random operands with deliberately mixed per-row scales so different
+/// k-tiles land on different block exponents and the alignment-truncation
+/// path is actually exercised (uniform data makes every exponent equal and
+/// the truncation a no-op).
+std::vector<float> mixed_scale_operand(Rng& rng, int rows, int cols) {
+  std::vector<float> v(static_cast<std::size_t>(rows) * cols);
+  for (int r = 0; r < rows; ++r) {
+    const int scale = static_cast<int>(rng.uniform_int(-10, 10));
+    for (int c = 0; c < cols; ++c) {
+      v[static_cast<std::size_t>(r) * cols + c] =
+          std::ldexp(rng.normal(0.0F, 1.0F), scale);
+    }
+  }
+  return v;
+}
+
+/// ----------------- satellite 1: golden MatMul differential -----------------
+
+TEST(GoldenDiff, QuantizerMantissaExponentEquality) {
+  // The golden scalar quantizer and the library quantizer must agree on
+  // every mantissa and every shared exponent, for all rounding modes,
+  // including all-zero tiles, padded edges, negatives, and wide scales.
+  Rng rng(401);
+  const BfpFormat fmt = bfp8_format();
+  for (const RoundMode mode : {RoundMode::kNearestEven, RoundMode::kTruncate,
+                               RoundMode::kHalfAway}) {
+    for (int trial = 0; trial < 12; ++trial) {
+      const int rows = static_cast<int>(rng.uniform_int(1, 20));
+      const int cols = static_cast<int>(rng.uniform_int(1, 20));
+      std::vector<float> data = mixed_scale_operand(rng, rows, cols);
+      if (trial % 4 == 0 && !data.empty()) data[0] = 0.0F;
+      if (trial % 5 == 0) {
+        for (auto& v : data) v = 0.0F;  // all-zero: exponent-floor case
+      }
+      const GoldenQuant gq = golden_quantize(data, rows, cols, mode);
+      const BfpMatrix lib = quantize_matrix(data, rows, cols, fmt, mode);
+      ASSERT_EQ(lib.rows, gq.rows);
+      ASSERT_EQ(lib.cols, gq.cols);
+      for (int tr = 0; tr < gq.tile_rows(); ++tr) {
+        for (int tc = 0; tc < gq.tile_cols(); ++tc) {
+          const BfpBlock& blk = lib.block(tr, tc);
+          ASSERT_EQ(blk.expb, gq.tile_exp(tr, tc))
+              << "tile (" << tr << "," << tc << ")";
+          for (int r = 0; r < kEdge; ++r) {
+            for (int c = 0; c < kEdge; ++c) {
+              ASSERT_EQ(static_cast<std::int64_t>(blk.at(r, c)),
+                        gq.at(tr * kEdge + r, tc * kEdge + c))
+                  << "tile (" << tr << "," << tc << ") elem (" << r << ","
+                  << c << ")";
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(GoldenDiff, ScalarGoldenMatchesSystolicAndFastPaths) {
+  // ~50 randomized shape/seed cases: the naive scalar golden, the
+  // cycle-accurate systolic path, and the fast path must produce the same
+  // float bits for every output element.
+  ProcessingUnit pu;
+  for (int case_id = 0; case_id < 50; ++case_id) {
+    Rng rng(static_cast<std::uint64_t>(1000 + case_id));
+    const int m = static_cast<int>(rng.uniform_int(1, 33));
+    const int k = static_cast<int>(rng.uniform_int(1, 33));
+    const int n = static_cast<int>(rng.uniform_int(1, 33));
+    const std::vector<float> a = mixed_scale_operand(rng, m, k);
+    const std::vector<float> b = mixed_scale_operand(rng, k, n);
+
+    const GoldenQuant qa = golden_quantize(a, m, k, RoundMode::kNearestEven);
+    const GoldenQuant qb = golden_quantize(b, k, n, RoundMode::kNearestEven);
+    const GoldenGemm want = golden_gemm(qa, qb, m, n);
+
+    const GemmRun systolic = pu.gemm_bfp8(a, m, k, b, n);
+    const GemmRun fast = pu.gemm_bfp8_fast(a, m, k, b, n);
+    ASSERT_EQ(systolic.c.size(), want.c.size());
+    ASSERT_EQ(fast.c.size(), want.c.size());
+    for (std::size_t i = 0; i < want.c.size(); ++i) {
+      ASSERT_EQ(float_to_bits(systolic.c[i]), float_to_bits(want.c[i]))
+          << "case " << case_id << " (" << m << "x" << k << "x" << n
+          << ") element " << i << ": systolic " << systolic.c[i]
+          << " vs golden " << want.c[i];
+      ASSERT_EQ(float_to_bits(fast.c[i]), float_to_bits(want.c[i]))
+          << "case " << case_id << " element " << i;
+    }
+  }
+}
+
+TEST(GoldenDiff, ParallelFastPathMatchesScalarGolden) {
+  // The differential harness also pins the *parallel* engine: the tiled
+  // fast path running on a thread pool must land on the golden bits.
+  ProcessingUnit pu;
+  ThreadPool pool(8);
+  for (int case_id = 0; case_id < 10; ++case_id) {
+    Rng rng(static_cast<std::uint64_t>(7000 + case_id));
+    const int m = static_cast<int>(rng.uniform_int(9, 40));
+    const int k = static_cast<int>(rng.uniform_int(9, 40));
+    const int n = static_cast<int>(rng.uniform_int(9, 40));
+    const std::vector<float> a = mixed_scale_operand(rng, m, k);
+    const std::vector<float> b = mixed_scale_operand(rng, k, n);
+    const GoldenGemm want =
+        golden_gemm(golden_quantize(a, m, k, RoundMode::kNearestEven),
+                    golden_quantize(b, k, n, RoundMode::kNearestEven), m, n);
+    const GemmRun got = pu.gemm_bfp8_fast(a, m, k, b, n, &pool);
+    ASSERT_EQ(got.c.size(), want.c.size());
+    for (std::size_t i = 0; i < want.c.size(); ++i) {
+      ASSERT_EQ(float_to_bits(got.c[i]), float_to_bits(want.c[i]))
+          << "case " << case_id << " element " << i;
+    }
+  }
+}
+
+TEST(GoldenDiff, SingleKTileIsExactVsFp64) {
+  // With k <= 8 there is exactly one k-tile, so no PSU alignment happens:
+  // the bfp8 result must equal the fp64-accumulated product of the
+  // *quantized* operands exactly (quantization is the only error source).
+  ProcessingUnit pu;
+  for (int case_id = 0; case_id < 8; ++case_id) {
+    Rng rng(static_cast<std::uint64_t>(2000 + case_id));
+    const int m = static_cast<int>(rng.uniform_int(1, 16));
+    const int k = static_cast<int>(rng.uniform_int(1, 8));
+    const int n = static_cast<int>(rng.uniform_int(1, 16));
+    const std::vector<float> a = mixed_scale_operand(rng, m, k);
+    const std::vector<float> b = mixed_scale_operand(rng, k, n);
+    const GoldenQuant qa = golden_quantize(a, m, k, RoundMode::kNearestEven);
+    const GoldenQuant qb = golden_quantize(b, k, n, RoundMode::kNearestEven);
+    const GemmRun run = pu.gemm_bfp8(a, m, k, b, n);
+    for (int r = 0; r < m; ++r) {
+      for (int c = 0; c < n; ++c) {
+        double exact = 0.0;
+        for (int kk = 0; kk < k; ++kk) {
+          exact += std::ldexp(static_cast<double>(qa.at(r, kk)),
+                              qa.tile_exp(r / kEdge, kk / kEdge)) *
+                   std::ldexp(static_cast<double>(qb.at(kk, c)),
+                              qb.tile_exp(kk / kEdge, c / kEdge));
+        }
+        ASSERT_EQ(run.c[static_cast<std::size_t>(r) * n + c],
+                  static_cast<float>(exact))
+            << "case " << case_id << " (" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+TEST(GoldenDiff, Fp64AccumulateBoundsAlignmentError) {
+  // Multi-k-tile case: the bfp8 result may differ from the fp64-exact
+  // product of the quantized operands only by the PSU alignment
+  // truncation — each of the (k-tiles - 1) accumulate steps truncates two
+  // operands by less than one unit of the step exponent, which never
+  // exceeds the tile's final exponent. Bound: 2 * ktiles * 2^final_exp,
+  // plus one unit for the final double->float cast.
+  ProcessingUnit pu;
+  for (int case_id = 0; case_id < 10; ++case_id) {
+    Rng rng(static_cast<std::uint64_t>(3000 + case_id));
+    const int m = static_cast<int>(rng.uniform_int(1, 24));
+    const int k = static_cast<int>(rng.uniform_int(17, 48));  // >= 3 k-tiles
+    const int n = static_cast<int>(rng.uniform_int(1, 24));
+    const std::vector<float> a = mixed_scale_operand(rng, m, k);
+    const std::vector<float> b = mixed_scale_operand(rng, k, n);
+    const GoldenQuant qa = golden_quantize(a, m, k, RoundMode::kNearestEven);
+    const GoldenQuant qb = golden_quantize(b, k, n, RoundMode::kNearestEven);
+    const GoldenGemm golden = golden_gemm(qa, qb, m, n);
+    const GemmRun run = pu.gemm_bfp8(a, m, k, b, n);
+    const int ktiles = (k + kEdge - 1) / kEdge;
+    for (int r = 0; r < m; ++r) {
+      for (int c = 0; c < n; ++c) {
+        double exact = 0.0;
+        for (int kk = 0; kk < k; ++kk) {
+          exact += std::ldexp(static_cast<double>(qa.at(r, kk)),
+                              qa.tile_exp(r / kEdge, kk / kEdge)) *
+                   std::ldexp(static_cast<double>(qb.at(kk, c)),
+                              qb.tile_exp(kk / kEdge, c / kEdge));
+        }
+        const int final_exp = golden.tile_expb[static_cast<std::size_t>(
+            (r / kEdge) * golden.tile_cols + c / kEdge)];
+        const double bound =
+            std::ldexp(2.0 * ktiles + 1.0, final_exp);
+        const float got = run.c[static_cast<std::size_t>(r) * n + c];
+        ASSERT_LE(std::fabs(static_cast<double>(got) - exact), bound)
+            << "case " << case_id << " (" << r << "," << c << ") got "
+            << got << " exact " << exact;
+      }
+    }
+  }
+}
+
+/// --------- satellite 2: sliced fp32 multiply property test ---------
+
+/// Operands that sit on representation boundaries: zeros, subnormal
+/// extremes, normal extremes, power-of-two and all-ones mantissas.
+std::vector<float> boundary_operands() {
+  return {
+      0.0F,
+      -0.0F,
+      std::numeric_limits<float>::denorm_min(),
+      -std::numeric_limits<float>::denorm_min(),
+      0.5F * FLT_MIN,                        // mid subnormal
+      FLT_MIN,                               // smallest normal
+      -FLT_MIN,
+      std::nextafterf(FLT_MIN, 0.0F),        // largest subnormal
+      1.0F,
+      1.0F + FLT_EPSILON,                    // LSB-only fraction
+      std::nextafterf(2.0F, 0.0F),           // all-ones mantissa
+      -std::nextafterf(2.0F, 0.0F),
+      3.0F,
+      65536.0F,
+      1.0e30F,
+      -1.0e30F,
+      std::sqrt(FLT_MAX),
+  };
+}
+
+/// The mathematically derived dropped-LSB bound: the omitted (0,0) partial
+/// product is < 2^16 on the 48-bit product grid, i.e. an absolute error
+/// below 2^(ex + ey - 284) with ex/ey the decomposed biased exponents
+/// (subnormals report 1, matching the datapath's weighting). On top of
+/// that the output normalization contributes at most 2 units of the
+/// result's grid (1 for truncation, 0.5 for RNE; 2 covers the flush
+/// through the subnormal range).
+void check_sliced_mul_bound(float x, float y, bool rne) {
+  const double exact = static_cast<double>(x) * static_cast<double>(y);
+  const float ieee = x * y;
+  if (!std::isfinite(ieee)) return;  // datapath saturation is out of scope
+  const float got = fp32_mul_sliced(x, y, rne);
+  ASSERT_TRUE(std::isfinite(got)) << fp32_fields(x) << " * "
+                                  << fp32_fields(y);
+  if (x == 0.0F || y == 0.0F) {
+    ASSERT_EQ(got, 0.0F);
+    return;
+  }
+  const Fp32Parts px = decompose(x);
+  const Fp32Parts py = decompose(y);
+  const double dropped =
+      std::ldexp(1.0, px.biased_exp + py.biased_exp - 284);
+  const int result_exp =
+      (ieee == 0.0F) ? -149
+                     : std::max(-149, std::ilogb(std::fabs(ieee)) - 23);
+  const double grid = std::ldexp(1.0, result_exp);
+  ASSERT_LE(std::fabs(static_cast<double>(got) - exact),
+            dropped + 2.0 * grid)
+      << fp32_fields(x) << " * " << fp32_fields(y) << " rne=" << rne
+      << " got " << got << " exact " << exact;
+  // Documented tight bound for normal operands and normal results:
+  // <= 1 ulp with RNE, <= 2 ulp with truncation (test_slices.cpp).
+  if (px.mantissa >= (1u << 23) && py.mantissa >= (1u << 23) &&
+      std::fabs(ieee) >= FLT_MIN) {
+    ASSERT_LE(ulp_distance(got, ieee), rne ? 1 : 2)
+        << fp32_fields(x) << " * " << fp32_fields(y);
+  }
+}
+
+TEST(SlicedMulProperty, DroppedLsbBoundAcrossFullRange) {
+  Rng rng(501);
+  // Random operands spanning the full finite range, subnormals included.
+  for (int i = 0; i < 20000; ++i) {
+    const float x = random_finite_fp32(rng);
+    const float y = random_finite_fp32(rng);
+    check_sliced_mul_bound(x, y, /*rne=*/(i % 2) == 0);
+  }
+  // Boundary x boundary cross product, both rounding modes.
+  const std::vector<float> bounds = boundary_operands();
+  for (float x : bounds) {
+    for (float y : bounds) {
+      check_sliced_mul_bound(x, y, true);
+      check_sliced_mul_bound(x, y, false);
+    }
+  }
+  // Boundary x random-normal mix.
+  for (float x : bounds) {
+    for (int i = 0; i < 200; ++i) {
+      check_sliced_mul_bound(x, random_normal_fp32(rng, 80, 170),
+                             (i % 2) == 0);
+    }
+  }
+}
+
+TEST(SlicedMulProperty, ParallelEngineBitIdenticalToSerial) {
+  // The sliced multiply under the parallel execution engine must produce
+  // exactly the serial bits: results land in index-owned slots and the
+  // operation itself is pure.
+  Rng rng(502);
+  const std::size_t n = 6000;
+  std::vector<float> xs(n);
+  std::vector<float> ys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = random_finite_fp32(rng);
+    ys[i] = random_finite_fp32(rng);
+    const float ieee = xs[i] * ys[i];
+    if (!std::isfinite(ieee)) {
+      xs[i] = random_normal_fp32(rng, 100, 150);
+      ys[i] = random_normal_fp32(rng, 100, 150);
+    }
+  }
+  auto run = [&](ThreadPool* pool) {
+    std::vector<std::uint32_t> bits(n);
+    auto body = [&](std::size_t i) {
+      bits[i] = float_to_bits(
+          fp32_mul_sliced(xs[i], ys[i], /*round_nearest_even=*/(i % 2) == 0));
+    };
+    if (pool != nullptr) {
+      pool->parallel_for(n, body);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) body(i);
+    }
+    return bits;
+  };
+  const std::vector<std::uint32_t> serial = run(nullptr);
+  for (int threads : {1, 2, 3, 8}) {
+    ThreadPool pool(threads);
+    const std::vector<std::uint32_t> par = run(&pool);
+    ASSERT_EQ(par, serial) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace bfpsim

@@ -43,8 +43,14 @@ TEST(Scheduler, PerfectBalanceForIdenticalItems) {
   EXPECT_DOUBLE_EQ(s.utilization, 1.0);
 }
 
-TEST(Scheduler, RejectsBadUnitCount) {
-  EXPECT_THROW(schedule_lpt({}, 0), Error);
+TEST(Scheduler, DegenerateUnitCountIsWellDefined) {
+  // num_units <= 0 is a well-defined empty schedule, not a throw (and not
+  // a division by zero) — sweeps and config-driven callers can probe the
+  // edge without wrapping every call. Full coverage in test_fabric.cpp.
+  const ScheduleResult none = schedule_lpt({{"a", 10}}, 0);
+  EXPECT_TRUE(none.units.empty());
+  EXPECT_EQ(none.makespan, 0u);
+  EXPECT_DOUBLE_EQ(none.utilization, 0.0);
 }
 
 TEST(BatchServing, ThroughputScalesUpToUnitCount) {
