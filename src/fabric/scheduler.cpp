@@ -18,10 +18,17 @@ ScheduleResult schedule_lpt(const std::vector<WorkItem>& items,
   }
   if (items.empty()) return r;
 
+  // Tie-break equal-cycle items by input index: std::sort is unstable and
+  // implementation-defined on ties, so without the index key the placement
+  // of identical items (the common whole-image batch) could differ between
+  // standard libraries. With it, placement is a pure function of the input.
   std::vector<std::size_t> order(items.size());
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return items[a].cycles > items[b].cycles;
+    if (items[a].cycles != items[b].cycles) {
+      return items[a].cycles > items[b].cycles;
+    }
+    return a < b;
   });
 
   for (const std::size_t idx : order) {

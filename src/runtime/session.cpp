@@ -222,6 +222,22 @@ Session::BatchInference Session::infer_batch(
   return out;
 }
 
+OnlineServeResult Session::serve(ModelId model, const ArrivalTrace& trace,
+                                 const ServePolicy& policy, ThreadPool* pool,
+                                 Trace* event_trace) {
+  Deployed& dep = checked(model);
+  OnlineServeResult r =
+      serve_online(dep.model, system_, trace, policy, pool, event_trace);
+  log_.push_back(
+      {CommandRecord::Kind::kCompute,
+       "serve " + dep.info.name + ": " +
+           std::to_string(r.report.records.size()) + "/" +
+           std::to_string(trace.total_requests) + " completed, " +
+           std::to_string(r.report.rejected_ids.size()) + " rejected",
+       0, r.report.makespan_cycles});
+  return r;
+}
+
 void Session::undeploy(ModelId model) {
   BFP_REQUIRE(model >= 0 &&
                   static_cast<std::size_t>(model) < models_.size() &&

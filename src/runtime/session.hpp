@@ -24,6 +24,7 @@
 
 #include "fabric/system.hpp"
 #include "runtime/device_memory.hpp"
+#include "serving/event_loop.hpp"
 #include "transformer/model.hpp"
 
 namespace bfpsim {
@@ -91,6 +92,18 @@ class Session {
   BatchInference infer_batch(ModelId model,
                              std::span<const std::vector<float>> embeddings,
                              ThreadPool* pool = nullptr);
+
+  /// Online serving: replay a seeded arrival trace against a deployed
+  /// model through the virtual-time event loop (admission queue, SLO-aware
+  /// continuous batching, per-unit pipeline timelines — serving/
+  /// event_loop.hpp). `pool` parallelizes the functional forwards only;
+  /// results are bit-identical for any worker count. `event_trace`, when
+  /// non-null and enabled, receives the per-unit serving timeline. Appends
+  /// one summary record to the command log.
+  OnlineServeResult serve(ModelId model, const ArrivalTrace& trace,
+                          const ServePolicy& policy,
+                          ThreadPool* pool = nullptr,
+                          Trace* event_trace = nullptr);
 
   /// Release a deployed model's device memory.
   void undeploy(ModelId model);

@@ -1,0 +1,305 @@
+#include "serving/event_loop.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <string>
+
+#include "common/error.hpp"
+#include "fabric/pipeline.hpp"
+
+namespace bfpsim {
+
+void ServePolicy::validate() const {
+  BFP_REQUIRE(queue_capacity >= 1, "ServePolicy: queue capacity must be >= 1");
+  BFP_REQUIRE(max_batch >= 1, "ServePolicy: max batch must be >= 1");
+  BFP_REQUIRE(slo_ms > 0.0, "ServePolicy: SLO must be positive");
+}
+
+namespace {
+
+/// Discrete event, ordered by (cycle, seq): seq is the push order, so ties
+/// resolve by who was scheduled first — explicit and platform-independent.
+struct Event {
+  std::uint64_t cycle = 0;
+  std::uint64_t seq = 0;
+  enum class Kind { kArrival, kUnitFree, kTimer, kComplete } kind =
+      Kind::kArrival;
+  int payload = 0;  ///< request id (arrival/complete) or unit index
+};
+
+struct EventAfter {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.cycle != b.cycle) return a.cycle > b.cycle;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+OnlineServeResult serve_online(const VitModel& model,
+                               const AcceleratorSystem& sys,
+                               const ArrivalTrace& trace,
+                               const ServePolicy& policy,
+                               ThreadPool* pool, Trace* event_trace) {
+  trace.validate();
+  policy.validate();
+  const VitConfig& cfg = model.config();
+  const int n = trace.total_requests;
+  const auto un = static_cast<std::size_t>(n);
+
+  OnlineServeResult out;
+  out.features.resize(un);
+  out.compute_cycles.resize(un);
+  std::vector<ForwardStats> stats(un);
+
+  // ---- phase 1: functional forwards (parallel, index-owned slots) ----
+  // Request i's embeddings derive from trace.seed + i; each work item owns
+  // slot i and builds its own single-unit AcceleratorSystem, so any worker
+  // interleaving produces the serial loop's bits (PR 1 discipline).
+  SystemConfig one = sys.config();
+  one.num_units = 1;
+  auto run_request = [&](std::size_t i) {
+    const AcceleratorSystem unit(one);
+    std::vector<float> x = random_embeddings(
+        cfg, trace.seed + static_cast<std::uint64_t>(i));
+    out.features[i] = model.forward_mixed(std::move(x), unit, &stats[i]);
+    out.compute_cycles[i] = stats[i].total_cycles();
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(un, run_request);
+  } else {
+    for (std::size_t i = 0; i < un; ++i) run_request(i);
+  }
+
+  // ---- phase 2: serial virtual-time event loop ----
+  ServeReport& rep = out.report;
+  const double freq = sys.config().pu.freq_hz;
+  rep.freq_hz = freq;
+  rep.offered_rps = trace.offered_rps;
+  rep.slo_cycles = static_cast<std::uint64_t>(policy.slo_ms * 1e-3 * freq);
+
+  const HbmConfig& hbm = sys.config().hbm;
+  const std::uint64_t in_bytes =
+      static_cast<std::uint64_t>(cfg.tokens()) *
+      static_cast<std::uint64_t>(cfg.embed_dim) * sizeof(float);
+  const std::uint64_t load_cycles =
+      transfer_cycles(hbm, in_bytes, hbm.bfp_burst_bytes);
+  // Features are tokens x d for every request of this model.
+  const std::uint64_t store_cycles = load_cycles;
+
+  const int num_units = sys.config().num_units;
+  BFP_REQUIRE(num_units >= 1, "serve_online: system has no units");
+  std::vector<std::uint64_t> busy_until(
+      static_cast<std::size_t>(num_units), 0);
+  rep.unit_busy_cycles.assign(static_cast<std::size_t>(num_units), 0);
+
+  std::priority_queue<Event, std::vector<Event>, EventAfter> events;
+  std::uint64_t seq = 0;
+  auto push_event = [&](std::uint64_t cycle, Event::Kind kind, int payload) {
+    events.push(Event{cycle, seq++, kind, payload});
+  };
+  for (const RequestArrival& a : trace.arrivals) {
+    push_event(a.cycle, Event::Kind::kArrival, a.id);
+  }
+  // Closed loop: arrivals beyond the initial client burst are injected at
+  // completion + think time, taking the next unissued id.
+  int next_closed_id = static_cast<int>(trace.arrivals.size());
+
+  AdmissionQueue queue(policy.queue_capacity, policy.drop_policy);
+  std::vector<LatencyRecord> records(un);
+  std::vector<bool> completed(un, false);
+
+  auto trace_ev = [&](std::uint64_t cycle, std::string component,
+                      std::string message) {
+    if (event_trace != nullptr) {
+      event_trace->record(cycle, std::move(component), std::move(message));
+    }
+  };
+  auto sample_depth = [&](std::uint64_t cycle) {
+    rep.queue_depth.push_back({cycle, queue.size()});
+  };
+
+  // Single-request service estimate used by the batcher's "is waiting
+  // still worth it?" test for the head of the queue.
+  auto estimate_service = [&](int id) {
+    return load_cycles + out.compute_cycles[static_cast<std::size_t>(id)] +
+           store_cycles;
+  };
+
+  // The continuous batcher. For every idle unit: dispatch a full batch at
+  // once; dispatch a partial batch when the head has already waited
+  // max_wait_cycles, or when its SLO slack is gone (waiting longer would
+  // bust the deadline even if served immediately later). Otherwise
+  // schedule a timer at the earliest cycle one of those becomes true.
+  auto try_dispatch = [&](std::uint64_t now) {
+    while (!queue.empty()) {
+      int unit = -1;
+      for (int u = 0; u < num_units; ++u) {
+        if (busy_until[static_cast<std::size_t>(u)] <= now) {
+          unit = u;
+          break;
+        }
+      }
+      if (unit < 0) return;  // every unit busy; kUnitFree will revisit
+
+      const QueueEntry& head = queue.front();
+      const std::uint64_t est = estimate_service(head.id);
+      const bool full = queue.size() >= static_cast<std::size_t>(
+                                            policy.max_batch);
+      const bool waited_out =
+          now - head.arrival_cycle >= policy.max_wait_cycles;
+      const bool slo_pressure = now + est >= head.deadline_cycle;
+      if (!full && !waited_out && !slo_pressure) {
+        const std::uint64_t wait_at =
+            head.arrival_cycle + policy.max_wait_cycles;
+        const std::uint64_t slo_at = head.deadline_cycle - est;
+        const std::uint64_t revisit = std::min(wait_at, slo_at);
+        // revisit > now because neither bound has been hit yet.
+        push_event(revisit, Event::Kind::kTimer, 0);
+        rep.counters.add("serve.timers");
+        return;
+      }
+
+      // Form the batch: EDF order straight off the queue.
+      std::vector<QueueEntry> batch;
+      while (!queue.empty() &&
+             batch.size() < static_cast<std::size_t>(policy.max_batch)) {
+        batch.push_back(queue.pop());
+      }
+      sample_depth(now);
+
+      std::vector<PassSpec> passes;
+      passes.reserve(batch.size());
+      for (const QueueEntry& e : batch) {
+        passes.push_back(
+            {load_cycles,
+             out.compute_cycles[static_cast<std::size_t>(e.id)],
+             store_cycles});
+      }
+      const PipelineResult pipe =
+          simulate_pipeline(passes, /*double_buffered=*/true);
+
+      for (std::size_t j = 0; j < batch.size(); ++j) {
+        const QueueEntry& e = batch[j];
+        LatencyRecord& r = records[static_cast<std::size_t>(e.id)];
+        r.id = e.id;
+        r.arrival_cycle = e.arrival_cycle;
+        r.dispatch_cycle = now;
+        r.complete_cycle = now + pipe.passes[j].store_end;
+        r.unit = unit;
+        r.batch_size = static_cast<int>(batch.size());
+        r.slo_met = r.complete_cycle <= e.deadline_cycle;
+        completed[static_cast<std::size_t>(e.id)] = true;
+        push_event(r.complete_cycle, Event::Kind::kComplete, e.id);
+      }
+      const auto uu = static_cast<std::size_t>(unit);
+      busy_until[uu] = now + pipe.total_cycles;
+      rep.unit_busy_cycles[uu] += pipe.total_cycles;
+      push_event(busy_until[uu], Event::Kind::kUnitFree, unit);
+
+      rep.counters.add("serve.batches");
+      rep.counters.add("serve.dispatched", batch.size());
+      trace_ev(now, "unit" + std::to_string(unit),
+               "dispatch batch=" + std::to_string(batch.size()) + " head=req" +
+                   std::to_string(batch.front().id));
+    }
+  };
+
+  while (!events.empty()) {
+    const Event ev = events.top();
+    events.pop();
+    const std::uint64_t now = ev.cycle;
+    switch (ev.kind) {
+      case Event::Kind::kArrival: {
+        const int id = ev.payload;
+        rep.counters.add("serve.requests");
+        trace_ev(now, "queue", "arrive req" + std::to_string(id));
+        QueueEntry e{id, now, now + rep.slo_cycles};
+        QueueEntry victim;
+        bool had_victim = false;
+        const bool admitted = queue.push(e, &victim, &had_victim);
+        if (had_victim) {
+          rep.rejected_ids.push_back(victim.id);
+          rep.counters.add("serve.shed");
+          trace_ev(now, "queue", "shed req" + std::to_string(victim.id));
+          // Closed loop: a shed request still releases its client.
+          if (trace.closed_loop && next_closed_id < n) {
+            push_event(now + trace.think_cycles, Event::Kind::kArrival,
+                       next_closed_id++);
+          }
+        }
+        if (admitted) {
+          rep.counters.add("serve.admitted");
+        } else {
+          rep.rejected_ids.push_back(id);
+          rep.counters.add("serve.rejected");
+          trace_ev(now, "queue", "reject req" + std::to_string(id));
+          if (trace.closed_loop && next_closed_id < n) {
+            push_event(now + trace.think_cycles, Event::Kind::kArrival,
+                       next_closed_id++);
+          }
+        }
+        sample_depth(now);
+        try_dispatch(now);
+        break;
+      }
+      case Event::Kind::kComplete: {
+        const int id = ev.payload;
+        const auto& r = records[static_cast<std::size_t>(id)];
+        rep.counters.add("serve.completed");
+        trace_ev(now, "unit" + std::to_string(r.unit),
+                 "complete req" + std::to_string(id));
+        if (trace.closed_loop && next_closed_id < n) {
+          push_event(now + trace.think_cycles, Event::Kind::kArrival,
+                     next_closed_id++);
+        }
+        break;
+      }
+      case Event::Kind::kUnitFree:
+      case Event::Kind::kTimer:
+        try_dispatch(now);
+        break;
+    }
+  }
+
+  // ---- report assembly (serial, id order) ----
+  std::vector<std::uint64_t> total, wait, service;
+  for (std::size_t i = 0; i < un; ++i) {
+    if (!completed[i]) continue;
+    const LatencyRecord& r = records[i];
+    rep.records.push_back(r);
+    total.push_back(r.total_cycles());
+    wait.push_back(r.queue_cycles());
+    service.push_back(r.service_cycles());
+    rep.makespan_cycles = std::max(rep.makespan_cycles, r.complete_cycle);
+    if (!r.slo_met) ++rep.slo_violations;
+  }
+  rep.latency = summarize_latencies(std::move(total));
+  rep.queue_wait = summarize_latencies(std::move(wait));
+  rep.service = summarize_latencies(std::move(service));
+  rep.max_queue_depth = queue.peak_depth();
+
+  std::uint64_t busy = 0;
+  for (const std::uint64_t b : rep.unit_busy_cycles) busy += b;
+  rep.utilization =
+      rep.makespan_cycles == 0
+          ? 0.0
+          : static_cast<double>(busy) /
+                (static_cast<double>(num_units) *
+                 static_cast<double>(rep.makespan_cycles));
+  rep.completed_rps =
+      rep.makespan_cycles == 0
+          ? 0.0
+          : static_cast<double>(rep.records.size()) /
+                (static_cast<double>(rep.makespan_cycles) / freq);
+  // Functional-work counters, merged in request-id order (deterministic).
+  for (std::size_t i = 0; i < un; ++i) {
+    rep.counters.add("serve.bfp_macs", stats[i].bfp_macs);
+  }
+  rep.counters.add("serve.slo_violations", rep.slo_violations);
+  rep.counters.add("serve.makespan_cycles", rep.makespan_cycles);
+  rep.counters.add("serve.peak_queue_depth", rep.max_queue_depth);
+  return out;
+}
+
+}  // namespace bfpsim

@@ -1,0 +1,82 @@
+// The online request-serving engine: a deterministic virtual-time event
+// loop over the multi-unit accelerator.
+//
+// Execution is split the same way PR 1's batch engine splits it:
+//
+//  1. a *parallel functional phase* — every request's mixed bfp8/fp32
+//     forward runs on its own simulated single-unit PU (index-owned
+//     output slots, shared read-only model), giving per-request features
+//     and modelled compute cycles for any worker count bit-identically;
+//  2. a *serial virtual-time phase* — a discrete-event loop consumes the
+//     arrival trace, pushes requests through the bounded admission queue,
+//     and lets the SLO-aware continuous batcher form per-unit batches on
+//     the fly: whenever a unit is idle it takes up to `max_batch` requests
+//     in earliest-deadline-first order, dispatching early when the head's
+//     SLO slack or the max-wait bound says waiting for a fuller batch
+//     would cost more than it buys. Batch service times come from the
+//     per-unit double-buffered pipeline timeline (fabric/pipeline.hpp),
+//     so a request's completion is its own pass's store_end, not the
+//     batch tail.
+//
+// Determinism contract: the event queue orders by (cycle, push sequence),
+// every tie-break is explicit, and the loop itself is serial — worker
+// count only affects phase 1, whose slots are index-owned. Same trace +
+// policy => bit-identical records, percentiles, and counters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "fabric/system.hpp"
+#include "serving/metrics.hpp"
+#include "serving/queue.hpp"
+#include "serving/workload.hpp"
+#include "sim/trace.hpp"
+#include "transformer/model.hpp"
+
+namespace bfpsim {
+
+/// Knobs of the admission queue and the continuous batcher.
+struct ServePolicy {
+  std::size_t queue_capacity = 64;
+  DropPolicy drop_policy = DropPolicy::kRejectNewest;
+
+  int max_batch = 4;  ///< per-unit batch size cap
+
+  /// Longest a head-of-queue request may wait for a fuller batch before a
+  /// partial batch is forced out.
+  std::uint64_t max_wait_cycles = 30000;
+
+  /// Latency SLO per request (arrival -> complete), converted to cycles at
+  /// the system frequency. The batcher dispatches a partial batch early
+  /// when waiting longer would push the head request past its deadline.
+  double slo_ms = 5.0;
+
+  void validate() const;
+};
+
+/// Outcome of one serving run.
+struct OnlineServeResult {
+  ServeReport report;
+  /// Functional block outputs per request id. Forwards run for all ids up
+  /// front (that is what makes phase 1 parallelizable), so every slot is
+  /// populated even for requests the queue later rejected.
+  std::vector<std::vector<float>> features;
+  std::vector<std::uint64_t> compute_cycles;  ///< modelled, per request id
+};
+
+/// Serve `trace` against `model` on the multi-unit `sys`.
+///
+/// `pool` parallelizes the functional forwards only (nullptr = serial);
+/// `event_trace`, when non-null and enabled, receives cycle-stamped
+/// queue/unit events (components "queue", "unit<k>") suitable for
+/// Trace::to_chrome_json().
+OnlineServeResult serve_online(const VitModel& model,
+                               const AcceleratorSystem& sys,
+                               const ArrivalTrace& trace,
+                               const ServePolicy& policy,
+                               ThreadPool* pool = nullptr,
+                               Trace* event_trace = nullptr);
+
+}  // namespace bfpsim

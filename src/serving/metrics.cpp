@@ -1,0 +1,102 @@
+#include "serving/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/trace.hpp"
+
+namespace bfpsim {
+
+namespace {
+
+std::uint64_t nearest_rank(const std::vector<std::uint64_t>& sorted,
+                           double pct) {
+  // ceil(pct/100 * N), 1-indexed; N >= 1 guaranteed by the caller.
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(pct / 100.0 * n));
+  if (rank < 1) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+PercentileSummary summarize_latencies(std::vector<std::uint64_t> cycles) {
+  PercentileSummary s;
+  s.count = cycles.size();
+  if (cycles.empty()) return s;
+  std::sort(cycles.begin(), cycles.end());
+  s.p50 = nearest_rank(cycles, 50.0);
+  s.p95 = nearest_rank(cycles, 95.0);
+  s.p99 = nearest_rank(cycles, 99.0);
+  s.max = cycles.back();
+  std::uint64_t sum = 0;
+  for (const std::uint64_t c : cycles) sum += c;
+  s.mean = static_cast<double>(sum) / static_cast<double>(cycles.size());
+  return s;
+}
+
+namespace {
+
+void json_summary(std::ostringstream& os, const char* key,
+                  const PercentileSummary& s, const ServeReport& r) {
+  os << "\"" << key << "\":{"
+     << "\"count\":" << s.count << ","
+     << "\"p50_cycles\":" << s.p50 << ","
+     << "\"p95_cycles\":" << s.p95 << ","
+     << "\"p99_cycles\":" << s.p99 << ","
+     << "\"max_cycles\":" << s.max << ","
+     << "\"mean_cycles\":" << fmt(s.mean) << ","
+     << "\"p50_ms\":" << fmt(r.cycles_to_ms(s.p50)) << ","
+     << "\"p95_ms\":" << fmt(r.cycles_to_ms(s.p95)) << ","
+     << "\"p99_ms\":" << fmt(r.cycles_to_ms(s.p99)) << "}";
+}
+
+}  // namespace
+
+std::string ServeReport::to_json() const {
+  std::ostringstream os;
+  os << "{";
+  os << "\"completed\":" << records.size() << ",";
+  os << "\"rejected\":" << rejected_ids.size() << ",";
+  json_summary(os, "latency", latency, *this);
+  os << ",";
+  json_summary(os, "queue_wait", queue_wait, *this);
+  os << ",";
+  json_summary(os, "service", service, *this);
+  os << ",";
+  os << "\"max_queue_depth\":" << max_queue_depth << ",";
+  os << "\"makespan_cycles\":" << makespan_cycles << ",";
+  os << "\"utilization\":" << fmt(utilization) << ",";
+  os << "\"freq_hz\":" << fmt(freq_hz) << ",";
+  os << "\"offered_rps\":" << fmt(offered_rps) << ",";
+  os << "\"completed_rps\":" << fmt(completed_rps) << ",";
+  os << "\"slo_cycles\":" << slo_cycles << ",";
+  os << "\"slo_violations\":" << slo_violations << ",";
+  os << "\"unit_busy_cycles\":[";
+  for (std::size_t u = 0; u < unit_busy_cycles.size(); ++u) {
+    if (u != 0) os << ",";
+    os << unit_busy_cycles[u];
+  }
+  os << "],";
+  os << "\"queue_depth_samples\":" << queue_depth.size() << ",";
+  os << "\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters.snapshot()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << json_escape(name) << "\":" << value;
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace bfpsim

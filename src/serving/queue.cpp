@@ -1,0 +1,47 @@
+#include "serving/queue.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace bfpsim {
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity, DropPolicy policy)
+    : capacity_(capacity), policy_(policy) {
+  BFP_REQUIRE(capacity >= 1, "AdmissionQueue: capacity must be >= 1");
+}
+
+bool AdmissionQueue::push(const QueueEntry& e, QueueEntry* victim,
+                          bool* had_victim) {
+  *had_victim = false;
+  if (q_.size() >= capacity_) {
+    if (policy_ == DropPolicy::kRejectNewest) {
+      ++rejected_;
+      return false;
+    }
+    // kShedOldest: evict the head (longest waiting / earliest deadline).
+    *victim = q_.front();
+    *had_victim = true;
+    q_.erase(q_.begin());
+    ++shed_;
+  }
+  const auto pos = std::upper_bound(
+      q_.begin(), q_.end(), e, [](const QueueEntry& a, const QueueEntry& b) {
+        if (a.deadline_cycle != b.deadline_cycle) {
+          return a.deadline_cycle < b.deadline_cycle;
+        }
+        return a.id < b.id;
+      });
+  q_.insert(pos, e);
+  peak_depth_ = std::max(peak_depth_, q_.size());
+  return true;
+}
+
+QueueEntry AdmissionQueue::pop() {
+  BFP_REQUIRE(!q_.empty(), "AdmissionQueue::pop: empty queue");
+  const QueueEntry e = q_.front();
+  q_.erase(q_.begin());
+  return e;
+}
+
+}  // namespace bfpsim

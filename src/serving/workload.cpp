@@ -1,0 +1,81 @@
+#include "serving/workload.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace bfpsim {
+
+void ArrivalTrace::validate() const {
+  BFP_REQUIRE(total_requests >= 1, "ArrivalTrace: needs >= 1 request");
+  BFP_REQUIRE(freq_hz > 0.0, "ArrivalTrace: frequency must be positive");
+  BFP_REQUIRE(!arrivals.empty(), "ArrivalTrace: no initial arrivals");
+  BFP_REQUIRE(arrivals.size() <= static_cast<std::size_t>(total_requests),
+              "ArrivalTrace: more initial arrivals than total requests");
+  for (std::size_t i = 1; i < arrivals.size(); ++i) {
+    BFP_REQUIRE(arrivals[i - 1].cycle < arrivals[i].cycle ||
+                    (arrivals[i - 1].cycle == arrivals[i].cycle &&
+                     arrivals[i - 1].id < arrivals[i].id),
+                "ArrivalTrace: arrivals must be sorted by (cycle, id)");
+  }
+}
+
+ArrivalTrace poisson_trace(int num_requests, double rate_rps,
+                           std::uint64_t seed, double freq_hz) {
+  BFP_REQUIRE(num_requests >= 1, "poisson_trace: needs >= 1 request");
+  BFP_REQUIRE(rate_rps > 0.0, "poisson_trace: rate must be positive");
+  BFP_REQUIRE(freq_hz > 0.0, "poisson_trace: frequency must be positive");
+
+  ArrivalTrace t;
+  t.total_requests = num_requests;
+  t.seed = seed;
+  t.freq_hz = freq_hz;
+  t.offered_rps = rate_rps;
+
+  // Inverse-CDF sampling on the raw engine bits: u in [0, 1) from the top
+  // 53 bits, dt = -ln(1-u)/rate. std::exponential_distribution would be
+  // implementation-defined; this is the same bits on every platform.
+  Rng rng(seed);
+  double t_seconds = 0.0;
+  t.arrivals.reserve(static_cast<std::size_t>(num_requests));
+  for (int i = 0; i < num_requests; ++i) {
+    const double u =
+        static_cast<double>(rng.engine()() >> 11) * 0x1.0p-53;
+    t_seconds += -std::log1p(-u) / rate_rps;
+    auto cycle = static_cast<std::uint64_t>(t_seconds * freq_hz);
+    // Keep (cycle, id) strictly sorted even if two arrivals quantize to
+    // the same cycle — ids ascend, which validate() accepts.
+    t.arrivals.push_back({i, cycle});
+  }
+  t.validate();
+  return t;
+}
+
+ArrivalTrace closed_loop_trace(int clients, int total_requests,
+                               double think_ms, std::uint64_t seed,
+                               double freq_hz) {
+  BFP_REQUIRE(clients >= 1, "closed_loop_trace: needs >= 1 client");
+  BFP_REQUIRE(total_requests >= clients,
+              "closed_loop_trace: total requests must cover every client");
+  BFP_REQUIRE(think_ms >= 0.0, "closed_loop_trace: negative think time");
+  BFP_REQUIRE(freq_hz > 0.0, "closed_loop_trace: frequency must be positive");
+
+  ArrivalTrace t;
+  t.total_requests = total_requests;
+  t.seed = seed;
+  t.freq_hz = freq_hz;
+  t.closed_loop = true;
+  t.think_cycles =
+      static_cast<std::uint64_t>(think_ms * 1e-3 * freq_hz);
+  t.arrivals.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    // Clients start one cycle apart so the initial burst has a defined
+    // order even under a (cycle, id) sort.
+    t.arrivals.push_back({c, static_cast<std::uint64_t>(c)});
+  }
+  t.validate();
+  return t;
+}
+
+}  // namespace bfpsim

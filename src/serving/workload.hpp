@@ -1,0 +1,66 @@
+// Seeded arrival traces for the online serving subsystem.
+//
+// Two classic request-generation disciplines, both deterministic functions
+// of their seed (common/rng) so every serving experiment replays exactly:
+//
+//  * open-loop Poisson — requests arrive at exponentially distributed
+//    inter-arrival times regardless of what the system does (the "heavy
+//    traffic from many independent users" model; arrival times are fixed
+//    up front), and
+//  * closed-loop — a fixed population of clients, each thinking for a
+//    fixed time after its previous request finishes before issuing the
+//    next one; only the first arrival per client is in the trace, the
+//    event loop reinjects the rest at completion + think time.
+//
+// A request's input embeddings are derived from `seed + id`, so the full
+// request set is known before the virtual-time loop runs — that is what
+// lets the functional forwards execute on the parallel engine (index-owned
+// slots) while the loop itself stays serial and deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/clock.hpp"
+
+namespace bfpsim {
+
+/// One request entering the system.
+struct RequestArrival {
+  int id = 0;                  ///< dense request id in [0, total_requests)
+  std::uint64_t cycle = 0;     ///< virtual arrival time (fabric cycles)
+};
+
+/// A complete, replayable workload description.
+struct ArrivalTrace {
+  /// Initial arrivals, sorted by (cycle, id). Open-loop: every request.
+  /// Closed-loop: the first request of each client.
+  std::vector<RequestArrival> arrivals;
+  int total_requests = 0;
+  std::uint64_t seed = 1;      ///< request i uses embeddings seed `seed + i`
+  double freq_hz = kDefaultFreqHz;
+
+  bool closed_loop = false;
+  std::uint64_t think_cycles = 0;  ///< closed-loop client think time
+
+  double offered_rps = 0.0;    ///< nominal open-loop rate (reporting only)
+
+  void validate() const;
+};
+
+/// Open-loop Poisson trace: `num_requests` arrivals at `rate_rps` requests
+/// per second of virtual time, seeded inter-arrival sampling (inversion of
+/// the exponential CDF on the raw engine bits — no std::distribution, so
+/// the trace is identical across standard libraries).
+ArrivalTrace poisson_trace(int num_requests, double rate_rps,
+                           std::uint64_t seed,
+                           double freq_hz = kDefaultFreqHz);
+
+/// Closed-loop trace: `clients` concurrent clients issue `total_requests`
+/// requests in total, each client waiting `think_ms` of virtual time after
+/// a completion before its next request.
+ArrivalTrace closed_loop_trace(int clients, int total_requests,
+                               double think_ms, std::uint64_t seed,
+                               double freq_hz = kDefaultFreqHz);
+
+}  // namespace bfpsim

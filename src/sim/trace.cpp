@@ -1,12 +1,58 @@
 #include "sim/trace.hpp"
 
+#include <cstdio>
+#include <map>
 #include <sstream>
 
 namespace bfpsim {
 
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 void Trace::record(std::uint64_t cycle, std::string component,
                    std::string message) {
   if (!enabled_) return;
+  if (capacity_ != 0 && events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
   events_.push_back({cycle, std::move(component), std::move(message)});
 }
 
@@ -24,6 +70,33 @@ std::string Trace::to_string() const {
   for (const auto& e : events_) {
     os << "[" << e.cycle << "] " << e.component << ": " << e.message << "\n";
   }
+  return os.str();
+}
+
+std::string Trace::to_chrome_json() const {
+  // Stable tid per component: first-seen order, so the same trace renders
+  // the same rows on every platform.
+  std::map<std::string, int> tids;
+  std::vector<const std::string*> seen;
+  for (const auto& e : events_) {
+    if (tids.emplace(e.component, static_cast<int>(seen.size())).second) {
+      seen.push_back(&e.component);
+    }
+  }
+
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : events_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << json_escape(e.message) << "\","
+       << "\"cat\":\"" << json_escape(e.component) << "\","
+       << "\"ph\":\"i\",\"s\":\"t\","
+       << "\"ts\":" << e.cycle << ","
+       << "\"pid\":0,\"tid\":" << tids[e.component] << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ns\"}";
   return os.str();
 }
 

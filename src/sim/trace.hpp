@@ -1,13 +1,24 @@
 // Cycle-stamped event tracing for debugging the hardware models. Disabled
 // by default; when enabled it records (cycle, component, message) triples
 // that tests can assert against and humans can read.
+//
+// Long-running consumers (the online serving event loop in particular) can
+// bound the memory a trace may take with set_capacity(): once the cap is
+// reached further events are counted, not stored, so a multi-hour serving
+// run cannot grow the trace without limit. The default stays unbounded so
+// existing users see no behaviour change.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace bfpsim {
+
+/// Escape a string for embedding inside a JSON string literal (quotes,
+/// backslashes, and control characters; non-ASCII bytes pass through).
+std::string json_escape(std::string_view s);
 
 struct TraceEvent {
   std::uint64_t cycle = 0;
@@ -20,11 +31,22 @@ class Trace {
   void enable(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
 
+  /// Bound the stored event count; 0 (the default) means unbounded.
+  /// Events recorded past the cap are dropped and counted instead.
+  void set_capacity(std::size_t max_events) { capacity_ = max_events; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Events dropped because the capacity was reached.
+  std::uint64_t dropped() const { return dropped_; }
+
   void record(std::uint64_t cycle, std::string component,
               std::string message);
 
   const std::vector<TraceEvent>& events() const { return events_; }
-  void clear() { events_.clear(); }
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
 
   /// Events from one component, in order.
   std::vector<TraceEvent> for_component(const std::string& component) const;
@@ -32,8 +54,15 @@ class Trace {
   /// Render the whole trace as text.
   std::string to_string() const;
 
+  /// Render the trace in the Chrome trace_event JSON format (instant
+  /// events; `ts` carries the cycle stamp, one `tid` per component in
+  /// first-seen order) so timelines open in chrome://tracing / Perfetto.
+  std::string to_chrome_json() const;
+
  private:
   bool enabled_ = false;
+  std::size_t capacity_ = 0;  ///< 0 = unbounded
+  std::uint64_t dropped_ = 0;
   std::vector<TraceEvent> events_;
 };
 

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -175,6 +176,37 @@ TEST(Scheduler, ZeroCycleItemsDoNotDivideByZero) {
   std::size_t placed = 0;
   for (const auto& u : r.units) placed += u.items.size();
   EXPECT_EQ(placed, items.size());
+}
+
+TEST(Scheduler, EqualCycleItemsPlaceByIndexDeterministically) {
+  // Equal-cycle items are the common case (a batch of identical images).
+  // The LPT sort tie-breaks on the input index, so placement is a pure
+  // function of the input — identical on every platform and standard
+  // library, which the serving determinism contract relies on.
+  const std::vector<WorkItem> items(8, WorkItem{"img", 1000});
+  const ScheduleResult r = schedule_lpt(items, 3);
+  // Index order onto the first least-loaded unit: item i -> unit i % 3.
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto& unit = r.units[i % 3];
+    EXPECT_NE(std::find(unit.items.begin(), unit.items.end(), i),
+              unit.items.end())
+        << "item " << i;
+  }
+  ASSERT_EQ(r.units[0].items, (std::vector<std::size_t>{0, 3, 6}));
+  ASSERT_EQ(r.units[1].items, (std::vector<std::size_t>{1, 4, 7}));
+  ASSERT_EQ(r.units[2].items, (std::vector<std::size_t>{2, 5}));
+}
+
+TEST(Scheduler, MixedTiesResolveByIndexToo) {
+  // Two 5s tie at the top, three 3s tie below; expected exact placement
+  // with (cycles desc, index asc) ordering and first-min unit selection:
+  //   order = [0,1,2,3,4]; u0: 5(+3+3)=11, u1: 5(+3)=8.
+  const std::vector<WorkItem> items = {
+      {"a", 5}, {"b", 5}, {"c", 3}, {"d", 3}, {"e", 3}};
+  const ScheduleResult r = schedule_lpt(items, 2);
+  ASSERT_EQ(r.units[0].items, (std::vector<std::size_t>{0, 2, 4}));
+  ASSERT_EQ(r.units[1].items, (std::vector<std::size_t>{1, 3}));
+  EXPECT_EQ(r.makespan, 11u);
 }
 
 TEST(System, GemmWithThreadPoolIsBitIdentical) {

@@ -83,6 +83,99 @@ TEST(Trace, RecordsOnlyWhenEnabled) {
   EXPECT_TRUE(t.events().empty());
 }
 
+TEST(Trace, ForComponentPreservesOrderAndContents) {
+  Trace t;
+  t.enable(true);
+  t.record(10, "unit0", "dispatch");
+  t.record(11, "queue", "arrive");
+  t.record(12, "unit0", "complete");
+  t.record(12, "unit1", "dispatch");
+  const auto u0 = t.for_component("unit0");
+  ASSERT_EQ(u0.size(), 2u);
+  EXPECT_EQ(u0[0].cycle, 10u);
+  EXPECT_EQ(u0[0].message, "dispatch");
+  EXPECT_EQ(u0[1].cycle, 12u);
+  EXPECT_EQ(u0[1].message, "complete");
+  EXPECT_TRUE(t.for_component("unit7").empty());
+}
+
+TEST(Trace, ToStringRendersEveryEventLine) {
+  Trace t;
+  t.enable(true);
+  t.record(1, "a", "first");
+  t.record(2, "b", "second");
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("[1] a: first\n"), std::string::npos);
+  EXPECT_NE(s.find("[2] b: second\n"), std::string::npos);
+  EXPECT_EQ(Trace{}.to_string(), "");
+}
+
+TEST(Trace, CapacityBoundsMemoryAndCountsDrops) {
+  Trace t;
+  t.enable(true);
+  t.set_capacity(3);
+  for (int i = 0; i < 10; ++i) {
+    t.record(static_cast<std::uint64_t>(i), "c", "e" + std::to_string(i));
+  }
+  EXPECT_EQ(t.events().size(), 3u);
+  EXPECT_EQ(t.dropped(), 7u);
+  // The kept events are the earliest ones.
+  EXPECT_EQ(t.events().front().message, "e0");
+  EXPECT_EQ(t.events().back().message, "e2");
+  // clear() resets the drop counter too; capacity persists.
+  t.clear();
+  EXPECT_EQ(t.dropped(), 0u);
+  EXPECT_EQ(t.capacity(), 3u);
+  // Default remains unbounded.
+  Trace unbounded;
+  unbounded.enable(true);
+  for (int i = 0; i < 1000; ++i) unbounded.record(1, "c", "m");
+  EXPECT_EQ(unbounded.events().size(), 1000u);
+  EXPECT_EQ(unbounded.dropped(), 0u);
+}
+
+TEST(Trace, JsonEscapeHandlesSpecialCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(json_escape("line\nbreak\ttab\rret"),
+            "line\\nbreak\\ttab\\rret");
+  EXPECT_EQ(json_escape(std::string_view("\x01\x1f", 2)),
+            "\\u0001\\u001f");
+  EXPECT_EQ(json_escape("caf\xc3\xa9"), "caf\xc3\xa9")
+      << "non-ASCII bytes pass through";
+}
+
+TEST(Trace, ChromeJsonSchemaAndTidAssignment) {
+  Trace t;
+  t.enable(true);
+  t.record(5, "unit0", "dispatch \"batch\"");
+  t.record(9, "queue", "arrive\nreq1");
+  t.record(12, "unit0", "complete");
+  const std::string json = t.to_chrome_json();
+  // Envelope.
+  EXPECT_EQ(json.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(json.find("],\"displayTimeUnit\":\"ns\"}"), std::string::npos);
+  // Instant events with cycle timestamps.
+  EXPECT_NE(json.find("\"ph\":\"i\",\"s\":\"t\",\"ts\":5"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"ts\":9"), std::string::npos);
+  // Escaped payloads, never raw quotes/newlines inside a string.
+  EXPECT_NE(json.find("dispatch \\\"batch\\\""), std::string::npos);
+  EXPECT_NE(json.find("arrive\\nreq1"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  // tid per component in first-seen order: unit0 -> 0, queue -> 1.
+  EXPECT_NE(json.find("\"cat\":\"unit0\",\"ph\":\"i\",\"s\":\"t\",\"ts\":5,"
+                      "\"pid\":0,\"tid\":0"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"queue\",\"ph\":\"i\",\"s\":\"t\",\"ts\":9,"
+                      "\"pid\":0,\"tid\":1"),
+            std::string::npos);
+  // Empty trace is still a valid document.
+  EXPECT_EQ(Trace{}.to_chrome_json(),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ns\"}");
+}
+
 TEST(TextTable, RendersAlignedGrid) {
   TextTable t({"name", "value"});
   t.add_row({"alpha", "1"});

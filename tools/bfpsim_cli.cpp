@@ -7,18 +7,25 @@
 //   bfpsim deit <tiny|small|base> [--softermax]
 //   bfpsim throughput
 //   bfpsim batch <tiny|small|base> <BATCH>
+//   bfpsim serve <tiny|small|base|test> [options]
+//
+// Exit codes: 0 success, 1 runtime error, 2 unknown subcommand,
+// 3 bad arguments to a known subcommand.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "core/accelerator.hpp"
 #include "numerics/nonlinear.hpp"
 #include "resource/designs.hpp"
+#include "serving/event_loop.hpp"
 #include "transformer/latency.hpp"
 #include "transformer/serving.hpp"
 
@@ -26,7 +33,7 @@ namespace {
 
 using namespace bfpsim;
 
-int usage() {
+void print_usage() {
   std::fprintf(
       stderr,
       "usage:\n"
@@ -36,8 +43,27 @@ int usage() {
       "  bfpsim deit <tiny|small|base> [--softermax]\n"
       "  bfpsim throughput\n"
       "  bfpsim batch <tiny|small|base> <BATCH>\n"
-      "  bfpsim resources [unit|system]\n");
+      "  bfpsim serve <tiny|small|base|test> [--requests N] [--rate RPS]\n"
+      "         [--closed CLIENTS] [--think-ms MS] [--seed S] [--queue D]\n"
+      "         [--batch B] [--slo-ms MS] [--max-wait-us US] [--shed]\n"
+      "         [--threads N] [--json] [--chrome-trace FILE]\n"
+      "  bfpsim resources [unit|system]\n"
+      "\n"
+      "exit codes: 0 ok, 1 runtime error, 2 unknown subcommand, 3 bad "
+      "arguments\n");
+}
+
+/// Unknown subcommand (or no subcommand at all).
+int usage() {
+  print_usage();
   return 2;
+}
+
+/// Known subcommand, unusable arguments.
+int bad_args(const std::string& msg) {
+  std::fprintf(stderr, "error: %s\n", msg.c_str());
+  print_usage();
+  return 3;
 }
 
 VitConfig pick_config(const std::string& which) {
@@ -197,9 +223,154 @@ int cmd_resources(const std::string& scope) {
   return 0;
 }
 
+/// Online serving demo: replay a seeded arrival trace through the
+/// virtual-time event loop and print the latency-percentile report.
+int cmd_serve(int argc, char** argv) {
+  // argv[0] is the model name; flags follow.
+  const std::string which = argv[0];
+  int requests = 32;
+  double rate = 0.0;  // 0 = auto: 70% of modelled system capacity
+  int closed_clients = 0;
+  double think_ms = 1.0;
+  std::uint64_t seed = 1;
+  ServePolicy policy;
+  double max_wait_us = -1.0;
+  int threads = 1;
+  bool json = false;
+  std::string chrome_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) throw Error(std::string(what) + " needs a value");
+      return argv[++i];
+    };
+    if (a == "--requests") {
+      requests = std::atoi(next("--requests"));
+    } else if (a == "--rate") {
+      rate = std::atof(next("--rate"));
+    } else if (a == "--closed") {
+      closed_clients = std::atoi(next("--closed"));
+    } else if (a == "--think-ms") {
+      think_ms = std::atof(next("--think-ms"));
+    } else if (a == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+    } else if (a == "--queue") {
+      policy.queue_capacity =
+          static_cast<std::size_t>(std::atoi(next("--queue")));
+    } else if (a == "--batch") {
+      policy.max_batch = std::atoi(next("--batch"));
+    } else if (a == "--slo-ms") {
+      policy.slo_ms = std::atof(next("--slo-ms"));
+    } else if (a == "--max-wait-us") {
+      max_wait_us = std::atof(next("--max-wait-us"));
+    } else if (a == "--shed") {
+      policy.drop_policy = DropPolicy::kShedOldest;
+    } else if (a == "--threads") {
+      threads = std::atoi(next("--threads"));
+    } else if (a == "--json") {
+      json = true;
+    } else if (a == "--chrome-trace") {
+      chrome_path = next("--chrome-trace");
+    } else {
+      throw Error("unknown serve option '" + a + "'");
+    }
+  }
+  if (requests < 1) throw Error("--requests must be >= 1");
+
+  const VitConfig cfg = which == "test" ? vit_test_tiny() : pick_config(which);
+  const AcceleratorSystem sys;
+  const VitModel model{random_weights(cfg, 42)};
+  const double freq = sys.config().pu.freq_hz;
+
+  if (threads <= 0) threads = ThreadPool::hardware_threads();
+  ThreadPool pool(threads);
+
+  ArrivalTrace trace;
+  if (closed_clients > 0) {
+    trace = closed_loop_trace(closed_clients, requests, think_ms, seed, freq);
+  } else {
+    if (rate <= 0.0) {
+      // Auto rate: probe one forward for the modelled per-request cycles
+      // and offer 70% of the resulting multi-unit capacity.
+      ForwardStats stats;
+      SystemConfig one = sys.config();
+      one.num_units = 1;
+      const AcceleratorSystem unit(one);
+      (void)model.forward_mixed(random_embeddings(cfg, seed), unit, &stats);
+      const double capacity_rps =
+          static_cast<double>(sys.config().num_units) * freq /
+          static_cast<double>(stats.total_cycles());
+      rate = 0.7 * capacity_rps;
+    }
+    trace = poisson_trace(requests, rate, seed, freq);
+  }
+  if (max_wait_us >= 0.0) {
+    policy.max_wait_cycles =
+        static_cast<std::uint64_t>(max_wait_us * 1e-6 * freq);
+  }
+
+  Trace event_trace;
+  if (!chrome_path.empty()) {
+    event_trace.enable(true);
+    event_trace.set_capacity(1 << 20);
+  }
+  const OnlineServeResult r = serve_online(
+      model, sys, trace, policy, &pool,
+      chrome_path.empty() ? nullptr : &event_trace);
+  const ServeReport& rep = r.report;
+
+  if (json) {
+    std::printf("%s\n", rep.to_json().c_str());
+  } else {
+    std::printf("online serving: %s, %d requests on %d units (%s)\n",
+                cfg.name.c_str(), requests, sys.config().num_units,
+                closed_clients > 0
+                    ? ("closed loop, " + std::to_string(closed_clients) +
+                       " clients")
+                          .c_str()
+                    : "open loop, Poisson");
+    if (closed_clients == 0) {
+      std::printf("  offered rate     : %.1f req/s\n", trace.offered_rps);
+    }
+    std::printf("  completed        : %zu (%zu rejected/shed)\n",
+                rep.records.size(), rep.rejected_ids.size());
+    std::printf("  throughput       : %.1f req/s of virtual time\n",
+                rep.completed_rps);
+    std::printf("  latency p50      : %.3f ms\n",
+                rep.cycles_to_ms(rep.latency.p50));
+    std::printf("  latency p95      : %.3f ms\n",
+                rep.cycles_to_ms(rep.latency.p95));
+    std::printf("  latency p99      : %.3f ms\n",
+                rep.cycles_to_ms(rep.latency.p99));
+    std::printf("  SLO %.1f ms      : %zu violations\n", policy.slo_ms,
+                rep.slo_violations);
+    std::printf("  peak queue depth : %zu (capacity %zu)\n",
+                rep.max_queue_depth, policy.queue_capacity);
+    std::printf("  unit utilization : %.1f%%\n", 100.0 * rep.utilization);
+  }
+  if (!chrome_path.empty()) {
+    std::ofstream os(chrome_path);
+    if (!os) throw Error("cannot write '" + chrome_path + "'");
+    os << event_trace.to_chrome_json();
+    std::fprintf(stderr, "chrome trace: %s (%zu events, %llu dropped)\n",
+                 chrome_path.c_str(), event_trace.events().size(),
+                 static_cast<unsigned long long>(event_trace.dropped()));
+  }
+  return 0;
+}
+
 bool has_flag(int argc, char** argv, const char* flag) {
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+bool known_command(const std::string& cmd) {
+  for (const char* k : {"info", "gemm", "softmax", "deit", "throughput",
+                        "batch", "serve", "resources"}) {
+    if (cmd == k) return true;
   }
   return false;
 }
@@ -209,22 +380,35 @@ bool has_flag(int argc, char** argv, const char* flag) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
+  if (!known_command(cmd)) return usage();
   try {
     if (cmd == "info") return cmd_info();
-    if (cmd == "gemm" && argc >= 5) {
+    if (cmd == "gemm") {
+      if (argc < 5) return bad_args("gemm needs <M> <K> <N>");
       return cmd_gemm(std::atoi(argv[2]), std::atoi(argv[3]),
                       std::atoi(argv[4]));
     }
-    if (cmd == "softmax" && argc >= 4) {
+    if (cmd == "softmax") {
+      if (argc < 4) return bad_args("softmax needs <ROWS> <COLS>");
       return cmd_softmax(std::atoi(argv[2]), std::atoi(argv[3]),
                          has_flag(argc, argv, "--softermax"));
     }
-    if (cmd == "deit" && argc >= 3) {
+    if (cmd == "deit") {
+      if (argc < 3) return bad_args("deit needs <tiny|small|base>");
       return cmd_deit(argv[2], has_flag(argc, argv, "--softermax"));
     }
     if (cmd == "throughput") return cmd_throughput();
-    if (cmd == "batch" && argc >= 4) {
+    if (cmd == "batch") {
+      if (argc < 4) return bad_args("batch needs <tiny|small|base> <BATCH>");
       return cmd_batch(argv[2], std::atoi(argv[3]));
+    }
+    if (cmd == "serve") {
+      if (argc < 3) return bad_args("serve needs <tiny|small|base|test>");
+      try {
+        return cmd_serve(argc - 2, argv + 2);
+      } catch (const Error& e) {
+        return bad_args(e.what());
+      }
     }
     if (cmd == "resources") {
       return cmd_resources(argc >= 3 ? argv[2] : "unit");
