@@ -1,0 +1,69 @@
+#include "cluster/cluster_serving.hpp"
+
+#include "common/error.hpp"
+#include "fabric/hbm.hpp"
+
+namespace bfpsim {
+
+ClusterServeResult serve_cluster(const ClusterExecutor& exec, int replicas,
+                                 const ArrivalTrace& trace,
+                                 const ServePolicy& policy,
+                                 ThreadPool* pool, Trace* event_trace) {
+  trace.validate();
+  policy.validate();
+  BFP_REQUIRE(replicas >= 1, "serve_cluster: need at least one replica");
+  const VitConfig& cfg = exec.config();
+  const auto un = static_cast<std::size_t>(trace.total_requests);
+
+  ClusterServeResult out;
+  out.features.resize(un);
+  out.request_stats.resize(un);
+
+  // ---- phase 1: sharded functional forwards, index-owned slots ----
+  auto run_request = [&](std::size_t i) {
+    std::vector<float> x = random_embeddings(
+        cfg, trace.seed + static_cast<std::uint64_t>(i));
+    out.features[i] =
+        exec.forward(std::move(x), &out.request_stats[i], nullptr);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(un, run_request);
+  } else {
+    for (std::size_t i = 0; i < un; ++i) run_request(i);
+  }
+
+  // ---- phase 2: the shared serial event loop over the replicas ----
+  const SystemConfig& card = exec.topology().card_config();
+  const std::uint64_t io_bytes =
+      static_cast<std::uint64_t>(cfg.tokens()) *
+      static_cast<std::uint64_t>(cfg.embed_dim) * sizeof(float);
+  const std::uint64_t load_cycles =
+      transfer_cycles(card.hbm, io_bytes, card.hbm.bfp_burst_bytes);
+  const std::uint64_t store_cycles = load_cycles;
+
+  BackendSpec backend;
+  backend.executors = replicas;
+  backend.freq_hz = card.pu.freq_hz;
+  backend.executor_prefix = "replica";
+  backend.passes.reserve(un);
+  for (std::size_t i = 0; i < un; ++i) {
+    backend.passes.push_back(
+        {load_cycles, out.request_stats[i].total_cycles(), store_cycles});
+  }
+  out.report = serve_events(backend, trace, policy, event_trace);
+
+  for (std::size_t i = 0; i < un; ++i) {
+    out.report.counters.add("serve.bfp_macs", out.request_stats[i].bfp_macs);
+    out.report.counters.add("cluster.collective_cycles",
+                            out.request_stats[i].collective_cycles);
+    out.report.counters.add("cluster.collective_bytes",
+                            out.request_stats[i].collective_bytes);
+  }
+  out.report.counters.add("cluster.cards",
+                          static_cast<std::uint64_t>(exec.num_cards()));
+  out.report.counters.add("cluster.replicas",
+                          static_cast<std::uint64_t>(replicas));
+  return out;
+}
+
+}  // namespace bfpsim

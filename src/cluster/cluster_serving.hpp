@@ -1,0 +1,42 @@
+// Online serving against a cluster: `replicas` data-parallel copies of a
+// sharded (tensor- or pipeline-parallel) cluster stand behind the same
+// bounded admission queue and SLO-aware continuous batcher that serves the
+// single-card path — serve_events does not care that an "executor" is now
+// a whole multi-card replica.
+//
+// Same two-phase split as serve_online: a parallel functional phase runs
+// every request's sharded forward into index-owned slots (bit-identical
+// for any worker count), then the serial virtual-time loop schedules the
+// replicas. A replica's service pass is: load the request activations over
+// the host link into card HBM, run the sharded forward (compute +
+// collectives on the request critical path), store the features back.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster_executor.hpp"
+#include "serving/event_loop.hpp"
+
+namespace bfpsim {
+
+struct ClusterServeResult {
+  ServeReport report;
+  /// Functional block outputs per request id (every slot populated, even
+  /// for requests the queue later rejected — that is what makes phase 1
+  /// parallel).
+  std::vector<std::vector<float>> features;
+  std::vector<ClusterStats> request_stats;  ///< per request id
+};
+
+/// Serve `trace` against `replicas` copies of the sharded cluster `exec`.
+/// `pool` parallelizes the functional forwards only; `event_trace`
+/// receives cycle-stamped queue/replica events (components "queue",
+/// "replica<k>").
+ClusterServeResult serve_cluster(const ClusterExecutor& exec, int replicas,
+                                 const ArrivalTrace& trace,
+                                 const ServePolicy& policy,
+                                 ThreadPool* pool = nullptr,
+                                 Trace* event_trace = nullptr);
+
+}  // namespace bfpsim

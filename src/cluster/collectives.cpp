@@ -1,0 +1,65 @@
+#include "cluster/collectives.hpp"
+
+#include "common/error.hpp"
+
+namespace bfpsim {
+
+CollectiveCost all_reduce(const ClusterTopology& topo,
+                          std::vector<std::vector<float>>& bufs) {
+  BFP_REQUIRE(static_cast<int>(bufs.size()) == topo.num_cards(),
+              "all_reduce: one buffer per card required");
+  CollectiveCost cost;
+  if (bufs.empty() || bufs[0].empty()) return cost;
+  const std::size_t len = bufs[0].size();
+  for (const auto& b : bufs) {
+    BFP_REQUIRE(b.size() == len, "all_reduce: buffers must be equal length");
+  }
+  // Fixed card-order reduction: ((card0 + card1) + card2) + ... — the same
+  // association the ring's reduce-scatter phase applies to every shard.
+  std::vector<float> acc = bufs[0];
+  for (std::size_t c = 1; c < bufs.size(); ++c) {
+    for (std::size_t i = 0; i < len; ++i) acc[i] += bufs[c][i];
+  }
+  for (auto& b : bufs) b = acc;
+
+  const std::uint64_t total_bytes =
+      static_cast<std::uint64_t>(len) * sizeof(float);
+  cost.cycles = topo.all_reduce_cycles(total_bytes);
+  // 2(N-1) steps, each moving one 1/N shard per card pair.
+  if (topo.num_cards() > 1) {
+    const auto n = static_cast<std::uint64_t>(topo.num_cards());
+    cost.bytes = 2 * (n - 1) * ((total_bytes + n - 1) / n) * n;
+  }
+  return cost;
+}
+
+CollectiveCost all_gather(const ClusterTopology& topo,
+                          const std::vector<std::vector<float>>& shards,
+                          std::vector<float>* out) {
+  BFP_REQUIRE(static_cast<int>(shards.size()) == topo.num_cards(),
+              "all_gather: one shard per card required");
+  BFP_REQUIRE(out != nullptr, "all_gather: output vector required");
+  out->clear();
+  std::uint64_t total_bytes = 0;
+  for (const auto& s : shards) {
+    out->insert(out->end(), s.begin(), s.end());
+    total_bytes += static_cast<std::uint64_t>(s.size()) * sizeof(float);
+  }
+  CollectiveCost cost;
+  cost.cycles = topo.all_gather_cycles(total_bytes);
+  if (topo.num_cards() > 1) {
+    const auto n = static_cast<std::uint64_t>(topo.num_cards());
+    cost.bytes = (n - 1) * ((total_bytes + n - 1) / n) * n;
+  }
+  return cost;
+}
+
+CollectiveCost send(const ClusterTopology& topo, int from, int to,
+                    std::uint64_t bytes) {
+  CollectiveCost cost;
+  cost.cycles = topo.p2p_cycles(from, to, bytes);
+  cost.bytes = from == to ? 0 : bytes;
+  return cost;
+}
+
+}  // namespace bfpsim

@@ -1,0 +1,50 @@
+// Virtual-time collectives over a ClusterTopology.
+//
+// Cycle costs come from the topology's ring cost model; functional results
+// are computed exactly, on the host, in a *fixed card order* — all-reduce
+// sums shard values as ((card0 + card1) + card2) + ..., all-gather
+// concatenates in card order. Because the order is a function of the card
+// indices only, results are bit-identical for any ThreadPool size or host,
+// extending the PR 1/PR 2 determinism contract across the interconnect.
+//
+// Note the contract's fine print: a fixed-order fp32 all-reduce is
+// deterministic, but it is *not* the same bit pattern as computing the
+// un-split reduction on one card (fp32 addition does not re-associate).
+// The tensor-parallel partitioner therefore avoids reductions entirely
+// (all-gather splits only) when exact single-card equivalence is required;
+// the all-reduce exists for cost studies and for workloads that accept
+// deterministic-but-resharded numerics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/topology.hpp"
+
+namespace bfpsim {
+
+/// What one collective consumed.
+struct CollectiveCost {
+  std::uint64_t cycles = 0;  ///< virtual interconnect time
+  std::uint64_t bytes = 0;   ///< payload bytes crossing links (sum)
+};
+
+/// Ring all-reduce: every card's buffer becomes the elementwise fp32 sum
+/// of all cards' buffers, reduced in card order 0, 1, ..., N-1. Buffers
+/// must be equal length. N=1 is a no-op costing zero cycles.
+CollectiveCost all_reduce(const ClusterTopology& topo,
+                          std::vector<std::vector<float>>& bufs);
+
+/// Ring all-gather: concatenate the per-card shards in card order; every
+/// card ends up with the full vector (returned once — replicas are
+/// identical by construction). Shards may have different lengths.
+CollectiveCost all_gather(const ClusterTopology& topo,
+                          const std::vector<std::vector<float>>& shards,
+                          std::vector<float>* out);
+
+/// Point-to-point send of `bytes` from card `from` to card `to` (payload
+/// movement is the caller's concern — activations are plain host vectors).
+CollectiveCost send(const ClusterTopology& topo, int from, int to,
+                    std::uint64_t bytes);
+
+}  // namespace bfpsim

@@ -1,0 +1,158 @@
+#include "cluster/partitioner.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+#include "numerics/bfp.hpp"
+
+namespace bfpsim {
+
+const char* to_string(PartitionStrategy s) {
+  switch (s) {
+    case PartitionStrategy::kPipeline:
+      return "pipeline";
+    case PartitionStrategy::kTensor:
+      return "tensor";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Copy columns [col_begin, col_begin + count) of a row-major rows x cols
+/// matrix.
+std::vector<float> slice_cols(const std::vector<float>& src, int rows,
+                              int cols, int col_begin, int count) {
+  std::vector<float> out(static_cast<std::size_t>(rows) * count);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < count; ++c) {
+      out[static_cast<std::size_t>(r) * count + c] =
+          src[static_cast<std::size_t>(r) * cols + col_begin + c];
+    }
+  }
+  return out;
+}
+
+PartitionPlan partition_pipeline(const VitWeights& w, int cards) {
+  const VitConfig& cfg = w.cfg;
+  if (cfg.depth % cards != 0) {
+    throw ShapeError("partition_model: depth " + std::to_string(cfg.depth) +
+                     " not divisible by " + std::to_string(cards) +
+                     " pipeline stages");
+  }
+  PartitionPlan plan;
+  plan.strategy = PartitionStrategy::kPipeline;
+  plan.cards = cards;
+  plan.cfg = cfg;
+  const int per_stage = cfg.depth / cards;
+  for (int c = 0; c < cards; ++c) {
+    PipelineStage stage;
+    stage.card = c;
+    stage.first_block = c * per_stage;
+    stage.num_blocks = per_stage;
+    stage.weights.cfg = cfg;
+    stage.weights.cfg.depth = per_stage;
+    stage.weights.blocks.assign(
+        w.blocks.begin() + stage.first_block,
+        w.blocks.begin() + stage.first_block + per_stage);
+    // Head parameters ride with every stage (only the last stage's are
+    // meaningful; copying keeps each stage a self-contained VitWeights).
+    stage.weights.head_gamma = w.head_gamma;
+    stage.weights.head_beta = w.head_beta;
+    stage.weights.head_w = w.head_w;
+    stage.weights.head_b = w.head_b;
+    plan.stages.push_back(std::move(stage));
+  }
+  plan.boundary_bytes = static_cast<std::uint64_t>(cfg.tokens()) *
+                        static_cast<std::uint64_t>(cfg.embed_dim) *
+                        sizeof(float);
+  plan.collective_bytes_per_forward =
+      static_cast<std::uint64_t>(cards - 1) * plan.boundary_bytes;
+  return plan;
+}
+
+PartitionPlan partition_tensor(const VitWeights& w, int cards) {
+  const VitConfig& cfg = w.cfg;
+  const int d = cfg.embed_dim;
+  const int m = cfg.mlp_hidden();
+  const int block_w = bfp8_format().cols;
+  if (cfg.num_heads % cards != 0) {
+    throw ShapeError("partition_model: " + std::to_string(cfg.num_heads) +
+                     " heads not divisible by " + std::to_string(cards) +
+                     " tensor shards");
+  }
+  const int dc = d / cards;
+  const int mc = m / cards;
+  if (dc % block_w != 0 || mc % block_w != 0) {
+    throw ShapeError(
+        "partition_model: per-card column widths (" + std::to_string(dc) +
+        ", " + std::to_string(mc) + ") must be multiples of the bfp block "
+        "width " + std::to_string(block_w));
+  }
+
+  PartitionPlan plan;
+  plan.strategy = PartitionStrategy::kTensor;
+  plan.cards = cards;
+  plan.cfg = cfg;
+  const int heads_per_card = cfg.num_heads / cards;
+  for (int c = 0; c < cards; ++c) {
+    TensorShard shard;
+    shard.card = c;
+    shard.head_begin = c * heads_per_card;
+    shard.head_end = (c + 1) * heads_per_card;
+    const int col0 = c * dc;
+    for (const BlockWeights& b : w.blocks) {
+      TensorBlockShard s;
+      // [Q_c | K_c | V_c]: the card's head columns of each segment.
+      s.qkv_w.resize(static_cast<std::size_t>(d) * 3 * dc);
+      s.qkv_b.resize(static_cast<std::size_t>(3) * dc);
+      for (int seg = 0; seg < 3; ++seg) {
+        const auto part =
+            slice_cols(b.qkv_w, d, 3 * d, seg * d + col0, dc);
+        for (int r = 0; r < d; ++r) {
+          for (int cc = 0; cc < dc; ++cc) {
+            s.qkv_w[static_cast<std::size_t>(r) * 3 * dc + seg * dc + cc] =
+                part[static_cast<std::size_t>(r) * dc + cc];
+          }
+        }
+        for (int cc = 0; cc < dc; ++cc) {
+          s.qkv_b[static_cast<std::size_t>(seg) * dc + cc] =
+              b.qkv_b[static_cast<std::size_t>(seg) * d + col0 + cc];
+        }
+      }
+      s.proj_w = slice_cols(b.proj_w, d, d, col0, dc);
+      s.fc1_w = slice_cols(b.fc1_w, d, m, c * mc, mc);
+      s.fc1_b.assign(b.fc1_b.begin() + c * mc,
+                     b.fc1_b.begin() + (c + 1) * mc);
+      s.fc2_w = slice_cols(b.fc2_w, m, d, col0, dc);
+      shard.blocks.push_back(std::move(s));
+    }
+    plan.shards.push_back(std::move(shard));
+  }
+
+  const auto t = static_cast<std::uint64_t>(cfg.tokens());
+  // Per block: all-gather attn_out (t x d), proj out (t x d), MLP
+  // activations (t x m), fc2 out (t x d).
+  plan.collective_bytes_per_forward =
+      static_cast<std::uint64_t>(cfg.depth) *
+      (3 * t * static_cast<std::uint64_t>(d) +
+       t * static_cast<std::uint64_t>(m)) *
+      sizeof(float);
+  return plan;
+}
+
+}  // namespace
+
+PartitionPlan partition_model(const VitWeights& w, PartitionStrategy strategy,
+                              int cards) {
+  w.cfg.validate();
+  BFP_REQUIRE(cards >= 1 && cards <= 64,
+              "partition_model: cards must be in [1,64]");
+  BFP_REQUIRE(w.blocks.size() == static_cast<std::size_t>(w.cfg.depth),
+              "partition_model: weight count must match depth");
+  return strategy == PartitionStrategy::kPipeline
+             ? partition_pipeline(w, cards)
+             : partition_tensor(w, cards);
+}
+
+}  // namespace bfpsim

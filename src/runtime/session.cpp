@@ -238,6 +238,33 @@ OnlineServeResult Session::serve(ModelId model, const ArrivalTrace& trace,
   return r;
 }
 
+ClusterServeResult Session::serve_cluster(ModelId model,
+                                          const ClusterSpec& spec,
+                                          const ArrivalTrace& trace,
+                                          const ServePolicy& policy,
+                                          ThreadPool* pool,
+                                          Trace* event_trace) {
+  Deployed& dep = checked(model);
+  const ClusterTopology topo =
+      spec.topology == TopologyKind::kRing
+          ? ClusterTopology::ring(spec.cards, spec.link, cfg_)
+          : ClusterTopology::fully_connected(spec.cards, spec.link, cfg_);
+  const ClusterExecutor exec(dep.model.weights(), topo, spec.strategy);
+  ClusterServeResult r = bfpsim::serve_cluster(exec, spec.replicas, trace,
+                                               policy, pool, event_trace);
+  log_.push_back(
+      {CommandRecord::Kind::kCompute,
+       "serve_cluster " + dep.info.name + " (" +
+           std::to_string(spec.cards) + " cards x " +
+           std::to_string(spec.replicas) + " replicas, " +
+           to_string(spec.strategy) + "): " +
+           std::to_string(r.report.records.size()) + "/" +
+           std::to_string(trace.total_requests) + " completed, " +
+           std::to_string(r.report.rejected_ids.size()) + " rejected",
+       0, r.report.makespan_cycles});
+  return r;
+}
+
 void Session::undeploy(ModelId model) {
   BFP_REQUIRE(model >= 0 &&
                   static_cast<std::size_t>(model) < models_.size() &&

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/cluster_serving.hpp"
 #include "fabric/system.hpp"
 #include "runtime/device_memory.hpp"
 #include "serving/event_loop.hpp"
@@ -104,6 +105,28 @@ class Session {
                           const ServePolicy& policy,
                           ThreadPool* pool = nullptr,
                           Trace* event_trace = nullptr);
+
+  /// How to scale a deployed model past one card.
+  struct ClusterSpec {
+    int cards = 2;     ///< cards per sharded replica
+    int replicas = 1;  ///< data-parallel replicas (cards * replicas total)
+    PartitionStrategy strategy = PartitionStrategy::kPipeline;
+    TopologyKind topology = TopologyKind::kRing;
+    LinkConfig link;   ///< inter-card link (within each replica)
+  };
+
+  /// Online serving against a multi-card cluster: the deployed model is
+  /// re-partitioned across `spec.cards` copies of this session's card
+  /// configuration, `spec.replicas` such clusters serve the trace behind
+  /// one admission queue. Functional results stay bit-identical to the
+  /// single-card `serve` forwards (the partitioner's all-gather
+  /// discipline); only the timing model changes. Appends one summary
+  /// record to the command log.
+  ClusterServeResult serve_cluster(ModelId model, const ClusterSpec& spec,
+                                   const ArrivalTrace& trace,
+                                   const ServePolicy& policy,
+                                   ThreadPool* pool = nullptr,
+                                   Trace* event_trace = nullptr);
 
   /// Release a deployed model's device memory.
   void undeploy(ModelId model);

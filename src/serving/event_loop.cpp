@@ -5,7 +5,6 @@
 #include <string>
 
 #include "common/error.hpp"
-#include "fabric/pipeline.hpp"
 
 namespace bfpsim {
 
@@ -13,6 +12,12 @@ void ServePolicy::validate() const {
   BFP_REQUIRE(queue_capacity >= 1, "ServePolicy: queue capacity must be >= 1");
   BFP_REQUIRE(max_batch >= 1, "ServePolicy: max batch must be >= 1");
   BFP_REQUIRE(slo_ms > 0.0, "ServePolicy: SLO must be positive");
+}
+
+void BackendSpec::validate() const {
+  BFP_REQUIRE(executors >= 1, "BackendSpec: need at least one executor");
+  BFP_REQUIRE(freq_hz > 0.0, "BackendSpec: frequency must be positive");
+  BFP_REQUIRE(!passes.empty(), "BackendSpec: per-request passes required");
 }
 
 namespace {
@@ -24,7 +29,7 @@ struct Event {
   std::uint64_t seq = 0;
   enum class Kind { kArrival, kUnitFree, kTimer, kComplete } kind =
       Kind::kArrival;
-  int payload = 0;  ///< request id (arrival/complete) or unit index
+  int payload = 0;  ///< request id (arrival/complete) or executor index
 };
 
 struct EventAfter {
@@ -36,59 +41,24 @@ struct EventAfter {
 
 }  // namespace
 
-OnlineServeResult serve_online(const VitModel& model,
-                               const AcceleratorSystem& sys,
-                               const ArrivalTrace& trace,
-                               const ServePolicy& policy,
-                               ThreadPool* pool, Trace* event_trace) {
+ServeReport serve_events(const BackendSpec& backend,
+                         const ArrivalTrace& trace,
+                         const ServePolicy& policy, Trace* event_trace) {
   trace.validate();
   policy.validate();
-  const VitConfig& cfg = model.config();
+  backend.validate();
   const int n = trace.total_requests;
   const auto un = static_cast<std::size_t>(n);
+  BFP_REQUIRE(backend.passes.size() >= un,
+              "serve_events: one pass spec per request id required");
 
-  OnlineServeResult out;
-  out.features.resize(un);
-  out.compute_cycles.resize(un);
-  std::vector<ForwardStats> stats(un);
-
-  // ---- phase 1: functional forwards (parallel, index-owned slots) ----
-  // Request i's embeddings derive from trace.seed + i; each work item owns
-  // slot i and builds its own single-unit AcceleratorSystem, so any worker
-  // interleaving produces the serial loop's bits (PR 1 discipline).
-  SystemConfig one = sys.config();
-  one.num_units = 1;
-  auto run_request = [&](std::size_t i) {
-    const AcceleratorSystem unit(one);
-    std::vector<float> x = random_embeddings(
-        cfg, trace.seed + static_cast<std::uint64_t>(i));
-    out.features[i] = model.forward_mixed(std::move(x), unit, &stats[i]);
-    out.compute_cycles[i] = stats[i].total_cycles();
-  };
-  if (pool != nullptr) {
-    pool->parallel_for(un, run_request);
-  } else {
-    for (std::size_t i = 0; i < un; ++i) run_request(i);
-  }
-
-  // ---- phase 2: serial virtual-time event loop ----
-  ServeReport& rep = out.report;
-  const double freq = sys.config().pu.freq_hz;
+  ServeReport rep;
+  const double freq = backend.freq_hz;
   rep.freq_hz = freq;
   rep.offered_rps = trace.offered_rps;
   rep.slo_cycles = static_cast<std::uint64_t>(policy.slo_ms * 1e-3 * freq);
 
-  const HbmConfig& hbm = sys.config().hbm;
-  const std::uint64_t in_bytes =
-      static_cast<std::uint64_t>(cfg.tokens()) *
-      static_cast<std::uint64_t>(cfg.embed_dim) * sizeof(float);
-  const std::uint64_t load_cycles =
-      transfer_cycles(hbm, in_bytes, hbm.bfp_burst_bytes);
-  // Features are tokens x d for every request of this model.
-  const std::uint64_t store_cycles = load_cycles;
-
-  const int num_units = sys.config().num_units;
-  BFP_REQUIRE(num_units >= 1, "serve_online: system has no units");
+  const int num_units = backend.executors;
   std::vector<std::uint64_t> busy_until(
       static_cast<std::size_t>(num_units), 0);
   rep.unit_busy_cycles.assign(static_cast<std::size_t>(num_units), 0);
@@ -122,12 +92,12 @@ OnlineServeResult serve_online(const VitModel& model,
   // Single-request service estimate used by the batcher's "is waiting
   // still worth it?" test for the head of the queue.
   auto estimate_service = [&](int id) {
-    return load_cycles + out.compute_cycles[static_cast<std::size_t>(id)] +
-           store_cycles;
+    const PassSpec& p = backend.passes[static_cast<std::size_t>(id)];
+    return p.load_cycles + p.compute_cycles + p.store_cycles;
   };
 
-  // The continuous batcher. For every idle unit: dispatch a full batch at
-  // once; dispatch a partial batch when the head has already waited
+  // The continuous batcher. For every idle executor: dispatch a full batch
+  // at once; dispatch a partial batch when the head has already waited
   // max_wait_cycles, or when its SLO slack is gone (waiting longer would
   // bust the deadline even if served immediately later). Otherwise
   // schedule a timer at the earliest cycle one of those becomes true.
@@ -140,7 +110,7 @@ OnlineServeResult serve_online(const VitModel& model,
           break;
         }
       }
-      if (unit < 0) return;  // every unit busy; kUnitFree will revisit
+      if (unit < 0) return;  // every executor busy; kUnitFree will revisit
 
       const QueueEntry& head = queue.front();
       const std::uint64_t est = estimate_service(head.id);
@@ -171,10 +141,7 @@ OnlineServeResult serve_online(const VitModel& model,
       std::vector<PassSpec> passes;
       passes.reserve(batch.size());
       for (const QueueEntry& e : batch) {
-        passes.push_back(
-            {load_cycles,
-             out.compute_cycles[static_cast<std::size_t>(e.id)],
-             store_cycles});
+        passes.push_back(backend.passes[static_cast<std::size_t>(e.id)]);
       }
       const PipelineResult pipe =
           simulate_pipeline(passes, /*double_buffered=*/true);
@@ -199,7 +166,7 @@ OnlineServeResult serve_online(const VitModel& model,
 
       rep.counters.add("serve.batches");
       rep.counters.add("serve.dispatched", batch.size());
-      trace_ev(now, "unit" + std::to_string(unit),
+      trace_ev(now, backend.executor_prefix + std::to_string(unit),
                "dispatch batch=" + std::to_string(batch.size()) + " head=req" +
                    std::to_string(batch.front().id));
     }
@@ -247,7 +214,7 @@ OnlineServeResult serve_online(const VitModel& model,
         const int id = ev.payload;
         const auto& r = records[static_cast<std::size_t>(id)];
         rep.counters.add("serve.completed");
-        trace_ev(now, "unit" + std::to_string(r.unit),
+        trace_ev(now, backend.executor_prefix + std::to_string(r.unit),
                  "complete req" + std::to_string(id));
         if (trace.closed_loop && next_closed_id < n) {
           push_event(now + trace.think_cycles, Event::Kind::kArrival,
@@ -292,13 +259,72 @@ OnlineServeResult serve_online(const VitModel& model,
           ? 0.0
           : static_cast<double>(rep.records.size()) /
                 (static_cast<double>(rep.makespan_cycles) / freq);
-  // Functional-work counters, merged in request-id order (deterministic).
-  for (std::size_t i = 0; i < un; ++i) {
-    rep.counters.add("serve.bfp_macs", stats[i].bfp_macs);
-  }
   rep.counters.add("serve.slo_violations", rep.slo_violations);
   rep.counters.add("serve.makespan_cycles", rep.makespan_cycles);
   rep.counters.add("serve.peak_queue_depth", rep.max_queue_depth);
+  return rep;
+}
+
+OnlineServeResult serve_online(const VitModel& model,
+                               const AcceleratorSystem& sys,
+                               const ArrivalTrace& trace,
+                               const ServePolicy& policy,
+                               ThreadPool* pool, Trace* event_trace) {
+  trace.validate();
+  policy.validate();
+  const VitConfig& cfg = model.config();
+  const auto un = static_cast<std::size_t>(trace.total_requests);
+
+  OnlineServeResult out;
+  out.features.resize(un);
+  out.compute_cycles.resize(un);
+  std::vector<ForwardStats> stats(un);
+
+  // ---- phase 1: functional forwards (parallel, index-owned slots) ----
+  // Request i's embeddings derive from trace.seed + i; each work item owns
+  // slot i and builds its own single-unit AcceleratorSystem, so any worker
+  // interleaving produces the serial loop's bits (PR 1 discipline).
+  SystemConfig one = sys.config();
+  one.num_units = 1;
+  auto run_request = [&](std::size_t i) {
+    const AcceleratorSystem unit(one);
+    std::vector<float> x = random_embeddings(
+        cfg, trace.seed + static_cast<std::uint64_t>(i));
+    out.features[i] = model.forward_mixed(std::move(x), unit, &stats[i]);
+    out.compute_cycles[i] = stats[i].total_cycles();
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(un, run_request);
+  } else {
+    for (std::size_t i = 0; i < un; ++i) run_request(i);
+  }
+
+  // ---- phase 2: the shared serial event loop ----
+  const HbmConfig& hbm = sys.config().hbm;
+  const std::uint64_t in_bytes =
+      static_cast<std::uint64_t>(cfg.tokens()) *
+      static_cast<std::uint64_t>(cfg.embed_dim) * sizeof(float);
+  const std::uint64_t load_cycles =
+      transfer_cycles(hbm, in_bytes, hbm.bfp_burst_bytes);
+  // Features are tokens x d for every request of this model.
+  const std::uint64_t store_cycles = load_cycles;
+
+  BackendSpec backend;
+  backend.executors = sys.config().num_units;
+  BFP_REQUIRE(backend.executors >= 1, "serve_online: system has no units");
+  backend.freq_hz = sys.config().pu.freq_hz;
+  backend.passes.reserve(un);
+  for (std::size_t i = 0; i < un; ++i) {
+    backend.passes.push_back(
+        {load_cycles, out.compute_cycles[i], store_cycles});
+  }
+  out.report = serve_events(backend, trace, policy, event_trace);
+
+  // Functional-work counters, merged in request-id order (deterministic;
+  // Counters is key-ordered, so merging after the loop changes nothing).
+  for (std::size_t i = 0; i < un; ++i) {
+    out.report.counters.add("serve.bfp_macs", stats[i].bfp_macs);
+  }
   return out;
 }
 

@@ -25,9 +25,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "fabric/pipeline.hpp"
 #include "fabric/system.hpp"
 #include "serving/metrics.hpp"
 #include "serving/queue.hpp"
@@ -55,6 +57,33 @@ struct ServePolicy {
 
   void validate() const;
 };
+
+/// What stands behind the admission queue: a uniform pool of batch
+/// executors. The event loop does not care what one executor *is* — a
+/// single PU-unit of one card (serve_online) or an entire sharded
+/// multi-card replica (cluster serving) — only what each request's pass
+/// costs on it.
+struct BackendSpec {
+  int executors = 1;         ///< identical executors behind the queue
+  double freq_hz = 300.0e6;  ///< fabric frequency, for SLO conversion
+  /// Per request id: the load/compute/store cycles of one service pass on
+  /// an executor (indexed by RequestArrival::id; batches pipeline these
+  /// double-buffered).
+  std::vector<PassSpec> passes;
+  /// Event-trace component prefix ("unit" -> unit0, unit1, ...).
+  std::string executor_prefix = "unit";
+
+  void validate() const;
+};
+
+/// The serial virtual-time phase alone: consume the arrival trace, push
+/// requests through the bounded admission queue, batch onto `backend`'s
+/// executors. Same trace + policy + backend => bit-identical report (the
+/// loop is serial; there is nothing for a thread pool to do here).
+ServeReport serve_events(const BackendSpec& backend,
+                         const ArrivalTrace& trace,
+                         const ServePolicy& policy,
+                         Trace* event_trace = nullptr);
 
 /// Outcome of one serving run.
 struct OnlineServeResult {

@@ -13,7 +13,10 @@ namespace {
 
 std::uint64_t nearest_rank(const std::vector<std::uint64_t>& sorted,
                            double pct) {
-  // ceil(pct/100 * N), 1-indexed; N >= 1 guaranteed by the caller.
+  // ceil(pct/100 * N), 1-indexed, clamped to [1, N] on both sides (the
+  // ceil can round past N, and pct <= 0 would index rank 0). An empty
+  // sample has no percentile — report 0 rather than touching sorted[-1].
+  if (sorted.empty()) return 0;
   const auto n = static_cast<double>(sorted.size());
   auto rank = static_cast<std::size_t>(std::ceil(pct / 100.0 * n));
   if (rank < 1) rank = 1;

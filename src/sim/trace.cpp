@@ -73,7 +73,7 @@ std::string Trace::to_string() const {
   return os.str();
 }
 
-std::string Trace::to_chrome_json() const {
+std::string Trace::to_chrome_json(int pid) const {
   // Stable tid per component: first-seen order, so the same trace renders
   // the same rows on every platform.
   std::map<std::string, int> tids;
@@ -94,7 +94,7 @@ std::string Trace::to_chrome_json() const {
        << "\"cat\":\"" << json_escape(e.component) << "\","
        << "\"ph\":\"i\",\"s\":\"t\","
        << "\"ts\":" << e.cycle << ","
-       << "\"pid\":0,\"tid\":" << tids[e.component] << "}";
+       << "\"pid\":" << pid << ",\"tid\":" << tids[e.component] << "}";
   }
   os << "],\"displayTimeUnit\":\"ns\"}";
   return os.str();

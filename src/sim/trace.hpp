@@ -57,7 +57,10 @@ class Trace {
   /// Render the trace in the Chrome trace_event JSON format (instant
   /// events; `ts` carries the cycle stamp, one `tid` per component in
   /// first-seen order) so timelines open in chrome://tracing / Perfetto.
-  std::string to_chrome_json() const;
+  /// `pid` tags every event's process id — pass a card id so per-card
+  /// traces merge into one multi-process timeline; the default 0 keeps
+  /// the single-card output unchanged.
+  std::string to_chrome_json(int pid = 0) const;
 
  private:
   bool enabled_ = false;

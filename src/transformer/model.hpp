@@ -81,6 +81,10 @@ class VitModel {
 
   const VitConfig& config() const { return w_.cfg; }
 
+  /// The full fp32 parameter set (read-only) — what a re-partitioner
+  /// (e.g. the cluster subsystem) slices from.
+  const VitWeights& weights() const { return w_; }
+
   /// IEEE forward through all blocks: x is (tokens x d) row-major; returns
   /// the final block output (tokens x d).
   std::vector<float> forward_reference(std::vector<float> x) const;

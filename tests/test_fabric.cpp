@@ -43,6 +43,20 @@ TEST(Hbm, ConfigValidation) {
   HbmConfig bad;
   bad.bfp_overlap = 1.5;
   EXPECT_THROW(bad.validate(), Error);
+
+  HbmConfig zero_channels;
+  zero_channels.axi_channels_per_unit = 0;
+  EXPECT_THROW(zero_channels.validate(), Error);
+
+  HbmConfig zero_burst;
+  zero_burst.bfp_burst_bytes = 0;
+  EXPECT_THROW(zero_burst.validate(), Error);
+
+  HbmConfig negative_overlap;
+  negative_overlap.fp32_overlap = -0.1;
+  EXPECT_THROW(negative_overlap.validate(), Error);
+
+  EXPECT_NO_THROW(HbmConfig{}.validate());
 }
 
 TEST(System, PeakNumbersMatchPaper) {

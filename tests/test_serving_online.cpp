@@ -61,6 +61,14 @@ TEST(ServingMetrics, PercentilesOfSmallPopulations) {
   EXPECT_EQ(one.p50, 42u);
   EXPECT_EQ(one.p99, 42u);
   EXPECT_EQ(one.max, 42u);
+  // n=2: nearest-rank gives the lower sample at p50 (ceil(0.5*2)=1) and
+  // the upper one from p95 on (ceil(0.95*2)=2).
+  const PercentileSummary two = summarize_latencies({10, 30});
+  EXPECT_EQ(two.count, 2u);
+  EXPECT_EQ(two.p50, 10u);
+  EXPECT_EQ(two.p95, 30u);
+  EXPECT_EQ(two.p99, 30u);
+  EXPECT_EQ(two.max, 30u);
 }
 
 TEST(ServingWorkload, PoissonTraceIsSeededAndSorted) {

@@ -174,6 +174,12 @@ TEST(Trace, ChromeJsonSchemaAndTidAssignment) {
   // Empty trace is still a valid document.
   EXPECT_EQ(Trace{}.to_chrome_json(),
             "{\"traceEvents\":[],\"displayTimeUnit\":\"ns\"}");
+  // The pid parameter (card id for merged multi-card timelines) defaults
+  // to 0 byte-identically, and tags every event when set.
+  EXPECT_EQ(t.to_chrome_json(), t.to_chrome_json(0));
+  const std::string tagged = t.to_chrome_json(3);
+  EXPECT_NE(tagged.find("\"pid\":3,\"tid\":0"), std::string::npos);
+  EXPECT_EQ(tagged.find("\"pid\":0"), std::string::npos);
 }
 
 TEST(TextTable, RendersAlignedGrid) {

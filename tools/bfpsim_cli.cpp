@@ -8,16 +8,21 @@
 //   bfpsim throughput
 //   bfpsim batch <tiny|small|base> <BATCH>
 //   bfpsim serve <tiny|small|base|test> [options]
+//   bfpsim cluster <tiny|small|base|test> [options]
 //
 // Exit codes: 0 success, 1 runtime error, 2 unknown subcommand,
 // 3 bad arguments to a known subcommand.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "cluster/cluster_executor.hpp"
+#include "cluster/cluster_serving.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -47,6 +52,10 @@ void print_usage() {
       "         [--closed CLIENTS] [--think-ms MS] [--seed S] [--queue D]\n"
       "         [--batch B] [--slo-ms MS] [--max-wait-us US] [--shed]\n"
       "         [--threads N] [--json] [--chrome-trace FILE]\n"
+      "         [--cards N] [--replicas R] [--strategy pipeline|tensor]\n"
+      "  bfpsim cluster <tiny|small|base|test> [--cards LIST]\n"
+      "         [--strategy pipeline|tensor|both] [--requests N]\n"
+      "         [--threads N] [--json]\n"
       "  bfpsim resources [unit|system]\n"
       "\n"
       "exit codes: 0 ok, 1 runtime error, 2 unknown subcommand, 3 bad "
@@ -238,6 +247,9 @@ int cmd_serve(int argc, char** argv) {
   int threads = 1;
   bool json = false;
   std::string chrome_path;
+  int cards = 1;
+  int replicas = 1;
+  PartitionStrategy strategy = PartitionStrategy::kPipeline;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -245,7 +257,20 @@ int cmd_serve(int argc, char** argv) {
       if (i + 1 >= argc) throw Error(std::string(what) + " needs a value");
       return argv[++i];
     };
-    if (a == "--requests") {
+    if (a == "--cards") {
+      cards = std::atoi(next("--cards"));
+    } else if (a == "--replicas") {
+      replicas = std::atoi(next("--replicas"));
+    } else if (a == "--strategy") {
+      const std::string s = next("--strategy");
+      if (s == "pipeline") {
+        strategy = PartitionStrategy::kPipeline;
+      } else if (s == "tensor") {
+        strategy = PartitionStrategy::kTensor;
+      } else {
+        throw Error("--strategy must be pipeline or tensor");
+      }
+    } else if (a == "--requests") {
       requests = std::atoi(next("--requests"));
     } else if (a == "--rate") {
       rate = std::atof(next("--rate"));
@@ -277,11 +302,29 @@ int cmd_serve(int argc, char** argv) {
     }
   }
   if (requests < 1) throw Error("--requests must be >= 1");
+  if (cards < 1) throw Error("--cards must be >= 1");
+  if (replicas < 1) throw Error("--replicas must be >= 1");
+  const bool clustered = cards > 1 || replicas > 1;
 
   const VitConfig cfg = which == "test" ? vit_test_tiny() : pick_config(which);
   const AcceleratorSystem sys;
   const VitModel model{random_weights(cfg, 42)};
   const double freq = sys.config().pu.freq_hz;
+
+  // One sharded replica, reused for probing and (phase 1) serving.
+  const ClusterExecutor* exec = nullptr;
+  ClusterExecutor exec_storage = [&] {
+    if (!clustered) {
+      // Placeholder 1-card pipeline (valid for any depth); unused when
+      // serving single-card.
+      return ClusterExecutor(model.weights(), ClusterTopology::ring(1),
+                             PartitionStrategy::kPipeline);
+    }
+    const ClusterTopology topo =
+        ClusterTopology::ring(cards, LinkConfig{}, sys.config());
+    return ClusterExecutor(model.weights(), topo, strategy);
+  }();
+  if (clustered) exec = &exec_storage;
 
   if (threads <= 0) threads = ThreadPool::hardware_threads();
   ThreadPool pool(threads);
@@ -292,15 +335,24 @@ int cmd_serve(int argc, char** argv) {
   } else {
     if (rate <= 0.0) {
       // Auto rate: probe one forward for the modelled per-request cycles
-      // and offer 70% of the resulting multi-unit capacity.
-      ForwardStats stats;
-      SystemConfig one = sys.config();
-      one.num_units = 1;
-      const AcceleratorSystem unit(one);
-      (void)model.forward_mixed(random_embeddings(cfg, seed), unit, &stats);
-      const double capacity_rps =
-          static_cast<double>(sys.config().num_units) * freq /
-          static_cast<double>(stats.total_cycles());
+      // and offer 70% of the resulting capacity (multi-unit single card,
+      // or the replica pool).
+      double capacity_rps = 0.0;
+      if (clustered) {
+        ClusterStats stats;
+        (void)exec->forward(random_embeddings(cfg, seed), &stats, &pool);
+        capacity_rps = static_cast<double>(replicas) * freq /
+                       static_cast<double>(stats.total_cycles());
+      } else {
+        ForwardStats stats;
+        SystemConfig one = sys.config();
+        one.num_units = 1;
+        const AcceleratorSystem unit(one);
+        (void)model.forward_mixed(random_embeddings(cfg, seed), unit,
+                                  &stats);
+        capacity_rps = static_cast<double>(sys.config().num_units) * freq /
+                       static_cast<double>(stats.total_cycles());
+      }
       rate = 0.7 * capacity_rps;
     }
     trace = poisson_trace(requests, rate, seed, freq);
@@ -315,21 +367,35 @@ int cmd_serve(int argc, char** argv) {
     event_trace.enable(true);
     event_trace.set_capacity(1 << 20);
   }
-  const OnlineServeResult r = serve_online(
-      model, sys, trace, policy, &pool,
-      chrome_path.empty() ? nullptr : &event_trace);
-  const ServeReport& rep = r.report;
+  ServeReport rep;
+  if (clustered) {
+    const ClusterServeResult r = serve_cluster(
+        *exec, replicas, trace, policy, &pool,
+        chrome_path.empty() ? nullptr : &event_trace);
+    rep = r.report;
+  } else {
+    const OnlineServeResult r = serve_online(
+        model, sys, trace, policy, &pool,
+        chrome_path.empty() ? nullptr : &event_trace);
+    rep = r.report;
+  }
 
   if (json) {
     std::printf("%s\n", rep.to_json().c_str());
   } else {
-    std::printf("online serving: %s, %d requests on %d units (%s)\n",
-                cfg.name.c_str(), requests, sys.config().num_units,
-                closed_clients > 0
-                    ? ("closed loop, " + std::to_string(closed_clients) +
-                       " clients")
-                          .c_str()
-                    : "open loop, Poisson");
+    if (clustered) {
+      std::printf(
+          "online serving: %s, %d requests on %d x %d-card %s replicas\n",
+          cfg.name.c_str(), requests, replicas, cards, to_string(strategy));
+    } else {
+      std::printf("online serving: %s, %d requests on %d units (%s)\n",
+                  cfg.name.c_str(), requests, sys.config().num_units,
+                  closed_clients > 0
+                      ? ("closed loop, " + std::to_string(closed_clients) +
+                         " clients")
+                            .c_str()
+                      : "open loop, Poisson");
+    }
     if (closed_clients == 0) {
       std::printf("  offered rate     : %.1f req/s\n", trace.offered_rps);
     }
@@ -360,6 +426,158 @@ int cmd_serve(int argc, char** argv) {
   return 0;
 }
 
+/// Multi-card scaling sweep: probe one sharded forward per (cards,
+/// strategy) configuration, project an R-request stream analytically, and
+/// report throughput, speedup over one card, per-card utilization, and the
+/// collective-cycle share.
+int cmd_cluster(int argc, char** argv) {
+  const std::string which = argv[0];
+  std::string cards_list = "1,2,4";
+  std::string strategy_arg = "both";
+  int requests = 16;
+  int threads = 1;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) throw Error(std::string(what) + " needs a value");
+      return argv[++i];
+    };
+    if (a == "--cards") {
+      cards_list = next("--cards");
+    } else if (a == "--strategy") {
+      strategy_arg = next("--strategy");
+    } else if (a == "--requests") {
+      requests = std::atoi(next("--requests"));
+    } else if (a == "--threads") {
+      threads = std::atoi(next("--threads"));
+    } else if (a == "--json") {
+      json = true;
+    } else {
+      throw Error("unknown cluster option '" + a + "'");
+    }
+  }
+  if (requests < 1) throw Error("--requests must be >= 1");
+  std::vector<int> card_counts;
+  {
+    std::stringstream ss(cards_list);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      const int c = std::atoi(tok.c_str());
+      if (c < 1) throw Error("--cards entries must be >= 1");
+      card_counts.push_back(c);
+    }
+  }
+  if (card_counts.empty()) throw Error("--cards needs at least one entry");
+  std::vector<PartitionStrategy> strategies;
+  if (strategy_arg == "pipeline" || strategy_arg == "both") {
+    strategies.push_back(PartitionStrategy::kPipeline);
+  }
+  if (strategy_arg == "tensor" || strategy_arg == "both") {
+    strategies.push_back(PartitionStrategy::kTensor);
+  }
+  if (strategies.empty()) {
+    throw Error("--strategy must be pipeline, tensor, or both");
+  }
+
+  const VitConfig cfg = which == "test" ? vit_test_tiny() : pick_config(which);
+  const SystemConfig card;
+  const VitWeights weights = random_weights(cfg, 42);
+  if (threads <= 0) threads = ThreadPool::hardware_threads();
+  ThreadPool pool(threads);
+  const std::vector<float> probe_input = random_embeddings(cfg, 1);
+
+  struct Row {
+    int cards = 0;
+    PartitionStrategy strategy = PartitionStrategy::kPipeline;
+    ClusterStats stats;
+    StreamTiming timing;
+  };
+  std::vector<Row> rows;
+  double base_rps = 0.0;  // 1-card pipeline projection
+  {
+    const ClusterExecutor one(weights, ClusterTopology::ring(1, {}, card),
+                              PartitionStrategy::kPipeline);
+    ClusterStats stats;
+    (void)one.forward(probe_input, &stats, &pool);
+    base_rps = one.project_stream(stats, requests).requests_per_second;
+  }
+
+  for (const int cards : card_counts) {
+    for (const PartitionStrategy strategy : strategies) {
+      if (cards == 1 && strategy == PartitionStrategy::kTensor) continue;
+      Row row;
+      row.cards = cards;
+      row.strategy = strategy;
+      try {
+        const ClusterExecutor exec(
+            weights, ClusterTopology::ring(cards, {}, card), strategy);
+        (void)exec.forward(probe_input, &row.stats, &pool);
+        row.timing = exec.project_stream(row.stats, requests);
+      } catch (const ShapeError& e) {
+        if (!json) {
+          std::fprintf(stderr, "skip %d-card %s: %s\n", cards,
+                       to_string(strategy), e.what());
+        }
+        continue;
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+
+  if (json) {
+    std::ostringstream os;
+    os << "{\"model\":\"" << cfg.name << "\",\"requests\":" << requests
+       << ",\"configs\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      if (i != 0) os << ",";
+      os << "{\"cards\":" << r.cards << ",\"strategy\":\""
+         << to_string(r.strategy) << "\""
+         << ",\"request_cycles\":" << r.timing.request_cycles
+         << ",\"makespan_cycles\":" << r.timing.makespan_cycles
+         << ",\"requests_per_second\":" << r.timing.requests_per_second
+         << ",\"speedup\":"
+         << (base_rps > 0.0 ? r.timing.requests_per_second / base_rps : 0.0)
+         << ",\"collective_share\":" << r.timing.collective_share
+         << ",\"collective_bytes\":" << r.timing.collective_bytes
+         << ",\"card_utilization\":[";
+      for (std::size_t c = 0; c < r.timing.card_utilization.size(); ++c) {
+        if (c != 0) os << ",";
+        os << r.timing.card_utilization[c];
+      }
+      os << "]}";
+    }
+    os << "]}";
+    std::printf("%s\n", os.str().c_str());
+  } else {
+    std::printf("cluster scaling: %s, %d-request stream, ring links\n\n",
+                cfg.name.c_str(), requests);
+    TextTable t({"cards", "strategy", "req/s", "speedup", "coll %",
+                 "min util", "max util"});
+    for (const Row& r : rows) {
+      double umin = 1.0;
+      double umax = 0.0;
+      for (const double u : r.timing.card_utilization) {
+        umin = std::min(umin, u);
+        umax = std::max(umax, u);
+      }
+      t.add_row({std::to_string(r.cards), to_string(r.strategy),
+                 fmt_double(r.timing.requests_per_second, 1),
+                 fmt_double(base_rps > 0.0
+                                ? r.timing.requests_per_second / base_rps
+                                : 0.0,
+                            2) +
+                     "x",
+                 fmt_percent(100.0 * r.timing.collective_share, 1),
+                 fmt_percent(100.0 * umin, 1), fmt_percent(100.0 * umax, 1)});
+    }
+    std::printf("%s", t.to_string().c_str());
+  }
+  return 0;
+}
+
 bool has_flag(int argc, char** argv, const char* flag) {
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], flag) == 0) return true;
@@ -369,7 +587,7 @@ bool has_flag(int argc, char** argv, const char* flag) {
 
 bool known_command(const std::string& cmd) {
   for (const char* k : {"info", "gemm", "softmax", "deit", "throughput",
-                        "batch", "serve", "resources"}) {
+                        "batch", "serve", "cluster", "resources"}) {
     if (cmd == k) return true;
   }
   return false;
@@ -406,6 +624,14 @@ int main(int argc, char** argv) {
       if (argc < 3) return bad_args("serve needs <tiny|small|base|test>");
       try {
         return cmd_serve(argc - 2, argv + 2);
+      } catch (const Error& e) {
+        return bad_args(e.what());
+      }
+    }
+    if (cmd == "cluster") {
+      if (argc < 3) return bad_args("cluster needs <tiny|small|base|test>");
+      try {
+        return cmd_cluster(argc - 2, argv + 2);
       } catch (const Error& e) {
         return bad_args(e.what());
       }
