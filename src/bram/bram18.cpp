@@ -1,12 +1,22 @@
 #include "bram/bram18.hpp"
 
 #include "common/error.hpp"
+#include "reliability/fault_model.hpp"
 
 namespace bfpsim {
 
 std::uint8_t Bram18::read(int addr) const {
   BFP_REQUIRE(addr >= 0 && addr < kDepth, "Bram18::read: address out of range");
   ++reads_;
+  if (fault_ != nullptr) {
+    const int bit = fault_->sample(8);
+    if (bit >= 0) {
+      // Persistent upset: the stored word stays corrupted until rewritten.
+      mem_[static_cast<std::size_t>(addr)] ^=
+          static_cast<std::uint8_t>(1U << bit);
+      ++faulted_reads_;
+    }
+  }
   return mem_[static_cast<std::size_t>(addr)];
 }
 

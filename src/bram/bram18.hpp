@@ -8,6 +8,8 @@
 
 namespace bfpsim {
 
+class FaultStream;
+
 /// 18 Kib block RAM in byte-wide mode: 2048 addresses x 8 bits + parity
 /// (parity unused here).
 class Bram18 {
@@ -19,6 +21,13 @@ class Bram18 {
   std::uint8_t read(int addr) const;
   void write(int addr, std::uint8_t value);
 
+  /// Attach a fault-injection stream (reliability/fault_model.hpp), one
+  /// sample per read. A flipped bit is *persistent* — BRAM upsets stay
+  /// until the word is rewritten. nullptr (default) disables injection;
+  /// outputs are then bit-identical to a hook-free build.
+  void set_fault_stream(FaultStream* stream) { fault_ = stream; }
+  std::uint64_t faulted_reads() const { return faulted_reads_; }
+
   /// Port-activity counters (feed the energy/utilization model).
   std::uint64_t reads() const { return reads_; }
   std::uint64_t writes() const { return writes_; }
@@ -28,9 +37,11 @@ class Bram18 {
   }
 
  private:
-  std::vector<std::uint8_t> mem_;
+  mutable std::vector<std::uint8_t> mem_;  ///< mutable: SEU flips on read
   mutable std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
+  FaultStream* fault_ = nullptr;
+  mutable std::uint64_t faulted_reads_ = 0;
 };
 
 }  // namespace bfpsim

@@ -8,7 +8,8 @@ namespace bfpsim {
 ClusterServeResult serve_cluster(const ClusterExecutor& exec, int replicas,
                                  const ArrivalTrace& trace,
                                  const ServePolicy& policy,
-                                 ThreadPool* pool, Trace* event_trace) {
+                                 ThreadPool* pool, Trace* event_trace,
+                                 const std::vector<CardFailure>& card_failures) {
   trace.validate();
   policy.validate();
   BFP_REQUIRE(replicas >= 1, "serve_cluster: need at least one replica");
@@ -45,6 +46,8 @@ ClusterServeResult serve_cluster(const ClusterExecutor& exec, int replicas,
   backend.executors = replicas;
   backend.freq_hz = card.pu.freq_hz;
   backend.executor_prefix = "replica";
+  backend.failures =
+      replica_failures(card_failures, exec.num_cards(), replicas);
   backend.passes.reserve(un);
   for (std::size_t i = 0; i < un; ++i) {
     backend.passes.push_back(
@@ -63,6 +66,9 @@ ClusterServeResult serve_cluster(const ClusterExecutor& exec, int replicas,
                           static_cast<std::uint64_t>(exec.num_cards()));
   out.report.counters.add("cluster.replicas",
                           static_cast<std::uint64_t>(replicas));
+  if (!card_failures.empty()) {
+    out.report.counters.add("cluster.card_failures", card_failures.size());
+  }
   return out;
 }
 

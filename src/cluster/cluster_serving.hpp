@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cluster/cluster_executor.hpp"
+#include "reliability/degradation.hpp"
 #include "serving/event_loop.hpp"
 
 namespace bfpsim {
@@ -33,10 +34,16 @@ struct ClusterServeResult {
 /// `pool` parallelizes the functional forwards only; `event_trace`
 /// receives cycle-stamped queue/replica events (components "queue",
 /// "replica<k>").
-ClusterServeResult serve_cluster(const ClusterExecutor& exec, int replicas,
-                                 const ArrivalTrace& trace,
-                                 const ServePolicy& policy,
-                                 ThreadPool* pool = nullptr,
-                                 Trace* event_trace = nullptr);
+///
+/// `card_failures` (cards numbered globally, replica r owning cards
+/// [r*num_cards, (r+1)*num_cards)) are hard failures in virtual time: a
+/// dead card kills its whole sharded replica, whose in-flight requests
+/// fail over to the surviving replicas through the event loop's retry
+/// path. Empty (default) = today's behaviour, bit for bit.
+ClusterServeResult serve_cluster(
+    const ClusterExecutor& exec, int replicas, const ArrivalTrace& trace,
+    const ServePolicy& policy, ThreadPool* pool = nullptr,
+    Trace* event_trace = nullptr,
+    const std::vector<CardFailure>& card_failures = {});
 
 }  // namespace bfpsim

@@ -1,6 +1,62 @@
 #include "common/rng.hpp"
 
+#include <cmath>
+
+#include "common/error.hpp"
+
 namespace bfpsim {
+
+float Rng::uniform(float lo, float hi) {
+  BFP_REQUIRE(lo <= hi, "Rng::uniform: lo must be <= hi");
+  if (lo == hi) return lo;
+  const float r =
+      lo + static_cast<float>(unit_double()) * (hi - lo);
+  // Float rounding of the affine map can land exactly on hi; keep the
+  // half-open contract.
+  return r < hi ? r : std::nextafterf(hi, lo);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  BFP_REQUIRE(lo <= hi, "Rng::uniform_int: lo must be <= hi");
+  const auto range =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+  if (range == ~std::uint64_t{0}) {
+    return static_cast<std::int64_t>(bits64());
+  }
+  // Mask rejection: draw ceil(log2(range+1)) bits until one lands inside
+  // the range. Unbiased, and at worst ~2 expected draws.
+  std::uint64_t mask = range;
+  mask |= mask >> 1;
+  mask |= mask >> 2;
+  mask |= mask >> 4;
+  mask |= mask >> 8;
+  mask |= mask >> 16;
+  mask |= mask >> 32;
+  std::uint64_t draw = 0;
+  do {
+    draw = bits64() & mask;
+  } while (draw > range);
+  return lo + static_cast<std::int64_t>(draw);
+}
+
+float Rng::normal(float mean, float stddev) {
+  if (has_spare_) {
+    has_spare_ = false;
+    return mean + stddev * static_cast<float>(spare_);
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = 2.0 * unit_double() - 1.0;
+    v = 2.0 * unit_double() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double m = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * m;
+  has_spare_ = true;
+  return mean + stddev * static_cast<float>(u * m);
+}
 
 std::vector<float> Rng::normal_vec(std::size_t n, float mean, float stddev) {
   std::vector<float> v(n);

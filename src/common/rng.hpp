@@ -1,43 +1,60 @@
 // Deterministic random data generation for tests, benches and synthetic
 // transformer workloads. Every generator is explicitly seeded so results are
 // reproducible across runs and platforms.
+//
+// The engine is splitmix64 (the same generator the reliability subsystem's
+// fault streams use) and every distribution is hand-rolled — libstdc++ and
+// libc++ are free to implement std::uniform_real_distribution and
+// std::normal_distribution differently, which would make "seeded" data
+// differ across toolchains. Here the full draw sequence is pinned:
+//   * unit_double  — 53 high bits of one splitmix64 output, scaled to [0,1)
+//   * uniform      — affine map of unit_double
+//   * uniform_int  — mask-rejection over the inclusive range
+//   * normal       — Marsaglia polar method (two draws per pair, one spare
+//                    cached), so exactly the classic algorithm's sequence
+//   * bernoulli    — unit_double() < p
+// tests/test_regression.cpp pins golden values of each.
 #pragma once
 
 #include <cstdint>
-#include <random>
 #include <vector>
 
 namespace bfpsim {
 
-/// Seeded random generator wrapper with the distributions the project needs.
+/// Seeded random generator with the distributions the project needs.
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
 
-  /// Uniform float in [lo, hi).
-  float uniform(float lo, float hi) {
-    return std::uniform_real_distribution<float>(lo, hi)(engine_);
-  }
-
-  /// Uniform integer in [lo, hi] inclusive.
-  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
-    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
-  }
-
-  /// Standard normal scaled to `stddev` around `mean`.
-  float normal(float mean, float stddev) {
-    return std::normal_distribution<float>(mean, stddev)(engine_);
-  }
-
-  /// Bernoulli with probability p.
-  bool bernoulli(double p) {
-    return std::bernoulli_distribution(p)(engine_);
+  /// Raw 64 random bits (splitmix64).
+  std::uint64_t bits64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
   }
 
   /// Raw 32 random bits; useful for generating random fp32 bit patterns.
   std::uint32_t bits32() {
-    return static_cast<std::uint32_t>(engine_());
+    return static_cast<std::uint32_t>(bits64() >> 32);
   }
+
+  /// Uniform double in [0, 1), 53 bits of resolution.
+  double unit_double() {
+    return static_cast<double>(bits64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal scaled to `stddev` around `mean`.
+  float normal(float mean, float stddev);
+
+  /// Bernoulli with probability p.
+  bool bernoulli(double p) { return unit_double() < p; }
 
   /// Vector of normal samples.
   std::vector<float> normal_vec(std::size_t n, float mean, float stddev);
@@ -55,10 +72,10 @@ class Rng {
                                           double outlier_fraction,
                                           float outlier_scale);
 
-  std::mt19937_64& engine() { return engine_; }
-
  private:
-  std::mt19937_64 engine_;
+  std::uint64_t state_;
+  bool has_spare_ = false;
+  double spare_ = 0.0;  ///< second output of the last Marsaglia pair
 };
 
 }  // namespace bfpsim

@@ -1,5 +1,7 @@
 #include "dsp/dsp48e2.hpp"
 
+#include "reliability/fault_model.hpp"
+
 namespace bfpsim {
 
 std::int64_t Dsp48e2::eval(std::int64_t a, std::int64_t b, std::int64_t d,
@@ -19,6 +21,13 @@ std::int64_t Dsp48e2::eval(std::int64_t a, std::int64_t b, std::int64_t d,
   }
   if (!fits_signed(pcin, kDspPWidth)) {
     throw HardwareContractError("DSP48E2: PCIN exceeds 48 bits");
+  }
+  if (cascade_fault_ != nullptr && src == DspAccSrc::kPcin) {
+    const int bit = cascade_fault_->sample(kDspPWidth);
+    if (bit >= 0) {
+      pcin = flip_bit_signed(pcin, bit, kDspPWidth);
+      ++faulted_ops_;
+    }
   }
 
   std::int64_t mul_in = a;
@@ -40,9 +49,18 @@ std::int64_t Dsp48e2::eval(std::int64_t a, std::int64_t b, std::int64_t d,
     case DspAccSrc::kC: w = c; break;
     case DspAccSrc::kPcin: w = pcin; break;
   }
-  const std::int64_t p = w + m;
+  std::int64_t p = w + m;
   if (!fits_signed(p, kDspPWidth)) {
     throw HardwareContractError("DSP48E2: ALU result exceeds 48 bits");
+  }
+  if (output_fault_ != nullptr) {
+    const int bit = output_fault_->sample(kDspPWidth);
+    if (bit >= 0) {
+      // Upset lands in the P register *after* the ALU: the contract checks
+      // above still model the clean datapath.
+      p = flip_bit_signed(p, bit, kDspPWidth);
+      ++faulted_ops_;
+    }
   }
   p_ = p;
   ++ops_;

@@ -19,6 +19,8 @@
 
 namespace bfpsim {
 
+class FaultStream;
+
 /// DSP48E2 port widths (UG579 table 1-1; A is 30 bits but only A[26:0]
 /// reaches the multiplier, so the model exposes the 27-bit multiplier view).
 inline constexpr int kDspAWidth = 27;
@@ -75,9 +77,24 @@ class Dsp48e2 {
   /// Number of eval() calls since reset — one "DSP operation" each.
   std::uint64_t op_count() const { return ops_; }
 
+  /// Attach fault-injection streams (reliability/fault_model.hpp).
+  /// `output` samples once per eval and flips a bit of the new P register
+  /// (transient: overwritten by the next eval). `cascade` samples once per
+  /// eval that consumes PCIN and corrupts the cascade input before the
+  /// ALU. nullptr (default) disables a site; with both null the slice is
+  /// bit-identical to a hook-free build.
+  void set_fault_streams(FaultStream* output, FaultStream* cascade) {
+    output_fault_ = output;
+    cascade_fault_ = cascade;
+  }
+  std::uint64_t faulted_ops() const { return faulted_ops_; }
+
  private:
   std::int64_t p_ = 0;
   std::uint64_t ops_ = 0;
+  FaultStream* output_fault_ = nullptr;
+  FaultStream* cascade_fault_ = nullptr;
+  std::uint64_t faulted_ops_ = 0;
 };
 
 }  // namespace bfpsim

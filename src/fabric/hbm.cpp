@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "reliability/fault_model.hpp"
 
 namespace bfpsim {
 
@@ -31,6 +32,31 @@ std::uint64_t transfer_cycles(const HbmConfig& cfg, std::uint64_t bytes,
       static_cast<std::uint64_t>(burst_bytes);
   return data +
          bursts * static_cast<std::uint64_t>(cfg.burst_overhead_cycles);
+}
+
+HbmTransfer transfer_cycles_faulty(const HbmConfig& cfg, std::uint64_t bytes,
+                                   int burst_bytes, FaultStream* faults) {
+  HbmTransfer out;
+  out.cycles = transfer_cycles(cfg, bytes, burst_bytes);
+  if (bytes == 0) return out;
+  out.bursts = (bytes + static_cast<std::uint64_t>(burst_bytes) - 1) /
+               static_cast<std::uint64_t>(burst_bytes);
+  if (faults == nullptr) return out;
+
+  const auto bpc = static_cast<std::uint64_t>(cfg.bytes_per_cycle_total());
+  // Retransmissions always resend a full burst (the AXI CRC rejects the
+  // whole beat group, not the bad word).
+  const std::uint64_t retrans_cycles =
+      (static_cast<std::uint64_t>(burst_bytes) + bpc - 1) / bpc +
+      static_cast<std::uint64_t>(cfg.burst_overhead_cycles);
+  for (std::uint64_t b = 0; b < out.bursts; ++b) {
+    for (int retry = 0; retry < 8; ++retry) {
+      if (faults->sample(1) < 0) break;
+      ++out.corrupted;
+      out.cycles += retrans_cycles;
+    }
+  }
+  return out;
 }
 
 std::uint64_t combine_overlap(std::uint64_t compute_cycles,

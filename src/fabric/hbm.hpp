@@ -15,6 +15,8 @@
 
 namespace bfpsim {
 
+class FaultStream;
+
 struct HbmConfig {
   int axi_channels_per_unit = 2;   ///< 256-bit channels per PU
   int bytes_per_cycle_per_channel = 32;  ///< 256 bit @ fabric clock
@@ -37,6 +39,23 @@ struct HbmConfig {
 /// Cycle cost of moving `bytes` with bursts of at most `burst_bytes`.
 std::uint64_t transfer_cycles(const HbmConfig& cfg, std::uint64_t bytes,
                               int burst_bytes);
+
+/// Outcome of a fault-aware transfer (reliability/fault_model.hpp).
+struct HbmTransfer {
+  std::uint64_t cycles = 0;     ///< total, including retransmissions
+  std::uint64_t bursts = 0;     ///< bursts issued for the payload
+  std::uint64_t corrupted = 0;  ///< bursts the AXI CRC rejected
+};
+
+/// Fault-aware variant of transfer_cycles: `faults` is sampled once per
+/// burst (kHbmBurst site). A corrupted burst is caught by the link CRC and
+/// retransmitted at full-burst cost — data is never silently corrupted,
+/// the fault surfaces purely as latency. A retransmission can itself be
+/// corrupted (sampled again); retries per burst are capped at 8 so a
+/// p = 1 stream cannot hang the model. With faults == nullptr the result
+/// equals transfer_cycles exactly.
+HbmTransfer transfer_cycles_faulty(const HbmConfig& cfg, std::uint64_t bytes,
+                                   int burst_bytes, FaultStream* faults);
 
 /// Combine compute and I/O cycles given an overlap fraction: the hidden
 /// part of I/O runs under compute, the rest extends the pass.

@@ -58,6 +58,72 @@ void Executor::reset() {
   for (auto& r : regs_) r.reset();
 }
 
+void Executor::set_reliability(const ReliabilityConfig& cfg) {
+  BFP_REQUIRE(cfg.max_retries >= 0,
+              "Executor: max_retries must be >= 0");
+  BFP_REQUIRE(cfg.quarantine_threshold >= 1,
+              "Executor: quarantine_threshold must be >= 1");
+  rel_ = cfg;
+  quarantine_.emplace(system_.config().pu.array.cols,
+                      cfg.quarantine_threshold);
+}
+
+void Executor::clear_reliability() {
+  rel_.reset();
+  quarantine_.reset();
+}
+
+void Executor::exec_matmul_reliable(const Instruction& inst,
+                                    const RegTensor& a, const RegTensor& b,
+                                    ExecutionStats& stats) {
+  const SystemConfig& sc = system_.config();
+  BfpFormat fmt;
+  fmt.rows = sc.pu.array.rows;
+  fmt.cols = sc.pu.array.cols;
+
+  AbftOptions opt;
+  opt.mode = rel_->mode;
+  opt.plan = rel_->plan;
+  opt.max_retries = rel_->max_retries;
+  AbftGemmResult res =
+      abft_gemm(a.data, a.rows, a.cols, b.data, b.cols, fmt,
+                sc.pu.quant_round, sc.pu.psu_bits, opt,
+                system_.thread_pool());
+
+  RegTensor c;
+  c.rows = inst.m;
+  c.cols = inst.n;
+  c.data = std::move(res.c);
+  regs_[inst.dst] = std::move(c);
+
+  std::uint64_t cycles =
+      system_.gemm_latency(inst.m, inst.k, inst.n).cycles;
+  // Checksum and recompute MACs ride the MAC path only, so their cost is
+  // charged against the compute share of the (memory-overlapped)
+  // distributed latency — which is why end-to-end ABFT overhead stays
+  // below the 25% MAC-path figure.
+  const double f = res.work.overhead_fraction();
+  if (f > 0.0) {
+    const auto arrays = static_cast<std::uint64_t>(sc.num_units) *
+                        static_cast<std::uint64_t>(sc.arrays_per_unit);
+    const std::uint64_t compute =
+        ProcessingUnit::gemm_cycles(sc.pu, inst.m, inst.k, inst.n);
+    const std::uint64_t distributed = (compute + arrays - 1) / arrays;
+    cycles += static_cast<std::uint64_t>(
+        std::llround(f * static_cast<double>(distributed)));
+  }
+
+  quarantine_->record(res.column_faults);
+  BFP_REQUIRE(quarantine_->active_columns() >= 1,
+              "Executor: every PE column quarantined — unit is dead");
+  if (quarantine_->degraded()) {
+    stats.reliability.add("reliability.degraded_matmuls");
+    cycles = quarantine_->scale_cycles(cycles);
+  }
+  stats.device_cycles += cycles;
+  stats.reliability.merge(res.counters);
+}
+
 namespace {
 
 void require_same_shape(const RegTensor& a, const RegTensor& b,
@@ -90,6 +156,10 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
                   "bfp.matmul: A shape mismatch");
       BFP_REQUIRE(b.rows == inst.k && b.cols == inst.n,
                   "bfp.matmul: B shape mismatch");
+      if (rel_.has_value()) {
+        exec_matmul_reliable(inst, a, b, stats);
+        return;
+      }
       const GemmRun run =
           system_.gemm(a.data, a.rows, a.cols, b.data, b.cols);
       RegTensor c;

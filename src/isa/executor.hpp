@@ -16,6 +16,9 @@
 #include "fabric/system.hpp"
 #include "isa/program.hpp"
 #include "numerics/nonlinear.hpp"
+#include "reliability/abft.hpp"
+#include "reliability/degradation.hpp"
+#include "sim/counters.hpp"
 
 namespace bfpsim {
 
@@ -36,10 +39,28 @@ struct ExecutionStats {
   std::uint64_t host_ops = 0;        ///< host-CPU scalar operations
   OpCounter ops;                     ///< primitive operation mix
   std::uint64_t instructions = 0;
+  /// reliability.* counters from ABFT-protected GEMMs (empty when the
+  /// executor runs without a ReliabilityConfig).
+  Counters reliability;
 
   double device_seconds(double freq_hz) const {
     return static_cast<double>(device_cycles) / freq_hz;
   }
+};
+
+/// Reliability posture of an executor: ABFT protection level, an optional
+/// fault plan to inject from, and the quarantine policy for PE columns
+/// that keep faulting (suspected hard faults).
+struct ReliabilityConfig {
+  AbftMode mode = AbftMode::kCorrect;
+  /// Faults to inject (kPsuWord site). nullptr = protect without
+  /// injecting; results are then bit-identical to the unprotected path
+  /// and only the cycle model changes (checksum overhead).
+  const FaultPlan* plan = nullptr;
+  int max_retries = 2;
+  /// Detected faults attributed to one PE column before it is
+  /// quarantined and its work remapped onto the surviving columns.
+  int quarantine_threshold = 3;
 };
 
 class Executor {
@@ -59,12 +80,28 @@ class Executor {
   /// Clear all registers.
   void reset();
 
+  /// Enable the reliability path: kBfpMatmul routes through the
+  /// ABFT-protected GEMM (reliability/abft.hpp) and PE-column quarantine
+  /// persists across run() calls until clear_reliability().
+  void set_reliability(const ReliabilityConfig& cfg);
+  void clear_reliability();
+  bool reliability_enabled() const { return rel_.has_value(); }
+
+  /// Quarantine state, or nullptr when reliability is disabled.
+  const QuarantineState* quarantine() const {
+    return quarantine_.has_value() ? &*quarantine_ : nullptr;
+  }
+
  private:
   RegTensor& mut_tensor(int r);
   void exec_one(const Instruction& inst, ExecutionStats& stats);
+  void exec_matmul_reliable(const Instruction& inst, const RegTensor& a,
+                            const RegTensor& b, ExecutionStats& stats);
 
   const AcceleratorSystem& system_;
   std::vector<std::optional<RegTensor>> regs_;
+  std::optional<ReliabilityConfig> rel_;
+  std::optional<QuarantineState> quarantine_;
 };
 
 }  // namespace bfpsim

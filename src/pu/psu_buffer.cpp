@@ -4,6 +4,7 @@
 
 #include "common/bitops.hpp"
 #include "common/error.hpp"
+#include "reliability/fault_model.hpp"
 
 namespace bfpsim {
 
@@ -57,6 +58,7 @@ void PsuBuffer::accumulate(int lane, int slot, const WideBlock& in,
     }
     t.expb = in.expb;
     t.valid = true;
+    inject(t);
     return;
   }
   const AlignDecision d = eu.align(t.expb, in.expb);
@@ -73,6 +75,18 @@ void PsuBuffer::accumulate(int lane, int slot, const WideBlock& in,
     t.psu[i] = s;
   }
   t.expb = d.result_exp;
+  inject(t);
+}
+
+void PsuBuffer::inject(Tile& t) {
+  if (fault_ == nullptr) return;
+  for (auto& word : t.psu) {
+    const int bit = fault_->sample(cfg_.psu_bits);
+    if (bit >= 0) {
+      word = flip_bit_signed(word, bit, cfg_.psu_bits);
+      ++faulted_words_;
+    }
+  }
 }
 
 WideBlock PsuBuffer::read(int lane, int slot) const {

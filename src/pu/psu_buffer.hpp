@@ -18,6 +18,8 @@
 
 namespace bfpsim {
 
+class FaultStream;
+
 /// Depth of the PSU buffer in block slots (64 slots x 8 rows = 512 entries
 /// per column, the BRAM18-derived limit of Section II-D).
 inline constexpr int kPsuSlots = 64;
@@ -51,6 +53,13 @@ class PsuBuffer {
 
   const PsuConfig& config() const { return cfg_; }
 
+  /// Attach a fault-injection stream (reliability/fault_model.hpp), one
+  /// sample per accumulator word written by accumulate(). A fault flips
+  /// one bit of the freshly stored word (transient relative to the next
+  /// clear/overwrite). nullptr (default) disables injection.
+  void set_fault_stream(FaultStream* stream) { fault_ = stream; }
+  std::uint64_t faulted_words() const { return faulted_words_; }
+
  private:
   struct Tile {
     bool valid = false;
@@ -59,9 +68,12 @@ class PsuBuffer {
   };
   Tile& tile(int lane, int slot);
   const Tile& tile(int lane, int slot) const;
+  void inject(Tile& t);
 
   PsuConfig cfg_;
   std::vector<Tile> tiles_;  ///< [lane][slot] flattened, 2 lanes
+  FaultStream* fault_ = nullptr;
+  std::uint64_t faulted_words_ = 0;
 };
 
 }  // namespace bfpsim

@@ -1,0 +1,269 @@
+#include "reliability/abft.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace bfpsim {
+
+const char* to_string(AbftMode mode) {
+  switch (mode) {
+    case AbftMode::kUnprotected: return "unprotected";
+    case AbftMode::kDetect: return "detect";
+    case AbftMode::kCorrect: return "abft";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Per-tile outcome, merged into the result in tile order so counters are
+/// identical for any worker count.
+struct TileOutcome {
+  std::uint64_t injected = 0;
+  std::uint64_t faulty_products = 0;
+  std::uint64_t detected_products = 0;
+  std::uint64_t patched = 0;
+  std::uint64_t recomputed = 0;
+  std::uint64_t retries_exhausted = 0;
+  std::uint64_t products = 0;
+  std::uint64_t checksum_macs = 0;
+  std::vector<std::uint64_t> column_faults;
+};
+
+/// Inject psu-word faults into a freshly computed product tile. Returns
+/// the number of flips applied.
+std::uint64_t inject_psu_faults(WideBlock& p, FaultStream& stream,
+                                int psu_bits) {
+  std::uint64_t injected = 0;
+  for (auto& word : p.psu) {
+    const int bit = stream.sample(psu_bits);
+    if (bit >= 0) {
+      word = flip_bit_signed(word, bit, psu_bits);
+      ++injected;
+    }
+  }
+  return injected;
+}
+
+/// psu_accumulate with hardware wraparound instead of the simulator's
+/// overflow contract. Once a corrupted product flows on (unprotected mode,
+/// or retries exhausted), a high flipped bit can legitimately overflow the
+/// accumulator — the register wraps modulo 2^psu_bits, it does not trap.
+/// Fault-free and corrected tiles never take this path, so the contract
+/// check still guards the model itself.
+void psu_accumulate_wrapping(WideBlock& acc, const WideBlock& in,
+                             int psu_bits) {
+  const std::int32_t e = std::max(acc.expb, in.expb);
+  const int shift_acc = static_cast<int>(e - acc.expb);
+  const int shift_in = static_cast<int>(e - in.expb);
+  const int drop = 64 - psu_bits;
+  for (std::size_t i = 0; i < acc.psu.size(); ++i) {
+    const std::int64_t a =
+        round_shift(acc.psu[i], shift_acc, RoundMode::kTruncate);
+    const std::int64_t b =
+        round_shift(in.psu[i], shift_in, RoundMode::kTruncate);
+    const std::uint64_t s =
+        static_cast<std::uint64_t>(a) + static_cast<std::uint64_t>(b);
+    acc.psu[i] = static_cast<std::int64_t>(s << drop) >> drop;
+  }
+  acc.expb = e;
+}
+
+}  // namespace
+
+AbftGemmResult abft_gemm(std::span<const float> a, int m, int k,
+                         std::span<const float> b, int n,
+                         const BfpFormat& fmt, RoundMode quant_round,
+                         int psu_bits, const AbftOptions& opt,
+                         ThreadPool* pool) {
+  BFP_REQUIRE(m > 0 && k > 0 && n > 0, "abft_gemm: dims must be positive");
+  BFP_REQUIRE(opt.max_retries >= 0, "abft_gemm: max_retries must be >= 0");
+
+  const BfpMatrix am = quantize_matrix(a, m, k, fmt, quant_round);
+  const BfpMatrix bm = quantize_matrix(b, k, n, fmt, quant_round);
+  const int brs = am.block_rows();
+  const int bcs = bm.block_cols();
+  const int bks = am.block_cols();
+
+  AbftGemmResult res;
+  res.c.assign(static_cast<std::size_t>(m) * static_cast<std::size_t>(n),
+               0.0F);
+  res.column_faults.assign(static_cast<std::size_t>(fmt.cols), 0);
+
+  const std::size_t tiles =
+      static_cast<std::size_t>(brs) * static_cast<std::size_t>(bcs);
+  std::vector<TileOutcome> outcomes(tiles);
+
+  const std::uint64_t tile_macs = static_cast<std::uint64_t>(fmt.rows) *
+                                  static_cast<std::uint64_t>(fmt.cols) *
+                                  static_cast<std::uint64_t>(fmt.cols);
+  // One extra prediction row (colsum(X) * Y) and one extra prediction
+  // column (X * rowsum(Y)) per product.
+  const std::uint64_t checksum_macs_per_product =
+      2ULL * static_cast<std::uint64_t>(fmt.rows) *
+      static_cast<std::uint64_t>(fmt.cols);
+
+  const bool verify = opt.mode != AbftMode::kUnprotected;
+  const bool patching = opt.mode == AbftMode::kCorrect;
+
+  auto compute_tile = [&](std::size_t tile) {
+    const int br = static_cast<int>(tile) / bcs;
+    const int bc = static_cast<int>(tile) % bcs;
+    TileOutcome& out = outcomes[tile];
+    out.column_faults.assign(static_cast<std::size_t>(fmt.cols), 0);
+
+    WideBlock acc(fmt.rows, fmt.cols);
+    acc.expb = std::numeric_limits<std::int32_t>::min() / 2;  // -inf-ish
+    bool first = true;
+    bool corrupted = false;  ///< an uncorrected faulty product flowed on
+    for (int bk = 0; bk < bks; ++bk) {
+      const BfpBlock& x = am.block(br, bk);
+      const BfpBlock& y = bm.block(bk, bc);
+
+      // Checksum predictions from the operand mantissas (exact int64).
+      std::vector<std::int64_t> pred_col(
+          static_cast<std::size_t>(fmt.cols), 0);
+      std::vector<std::int64_t> pred_row(
+          static_cast<std::size_t>(fmt.rows), 0);
+      if (verify) {
+        for (int kk = 0; kk < fmt.cols; ++kk) {
+          std::int64_t colsum_x = 0;
+          for (int i = 0; i < fmt.rows; ++i) colsum_x += x.at(i, kk);
+          std::int64_t rowsum_y = 0;
+          for (int j = 0; j < fmt.cols; ++j) rowsum_y += y.at(kk, j);
+          for (int j = 0; j < fmt.cols; ++j) {
+            pred_col[static_cast<std::size_t>(j)] += colsum_x * y.at(kk, j);
+          }
+          for (int i = 0; i < fmt.rows; ++i) {
+            pred_row[static_cast<std::size_t>(i)] += x.at(i, kk) * rowsum_y;
+          }
+        }
+      }
+
+      WideBlock p;
+      for (int attempt = 0;; ++attempt) {
+        p = bfp_matmul_block(x, y);
+        ++out.products;
+        if (verify) out.checksum_macs += checksum_macs_per_product;
+
+        std::uint64_t injected = 0;
+        if (opt.plan != nullptr) {
+          // Stream key is a pure function of the product's coordinates and
+          // the attempt number: bit-identical for any thread count, and a
+          // recompute re-rolls fresh (transient) faults.
+          FaultStream stream = opt.plan->make_stream(
+              FaultSite::kPsuWord,
+              (((static_cast<std::uint64_t>(br) * 0x1f123bb5ULL +
+                 static_cast<std::uint64_t>(bc)) *
+                    0x27d4eb2fULL +
+                static_cast<std::uint64_t>(bk))
+                   << 8) +
+                  static_cast<std::uint64_t>(attempt));
+          injected = inject_psu_faults(p, stream, psu_bits);
+        }
+        out.injected += injected;
+        if (injected > 0) ++out.faulty_products;
+        if (!verify) {
+          if (injected > 0) corrupted = true;
+          break;
+        }
+
+        // Observed sums vs predictions (the observed sums ride the idle
+        // fp32 adder path; see header).
+        std::vector<int> bad_rows, bad_cols;
+        std::int64_t row_delta = 0, col_delta = 0;
+        for (int j = 0; j < fmt.cols; ++j) {
+          std::int64_t s = 0;
+          for (int i = 0; i < fmt.rows; ++i) s += p.at(i, j);
+          if (s != pred_col[static_cast<std::size_t>(j)]) {
+            bad_cols.push_back(j);
+            col_delta = s - pred_col[static_cast<std::size_t>(j)];
+          }
+        }
+        for (int i = 0; i < fmt.rows; ++i) {
+          std::int64_t s = 0;
+          for (int j = 0; j < fmt.cols; ++j) s += p.at(i, j);
+          if (s != pred_row[static_cast<std::size_t>(i)]) {
+            bad_rows.push_back(i);
+            row_delta = s - pred_row[static_cast<std::size_t>(i)];
+          }
+        }
+        if (bad_rows.empty() && bad_cols.empty()) break;  // clean product
+
+        ++out.detected_products;
+        for (const int j : bad_cols) {
+          ++out.column_faults[static_cast<std::size_t>(j)];
+        }
+        if (patching && bad_rows.size() == 1 && bad_cols.size() == 1 &&
+            row_delta == col_delta) {
+          // Single-fault signature: localize and patch in place.
+          p.at(bad_rows[0], bad_cols[0]) -= row_delta;
+          ++out.patched;
+          break;
+        }
+        if (attempt < opt.max_retries) {
+          ++out.recomputed;
+          continue;
+        }
+        ++out.retries_exhausted;  // corrupted product flows on
+        corrupted = true;
+        break;
+      }
+
+      if (first) {
+        acc = std::move(p);
+        first = false;
+      } else if (corrupted) {
+        psu_accumulate_wrapping(acc, p, psu_bits);
+      } else {
+        psu_accumulate(acc, p, psu_bits);
+      }
+    }
+
+    for (int r = 0; r < fmt.rows; ++r) {
+      const int gr = br * fmt.rows + r;
+      if (gr >= m) break;
+      for (int c = 0; c < fmt.cols; ++c) {
+        const int gc = bc * fmt.cols + c;
+        if (gc >= n) continue;
+        res.c[static_cast<std::size_t>(gr) * static_cast<std::size_t>(n) +
+              static_cast<std::size_t>(gc)] =
+            static_cast<float>(
+                std::ldexp(static_cast<double>(acc.at(r, c)), acc.expb));
+      }
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(tiles, compute_tile);
+  } else {
+    for (std::size_t t = 0; t < tiles; ++t) compute_tile(t);
+  }
+
+  // Serial merge in tile order: deterministic counters for any pool size.
+  std::uint64_t recomputed_total = 0;
+  for (const TileOutcome& out : outcomes) {
+    res.work.products += out.products;
+    res.work.total_macs += out.products * tile_macs + out.checksum_macs;
+    recomputed_total += out.recomputed;
+    res.counters.add("reliability.injected", out.injected);
+    res.counters.add("reliability.faulty_products", out.faulty_products);
+    res.counters.add("reliability.detected_products", out.detected_products);
+    res.counters.add("reliability.patched", out.patched);
+    res.counters.add("reliability.recomputed", out.recomputed);
+    res.counters.add("reliability.retries_exhausted", out.retries_exhausted);
+    for (std::size_t j = 0; j < res.column_faults.size(); ++j) {
+      res.column_faults[j] += out.column_faults[j];
+    }
+  }
+  res.work.base_macs = (res.work.products - recomputed_total) * tile_macs;
+  res.counters.add("reliability.tiles", tiles);
+  res.counters.add("reliability.products", res.work.products);
+  return res;
+}
+
+}  // namespace bfpsim

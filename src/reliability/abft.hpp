@@ -1,0 +1,98 @@
+// Algorithm-based fault tolerance (ABFT) for the tiled bfp8 GEMM.
+//
+// Why checksums work perfectly here: a bfp tile product is *exact integer*
+// arithmetic — Z.psu[i][j] = sum_k X.man[i][k] * Y.man[k][j] with no
+// rounding (numerics/bfp.hpp, Eqn 2). So the classic Huang–Abraham row and
+// column checksums are exact identities over the mantissas:
+//
+//     sum_i Z[i][j] = sum_k (sum_i X[i][k]) * Y[k][j]   (column checksums)
+//     sum_j Z[i][j] = sum_k X[i][k] * (sum_j Y[k][j])   (row checksums)
+//
+// A single flipped accumulator bit changes exactly one element, so exactly
+// one row sum and one column sum miss by the same delta: the fault is
+// detected (always), localized to (row, col), and patched by subtracting
+// the delta. Anything that does not match the single-fault signature is
+// recomputed (bounded retries). Verification happens per k-block product,
+// *before* psu alignment truncation, which is what keeps the checksum
+// domain exact — and is also where the hardware would check, at PSU
+// write-back.
+//
+// Cycle accounting: the two checksum predictions cost one extra row and
+// one extra column of MACs per 8x8x8 tile product (128 of 512 MACs, 25%
+// on the MAC path); summing the produced tile rides the otherwise-idle
+// fp32 adder path of the multi-mode PU (Fig. 2), so it is not charged.
+// The executor charges this overhead against the compute-only cycle
+// model, so end-to-end (memory-overlapped) overhead stays below 25%.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "numerics/bfp.hpp"
+#include "reliability/fault_model.hpp"
+#include "sim/counters.hpp"
+
+namespace bfpsim {
+
+class ThreadPool;
+
+/// Protection level of the GEMM datapath.
+enum class AbftMode {
+  kUnprotected,  ///< no checksums: faults land silently
+  kDetect,       ///< checksums verify; any mismatch triggers recompute
+  kCorrect,      ///< checksums verify; single faults patched, else recompute
+};
+
+const char* to_string(AbftMode mode);
+
+struct AbftOptions {
+  AbftMode mode = AbftMode::kCorrect;
+  /// Fault plan to inject from (kPsuWord rate, per accumulator word
+  /// written). nullptr = no injection; the datapath is then bit-identical
+  /// to bfp_gemm_reference in every mode.
+  const FaultPlan* plan = nullptr;
+  /// Recompute attempts per tile product after an uncorrectable detection.
+  int max_retries = 2;
+};
+
+/// MAC-level work balance, for the cycle model.
+struct AbftWork {
+  std::uint64_t products = 0;   ///< tile products computed (incl. retries)
+  std::uint64_t base_macs = 0;  ///< MACs an unprotected run would perform
+  std::uint64_t total_macs = 0; ///< data + checksum MACs actually performed
+
+  /// Extra MAC-path work as a fraction of the unprotected work.
+  double overhead_fraction() const {
+    return base_macs == 0 ? 0.0
+                          : static_cast<double>(total_macs) /
+                                    static_cast<double>(base_macs) -
+                                1.0;
+  }
+};
+
+struct AbftGemmResult {
+  std::vector<float> c;  ///< row-major m x n, unpadded (== reference bits)
+  AbftWork work;
+  /// reliability.* counters: injected, faulty_products, detected_products,
+  /// patched, recomputed, retries_exhausted, tiles.
+  Counters counters;
+  /// Faults attributed to each PE-array column (tile column j maps to
+  /// array column j) — feeds quarantine decisions.
+  std::vector<std::uint64_t> column_faults;
+};
+
+/// ABFT-protected (or deliberately unprotected) tiled bfp8 GEMM with the
+/// same quantization, tiling, accumulation and dequantization as
+/// bfp_gemm_reference — bit-identical to it when no faults are injected.
+///
+/// Fault injection and all counters are pure functions of
+/// (plan seed, tile coordinates, k index, attempt), so results are
+/// bit-identical for any `pool` worker count.
+AbftGemmResult abft_gemm(std::span<const float> a, int m, int k,
+                         std::span<const float> b, int n,
+                         const BfpFormat& fmt, RoundMode quant_round,
+                         int psu_bits, const AbftOptions& opt,
+                         ThreadPool* pool = nullptr);
+
+}  // namespace bfpsim

@@ -1,0 +1,76 @@
+#include "reliability/degradation.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace bfpsim {
+
+std::vector<ExecutorFailure> replica_failures(
+    const std::vector<CardFailure>& card_failures, int cards_per_replica,
+    int replicas) {
+  BFP_REQUIRE(cards_per_replica >= 1 && replicas >= 1,
+              "replica_failures: bad cluster shape");
+  std::map<int, std::uint64_t> first_death;  // replica -> earliest cycle
+  for (const CardFailure& f : card_failures) {
+    BFP_REQUIRE(f.card >= 0 && f.card < cards_per_replica * replicas,
+                "replica_failures: card index out of range");
+    const int replica = f.card / cards_per_replica;
+    const auto it = first_death.find(replica);
+    if (it == first_death.end() || f.cycle < it->second) {
+      first_death[replica] = f.cycle;
+    }
+  }
+  std::vector<ExecutorFailure> out;
+  out.reserve(first_death.size());
+  for (const auto& [replica, cycle] : first_death) {
+    out.push_back({replica, cycle});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ExecutorFailure& a, const ExecutorFailure& b) {
+              if (a.cycle != b.cycle) return a.cycle < b.cycle;
+              return a.executor < b.executor;
+            });
+  return out;
+}
+
+QuarantineState::QuarantineState(int columns, int threshold)
+    : counts_(static_cast<std::size_t>(columns), 0),
+      bad_(static_cast<std::size_t>(columns), false),
+      threshold_(threshold),
+      active_(columns) {
+  BFP_REQUIRE(columns >= 1, "QuarantineState: need >= 1 column");
+  BFP_REQUIRE(threshold >= 1, "QuarantineState: threshold must be >= 1");
+}
+
+int QuarantineState::record(const std::vector<std::uint64_t>& column_faults) {
+  BFP_REQUIRE(column_faults.size() == counts_.size(),
+              "QuarantineState: column count mismatch");
+  int newly = 0;
+  for (std::size_t j = 0; j < counts_.size(); ++j) {
+    counts_[j] += column_faults[j];
+    if (!bad_[j] && counts_[j] >= static_cast<std::uint64_t>(threshold_)) {
+      bad_[j] = true;
+      --active_;
+      ++newly;
+    }
+  }
+  return newly;
+}
+
+bool QuarantineState::quarantined(int column) const {
+  BFP_REQUIRE(column >= 0 &&
+                  column < static_cast<int>(bad_.size()),
+              "QuarantineState: column out of range");
+  return bad_[static_cast<std::size_t>(column)];
+}
+
+std::uint64_t QuarantineState::scale_cycles(std::uint64_t cycles) const {
+  BFP_REQUIRE(active_ >= 1, "QuarantineState: no active columns left");
+  if (!degraded()) return cycles;
+  return cycles * static_cast<std::uint64_t>(total_columns()) /
+         static_cast<std::uint64_t>(active_);
+}
+
+}  // namespace bfpsim

@@ -1,0 +1,69 @@
+// Graceful degradation: PE-column quarantine and card-failure -> replica
+// failover mapping.
+//
+// Two levels of "keep serving with broken hardware":
+//
+//  * Inside a PU, a PE column whose ABFT-detected fault count crosses a
+//    threshold is most likely a stuck (hard) fault, not a transient SEU.
+//    The controller quarantines the column and remaps output tiles onto
+//    the remaining columns — functionally identical results, cycle cost
+//    scaled by cols/active_cols (degraded mode).
+//
+//  * Across a cluster, a dead card kills its whole sharded replica (the
+//    replica cannot finish a forward without the shard). The serving
+//    event loop re-queues the replica's in-flight requests onto the
+//    surviving replicas (serving/event_loop.hpp retry path).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "reliability/fault_model.hpp"
+
+namespace bfpsim {
+
+/// One card hard failure in a cluster, in virtual time. Cards are numbered
+/// globally across replicas: replica r owns cards [r*cards_per_replica,
+/// (r+1)*cards_per_replica).
+struct CardFailure {
+  int card = 0;
+  std::uint64_t cycle = 0;
+};
+
+/// Collapse card failures onto the replicas that own them: a replica fails
+/// at the cycle its first card dies. Returns one ExecutorFailure per
+/// affected replica, sorted by (cycle, executor).
+std::vector<ExecutorFailure> replica_failures(
+    const std::vector<CardFailure>& card_failures, int cards_per_replica,
+    int replicas);
+
+/// Per-PE-column fault bookkeeping and quarantine decisions.
+class QuarantineState {
+ public:
+  /// `threshold` detected faults attributed to one column mark it bad.
+  explicit QuarantineState(int columns = 8, int threshold = 3);
+
+  /// Account a batch of per-column detections (e.g. AbftGemmResult::
+  /// column_faults). Returns the number of columns newly quarantined.
+  int record(const std::vector<std::uint64_t>& column_faults);
+
+  bool quarantined(int column) const;
+  int active_columns() const { return active_; }
+  int total_columns() const { return static_cast<int>(counts_.size()); }
+  bool degraded() const { return active_ < total_columns(); }
+
+  /// Cycle-count multiplier of degraded mode: work remapped onto the
+  /// surviving columns (ceil-free rational scale, >= 1). With every column
+  /// quarantined the unit is dead; callers must not schedule onto it.
+  std::uint64_t scale_cycles(std::uint64_t cycles) const;
+
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::vector<bool> bad_;
+  int threshold_;
+  int active_;
+};
+
+}  // namespace bfpsim

@@ -1,0 +1,159 @@
+#include "reliability/fault_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bfpsim {
+
+const char* to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::kBramWord: return "bram_word";
+    case FaultSite::kDspOutput: return "dsp_output";
+    case FaultSite::kDspCascade: return "dsp_cascade";
+    case FaultSite::kPsuWord: return "psu_word";
+    case FaultSite::kHbmBurst: return "hbm_burst";
+    case FaultSite::kExecutor: return "executor";
+  }
+  return "?";
+}
+
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t fault_key(std::uint64_t seed, FaultSite site,
+                        std::uint64_t instance) {
+  // Two mixing rounds separate the identifiers; a plain sum would alias
+  // (seed, instance) pairs.
+  std::uint64_t s = seed ^ (0x510e527fade682d1ULL *
+                            (static_cast<std::uint64_t>(site) + 1));
+  (void)splitmix64_next(s);
+  s ^= instance * 0x9b05688c2b3e6c1fULL;
+  (void)splitmix64_next(s);
+  return s;
+}
+
+std::int64_t flip_bit_signed(std::int64_t v, int bit, int width) {
+  BFP_REQUIRE(width > 0 && width <= 64, "flip_bit_signed: bad width");
+  BFP_REQUIRE(bit >= 0 && bit < width, "flip_bit_signed: bit out of range");
+  std::uint64_t u = static_cast<std::uint64_t>(v);
+  u ^= (std::uint64_t{1} << bit);
+  if (width < 64) {
+    // Sign-extend from the width-bit field, as the register would read back.
+    const std::uint64_t sign = std::uint64_t{1} << (width - 1);
+    u &= (sign << 1) - 1;
+    if ((u & sign) != 0) u |= ~((sign << 1) - 1);
+  }
+  return static_cast<std::int64_t>(u);
+}
+
+double FaultRates::for_site(FaultSite site) const {
+  switch (site) {
+    case FaultSite::kBramWord: return bram_word;
+    case FaultSite::kDspOutput: return dsp_output;
+    case FaultSite::kDspCascade: return dsp_cascade;
+    case FaultSite::kPsuWord: return psu_word;
+    case FaultSite::kHbmBurst: return hbm_burst;
+    case FaultSite::kExecutor: return executor_per_cycle;
+  }
+  return 0.0;
+}
+
+void FaultRates::validate() const {
+  for (const double p : {bram_word, dsp_output, dsp_cascade, psu_word,
+                         hbm_burst, executor_per_cycle}) {
+    BFP_REQUIRE(p >= 0.0 && p < 1.0,
+                "FaultRates: probabilities must be in [0, 1)");
+  }
+}
+
+double FaultRates::per_access_from_fit(double fit, double freq_hz,
+                                       double acceleration) {
+  BFP_REQUIRE(fit >= 0.0 && freq_hz > 0.0 && acceleration > 0.0,
+              "per_access_from_fit: bad arguments");
+  // FIT = failures per 1e9 device-hours; one access = one fabric cycle of
+  // exposure.
+  return fit * 1e-9 / 3600.0 / freq_hz * acceleration;
+}
+
+FaultStream::FaultStream(std::uint64_t key, double p_per_access)
+    : state_(key), p_(p_per_access) {
+  BFP_REQUIRE(p_ >= 0.0 && p_ < 1.0,
+              "FaultStream: probability must be in [0, 1)");
+  if (p_ > 0.0) draw_gap();
+}
+
+void FaultStream::draw_gap() {
+  // Geometric inter-arrival: the number of fault-free accesses before the
+  // next hit. Inversion on a 53-bit uniform; u is kept away from 0 so the
+  // log is finite.
+  const double u =
+      (static_cast<double>(splitmix64_next(state_) >> 11) + 1.0) * 0x1.0p-53;
+  const double gap = std::floor(std::log(u) / std::log1p(-p_));
+  countdown_ = gap >= 9.2e18 ? ~std::uint64_t{0}
+                             : static_cast<std::uint64_t>(gap);
+}
+
+int FaultStream::sample(int width) {
+  ++accesses_;
+  if (countdown_ > 0) {
+    --countdown_;
+    return -1;
+  }
+  ++faults_;
+  const int bit = static_cast<int>(splitmix64_next(state_) %
+                                   static_cast<std::uint64_t>(width));
+  draw_gap();
+  return bit;
+}
+
+std::uint64_t FaultStream::bits() { return splitmix64_next(state_); }
+
+FaultPlan::FaultPlan(std::uint64_t seed, const FaultRates& rates)
+    : seed_(seed), rates_(rates) {
+  rates_.validate();
+}
+
+FaultStream FaultPlan::make_stream(FaultSite site,
+                                   std::uint64_t instance) const {
+  return FaultStream(fault_key(seed_, site, instance), rates_.for_site(site));
+}
+
+FaultStream* FaultPlan::attach_stream(FaultSite site, std::uint64_t instance) {
+  owned_.push_back(make_stream(site, instance));
+  return &owned_.back();
+}
+
+std::vector<ExecutorFailure> FaultPlan::executor_failures(
+    int executors, std::uint64_t horizon_cycles) const {
+  BFP_REQUIRE(executors >= 1, "executor_failures: need >= 1 executor");
+  std::vector<ExecutorFailure> out;
+  const double lambda = rates_.executor_per_cycle;
+  if (lambda <= 0.0) return out;
+  for (int e = 0; e < executors; ++e) {
+    std::uint64_t s = fault_key(seed_, FaultSite::kExecutor,
+                                static_cast<std::uint64_t>(e));
+    double t = 0.0;
+    while (true) {
+      const double u =
+          (static_cast<double>(splitmix64_next(s) >> 11) + 1.0) * 0x1.0p-53;
+      t += -std::log(u) / lambda;
+      if (t >= static_cast<double>(horizon_cycles)) break;
+      out.push_back({e, static_cast<std::uint64_t>(t)});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ExecutorFailure& a, const ExecutorFailure& b) {
+              if (a.cycle != b.cycle) return a.cycle < b.cycle;
+              return a.executor < b.executor;
+            });
+  return out;
+}
+
+}  // namespace bfpsim

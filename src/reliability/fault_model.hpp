@@ -1,0 +1,138 @@
+// Deterministic fault model for the reliability subsystem.
+//
+// Real Alveo U280 deployments see single-event upsets in BRAM words, DSP
+// output registers, the PSU accumulators and HBM bursts, plus whole-card
+// hard failures. This header turns per-component FIT rates into seeded,
+// replayable fault arrivals:
+//
+//  * `FaultStream` — a per-site stream of fault arrivals over that site's
+//    *access sequence* (one access = one exposure interval). Inter-arrival
+//    gaps are geometric with the site's per-access probability, sampled
+//    from a splitmix64 stream keyed by (plan seed, site, instance), so the
+//    same plan always injects the same faults into the same accesses no
+//    matter how many worker threads drive the simulation.
+//  * `FaultPlan` — the seeded top-level object benches/tests attach. It
+//    owns streams (stable addresses) and derives card-level Poisson
+//    failure arrivals in virtual cycles for the serving layer.
+//
+// Components carry a `FaultStream*` that defaults to nullptr; with no plan
+// attached the hook is one pointer compare and outputs are bit-identical
+// to a build without the subsystem.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace bfpsim {
+
+/// Physical sites the fault model can target.
+enum class FaultSite {
+  kBramWord,    ///< BRAM18 storage word (persistent until rewritten)
+  kDspOutput,   ///< DSP48E2 P output register (transient, one eval)
+  kDspCascade,  ///< DSP48E2 PCIN cascade input (transient)
+  kPsuWord,     ///< PSU accumulator slot word (transient, one tile write)
+  kHbmBurst,    ///< HBM burst (detected by AXI CRC; retransmitted)
+  kExecutor,    ///< whole card / serving executor hard failure
+};
+
+const char* to_string(FaultSite site);
+
+/// splitmix64 step — the portable generator the whole subsystem (and
+/// common/rng) is built on.
+std::uint64_t splitmix64_next(std::uint64_t& state);
+
+/// Stateless mix of a seed and identifiers into a stream key.
+std::uint64_t fault_key(std::uint64_t seed, FaultSite site,
+                        std::uint64_t instance);
+
+/// Flip bit `bit` of the low `width` bits of a two's-complement value held
+/// in an int64 carrier, sign-extending the result back from `width` — the
+/// exact effect of an SEU on a `width`-bit hardware register.
+std::int64_t flip_bit_signed(std::int64_t v, int bit, int width);
+
+/// Per-site fault probabilities. The component hooks consume *per-access*
+/// probabilities; `per_access_from_fit` converts a FIT rate (failures per
+/// 10^9 device-hours, the datasheet unit) at a fabric frequency, with an
+/// acceleration factor so experiments can compress years of exposure into
+/// a simulated run.
+struct FaultRates {
+  double bram_word = 0.0;    ///< per BRAM18 read
+  double dsp_output = 0.0;   ///< per DSP48E2 eval
+  double dsp_cascade = 0.0;  ///< per DSP48E2 eval with cascade input
+  double psu_word = 0.0;     ///< per PSU accumulator word written
+  double hbm_burst = 0.0;    ///< per HBM burst
+  double executor_per_cycle = 0.0;  ///< card hard-failure rate per cycle
+
+  double for_site(FaultSite site) const;
+  void validate() const;
+
+  /// FIT -> per-cycle (== per-access at one access/cycle) probability.
+  static double per_access_from_fit(double fit, double freq_hz,
+                                    double acceleration = 1.0);
+};
+
+/// A deterministic stream of fault arrivals over one site's accesses.
+/// Default-constructed streams are inert (never fire, zero state).
+class FaultStream {
+ public:
+  FaultStream() = default;
+  FaultStream(std::uint64_t key, double p_per_access);
+
+  /// Account one access of a `width`-bit word. Returns the bit to flip in
+  /// [0, width), or -1 when this access is fault-free (the fast path: one
+  /// counter decrement).
+  int sample(int width);
+
+  /// Extra deterministic randomness for the *same* fault event (e.g. which
+  /// word of a tile): only call after sample() returned >= 0.
+  std::uint64_t bits();
+
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t faults() const { return faults_; }
+
+ private:
+  void draw_gap();
+
+  std::uint64_t state_ = 0;
+  double p_ = 0.0;
+  /// Fault-free accesses remaining before the next fault fires.
+  std::uint64_t countdown_ = ~std::uint64_t{0};
+  std::uint64_t accesses_ = 0;
+  std::uint64_t faults_ = 0;
+};
+
+/// One card/executor hard failure in virtual time.
+struct ExecutorFailure {
+  int executor = 0;
+  std::uint64_t cycle = 0;
+};
+
+/// The seeded top-level fault plan.
+class FaultPlan {
+ public:
+  FaultPlan(std::uint64_t seed, const FaultRates& rates);
+
+  std::uint64_t seed() const { return seed_; }
+  const FaultRates& rates() const { return rates_; }
+
+  /// A value stream for (site, instance): same arguments, same faults.
+  FaultStream make_stream(FaultSite site, std::uint64_t instance = 0) const;
+
+  /// An owned stream with a stable address, for wiring into a component's
+  /// set_fault_stream hook. The plan must outlive the component's use.
+  FaultStream* attach_stream(FaultSite site, std::uint64_t instance = 0);
+
+  /// Poisson hard-failure arrivals for `executors` cards over
+  /// [0, horizon_cycles), sorted by (cycle, executor). Deterministic:
+  /// each executor draws from its own keyed stream.
+  std::vector<ExecutorFailure> executor_failures(
+      int executors, std::uint64_t horizon_cycles) const;
+
+ private:
+  std::uint64_t seed_;
+  FaultRates rates_;
+  std::deque<FaultStream> owned_;  ///< deque: stable element addresses
+};
+
+}  // namespace bfpsim

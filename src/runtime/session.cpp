@@ -250,8 +250,9 @@ ClusterServeResult Session::serve_cluster(ModelId model,
           ? ClusterTopology::ring(spec.cards, spec.link, cfg_)
           : ClusterTopology::fully_connected(spec.cards, spec.link, cfg_);
   const ClusterExecutor exec(dep.model.weights(), topo, spec.strategy);
-  ClusterServeResult r = bfpsim::serve_cluster(exec, spec.replicas, trace,
-                                               policy, pool, event_trace);
+  ClusterServeResult r =
+      bfpsim::serve_cluster(exec, spec.replicas, trace, policy, pool,
+                            event_trace, spec.card_failures);
   log_.push_back(
       {CommandRecord::Kind::kCompute,
        "serve_cluster " + dep.info.name + " (" +

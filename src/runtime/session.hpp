@@ -113,6 +113,10 @@ class Session {
     PartitionStrategy strategy = PartitionStrategy::kPipeline;
     TopologyKind topology = TopologyKind::kRing;
     LinkConfig link;   ///< inter-card link (within each replica)
+    /// Hard card failures to inject in virtual time (cards numbered
+    /// globally, replica r owning [r*cards, (r+1)*cards)). A dead card
+    /// kills its replica; in-flight requests fail over to the survivors.
+    std::vector<CardFailure> card_failures;
   };
 
   /// Online serving against a multi-card cluster: the deployed model is

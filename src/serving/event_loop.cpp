@@ -12,12 +12,17 @@ void ServePolicy::validate() const {
   BFP_REQUIRE(queue_capacity >= 1, "ServePolicy: queue capacity must be >= 1");
   BFP_REQUIRE(max_batch >= 1, "ServePolicy: max batch must be >= 1");
   BFP_REQUIRE(slo_ms > 0.0, "ServePolicy: SLO must be positive");
+  BFP_REQUIRE(max_retries >= 0, "ServePolicy: max_retries must be >= 0");
 }
 
 void BackendSpec::validate() const {
   BFP_REQUIRE(executors >= 1, "BackendSpec: need at least one executor");
   BFP_REQUIRE(freq_hz > 0.0, "BackendSpec: frequency must be positive");
   BFP_REQUIRE(!passes.empty(), "BackendSpec: per-request passes required");
+  for (const ExecutorFailure& f : failures) {
+    BFP_REQUIRE(f.executor >= 0 && f.executor < executors,
+                "BackendSpec: failure targets an unknown executor");
+  }
 }
 
 namespace {
@@ -27,9 +32,18 @@ namespace {
 struct Event {
   std::uint64_t cycle = 0;
   std::uint64_t seq = 0;
-  enum class Kind { kArrival, kUnitFree, kTimer, kComplete } kind =
-      Kind::kArrival;
+  enum class Kind {
+    kArrival,
+    kUnitFree,
+    kTimer,
+    kComplete,
+    kExecutorFail,
+  } kind = Kind::kArrival;
   int payload = 0;  ///< request id (arrival/complete) or executor index
+  /// kComplete: the request's dispatch generation when the event was
+  /// scheduled. A failure-triggered re-dispatch bumps the generation, so
+  /// completions of aborted batches are recognized as stale and ignored.
+  std::uint64_t aux = 0;
 };
 
 struct EventAfter {
@@ -65,11 +79,20 @@ ServeReport serve_events(const BackendSpec& backend,
 
   std::priority_queue<Event, std::vector<Event>, EventAfter> events;
   std::uint64_t seq = 0;
-  auto push_event = [&](std::uint64_t cycle, Event::Kind kind, int payload) {
-    events.push(Event{cycle, seq++, kind, payload});
+  auto push_event = [&](std::uint64_t cycle, Event::Kind kind, int payload,
+                        std::uint64_t aux = 0) {
+    events.push(Event{cycle, seq++, kind, payload, aux});
   };
   for (const RequestArrival& a : trace.arrivals) {
     push_event(a.cycle, Event::Kind::kArrival, a.id);
+  }
+  // Hard executor failures are known to the simulation up front (the fault
+  // plan is virtual-time); pushing them here gives them low sequence
+  // numbers, so at an equal cycle a failure is handled before any
+  // completion scheduled later — a batch finishing exactly at the death
+  // cycle still completes (complete_cycle <= now at abort time).
+  for (const ExecutorFailure& f : backend.failures) {
+    push_event(f.cycle, Event::Kind::kExecutorFail, f.executor);
   }
   // Closed loop: arrivals beyond the initial client burst are injected at
   // completion + think time, taking the next unissued id.
@@ -78,6 +101,12 @@ ServeReport serve_events(const BackendSpec& backend,
   AdmissionQueue queue(policy.queue_capacity, policy.drop_policy);
   std::vector<LatencyRecord> records(un);
   std::vector<bool> completed(un, false);
+  std::vector<bool> dead(static_cast<std::size_t>(num_units), false);
+  /// Entries currently being serviced per executor (for failure aborts).
+  std::vector<std::vector<QueueEntry>> inflight(
+      static_cast<std::size_t>(num_units));
+  std::vector<std::uint64_t> dispatch_gen(un, 0);
+  std::vector<int> retries(un, 0);
 
   auto trace_ev = [&](std::uint64_t cycle, std::string component,
                       std::string message) {
@@ -105,6 +134,7 @@ ServeReport serve_events(const BackendSpec& backend,
     while (!queue.empty()) {
       int unit = -1;
       for (int u = 0; u < num_units; ++u) {
+        if (dead[static_cast<std::size_t>(u)]) continue;
         if (busy_until[static_cast<std::size_t>(u)] <= now) {
           unit = u;
           break;
@@ -157,9 +187,11 @@ ServeReport serve_events(const BackendSpec& backend,
         r.batch_size = static_cast<int>(batch.size());
         r.slo_met = r.complete_cycle <= e.deadline_cycle;
         completed[static_cast<std::size_t>(e.id)] = true;
-        push_event(r.complete_cycle, Event::Kind::kComplete, e.id);
+        push_event(r.complete_cycle, Event::Kind::kComplete, e.id,
+                   ++dispatch_gen[static_cast<std::size_t>(e.id)]);
       }
       const auto uu = static_cast<std::size_t>(unit);
+      inflight[uu] = batch;
       busy_until[uu] = now + pipe.total_cycles;
       rep.unit_busy_cycles[uu] += pipe.total_cycles;
       push_event(busy_until[uu], Event::Kind::kUnitFree, unit);
@@ -212,7 +244,13 @@ ServeReport serve_events(const BackendSpec& backend,
       }
       case Event::Kind::kComplete: {
         const int id = ev.payload;
-        const auto& r = records[static_cast<std::size_t>(id)];
+        const auto uid = static_cast<std::size_t>(id);
+        // A failure abort (completed -> false) or a re-dispatch (bumped
+        // generation) makes this event stale.
+        if (!completed[uid] || ev.aux != dispatch_gen[uid]) break;
+        const auto& r = records[uid];
+        auto& fl = inflight[static_cast<std::size_t>(r.unit)];
+        std::erase_if(fl, [id](const QueueEntry& e) { return e.id == id; });
         rep.counters.add("serve.completed");
         trace_ev(now, backend.executor_prefix + std::to_string(r.unit),
                  "complete req" + std::to_string(id));
@@ -222,11 +260,53 @@ ServeReport serve_events(const BackendSpec& backend,
         }
         break;
       }
+      case Event::Kind::kExecutorFail: {
+        const int u = ev.payload;
+        const auto uu = static_cast<std::size_t>(u);
+        if (dead[uu]) break;
+        dead[uu] = true;
+        rep.counters.add("serve.executor_failures");
+        trace_ev(now, backend.executor_prefix + std::to_string(u),
+                 "executor failed");
+        if (busy_until[uu] > now) {
+          // The aborted batch's remaining service never happened.
+          rep.unit_busy_cycles[uu] -= busy_until[uu] - now;
+          busy_until[uu] = now;
+        }
+        for (const QueueEntry& e : inflight[uu]) {
+          const auto ie = static_cast<std::size_t>(e.id);
+          // Finished at or before the death cycle: counts as completed
+          // (its kComplete event is processed normally).
+          if (records[ie].complete_cycle <= now) continue;
+          completed[ie] = false;
+          if (retries[ie] < policy.max_retries) {
+            ++retries[ie];
+            queue.requeue(e);  // original arrival & deadline preserved
+            rep.counters.add("serve.retried");
+            trace_ev(now, "queue", "requeue req" + std::to_string(e.id));
+          } else {
+            rep.counters.add("serve.failed");
+            trace_ev(now, "queue", "abandon req" + std::to_string(e.id));
+            if (trace.closed_loop && next_closed_id < n) {
+              push_event(now + trace.think_cycles, Event::Kind::kArrival,
+                         next_closed_id++);
+            }
+          }
+        }
+        inflight[uu].clear();
+        sample_depth(now);
+        try_dispatch(now);
+        break;
+      }
       case Event::Kind::kUnitFree:
       case Event::Kind::kTimer:
         try_dispatch(now);
         break;
     }
+  }
+  if (!queue.empty()) {
+    // Admitted work stranded because every executor died.
+    rep.counters.add("serve.stranded", queue.size());
   }
 
   // ---- report assembly (serial, id order) ----

@@ -31,6 +31,7 @@
 #include "common/thread_pool.hpp"
 #include "fabric/pipeline.hpp"
 #include "fabric/system.hpp"
+#include "reliability/fault_model.hpp"
 #include "serving/metrics.hpp"
 #include "serving/queue.hpp"
 #include "serving/workload.hpp"
@@ -55,6 +56,11 @@ struct ServePolicy {
   /// when waiting longer would push the head request past its deadline.
   double slo_ms = 5.0;
 
+  /// Re-dispatch attempts an admitted request gets after its executor
+  /// dies mid-batch, before it is abandoned (counted serve.failed). Only
+  /// consulted when BackendSpec::failures is non-empty.
+  int max_retries = 3;
+
   void validate() const;
 };
 
@@ -72,6 +78,13 @@ struct BackendSpec {
   std::vector<PassSpec> passes;
   /// Event-trace component prefix ("unit" -> unit0, unit1, ...).
   std::string executor_prefix = "unit";
+
+  /// Hard executor failures in virtual time (reliability subsystem). At
+  /// each failure cycle the executor goes permanently dead: its in-flight
+  /// batch is aborted and the affected requests are re-queued onto the
+  /// survivors (up to ServePolicy::max_retries each). Empty (default) =
+  /// today's behaviour, bit for bit.
+  std::vector<ExecutorFailure> failures;
 
   void validate() const;
 };

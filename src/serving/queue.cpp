@@ -37,6 +37,18 @@ bool AdmissionQueue::push(const QueueEntry& e, QueueEntry* victim,
   return true;
 }
 
+void AdmissionQueue::requeue(const QueueEntry& e) {
+  const auto pos = std::upper_bound(
+      q_.begin(), q_.end(), e, [](const QueueEntry& a, const QueueEntry& b) {
+        if (a.deadline_cycle != b.deadline_cycle) {
+          return a.deadline_cycle < b.deadline_cycle;
+        }
+        return a.id < b.id;
+      });
+  q_.insert(pos, e);
+  peak_depth_ = std::max(peak_depth_, q_.size());
+}
+
 QueueEntry AdmissionQueue::pop() {
   BFP_REQUIRE(!q_.empty(), "AdmissionQueue::pop: empty queue");
   const QueueEntry e = q_.front();

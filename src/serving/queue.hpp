@@ -53,6 +53,11 @@ class AdmissionQueue {
   /// Remove and return the earliest-deadline entry (requires !empty()).
   QueueEntry pop();
 
+  /// Put an already-admitted entry back (executor-failure retry). Keeps
+  /// EDF order and *bypasses the capacity bound*: the request was admitted
+  /// once and backpressure must not turn an executor fault into a drop.
+  void requeue(const QueueEntry& e);
+
   std::uint64_t rejected() const { return rejected_; }
   std::uint64_t shed() const { return shed_; }
   std::size_t peak_depth() const { return peak_depth_; }

@@ -33,15 +33,14 @@ ArrivalTrace poisson_trace(int num_requests, double rate_rps,
   t.freq_hz = freq_hz;
   t.offered_rps = rate_rps;
 
-  // Inverse-CDF sampling on the raw engine bits: u in [0, 1) from the top
-  // 53 bits, dt = -ln(1-u)/rate. std::exponential_distribution would be
+  // Inverse-CDF sampling: u in [0, 1) from the generator's top 53 bits,
+  // dt = -ln(1-u)/rate. std::exponential_distribution would be
   // implementation-defined; this is the same bits on every platform.
   Rng rng(seed);
   double t_seconds = 0.0;
   t.arrivals.reserve(static_cast<std::size_t>(num_requests));
   for (int i = 0; i < num_requests; ++i) {
-    const double u =
-        static_cast<double>(rng.engine()() >> 11) * 0x1.0p-53;
+    const double u = rng.unit_double();
     t_seconds += -std::log1p(-u) / rate_rps;
     auto cycle = static_cast<std::uint64_t>(t_seconds * freq_hz);
     // Keep (cycle, id) strictly sorted even if two arrivals quantize to

@@ -55,12 +55,15 @@ TEST(Regression, Fig7Series) {
 TEST(Regression, TableIvShares) {
   const AcceleratorSystem sys;
   const WorkloadBreakdown b = analyze_workload(deit_small(), sys);
-  EXPECT_NEAR(b.total_latency_ms, 44.98, 0.05);
+  // Pinned against the portable splitmix64 generator: the nonlinear op
+  // counts are measured on Rng(4242) data, so the pin tracks the seeded
+  // draw sequence (see measure_nonlinear_costs).
+  EXPECT_NEAR(b.total_latency_ms, 44.92, 0.05);
   EXPECT_NEAR(b.fp32_latency_share, 0.8376, 0.002);
   EXPECT_NEAR(b.fp32_ops_share, 0.0282, 0.0005);
   const WorkloadBreakdown fast =
       analyze_workload(deit_small(), sys, false, /*softermax=*/true);
-  EXPECT_NEAR(fast.total_latency_ms, 29.77, 0.05);
+  EXPECT_NEAR(fast.total_latency_ms, 29.72, 0.05);
 }
 
 TEST(Regression, GemmNumericsPinned) {
@@ -146,6 +149,65 @@ TEST(Regression, Int8PerChannelRoundTrip) {
   }
   const auto q2 = quantize_int8_per_channel(skewed, 32, 2);
   EXPECT_GT(q2.scales[0], 100.0F * q2.scales[1]);
+}
+
+TEST(Regression, RngGoldenSequence) {
+  // The generator is hand-rolled splitmix64 + pinned distributions exactly
+  // so that seeded data is identical on every platform and toolchain. These
+  // values are the contract; if any changes, every seeded pin in the suite
+  // (and the fault-injection schedules) silently moves with it.
+  {
+    Rng r(12345);
+    EXPECT_EQ(r.bits64(), 0x22118258a9d111a0ull);
+    EXPECT_EQ(r.bits64(), 0x346edce5f713f8edull);
+    EXPECT_EQ(r.bits64(), 0x1e9a57bc80e6721dull);
+    EXPECT_EQ(r.bits64(), 0x2d160e7e5c3f42caull);
+  }
+  {
+    Rng r(12345);
+    EXPECT_EQ(r.bits32(), 0x22118258u);
+  }
+  {
+    Rng r(12345);
+    EXPECT_DOUBLE_EQ(r.unit_double(), 0.13307966866142729);
+    EXPECT_DOUBLE_EQ(r.unit_double(), 0.20481663336165912);
+    EXPECT_DOUBLE_EQ(r.unit_double(), 0.11954258300911547);
+  }
+  {
+    Rng r(12345);
+    EXPECT_FLOAT_EQ(r.uniform(-2.0F, 3.0F), -1.33460164F);
+    EXPECT_FLOAT_EQ(r.uniform(-2.0F, 3.0F), -0.975916862F);
+    for (int i = 0; i < 1000; ++i) {
+      const float u = r.uniform(-2.0F, 3.0F);
+      EXPECT_GE(u, -2.0F);
+      EXPECT_LT(u, 3.0F);
+    }
+  }
+  {
+    Rng r(12345);
+    EXPECT_EQ(r.uniform_int(-7, 100), 25);
+    EXPECT_EQ(r.uniform_int(-7, 100), 22);
+    EXPECT_EQ(r.uniform_int(-7, 100), 67);
+    EXPECT_EQ(r.uniform_int(-7, 100), 100);
+    for (int i = 0; i < 1000; ++i) {
+      const std::int64_t v = r.uniform_int(-7, 100);
+      EXPECT_GE(v, -7);
+      EXPECT_LE(v, 100);
+    }
+  }
+  {
+    Rng r(12345);
+    EXPECT_FLOAT_EQ(r.normal(0.0F, 1.0F), -0.381467402F);
+    EXPECT_FLOAT_EQ(r.normal(0.0F, 1.0F), -0.306886315F);
+    EXPECT_FLOAT_EQ(r.normal(0.0F, 1.0F), -0.0404489487F);
+    EXPECT_FLOAT_EQ(r.normal(0.0F, 1.0F), -0.0344340615F);
+  }
+  {
+    Rng r(12345);
+    int heads = 0;
+    for (int i = 0; i < 1000; ++i) heads += r.bernoulli(0.25) ? 1 : 0;
+    EXPECT_EQ(heads, 248);  // frozen draw sequence, not just "about 250"
+  }
 }
 
 }  // namespace

@@ -1,0 +1,578 @@
+// Tests for the reliability subsystem: the deterministic fault model, the
+// per-component injection hooks, ABFT detection/correction on the tiled
+// bfp8 GEMM, PE-column quarantine, and executor/serving/cluster failover.
+//
+// The two contracts pinned hardest:
+//  * with no FaultPlan attached, every hook and the ABFT datapath are
+//    bit-identical to the unhooked build;
+//  * with a seeded plan, injection (and therefore every output and
+//    counter) is bit-identical for any thread-pool size.
+#include "reliability/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "bram/bram18.hpp"
+#include "cluster/cluster_executor.hpp"
+#include "cluster/cluster_serving.hpp"
+#include "common/bitops.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "dsp/dsp48e2.hpp"
+#include "fabric/hbm.hpp"
+#include "fabric/system.hpp"
+#include "isa/executor.hpp"
+#include "isa/program.hpp"
+#include "pu/exponent_unit.hpp"
+#include "pu/psu_buffer.hpp"
+#include "reliability/abft.hpp"
+#include "reliability/degradation.hpp"
+#include "serving/event_loop.hpp"
+#include "transformer/config.hpp"
+#include "transformer/model.hpp"
+
+namespace bfpsim {
+namespace {
+
+// ---- fault model ----------------------------------------------------------
+
+TEST(FaultModel, StreamIsDeterministicAndKeySensitive) {
+  FaultStream a(fault_key(1, FaultSite::kPsuWord, 0), 0.25);
+  FaultStream b(fault_key(1, FaultSite::kPsuWord, 0), 0.25);
+  FaultStream c(fault_key(2, FaultSite::kPsuWord, 0), 0.25);
+  bool differs = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int bit_a = a.sample(32);
+    EXPECT_EQ(bit_a, b.sample(32));
+    if (bit_a != c.sample(32)) differs = true;
+  }
+  EXPECT_TRUE(differs) << "different seeds must give different streams";
+  EXPECT_EQ(a.accesses(), 1000u);
+  EXPECT_EQ(a.faults(), b.faults());
+  EXPECT_GT(a.faults(), 0u);
+}
+
+TEST(FaultModel, RateZeroNeverFiresHighRateAlmostAlwaysFires) {
+  // p must be < 1 (geometric gaps), so "always" is p = 0.999.
+  FaultStream never(fault_key(7, FaultSite::kBramWord, 0), 0.0);
+  FaultStream hot(fault_key(7, FaultSite::kBramWord, 0), 0.999);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(never.sample(8), -1);
+    const int bit = hot.sample(8);
+    if (bit >= 0) {
+      EXPECT_LT(bit, 8);
+    }
+  }
+  EXPECT_EQ(never.faults(), 0u);
+  EXPECT_GE(hot.faults(), 90u);
+  EXPECT_THROW(FaultStream(1, 1.0), Error);
+  EXPECT_THROW(FaultStream(1, -0.5), Error);
+}
+
+TEST(FaultModel, DefaultStreamIsInert) {
+  FaultStream s;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(s.sample(32), -1);
+}
+
+TEST(FaultModel, FlipBitSignedIsAnInvolutionAndSignExtends) {
+  for (const std::int64_t v : {std::int64_t{0}, std::int64_t{12345},
+                               std::int64_t{-98765}}) {
+    for (int bit = 0; bit < 32; ++bit) {
+      const std::int64_t once = flip_bit_signed(v, bit, 32);
+      EXPECT_NE(once, v);
+      EXPECT_EQ(flip_bit_signed(once, bit, 32), v);
+    }
+  }
+  // Flipping the sign bit of 0 in a 32-bit register lands on INT32_MIN.
+  EXPECT_EQ(flip_bit_signed(0, 31, 32),
+            static_cast<std::int64_t>(std::int32_t{-2147483647 - 1}));
+}
+
+TEST(FaultModel, RatesValidateRejectsOutOfRange) {
+  FaultRates bad;
+  bad.psu_word = 1.5;
+  EXPECT_THROW(bad.validate(), Error);
+  FaultRates neg;
+  neg.hbm_burst = -0.1;
+  EXPECT_THROW(neg.validate(), Error);
+  EXPECT_GT(FaultRates::per_access_from_fit(1e3, 300e6, 1e9), 0.0);
+}
+
+TEST(FaultModel, ExecutorFailuresDeterministicAndSorted) {
+  FaultRates r;
+  r.executor_per_cycle = 1e-5;
+  const FaultPlan plan(99, r);
+  const auto a = plan.executor_failures(4, 1'000'000);
+  const auto b = plan.executor_failures(4, 1'000'000);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].executor, b[i].executor);
+    EXPECT_EQ(a[i].cycle, b[i].cycle);
+    EXPECT_LT(a[i].cycle, 1'000'000u);
+    if (i > 0) {
+      EXPECT_TRUE(a[i - 1].cycle < a[i].cycle ||
+                  (a[i - 1].cycle == a[i].cycle &&
+                   a[i - 1].executor < a[i].executor));
+    }
+  }
+}
+
+// ---- component hooks ------------------------------------------------------
+
+TEST(Hooks, BramFaultIsPersistentUntilRewritten) {
+  FaultRates r;
+  r.bram_word = 0.999;
+  FaultPlan plan(3, r);
+  Bram18 bram;
+  bram.write(17, 0x00);
+
+  Bram18 clean;
+  clean.write(17, 0x00);
+  EXPECT_EQ(clean.read(17), 0x00);  // no stream attached: no injection
+
+  bram.set_fault_stream(plan.attach_stream(FaultSite::kBramWord));
+  for (int i = 0; i < 100 && bram.faulted_reads() == 0; ++i) {
+    (void)bram.read(17);
+  }
+  ASSERT_EQ(bram.faulted_reads(), 1u);
+
+  // The upset persists in the array: detaching the stream still returns
+  // the corrupted word, and rewriting heals it.
+  bram.set_fault_stream(nullptr);
+  const std::uint8_t corrupted = bram.read(17);
+  EXPECT_NE(corrupted, 0x00);
+  EXPECT_EQ(bram.read(17), corrupted);
+  bram.write(17, 0x5A);
+  EXPECT_EQ(bram.read(17), 0x5A);
+}
+
+TEST(Hooks, DspOutputFaultFlipsOneBitOfP) {
+  FaultRates r;
+  r.dsp_output = 0.999;
+  FaultPlan plan(4, r);
+  Dsp48e2 clean;
+  Dsp48e2 faulty;
+  faulty.set_fault_streams(plan.attach_stream(FaultSite::kDspOutput),
+                           nullptr);
+  std::int64_t want = 0;
+  std::int64_t got = 0;
+  for (int i = 0; i < 100 && faulty.faulted_ops() == 0; ++i) {
+    want = clean.mac_accumulate(100, 37);
+    got = faulty.mac_accumulate(100, 37);
+  }
+  ASSERT_EQ(faulty.faulted_ops(), 1u);
+  EXPECT_NE(got, want);
+  // Exactly one bit of the 48-bit P register differs.
+  const std::uint64_t diff =
+      static_cast<std::uint64_t>(got ^ want) & ((1ULL << 48) - 1);
+  EXPECT_EQ(diff & (diff - 1), 0u);
+  EXPECT_NE(diff, 0u);
+}
+
+TEST(Hooks, PsuBufferFaultFlipsStoredWords) {
+  const PsuConfig cfg;
+  ExponentUnit eu;
+  WideBlock in(cfg.rows, cfg.cols);
+  in.expb = 0;
+  for (std::size_t i = 0; i < in.psu.size(); ++i) {
+    in.psu[i] = static_cast<std::int64_t>(i) * 7 - 100;
+  }
+
+  PsuBuffer clean(cfg);
+  clean.accumulate(0, 0, in, eu);
+
+  FaultRates r;
+  r.psu_word = 0.999;
+  FaultPlan plan(5, r);
+  PsuBuffer faulty(cfg);
+  faulty.set_fault_stream(plan.attach_stream(FaultSite::kPsuWord));
+  faulty.accumulate(0, 0, in, eu);
+  EXPECT_GT(faulty.faulted_words(), 0u);
+
+  const WideBlock a = clean.read(0, 0);
+  const WideBlock b = faulty.read(0, 0);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.psu.size(); ++i) {
+    if (a.psu[i] != b.psu[i]) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Hooks, HbmCorruptedBurstsRetransmitNeverCorrupt) {
+  const HbmConfig cfg;
+  const std::uint64_t bytes = 64 * 1024;
+  const std::uint64_t clean = transfer_cycles(cfg, bytes, cfg.bfp_burst_bytes);
+
+  // nullptr stream: exact equality with the fault-free model.
+  const HbmTransfer same =
+      transfer_cycles_faulty(cfg, bytes, cfg.bfp_burst_bytes, nullptr);
+  EXPECT_EQ(same.cycles, clean);
+  EXPECT_EQ(same.corrupted, 0u);
+
+  FaultRates r;
+  r.hbm_burst = 0.999;
+  FaultPlan plan(6, r);
+  FaultStream stream = plan.make_stream(FaultSite::kHbmBurst);
+  const HbmTransfer hit =
+      transfer_cycles_faulty(cfg, bytes, cfg.bfp_burst_bytes, &stream);
+  EXPECT_GT(hit.corrupted, 0u);
+  EXPECT_GT(hit.cycles, clean);  // faults surface as latency only
+
+  // Deterministic: an identical stream reproduces the same outcome.
+  FaultStream stream2 = plan.make_stream(FaultSite::kHbmBurst);
+  const HbmTransfer hit2 =
+      transfer_cycles_faulty(cfg, bytes, cfg.bfp_burst_bytes, &stream2);
+  EXPECT_EQ(hit.cycles, hit2.cycles);
+  EXPECT_EQ(hit.corrupted, hit2.corrupted);
+}
+
+// ---- ABFT GEMM ------------------------------------------------------------
+
+struct GemmData {
+  std::vector<float> a;
+  std::vector<float> b;
+  int m, k, n;
+};
+
+GemmData make_gemm(int m, int k, int n, std::uint64_t seed) {
+  Rng rng(seed);
+  GemmData d;
+  d.m = m;
+  d.k = k;
+  d.n = n;
+  d.a = rng.normal_vec(static_cast<std::size_t>(m) * k, 0.0F, 1.0F);
+  d.b = rng.normal_vec(static_cast<std::size_t>(k) * n, 0.0F, 1.0F);
+  return d;
+}
+
+std::uint64_t mismatch_words(const std::vector<float>& x,
+                             const std::vector<float>& y) {
+  EXPECT_EQ(x.size(), y.size());
+  std::uint64_t count = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (float_to_bits(x[i]) != float_to_bits(y[i])) ++count;
+  }
+  return count;
+}
+
+TEST(Abft, NoPlanBitIdenticalToReferenceInEveryMode) {
+  const GemmData d = make_gemm(24, 40, 16, 11);
+  const BfpFormat fmt = bfp8_format();
+  const BfpMatrix am = quantize_matrix(d.a, d.m, d.k, fmt);
+  const BfpMatrix bm = quantize_matrix(d.b, d.k, d.n, fmt);
+  const std::vector<float> want = bfp_gemm_reference(am, bm, d.m, d.n);
+
+  ThreadPool pool(4);
+  for (const AbftMode mode :
+       {AbftMode::kUnprotected, AbftMode::kDetect, AbftMode::kCorrect}) {
+    const AbftGemmResult res =
+        abft_gemm(d.a, d.m, d.k, d.b, d.n, fmt, RoundMode::kNearestEven, 32,
+                  AbftOptions{mode, nullptr, 2}, &pool);
+    EXPECT_EQ(mismatch_words(res.c, want), 0u) << to_string(mode);
+    const auto snap = res.counters.snapshot();
+    EXPECT_EQ(snap.at("reliability.injected"), 0u);
+    EXPECT_EQ(snap.at("reliability.detected_products"), 0u);
+    // Checksum work is charged in protected modes, never in unprotected.
+    if (mode == AbftMode::kUnprotected) {
+      EXPECT_DOUBLE_EQ(res.work.overhead_fraction(), 0.0);
+    } else {
+      EXPECT_NEAR(res.work.overhead_fraction(), 0.25, 1e-12);
+    }
+  }
+}
+
+TEST(Abft, DetectsEverythingAndCorrectsInjectedFaults) {
+  const GemmData d = make_gemm(64, 64, 64, 12);
+  const BfpFormat fmt = bfp8_format();
+  const AbftGemmResult clean =
+      abft_gemm(d.a, d.m, d.k, d.b, d.n, fmt, RoundMode::kNearestEven, 32,
+                AbftOptions{AbftMode::kUnprotected, nullptr, 0});
+
+  FaultRates r;
+  r.psu_word = 1e-3;
+  FaultPlan plan(20240806, r);
+
+  const AbftGemmResult protect =
+      abft_gemm(d.a, d.m, d.k, d.b, d.n, fmt, RoundMode::kNearestEven, 32,
+                AbftOptions{AbftMode::kCorrect, &plan, 2});
+  const auto snap = protect.counters.snapshot();
+  ASSERT_GT(snap.at("reliability.faulty_products"), 0u);
+  // Detection is an exact integer identity: coverage is 100%.
+  EXPECT_EQ(snap.at("reliability.detected_products"),
+            snap.at("reliability.faulty_products"));
+  // Every fault in this seeded run ends patched or recomputed clean.
+  EXPECT_EQ(snap.at("reliability.retries_exhausted"), 0u);
+  EXPECT_EQ(mismatch_words(protect.c, clean.c), 0u);
+  EXPECT_GT(snap.at("reliability.patched"), 0u);
+}
+
+TEST(Abft, UnprotectedBaselineShowsSilentDataCorruption) {
+  const GemmData d = make_gemm(64, 64, 64, 12);
+  const BfpFormat fmt = bfp8_format();
+  const AbftGemmResult clean =
+      abft_gemm(d.a, d.m, d.k, d.b, d.n, fmt, RoundMode::kNearestEven, 32,
+                AbftOptions{AbftMode::kUnprotected, nullptr, 0});
+
+  FaultRates r;
+  r.psu_word = 1e-3;
+  FaultPlan plan(20240806, r);  // same seed as the protected run above
+  const AbftGemmResult bare =
+      abft_gemm(d.a, d.m, d.k, d.b, d.n, fmt, RoundMode::kNearestEven, 32,
+                AbftOptions{AbftMode::kUnprotected, &plan, 0});
+  const auto snap = bare.counters.snapshot();
+  EXPECT_GT(snap.at("reliability.injected"), 0u);
+  EXPECT_EQ(snap.at("reliability.detected_products"), 0u);
+  EXPECT_GT(mismatch_words(bare.c, clean.c), 0u);
+}
+
+TEST(Abft, SeededInjectionBitIdenticalAcrossPoolSizes) {
+  const GemmData d = make_gemm(48, 80, 40, 13);
+  const BfpFormat fmt = bfp8_format();
+  FaultRates r;
+  r.psu_word = 2e-3;
+  FaultPlan plan(777, r);
+  const AbftOptions opt{AbftMode::kCorrect, &plan, 2};
+
+  const AbftGemmResult serial = abft_gemm(
+      d.a, d.m, d.k, d.b, d.n, fmt, RoundMode::kNearestEven, 32, opt);
+  const auto want = serial.counters.snapshot();
+  for (const int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    const AbftGemmResult got =
+        abft_gemm(d.a, d.m, d.k, d.b, d.n, fmt, RoundMode::kNearestEven, 32,
+                  opt, &pool);
+    EXPECT_EQ(mismatch_words(got.c, serial.c), 0u) << threads << " workers";
+    EXPECT_EQ(got.counters.snapshot(), want) << threads << " workers";
+    EXPECT_EQ(got.column_faults, serial.column_faults);
+  }
+}
+
+// ---- executor integration -------------------------------------------------
+
+TEST(ExecutorReliability, AbftKeepsBitsAndBoundsCycleOverhead) {
+  const AcceleratorSystem sys;
+  const GemmData d = make_gemm(32, 64, 32, 14);
+  ProgramBuilder pb;
+  pb.bfp_matmul(2, 0, 1, d.m, d.k, d.n).halt();
+  const Program prog = pb.build();
+
+  Executor base(sys);
+  base.set_tensor(0, d.m, d.k, d.a);
+  base.set_tensor(1, d.k, d.n, d.b);
+  const ExecutionStats base_stats = base.run(prog);
+  const RegTensor base_out = base.tensor(2);
+
+  Executor prot(sys);
+  prot.set_tensor(0, d.m, d.k, d.a);
+  prot.set_tensor(1, d.k, d.n, d.b);
+  ReliabilityConfig rc;
+  rc.mode = AbftMode::kCorrect;
+  prot.set_reliability(rc);
+  ASSERT_TRUE(prot.reliability_enabled());
+  const ExecutionStats prot_stats = prot.run(prog);
+  const RegTensor& prot_out = prot.tensor(2);
+
+  // Same bits (no plan => nothing injected), bounded cycle overhead: the
+  // checksum MACs ride the compute share only, so end-to-end stays under
+  // the 25% MAC-path fraction.
+  ASSERT_EQ(prot_out.data.size(), base_out.data.size());
+  EXPECT_EQ(mismatch_words(prot_out.data, base_out.data), 0u);
+  EXPECT_GT(prot_stats.device_cycles, base_stats.device_cycles);
+  EXPECT_LE(static_cast<double>(prot_stats.device_cycles),
+            1.25 * static_cast<double>(base_stats.device_cycles));
+
+  const QuarantineState* q = prot.quarantine();
+  ASSERT_NE(q, nullptr);
+  EXPECT_FALSE(q->degraded());
+  EXPECT_EQ(base.quarantine(), nullptr);
+}
+
+TEST(ExecutorReliability, InjectedFaultsSurfaceInRunCounters) {
+  const AcceleratorSystem sys;
+  const GemmData d = make_gemm(32, 64, 32, 15);
+  FaultRates r;
+  r.psu_word = 1e-3;
+  FaultPlan plan(31337, r);
+
+  Executor ex(sys);
+  ex.set_tensor(0, d.m, d.k, d.a);
+  ex.set_tensor(1, d.k, d.n, d.b);
+  ReliabilityConfig rc;
+  rc.mode = AbftMode::kCorrect;
+  rc.plan = &plan;
+  ex.set_reliability(rc);
+  ProgramBuilder pb;
+  pb.bfp_matmul(2, 0, 1, d.m, d.k, d.n).halt();
+  const ExecutionStats stats = ex.run(pb.build());
+  const auto snap = stats.reliability.snapshot();
+  EXPECT_GT(snap.at("reliability.injected"), 0u);
+  EXPECT_EQ(snap.at("reliability.detected_products"),
+            snap.at("reliability.faulty_products"));
+}
+
+// ---- degradation ----------------------------------------------------------
+
+TEST(Quarantine, ThresholdCrossingsDisableColumnsAndScaleCycles) {
+  QuarantineState q(8, 3);
+  EXPECT_FALSE(q.degraded());
+  EXPECT_EQ(q.scale_cycles(700), 700u);
+
+  EXPECT_EQ(q.record({2, 0, 0, 0, 0, 0, 0, 0}), 0);  // below threshold
+  EXPECT_FALSE(q.quarantined(0));
+  EXPECT_EQ(q.record({1, 0, 0, 0, 0, 3, 0, 0}), 2);  // cols 0 and 5 cross
+  EXPECT_TRUE(q.quarantined(0));
+  EXPECT_TRUE(q.quarantined(5));
+  EXPECT_EQ(q.active_columns(), 6);
+  EXPECT_TRUE(q.degraded());
+  // Work remapped onto 6 of 8 columns: 700 * 8 / 6.
+  EXPECT_EQ(q.scale_cycles(700), 933u);
+
+  // Killing every remaining column makes the unit unusable.
+  QuarantineState dead(2, 1);
+  EXPECT_EQ(dead.record({5, 5}), 2);
+  EXPECT_EQ(dead.active_columns(), 0);
+  EXPECT_THROW(dead.scale_cycles(100), Error);
+}
+
+TEST(Degradation, CardFailuresCollapseOntoOwningReplicas) {
+  // 2-card replicas, 3 replicas: cards 0-1 -> replica 0, 2-3 -> 1, 4-5 -> 2.
+  const std::vector<CardFailure> cards = {
+      {3, 5000}, {2, 9000}, {5, 100}};
+  const auto failures = replica_failures(cards, 2, 3);
+  ASSERT_EQ(failures.size(), 2u);
+  // Sorted by cycle: replica 2 dies at 100, replica 1 at its *earliest*
+  // card death (5000), replica 0 survives.
+  EXPECT_EQ(failures[0].executor, 2);
+  EXPECT_EQ(failures[0].cycle, 100u);
+  EXPECT_EQ(failures[1].executor, 1);
+  EXPECT_EQ(failures[1].cycle, 5000u);
+
+  EXPECT_THROW(replica_failures({{6, 0}}, 2, 3), Error);  // out of range
+}
+
+// ---- serving failover -----------------------------------------------------
+
+/// Synthetic backend: `n` identical executors, every request costs the
+/// same pass. Lets the failover logic be tested in isolation from the
+/// transformer model.
+BackendSpec uniform_backend(int executors, int requests,
+                            std::uint64_t cycles) {
+  BackendSpec b;
+  b.executors = executors;
+  b.freq_hz = 300.0e6;
+  b.passes.assign(static_cast<std::size_t>(requests),
+                  PassSpec{cycles / 10, cycles, cycles / 10});
+  return b;
+}
+
+TEST(ServeFailover, DeadExecutorRequeuesInflightAndCompletesEverything) {
+  const int requests = 24;
+  BackendSpec backend = uniform_backend(2, requests, 30000);
+  const ArrivalTrace trace = poisson_trace(requests, 8000.0, 5);
+  ServePolicy policy;
+  policy.queue_capacity = 64;
+  policy.slo_ms = 50.0;
+
+  const ServeReport healthy = serve_events(backend, trace, policy);
+  ASSERT_EQ(healthy.records.size(), static_cast<std::size_t>(requests));
+  const auto healthy_counters = healthy.counters.snapshot();
+  EXPECT_EQ(healthy_counters.count("serve.executor_failures"), 0u);
+
+  // Kill executor 0 in the middle of one of its service windows (taken
+  // from the healthy schedule, which is identical up to the death cycle):
+  // the in-flight batch fails over to executor 1 and every admitted
+  // request still completes.
+  std::uint64_t fail_cycle = 0;
+  for (const LatencyRecord& rec : healthy.records) {
+    if (rec.unit == 0 && rec.complete_cycle > rec.dispatch_cycle + 1) {
+      fail_cycle = (rec.dispatch_cycle + rec.complete_cycle) / 2;
+    }
+  }
+  ASSERT_GT(fail_cycle, 0u);
+  backend.failures = {{0, fail_cycle}};
+  const ServeReport rep = serve_events(backend, trace, policy);
+  EXPECT_EQ(rep.records.size() + rep.rejected_ids.size(),
+            static_cast<std::size_t>(requests));
+  EXPECT_EQ(rep.records.size(), static_cast<std::size_t>(requests));
+  const auto counters = rep.counters.snapshot();
+  EXPECT_EQ(counters.at("serve.executor_failures"), 1u);
+  EXPECT_GT(counters.at("serve.retried"), 0u);
+  EXPECT_EQ(counters.count("serve.failed"), 0u);
+  // The dead unit stops accruing busy cycles; the survivor carries on.
+  EXPECT_GE(rep.makespan_cycles, healthy.makespan_cycles);
+
+  // Determinism: the failure schedule is part of the spec, so the report
+  // replays bit-identically.
+  const ServeReport again = serve_events(backend, trace, policy);
+  EXPECT_EQ(again.to_json(), rep.to_json());
+}
+
+TEST(ServeFailover, AllExecutorsDeadStrandsQueuedRequests) {
+  const int requests = 8;
+  BackendSpec backend = uniform_backend(1, requests, 30000);
+  backend.failures = {{0, 35000}};  // dies after roughly one service pass
+  ServePolicy policy;
+  policy.max_retries = 2;
+  const ArrivalTrace trace = poisson_trace(requests, 50000.0, 5);
+  const ServeReport rep = serve_events(backend, trace, policy);
+  // With the only executor dead, whatever was admitted but unserved is
+  // reported: completed + rejected + failed + stranded covers every id.
+  const auto counters = rep.counters.snapshot();
+  const std::uint64_t failed = counters.count("serve.failed") != 0
+                                   ? counters.at("serve.failed")
+                                   : 0;
+  const std::uint64_t stranded = counters.count("serve.stranded") != 0
+                                     ? counters.at("serve.stranded")
+                                     : 0;
+  EXPECT_EQ(rep.records.size() + rep.rejected_ids.size() + failed + stranded,
+            static_cast<std::size_t>(requests));
+  EXPECT_LT(rep.records.size(), static_cast<std::size_t>(requests));
+}
+
+TEST(ClusterFailover, DeadCardFailsOverToSurvivingReplica) {
+  const VitConfig cfg = vit_test_tiny();
+  const VitModel model(random_weights(cfg, 41));
+  const ClusterExecutor exec(model.weights(), ClusterTopology::ring(2),
+                             PartitionStrategy::kTensor);
+  const ArrivalTrace trace = poisson_trace(10, 6000.0, 7);
+  ServePolicy policy;
+  policy.queue_capacity = 32;
+  ThreadPool pool(4);
+
+  const ClusterServeResult healthy =
+      serve_cluster(exec, 2, trace, policy, &pool);
+  ASSERT_EQ(healthy.report.records.size(), 10u);
+
+  // Card 1 belongs to replica 0 (cards 0-1); kill it mid-run. The replica
+  // dies with it and all ten requests still complete on replica 1.
+  const std::vector<CardFailure> failures = {
+      {1, healthy.report.makespan_cycles / 4}};
+  const ClusterServeResult rep =
+      serve_cluster(exec, 2, trace, policy, &pool, nullptr, failures);
+  EXPECT_EQ(rep.report.records.size(), 10u);
+  const auto counters = rep.report.counters.snapshot();
+  EXPECT_EQ(counters.at("cluster.card_failures"), 1u);
+  EXPECT_EQ(counters.at("serve.executor_failures"), 1u);
+
+  // Functional outputs are from phase 1 and unaffected by the failover.
+  ASSERT_EQ(rep.features.size(), healthy.features.size());
+  for (std::size_t i = 0; i < rep.features.size(); ++i) {
+    EXPECT_EQ(0, std::memcmp(rep.features[i].data(),
+                             healthy.features[i].data(),
+                             healthy.features[i].size() * sizeof(float)));
+  }
+
+  // Deterministic replay, any pool size.
+  for (const int threads : {1, 8}) {
+    ThreadPool p2(threads);
+    const ClusterServeResult again =
+        serve_cluster(exec, 2, trace, policy, &p2, nullptr, failures);
+    EXPECT_EQ(again.report.to_json(), rep.report.to_json());
+  }
+}
+
+}  // namespace
+}  // namespace bfpsim

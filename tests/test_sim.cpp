@@ -10,6 +10,7 @@
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/counters.hpp"
 #include "sim/trace.hpp"
 
@@ -66,6 +67,56 @@ TEST(Counters, AddGetMergeReport) {
   EXPECT_NE(rep.find("dsp.ops=16"), std::string::npos);
   a.reset();
   EXPECT_EQ(a.get("dsp.ops"), 0u);
+}
+
+TEST(Counters, ConcurrentAddsFromPoolWorkersSumExactly) {
+  // Counters is the one piece of shared mutable state parallel-engine
+  // workers touch directly (e.g. the reliability counters of concurrent
+  // ABFT tiles), so hammer it from every worker: uint64 addition commutes,
+  // so the totals must be exact for any interleaving.
+  Counters c;
+  ThreadPool pool(8);
+  const std::size_t tasks = 64;
+  const int adds_per_task = 1000;
+  pool.parallel_for(tasks, [&](std::size_t t) {
+    for (int i = 0; i < adds_per_task; ++i) {
+      c.add("shared.total");
+      c.add(t % 2 == 0 ? "shard.even" : "shard.odd", 2);
+    }
+  });
+  EXPECT_EQ(c.get("shared.total"), tasks * adds_per_task);
+  EXPECT_EQ(c.get("shard.even"), 32u * adds_per_task * 2);
+  EXPECT_EQ(c.get("shard.odd"), 32u * adds_per_task * 2);
+}
+
+TEST(Counters, ConcurrentMergeAndSnapshotAreConsistent) {
+  // Readers snapshot while writers merge: every snapshot must be a
+  // self-consistent map (the lock never escapes), and the final state must
+  // hold the full sum regardless of interleaving.
+  Counters total;
+  ThreadPool pool(8);
+  pool.parallel_for(16, [&](std::size_t t) {
+    if (t % 4 == 3) {
+      // Reader lane: snapshots may observe any prefix of the merges but
+      // never a torn value (values only grow in steps of the merged bags).
+      for (int i = 0; i < 200; ++i) {
+        const auto snap = total.snapshot();
+        const auto it = snap.find("bag");
+        if (it != snap.end()) {
+          EXPECT_EQ(it->second % 5, 0u);
+        }
+      }
+    } else {
+      Counters local;
+      for (int i = 0; i < 100; ++i) local.add("bag", 5);
+      total.merge(local);
+    }
+  });
+  EXPECT_EQ(total.get("bag"), 12u * 100u * 5u);
+  // Copy-assign under no contention round-trips the exact map.
+  Counters copy;
+  copy = total;
+  EXPECT_EQ(copy.snapshot(), total.snapshot());
 }
 
 TEST(Trace, RecordsOnlyWhenEnabled) {

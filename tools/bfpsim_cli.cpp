@@ -9,10 +9,12 @@
 //   bfpsim batch <tiny|small|base> <BATCH>
 //   bfpsim serve <tiny|small|base|test> [options]
 //   bfpsim cluster <tiny|small|base|test> [options]
+//   bfpsim faults [options]
 //
 // Exit codes: 0 success, 1 runtime error, 2 unknown subcommand,
 // 3 bad arguments to a known subcommand.
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,12 +25,15 @@
 
 #include "cluster/cluster_executor.hpp"
 #include "cluster/cluster_serving.hpp"
+#include "common/bitops.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "core/accelerator.hpp"
 #include "numerics/nonlinear.hpp"
+#include "pu/processing_unit.hpp"
+#include "reliability/abft.hpp"
 #include "resource/designs.hpp"
 #include "serving/event_loop.hpp"
 #include "transformer/latency.hpp"
@@ -56,6 +61,8 @@ void print_usage() {
       "  bfpsim cluster <tiny|small|base|test> [--cards LIST]\n"
       "         [--strategy pipeline|tensor|both] [--requests N]\n"
       "         [--threads N] [--json]\n"
+      "  bfpsim faults [--rates LIST] [--m M] [--k K] [--n N] [--seed S]\n"
+      "         [--retries R] [--threads N] [--json]\n"
       "  bfpsim resources [unit|system]\n"
       "\n"
       "exit codes: 0 ok, 1 runtime error, 2 unknown subcommand, 3 bad "
@@ -73,6 +80,56 @@ int bad_args(const std::string& msg) {
   std::fprintf(stderr, "error: %s\n", msg.c_str());
   print_usage();
   return 3;
+}
+
+// Validated numeric parsing. std::atoi silently turns "8x" into 8 and
+// "zero" into 0; these helpers demand full consumption of the token and a
+// sane range, throwing Error (-> exit 3) otherwise.
+long long parse_ll(const char* s, const char* what, long long lo,
+                   long long hi) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0') {
+    throw Error(std::string(what) + ": '" + s + "' is not an integer");
+  }
+  if (errno == ERANGE || v < lo || v > hi) {
+    throw Error(std::string(what) + ": " + s + " out of range [" +
+                std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return v;
+}
+
+int parse_int(const char* s, const char* what, int lo, int hi) {
+  return static_cast<int>(parse_ll(s, what, lo, hi));
+}
+
+std::uint64_t parse_u64(const char* s, const char* what) {
+  if (*s == '-') {
+    throw Error(std::string(what) + ": '" + s + "' must be non-negative");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) {
+    throw Error(std::string(what) + ": '" + s +
+                "' is not an unsigned integer");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_double(const char* s, const char* what, double lo, double hi) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s, &end);
+  if (end == s || *end != '\0' || errno == ERANGE) {
+    throw Error(std::string(what) + ": '" + s + "' is not a number");
+  }
+  if (!(v >= lo && v <= hi)) {
+    throw Error(std::string(what) + ": " + s + " out of range [" +
+                std::to_string(lo) + ", " + std::to_string(hi) + "]");
+  }
+  return v;
 }
 
 VitConfig pick_config(const std::string& which) {
@@ -258,9 +315,9 @@ int cmd_serve(int argc, char** argv) {
       return argv[++i];
     };
     if (a == "--cards") {
-      cards = std::atoi(next("--cards"));
+      cards = parse_int(next("--cards"), "--cards", 1, 1024);
     } else if (a == "--replicas") {
-      replicas = std::atoi(next("--replicas"));
+      replicas = parse_int(next("--replicas"), "--replicas", 1, 1024);
     } else if (a == "--strategy") {
       const std::string s = next("--strategy");
       if (s == "pipeline") {
@@ -271,28 +328,29 @@ int cmd_serve(int argc, char** argv) {
         throw Error("--strategy must be pipeline or tensor");
       }
     } else if (a == "--requests") {
-      requests = std::atoi(next("--requests"));
+      requests = parse_int(next("--requests"), "--requests", 1, 1 << 20);
     } else if (a == "--rate") {
-      rate = std::atof(next("--rate"));
+      rate = parse_double(next("--rate"), "--rate", 0.0, 1e12);
     } else if (a == "--closed") {
-      closed_clients = std::atoi(next("--closed"));
+      closed_clients = parse_int(next("--closed"), "--closed", 0, 1 << 20);
     } else if (a == "--think-ms") {
-      think_ms = std::atof(next("--think-ms"));
+      think_ms = parse_double(next("--think-ms"), "--think-ms", 0.0, 1e9);
     } else if (a == "--seed") {
-      seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+      seed = parse_u64(next("--seed"), "--seed");
     } else if (a == "--queue") {
-      policy.queue_capacity =
-          static_cast<std::size_t>(std::atoi(next("--queue")));
+      policy.queue_capacity = static_cast<std::size_t>(
+          parse_int(next("--queue"), "--queue", 1, 1 << 20));
     } else if (a == "--batch") {
-      policy.max_batch = std::atoi(next("--batch"));
+      policy.max_batch = parse_int(next("--batch"), "--batch", 1, 1 << 20);
     } else if (a == "--slo-ms") {
-      policy.slo_ms = std::atof(next("--slo-ms"));
+      policy.slo_ms = parse_double(next("--slo-ms"), "--slo-ms", 0.0, 1e9);
     } else if (a == "--max-wait-us") {
-      max_wait_us = std::atof(next("--max-wait-us"));
+      max_wait_us =
+          parse_double(next("--max-wait-us"), "--max-wait-us", 0.0, 1e12);
     } else if (a == "--shed") {
       policy.drop_policy = DropPolicy::kShedOldest;
     } else if (a == "--threads") {
-      threads = std::atoi(next("--threads"));
+      threads = parse_int(next("--threads"), "--threads", 0, 1024);
     } else if (a == "--json") {
       json = true;
     } else if (a == "--chrome-trace") {
@@ -449,9 +507,9 @@ int cmd_cluster(int argc, char** argv) {
     } else if (a == "--strategy") {
       strategy_arg = next("--strategy");
     } else if (a == "--requests") {
-      requests = std::atoi(next("--requests"));
+      requests = parse_int(next("--requests"), "--requests", 1, 1 << 20);
     } else if (a == "--threads") {
-      threads = std::atoi(next("--threads"));
+      threads = parse_int(next("--threads"), "--threads", 0, 1024);
     } else if (a == "--json") {
       json = true;
     } else {
@@ -464,9 +522,7 @@ int cmd_cluster(int argc, char** argv) {
     std::stringstream ss(cards_list);
     std::string tok;
     while (std::getline(ss, tok, ',')) {
-      const int c = std::atoi(tok.c_str());
-      if (c < 1) throw Error("--cards entries must be >= 1");
-      card_counts.push_back(c);
+      card_counts.push_back(parse_int(tok.c_str(), "--cards entry", 1, 1024));
     }
   }
   if (card_counts.empty()) throw Error("--cards needs at least one entry");
@@ -578,6 +634,150 @@ int cmd_cluster(int argc, char** argv) {
   return 0;
 }
 
+/// Fault-injection sweep: run one seeded GEMM per (PSU fault rate,
+/// protection mode) cell and report detection coverage, corrections and
+/// silent data corruption against the fault-free run.
+int cmd_faults(int argc, char** argv) {
+  std::string rates_list = "1e-5,1e-4,1e-3";
+  int m = 48;
+  int k = 64;
+  int n = 32;
+  std::uint64_t seed = 1;
+  int retries = 2;
+  int threads = 1;
+  bool json = false;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) throw Error(std::string(what) + " needs a value");
+      return argv[++i];
+    };
+    if (a == "--rates") {
+      rates_list = next("--rates");
+    } else if (a == "--m") {
+      m = parse_int(next("--m"), "--m", 1, 4096);
+    } else if (a == "--k") {
+      k = parse_int(next("--k"), "--k", 1, 4096);
+    } else if (a == "--n") {
+      n = parse_int(next("--n"), "--n", 1, 4096);
+    } else if (a == "--seed") {
+      seed = parse_u64(next("--seed"), "--seed");
+    } else if (a == "--retries") {
+      retries = parse_int(next("--retries"), "--retries", 0, 64);
+    } else if (a == "--threads") {
+      threads = parse_int(next("--threads"), "--threads", 0, 1024);
+    } else if (a == "--json") {
+      json = true;
+    } else {
+      throw Error("unknown faults option '" + a + "'");
+    }
+  }
+  std::vector<double> rates;
+  {
+    std::stringstream ss(rates_list);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      rates.push_back(parse_double(tok.c_str(), "--rates entry", 0.0, 1.0));
+    }
+  }
+  if (rates.empty()) throw Error("--rates needs at least one entry");
+
+  if (threads <= 0) threads = ThreadPool::hardware_threads();
+  ThreadPool pool(threads);
+  const PuConfig pu;  // defaults: bfp8, 32-bit PSU, RNE quantization
+  const BfpFormat fmt = bfp8_format();
+  Rng rng(seed);
+  const auto a = rng.normal_vec(
+      static_cast<std::size_t>(m) * static_cast<std::size_t>(k), 0.0F, 1.0F);
+  const auto b = rng.normal_vec(
+      static_cast<std::size_t>(k) * static_cast<std::size_t>(n), 0.0F, 1.0F);
+
+  // Fault-free bits: the ground truth every injected run is diffed against.
+  const AbftGemmResult clean =
+      abft_gemm(a, m, k, b, n, fmt, pu.quant_round, pu.psu_bits,
+                AbftOptions{AbftMode::kUnprotected, nullptr, 0}, &pool);
+
+  struct Row {
+    double rate = 0.0;
+    AbftMode mode = AbftMode::kUnprotected;
+    std::uint64_t injected = 0;
+    std::uint64_t faulty = 0;
+    std::uint64_t detected = 0;
+    std::uint64_t patched = 0;
+    std::uint64_t recomputed = 0;
+    std::uint64_t sdc_words = 0;
+    double overhead = 0.0;
+  };
+  std::vector<Row> rows;
+  for (const double rate : rates) {
+    FaultRates fr;
+    fr.psu_word = rate;
+    FaultPlan plan(seed, fr);
+    for (const AbftMode mode :
+         {AbftMode::kUnprotected, AbftMode::kDetect, AbftMode::kCorrect}) {
+      const AbftGemmResult res =
+          abft_gemm(a, m, k, b, n, fmt, pu.quant_round, pu.psu_bits,
+                    AbftOptions{mode, &plan, retries}, &pool);
+      Row row;
+      row.rate = rate;
+      row.mode = mode;
+      const auto snap = res.counters.snapshot();
+      auto get = [&](const char* key) -> std::uint64_t {
+        const auto it = snap.find(key);
+        return it == snap.end() ? 0 : it->second;
+      };
+      row.injected = get("reliability.injected");
+      row.faulty = get("reliability.faulty_products");
+      row.detected = get("reliability.detected_products");
+      row.patched = get("reliability.patched");
+      row.recomputed = get("reliability.recomputed");
+      row.overhead = res.work.overhead_fraction();
+      for (std::size_t i = 0; i < clean.c.size(); ++i) {
+        if (float_to_bits(res.c[i]) != float_to_bits(clean.c[i])) {
+          ++row.sdc_words;
+        }
+      }
+      rows.push_back(row);
+    }
+  }
+
+  if (json) {
+    std::ostringstream os;
+    os << "{\"m\":" << m << ",\"k\":" << k << ",\"n\":" << n
+       << ",\"seed\":" << seed << ",\"cells\":[";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      if (i != 0) os << ",";
+      os << "{\"rate\":" << r.rate << ",\"mode\":\"" << to_string(r.mode)
+         << "\",\"injected\":" << r.injected << ",\"faulty\":" << r.faulty
+         << ",\"detected\":" << r.detected << ",\"patched\":" << r.patched
+         << ",\"recomputed\":" << r.recomputed
+         << ",\"sdc_words\":" << r.sdc_words
+         << ",\"overhead\":" << r.overhead << "}";
+    }
+    os << "]}";
+    std::printf("%s\n", os.str().c_str());
+  } else {
+    std::printf(
+        "fault injection sweep: %dx%dx%d GEMM, PSU accumulator SEUs\n\n", m,
+        k, n);
+    TextTable t({"rate/word", "mode", "injected", "faulty", "detected",
+                 "patched", "recomputed", "SDC words", "overhead"});
+    for (const Row& r : rows) {
+      t.add_row({fmt_double(r.rate, 6), to_string(r.mode),
+                 std::to_string(r.injected), std::to_string(r.faulty),
+                 std::to_string(r.detected), std::to_string(r.patched),
+                 std::to_string(r.recomputed), std::to_string(r.sdc_words),
+                 fmt_percent(100.0 * r.overhead, 1)});
+    }
+    std::printf("%s", t.to_string().c_str());
+    std::printf(
+        "SDC = output words whose bits differ from the fault-free run.\n");
+  }
+  return 0;
+}
+
 bool has_flag(int argc, char** argv, const char* flag) {
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], flag) == 0) return true;
@@ -587,7 +787,7 @@ bool has_flag(int argc, char** argv, const char* flag) {
 
 bool known_command(const std::string& cmd) {
   for (const char* k : {"info", "gemm", "softmax", "deit", "throughput",
-                        "batch", "serve", "cluster", "resources"}) {
+                        "batch", "serve", "cluster", "faults", "resources"}) {
     if (cmd == k) return true;
   }
   return false;
@@ -603,13 +803,29 @@ int main(int argc, char** argv) {
     if (cmd == "info") return cmd_info();
     if (cmd == "gemm") {
       if (argc < 5) return bad_args("gemm needs <M> <K> <N>");
-      return cmd_gemm(std::atoi(argv[2]), std::atoi(argv[3]),
-                      std::atoi(argv[4]));
+      int m = 0;
+      int k = 0;
+      int n = 0;
+      try {
+        m = parse_int(argv[2], "gemm <M>", 1, 4096);
+        k = parse_int(argv[3], "gemm <K>", 1, 4096);
+        n = parse_int(argv[4], "gemm <N>", 1, 4096);
+      } catch (const Error& e) {
+        return bad_args(e.what());
+      }
+      return cmd_gemm(m, k, n);
     }
     if (cmd == "softmax") {
       if (argc < 4) return bad_args("softmax needs <ROWS> <COLS>");
-      return cmd_softmax(std::atoi(argv[2]), std::atoi(argv[3]),
-                         has_flag(argc, argv, "--softermax"));
+      int rows = 0;
+      int cols = 0;
+      try {
+        rows = parse_int(argv[2], "softmax <ROWS>", 1, 4096);
+        cols = parse_int(argv[3], "softmax <COLS>", 1, 4096);
+      } catch (const Error& e) {
+        return bad_args(e.what());
+      }
+      return cmd_softmax(rows, cols, has_flag(argc, argv, "--softermax"));
     }
     if (cmd == "deit") {
       if (argc < 3) return bad_args("deit needs <tiny|small|base>");
@@ -618,7 +834,13 @@ int main(int argc, char** argv) {
     if (cmd == "throughput") return cmd_throughput();
     if (cmd == "batch") {
       if (argc < 4) return bad_args("batch needs <tiny|small|base> <BATCH>");
-      return cmd_batch(argv[2], std::atoi(argv[3]));
+      int batch = 0;
+      try {
+        batch = parse_int(argv[3], "batch <BATCH>", 1, 1 << 20);
+      } catch (const Error& e) {
+        return bad_args(e.what());
+      }
+      return cmd_batch(argv[2], batch);
     }
     if (cmd == "serve") {
       if (argc < 3) return bad_args("serve needs <tiny|small|base|test>");
@@ -632,6 +854,13 @@ int main(int argc, char** argv) {
       if (argc < 3) return bad_args("cluster needs <tiny|small|base|test>");
       try {
         return cmd_cluster(argc - 2, argv + 2);
+      } catch (const Error& e) {
+        return bad_args(e.what());
+      }
+    }
+    if (cmd == "faults") {
+      try {
+        return cmd_faults(argc - 2, argv + 2);
       } catch (const Error& e) {
         return bad_args(e.what());
       }

@@ -10,6 +10,7 @@
 //   3. fp32 mul/add streams vs the scalar datapath references (bit-exact),
 //   4. bf16 stream vs the bf16 reference (bit-exact),
 //   5. executor kernels (softmax) vs the fp64 reference (abs err < 1e-4).
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>

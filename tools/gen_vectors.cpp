@@ -10,6 +10,7 @@
 //   fp32_add.txt   : bits(x) bits(y) -> bits(x+y aligned)
 //   bf16_mul.txt   : bits16(x) bits16(y) -> bits16(x*y)
 //   packed_mac.txt : 8 x (a d b) int8 hex -> upper lower (lane sums)
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
