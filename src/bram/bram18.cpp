@@ -1,5 +1,6 @@
 #include "bram/bram18.hpp"
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 #include "reliability/fault_model.hpp"
 
@@ -7,6 +8,11 @@ namespace bfpsim {
 
 std::uint8_t Bram18::read(int addr) const {
   BFP_REQUIRE(addr >= 0 && addr < kDepth, "Bram18::read: address out of range");
+  // The address/port bound above is user-facing (and throws); the backing
+  // store matching the modelled geometry is an internal invariant.
+  BFPSIM_INVARIANT(mem_.size() == static_cast<std::size_t>(kDepth),
+                   "Bram18: backing store no longer matches the 2048x8 "
+                   "port geometry");
   ++reads_;
   if (fault_ != nullptr) {
     const int bit = fault_->sample(8);

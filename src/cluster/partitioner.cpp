@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 #include "numerics/bfp.hpp"
 
@@ -68,6 +69,19 @@ PartitionPlan partition_pipeline(const VitWeights& w, int cards) {
                         sizeof(float);
   plan.collective_bytes_per_forward =
       static_cast<std::uint64_t>(cards - 1) * plan.boundary_bytes;
+#if BFPSIM_CONTRACTS
+  // Shape contract: the stages tile [0, depth) exactly — contiguous,
+  // disjoint, nothing dropped. Sharded forward == single-card forward
+  // depends on this, bit for bit.
+  int covered = 0;
+  for (const PipelineStage& st : plan.stages) {
+    BFPSIM_ENSURE(st.first_block == covered,
+                  "partition_pipeline: stages must be contiguous");
+    covered += st.num_blocks;
+  }
+  BFPSIM_ENSURE(covered == cfg.depth,
+                "partition_pipeline: stages must cover every block");
+#endif
   return plan;
 }
 
@@ -129,6 +143,20 @@ PartitionPlan partition_tensor(const VitWeights& w, int cards) {
     }
     plan.shards.push_back(std::move(shard));
   }
+
+#if BFPSIM_CONTRACTS
+  // Shape contract: the head ranges tile [0, num_heads) in card order, so
+  // the all-gather reassembles columns exactly where the single-card
+  // forward_mixed expects them.
+  int head_at = 0;
+  for (const TensorShard& sh : plan.shards) {
+    BFPSIM_ENSURE(sh.head_begin == head_at && sh.head_end > sh.head_begin,
+                  "partition_tensor: head ranges must be contiguous");
+    head_at = sh.head_end;
+  }
+  BFPSIM_ENSURE(head_at == cfg.num_heads,
+                "partition_tensor: head ranges must cover every head");
+#endif
 
   const auto t = static_cast<std::uint64_t>(cfg.tokens());
   // Per block: all-gather attn_out (t x d), proj out (t x d), MLP

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 
 namespace bfpsim {
@@ -115,6 +116,9 @@ std::uint64_t ClusterTopology::p2p_cycles(int from, int to,
     total += link_transfer_cycles(link(at, next), bytes);
     at = next;
   }
+  BFPSIM_ENSURE(at == to,
+                "p2p store-and-forward walk must terminate at the "
+                "destination card");
   return total;
 }
 

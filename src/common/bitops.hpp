@@ -33,7 +33,7 @@ constexpr std::int64_t sign_extend(std::uint64_t v, int bits) {
 }
 
 /// True iff `v` is representable as a `bits`-bit two's-complement integer.
-constexpr bool fits_signed(std::int64_t v, int bits) {
+[[nodiscard]] constexpr bool fits_signed(std::int64_t v, int bits) {
   if (bits >= 64) return true;
   const std::int64_t lo = -(std::int64_t{1} << (bits - 1));
   const std::int64_t hi = (std::int64_t{1} << (bits - 1)) - 1;
@@ -41,7 +41,7 @@ constexpr bool fits_signed(std::int64_t v, int bits) {
 }
 
 /// True iff `v` is representable as a `bits`-bit unsigned integer.
-constexpr bool fits_unsigned(std::int64_t v, int bits) {
+[[nodiscard]] constexpr bool fits_unsigned(std::int64_t v, int bits) {
   return v >= 0 &&
          static_cast<std::uint64_t>(v) <= low_mask(bits);
 }

@@ -1,0 +1,21 @@
+#include "common/contract.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bfpsim {
+namespace detail {
+
+[[noreturn]] void contract_failure(const char* kind, const char* cond,
+                                   const char* file, int line,
+                                   const char* msg) {
+  // fprintf, not iostreams: the process is about to die and stderr must be
+  // flushed even if the stream layer is mid-write on another thread.
+  std::fprintf(stderr, "bfpsim: %s violated at %s:%d: %s (%s)\n", kind, file,
+               line, cond, msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace bfpsim

@@ -1,0 +1,77 @@
+// Compile-time-gated contracts for the simulator's internal invariants.
+//
+// The project has two kinds of checks:
+//
+//   * BFP_REQUIRE / the Error hierarchy (common/error.hpp) — *user-facing*
+//     validation: bad shapes, out-of-range configuration, values that the
+//     modelled RTL would mangle. These throw, are part of the API contract,
+//     and are always on.
+//
+//   * BFPSIM_REQUIRE / BFPSIM_ENSURE / BFPSIM_INVARIANT (this header) —
+//     *internal* invariants: conditions that are supposed to be
+//     unconditionally true when the simulator is correct (monotone virtual
+//     time, quantizer outputs inside the format range, alignment shifts
+//     non-negative). A violation is a simulator bug, so the failure mode is
+//     print-and-abort, and the checks compile out of plain Release builds
+//     so the hot path pays nothing once an invariant is proven.
+//
+// Activation: contracts are on in Debug builds (NDEBUG undefined) and in
+// any build configured with -DBFPSIM_CONTRACTS=ON (which defines
+// BFPSIM_CONTRACTS=1 globally). Otherwise each macro expands to a no-op
+// that does NOT evaluate its condition — conditions must therefore be
+// side-effect free.
+//
+// The three macros differ only in the word they print; using the right one
+// documents whether a failure means a caller bug (REQUIRE), a callee bug
+// (ENSURE) or corrupted state (INVARIANT).
+#pragma once
+
+#if !defined(BFPSIM_CONTRACTS)
+#if defined(NDEBUG)
+#define BFPSIM_CONTRACTS 0
+#else
+#define BFPSIM_CONTRACTS 1
+#endif
+#endif
+
+namespace bfpsim {
+namespace detail {
+
+/// Prints "<kind> violated at file:line: cond (msg)" to stderr and aborts.
+/// Always compiled (it is a handful of bytes) so a translation unit built
+/// with contracts on can link against a library built with them off.
+[[noreturn]] void contract_failure(const char* kind, const char* cond,
+                                   const char* file, int line,
+                                   const char* msg);
+
+}  // namespace detail
+}  // namespace bfpsim
+
+#if BFPSIM_CONTRACTS
+
+#define BFPSIM_CONTRACT_CHECK_(kind, cond, msg)                            \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::bfpsim::detail::contract_failure(kind, #cond, __FILE__, __LINE__,  \
+                                         (msg));                           \
+    }                                                                      \
+  } while (false)
+
+/// Precondition: the caller handed this function something it promised not
+/// to (and no user input can reach here unvalidated).
+#define BFPSIM_REQUIRE(cond, msg) BFPSIM_CONTRACT_CHECK_("precondition", cond, msg)
+
+/// Postcondition: this function is about to return a value/state that
+/// breaks its own promise.
+#define BFPSIM_ENSURE(cond, msg) BFPSIM_CONTRACT_CHECK_("postcondition", cond, msg)
+
+/// Invariant: state that must hold between operations has been corrupted.
+#define BFPSIM_INVARIANT(cond, msg) BFPSIM_CONTRACT_CHECK_("invariant", cond, msg)
+
+#else  // contracts compiled out: conditions are NOT evaluated.
+
+#define BFPSIM_REQUIRE(cond, msg) ((void)0)
+#define BFPSIM_ENSURE(cond, msg) ((void)0)
+#define BFPSIM_INVARIANT(cond, msg) ((void)0)
+
+#endif  // BFPSIM_CONTRACTS

@@ -1,5 +1,7 @@
 #include "dsp/cascade.hpp"
 
+#include "common/bitops.hpp"
+#include "common/contract.hpp"
 #include "common/error.hpp"
 
 namespace bfpsim {
@@ -18,6 +20,11 @@ std::int64_t CascadeColumn::pass(std::span<const std::int64_t> a,
   for (std::size_t i = 0; i < slices_.size(); ++i) {
     pc = slices_[i].mac_cascade(a[i], b[i], pc);
   }
+  // Cascade-width wrap contract: every intermediate PCOUT was checked by
+  // the slice, so the column sum leaves within the 48-bit cascade too —
+  // if not, the throwing port checks above have a hole.
+  BFPSIM_ENSURE(fits_signed(pc, kDspPWidth),
+                "CascadeColumn: column sum wrapped the 48-bit cascade");
   return pc;
 }
 

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/bitops.hpp"
+#include "common/contract.hpp"
 #include "common/thread_pool.hpp"
 
 namespace bfpsim {
@@ -105,6 +106,14 @@ BfpBlock quantize_block(std::span<const float> tile, const BfpFormat& fmt,
     if (ok) {
       out.expb = e;
       out.man = std::move(man);
+#if BFPSIM_CONTRACTS
+      BFPSIM_ENSURE(out.expb >= fmt.exp_min() && out.expb <= fmt.exp_max(),
+                    "quantize_block: shared exponent outside format range");
+      for (const std::int16_t m : out.man) {
+        BFPSIM_ENSURE(m >= fmt.mant_min() && m <= fmt.mant_max(),
+                      "quantize_block: mantissa outside format range");
+      }
+#endif
       return out;
     }
   }
@@ -147,6 +156,11 @@ void psu_accumulate(WideBlock& acc, const WideBlock& in, int psu_bits,
   const std::int32_t e = std::max(acc.expb, in.expb);
   const int shift_acc = static_cast<int>(e - acc.expb);
   const int shift_in = static_cast<int>(e - in.expb);
+  // Truncation precondition: alignment only ever shifts right (drops low
+  // bits); a negative shift would *invent* bits and is a simulator bug.
+  BFPSIM_REQUIRE(shift_acc >= 0 && shift_in >= 0 &&
+                     (shift_acc == 0 || shift_in == 0),
+                 "psu_accumulate: exactly one operand may be down-aligned");
   for (std::size_t i = 0; i < acc.psu.size(); ++i) {
     const std::int64_t a = round_shift(acc.psu[i], shift_acc, round);
     const std::int64_t b = round_shift(in.psu[i], shift_in, round);

@@ -1,5 +1,10 @@
 #include "numerics/nonlinear.hpp"
 
+// The nonlinear ops (softmax, layernorm, GELU) run on the host-side fp32
+// path by design — Section II-E keeps them out of the bfp8 datapath — so
+// float accumulation here is the modelled behaviour, not a hazard.
+// bfpsim-lint: untag(bit-exact)
+
 #include <algorithm>
 #include <cmath>
 

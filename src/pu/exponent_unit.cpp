@@ -1,6 +1,9 @@
 #include "pu/exponent_unit.hpp"
 
+#include <algorithm>
+
 #include "common/bitops.hpp"
+#include "common/contract.hpp"
 #include "common/error.hpp"
 
 namespace bfpsim {
@@ -10,7 +13,8 @@ std::int32_t ExponentUnit::bfp_product_exp(std::int32_t exp_x,
   BFP_REQUIRE(fits_signed(exp_x, 8) && fits_signed(exp_y, 8),
               "ExponentUnit: bfp exponents must be 8-bit");
   const std::int32_t s = exp_x + exp_y;
-  BFP_ASSERT(fits_signed(s, kEuCarrierBits));
+  BFPSIM_ENSURE(fits_signed(s, kEuCarrierBits),
+                "ExponentUnit: bfp product exponent exceeds the EU carrier");
   counters_.add("eu.bfp_exp_add");
   return s;
 }
@@ -30,6 +34,11 @@ AlignDecision ExponentUnit::align(std::int32_t exp_a, std::int32_t exp_b) {
     d.shift_b = 0;
   }
   counters_.add("eu.align");
+  BFPSIM_ENSURE(d.shift_a >= 0 && d.shift_b >= 0 &&
+                    (d.shift_a == 0 || d.shift_b == 0) &&
+                    d.result_exp == std::max(exp_a, exp_b),
+                "ExponentUnit::align: decision must down-shift exactly one "
+                "side toward the larger exponent");
   return d;
 }
 

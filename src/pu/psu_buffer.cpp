@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/bitops.hpp"
+#include "common/contract.hpp"
 #include "common/error.hpp"
 #include "reliability/fault_model.hpp"
 
@@ -62,6 +63,15 @@ void PsuBuffer::accumulate(int lane, int slot, const WideBlock& in,
     return;
   }
   const AlignDecision d = eu.align(t.expb, in.expb);
+  // Truncation preconditions for the shifter & ACC stage: the EU only ever
+  // down-aligns the smaller-exponent operand, and the result keeps the
+  // larger exponent. Violations mean the EU and the PSU disagree about
+  // Eqn 3, which would silently corrupt every later accumulation.
+  BFPSIM_REQUIRE(d.shift_a >= 0 && d.shift_b >= 0 &&
+                     (d.shift_a == 0 || d.shift_b == 0),
+                 "PsuBuffer: EU alignment must down-shift exactly one side");
+  BFPSIM_REQUIRE(d.result_exp == std::max(t.expb, in.expb),
+                 "PsuBuffer: aligned exponent must be the larger operand's");
   for (std::size_t i = 0; i < in.psu.size(); ++i) {
     const std::int64_t a =
         round_shift(t.psu[i], d.shift_a, cfg_.align_round);

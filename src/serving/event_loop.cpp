@@ -4,6 +4,7 @@
 #include <queue>
 #include <string>
 
+#include "common/contract.hpp"
 #include "common/error.hpp"
 
 namespace bfpsim {
@@ -204,10 +205,18 @@ ServeReport serve_events(const BackendSpec& backend,
     }
   };
 
+  // The determinism contract hinges on virtual time never running
+  // backwards: the (cycle, seq) heap order plus "every event is pushed at
+  // or after its cause" guarantee it, and the contract makes the guarantee
+  // checked instead of assumed.
+  [[maybe_unused]] std::uint64_t last_now = 0;
   while (!events.empty()) {
     const Event ev = events.top();
     events.pop();
     const std::uint64_t now = ev.cycle;
+    BFPSIM_INVARIANT(now >= last_now,
+                     "serve_events: virtual time must be monotone");
+    last_now = now;
     switch (ev.kind) {
       case Event::Kind::kArrival: {
         const int id = ev.payload;

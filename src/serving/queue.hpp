@@ -41,7 +41,8 @@ class AdmissionQueue {
   /// full and the policy sheds, `*victim` receives the dropped entry and
   /// is flagged via the return of `shed_victim()` for the caller to
   /// account; under kRejectNewest `e` itself is the casualty.
-  bool push(const QueueEntry& e, QueueEntry* victim, bool* had_victim);
+  [[nodiscard]] bool push(const QueueEntry& e, QueueEntry* victim,
+                          bool* had_victim);
 
   bool empty() const { return q_.empty(); }
   std::size_t size() const { return q_.size(); }

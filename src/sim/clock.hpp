@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
-#include <unordered_map>
+
+#include "common/contract.hpp"
 
 namespace bfpsim {
 
@@ -21,7 +23,11 @@ class SimClock {
   explicit SimClock(double freq_hz = kDefaultFreqHz);
 
   /// Advance `n` cycles (default 1).
-  void tick(std::uint64_t n = 1) { cycle_ += n; }
+  void tick(std::uint64_t n = 1) {
+    BFPSIM_INVARIANT(cycle_ + n >= cycle_,
+                     "SimClock: cycle counter wrapped 64 bits");
+    cycle_ += n;
+  }
 
   std::uint64_t cycle() const { return cycle_; }
   double freq_hz() const { return freq_hz_; }
@@ -35,7 +41,11 @@ class SimClock {
   /// for utilization reporting.
   void charge(const std::string& phase, std::uint64_t cycles);
   std::uint64_t charged(const std::string& phase) const;
-  const std::unordered_map<std::string, std::uint64_t>& phases() const {
+  /// Phase ledger, deterministically ordered by phase name: anything that
+  /// walks it (reports, serialized output) produces the same bytes on
+  /// every run and platform. (An unordered_map here was the repo's first
+  /// real bfpsim-lint finding — hash iteration order on a timing path.)
+  const std::map<std::string, std::uint64_t>& phases() const {
     return phase_cycles_;
   }
 
@@ -44,7 +54,7 @@ class SimClock {
  private:
   double freq_hz_;
   std::uint64_t cycle_ = 0;
-  std::unordered_map<std::string, std::uint64_t> phase_cycles_;
+  std::map<std::string, std::uint64_t> phase_cycles_;
 };
 
 /// Throughput helpers.

@@ -1,0 +1,16 @@
+// Fixture: Counters mutation in parallel-phase serving code. Expect
+// exactly one `counters-mutation` finding.
+// bfpsim-lint: tag(parallel-phase)
+namespace fixture {
+
+struct Counters {
+  void add(const char*, unsigned long long = 1) {}
+};
+
+void per_worker_body(Counters& counters) {
+  // Bumping a shared counter bag from a worker means merge order is
+  // completion order — nondeterministic across runs.
+  counters.add("serve.completed");
+}
+
+}  // namespace fixture

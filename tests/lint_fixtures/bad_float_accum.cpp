@@ -1,0 +1,14 @@
+// Fixture: floating-point accumulation in bit-exact-tagged code. Expect
+// exactly one `float-accum` finding (the += line).
+// bfpsim-lint: tag(bit-exact)
+namespace fixture {
+
+float checksum_drift(const float* v, int n) {
+  float acc = 0.0F;
+  for (int i = 0; i < n; ++i) {
+    acc += v[i];
+  }
+  return acc;
+}
+
+}  // namespace fixture

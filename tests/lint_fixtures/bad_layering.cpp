@@ -1,0 +1,11 @@
+// Fixture: upward include against the module ladder. This file declares
+// itself part of `common` (rank 0) and includes from `serving` (near the
+// top of the ladder). Expect exactly one `layering` finding.
+// bfpsim-lint: module(common)
+#include "serving/queue.hpp"
+
+namespace fixture {
+
+int uses_the_queue() { return 0; }
+
+}  // namespace fixture

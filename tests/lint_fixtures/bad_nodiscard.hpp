@@ -1,0 +1,17 @@
+// Fixture: status-returning API without [[nodiscard]]. Expect exactly one
+// `nodiscard-status` finding (try_reserve), one suppressed occurrence
+// (try_suppressed), and no finding for the annotated push.
+#pragma once
+
+namespace fixture {
+
+class Pool {
+ public:
+  bool try_reserve(int n);
+
+  [[nodiscard]] bool push(int value, int* victim, bool* had_victim);
+
+  bool try_suppressed(int n);  // bfpsim-lint: allow(nodiscard-status)
+};
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Fixture: raw allocation. Expect exactly one `raw-alloc` finding.
+namespace fixture {
+
+int* leak_prone(int n) {
+  int* buf = new int[static_cast<unsigned>(n)];
+  return buf;
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: non-deterministic RNG outside common/rng. Expect exactly one
+// `nondet-rng` finding.
+namespace fixture {
+
+int entropy_leak() {
+  std::random_device rd;
+  return static_cast<int>(rd);
+}
+
+}  // namespace fixture

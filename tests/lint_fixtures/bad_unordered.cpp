@@ -1,0 +1,14 @@
+// Fixture: unordered container on a timing path. Expect exactly one
+// `unordered-container` finding (the declaration line below).
+// bfpsim-lint: tag(timing)
+#include <string>
+
+namespace fixture {
+
+struct CycleLedger {
+  // Iteration order of this container is host-hash-dependent: walking it
+  // to build a report would make the report bytes nondeterministic.
+  std::unordered_map<std::string, unsigned long long> phase_cycles;
+};
+
+}  // namespace fixture

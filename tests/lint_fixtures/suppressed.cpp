@@ -1,0 +1,30 @@
+// Fixture: one violation of every .cpp-applicable rule, each carrying a
+// per-line allow(<rule>) suppression. Expect zero findings and six
+// suppressed occurrences.
+// bfpsim-lint: tag(timing), tag(bit-exact), tag(parallel-phase), module(common)
+#include "serving/queue.hpp"  // bfpsim-lint: allow(layering)
+#include <string>
+
+namespace fixture {
+
+struct Counters {
+  void add(const char*, unsigned long long = 1) {}
+};
+
+std::unordered_map<std::string, int> phase_cycles;  // bfpsim-lint: allow(unordered-container)
+
+float drift(const float* v, int n) {
+  float acc = 0.0F;
+  for (int i = 0; i < n; ++i) acc += v[i];  // bfpsim-lint: allow(float-accum)
+  return acc;
+}
+
+void worker(Counters& counters) {
+  std::random_device rd;  // bfpsim-lint: allow(nondet-rng)
+  (void)rd;
+  int* p = new int[4];  // bfpsim-lint: allow(raw-alloc)
+  delete[] p;
+  counters.add("serve.completed");  // bfpsim-lint: allow(counters-mutation)
+}
+
+}  // namespace fixture

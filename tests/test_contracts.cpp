@@ -1,0 +1,129 @@
+// Tests for the compile-time-gated contract layer (common/contract.hpp).
+//
+// Two things must both be true, and each is only observable in one build
+// flavour, so this source is compiled twice (see tests/CMakeLists.txt):
+//
+//  * test_contracts           — build-default contract state: in plain
+//    Release/RelWithDebInfo the macros compile to nothing (conditions are
+//    NOT evaluated); in Debug they are active.
+//  * test_contracts_enforced  — force-defines BFPSIM_CONTRACTS=1, so the
+//    abort path is exercised by the tier-1 suite no matter the build type.
+//
+// Violations are checked death-test style: fork() a child, let it trip the
+// contract, and assert on the wait status (SIGABRT when contracts are on,
+// clean exit through the no-op macro when they are off).
+#include "common/contract.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace bfpsim {
+namespace {
+
+constexpr int kChildAliveExit = 42;
+
+/// Run `fn` in a forked child. Returns the raw wait status. The child
+/// exits kChildAliveExit if `fn` returns (i.e. nothing aborted).
+template <typename Fn>
+int run_in_child(Fn fn) {
+  std::fflush(nullptr);
+  const pid_t pid = fork();
+  if (pid == 0) {
+    // Child: keep the abort quiet — gtest output interleaving aside, the
+    // death message on stderr is the expected behaviour under test.
+    fn();
+    _exit(kChildAliveExit);
+  }
+  EXPECT_GT(pid, 0) << "fork failed";
+  int status = 0;
+  waitpid(pid, &status, 0);
+  return status;
+}
+
+bool died_by_abort(int status) {
+  return WIFSIGNALED(status) && WTERMSIG(status) == SIGABRT;
+}
+
+bool exited_alive(int status) {
+  return WIFEXITED(status) && WEXITSTATUS(status) == kChildAliveExit;
+}
+
+TEST(Contracts, FailureHandlerAbortsInEveryBuild) {
+  // The handler itself is unconditionally compiled (so mixed-config links
+  // work); it must print and abort in every flavour.
+  const int status = run_in_child([] {
+    detail::contract_failure("invariant", "x == y", "fake.cpp", 1, "test");
+  });
+  EXPECT_TRUE(died_by_abort(status));
+}
+
+TEST(Contracts, PassingContractsAreAlwaysSilent) {
+  int evaluated = 0;
+  BFPSIM_REQUIRE(++evaluated > 0, "passing precondition");
+  BFPSIM_ENSURE(true, "passing postcondition");
+  BFPSIM_INVARIANT(1 + 1 == 2, "passing invariant");
+#if BFPSIM_CONTRACTS
+  EXPECT_EQ(evaluated, 1);
+#else
+  EXPECT_EQ(evaluated, 0);
+#endif
+}
+
+TEST(Contracts, MacroIsAStatementInUnbracedIfElse) {
+  // The do/while(false) (and the ((void)0) no-op) must both parse as a
+  // single statement, or an unbraced if/else around a contract would
+  // change meaning between build flavours.
+  const bool flag = true;
+  if (flag)
+    BFPSIM_REQUIRE(flag, "then-branch contract");
+  else
+    BFPSIM_REQUIRE(!flag, "else-branch contract");
+  SUCCEED();
+}
+
+#if BFPSIM_CONTRACTS
+
+TEST(Contracts, ViolatedRequireAborts) {
+  const int status = run_in_child([] {
+    const int limit = 8;
+    BFPSIM_REQUIRE(limit > 100, "fixture violation: limit too small");
+  });
+  EXPECT_TRUE(died_by_abort(status));
+}
+
+TEST(Contracts, ViolatedEnsureAborts) {
+  const int status =
+      run_in_child([] { BFPSIM_ENSURE(false, "fixture postcondition"); });
+  EXPECT_TRUE(died_by_abort(status));
+}
+
+TEST(Contracts, ViolatedInvariantAborts) {
+  const int status =
+      run_in_child([] { BFPSIM_INVARIANT(false, "fixture invariant"); });
+  EXPECT_TRUE(died_by_abort(status));
+}
+
+#else  // plain Release: the macros must compile to nothing.
+
+TEST(Contracts, CompiledOutMacrosDoNotEvaluateOrAbort) {
+  const int status = run_in_child([] {
+    int evaluated = 0;
+    BFPSIM_REQUIRE(++evaluated > 0, "never evaluated");
+    BFPSIM_ENSURE(++evaluated > 0, "never evaluated");
+    BFPSIM_INVARIANT(++evaluated > 0, "never evaluated");
+    if (evaluated != 0) _exit(7);  // evaluation leaked into Release
+    BFPSIM_REQUIRE(false, "a violated-but-disabled contract must be a no-op");
+  });
+  EXPECT_TRUE(exited_alive(status));
+}
+
+#endif  // BFPSIM_CONTRACTS
+
+}  // namespace
+}  // namespace bfpsim
