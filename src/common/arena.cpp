@@ -1,0 +1,99 @@
+#include "common/arena.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace bfpsim {
+
+namespace {
+
+constexpr bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+std::size_t align_up(std::size_t offset, std::size_t align) {
+  return (offset + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+// Alignment is computed on the absolute address, not the chunk offset:
+// operator new[] only guarantees __STDCPP_DEFAULT_NEW_ALIGNMENT__ (16), so
+// an offset-aligned-to-64 pointer need not be 64-byte aligned.
+std::size_t Arena::aligned_offset(const Chunk& c, std::size_t offset,
+                                  std::size_t align) {
+  const auto addr = reinterpret_cast<std::uintptr_t>(c.data.get());
+  return static_cast<std::size_t>(
+      align_up(static_cast<std::size_t>(addr) + offset, align) - addr);
+}
+
+Arena::Arena(std::size_t initial_bytes)
+    : next_chunk_bytes_(std::max<std::size_t>(initial_bytes, 64)) {}
+
+void Arena::require_capacity(std::size_t bytes, std::size_t align) {
+  // Reuse an already-owned later chunk (we are re-filling after a reset or
+  // release) before growing.
+  while (active_ < chunks_.size()) {
+    const std::size_t base = aligned_offset(chunks_[active_], offset_, align);
+    if (base + bytes <= chunks_[active_].capacity) return;
+    ++active_;
+    offset_ = 0;
+  }
+  // Geometric growth: each new chunk doubles the frontier, and always fits
+  // the request outright (alignment slack included).
+  std::size_t cap = std::max(next_chunk_bytes_, bytes + align);
+  next_chunk_bytes_ = cap * 2;
+  Chunk c;
+  c.data = std::make_unique<std::byte[]>(cap);
+  c.capacity = cap;
+  chunks_.push_back(std::move(c));
+  active_ = chunks_.size() - 1;
+  offset_ = 0;
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  BFP_REQUIRE(is_pow2(align), "Arena: alignment must be a power of two");
+  require_capacity(bytes, align);
+  Chunk& c = chunks_[active_];
+  const std::size_t base = aligned_offset(c, offset_, align);
+  offset_ = base + bytes;
+  ++allocations_;
+  peak_bytes_ = std::max<std::uint64_t>(peak_bytes_, bytes_in_use());
+  return c.data.get() + base;
+}
+
+void Arena::release(const Marker& m) {
+  BFP_REQUIRE(m.chunk < chunks_.size() ||
+                  (m.chunk == 0 && chunks_.empty()),
+              "Arena: marker does not belong to this arena");
+  BFP_REQUIRE(m.chunk < active_ ||
+                  (m.chunk == active_ && m.offset <= offset_) ||
+                  chunks_.empty(),
+              "Arena: release must unwind, not advance");
+  active_ = m.chunk;
+  offset_ = m.offset;
+}
+
+void Arena::reset() {
+  active_ = 0;
+  offset_ = 0;
+}
+
+std::size_t Arena::bytes_in_use() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < active_ && i < chunks_.size(); ++i) {
+    total += chunks_[i].capacity;
+  }
+  return total + offset_;
+}
+
+std::size_t Arena::bytes_reserved() const {
+  std::size_t total = 0;
+  for (const Chunk& c : chunks_) total += c.capacity;
+  return total;
+}
+
+Arena& scratch_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace bfpsim

@@ -1,0 +1,168 @@
+// Arena (region) allocation for the simulator's hot paths.
+//
+// The batched serving loop and the functional GEMM kernels allocate many
+// short-lived buffers per request / per tile (dispatch batches, pass specs,
+// operand transposes, partial-sum scratch). Routing those through the
+// general-purpose heap costs a lock + size-class walk per allocation and
+// scatters the working set; at fleet scale the simulator spends more time
+// in malloc than in the datapath. An Arena replaces that with a bump
+// pointer over a few large chunks: allocation is an add + compare, and the
+// whole region is recycled at once with reset()/release().
+//
+// Design rules:
+//  * Monotonic bump allocation; individual frees are no-ops. Lifetime is
+//    managed by scopes: mark() captures the current high-water mark and
+//    release(marker) unwinds to it (LIFO only — enforced by ArenaScope).
+//  * Chunks are owned std::unique_ptr<std::byte[]> blocks (no raw
+//    new/delete — the bfpsim-lint raw-alloc rule stays satisfied by
+//    construction); exhaustion grows geometrically, so a burst allocates
+//    O(log n) chunks, not O(n).
+//  * An Arena is single-threaded by design. Parallel workers each use
+//    their own (e.g. the thread_local scratch_arena()); sharing one arena
+//    across workers would serialize them and is not supported.
+//  * Determinism: an arena changes *where* bytes live, never *what* is
+//    computed — callers must not read uninitialized arena memory (ASan/
+//    MSan-friendly), so results are byte-identical with arenas on or off.
+//
+// bfpsim-lint: tag(alloc-impl)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace bfpsim {
+
+class Arena {
+ public:
+  /// `initial_bytes` sizes the first chunk (allocated lazily on first use).
+  explicit Arena(std::size_t initial_bytes = kDefaultChunkBytes);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocate `bytes` aligned to `align` (power of two). The returned
+  /// memory is uninitialized and valid until the enclosing release()/
+  /// reset(). Zero-byte requests return a unique, properly aligned pointer.
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t));
+
+  /// Typed array allocation (uninitialized storage for `n` objects of T).
+  /// T must be trivially destructible: the arena never runs destructors.
+  template <typename T>
+  T* alloc_array(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena::alloc_array: arena memory is never destructed");
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Position in the arena: (chunk index, offset within chunk).
+  struct Marker {
+    std::size_t chunk = 0;
+    std::size_t offset = 0;
+  };
+
+  /// Capture the current allocation frontier.
+  Marker mark() const { return Marker{active_, offset_}; }
+
+  /// Unwind the frontier to `m` (must be a marker from this arena taken
+  /// before any allocation still considered live). Chunks stay owned for
+  /// reuse; only the bump pointers rewind.
+  void release(const Marker& m);
+
+  /// Unwind everything; keeps the chunks for reuse.
+  void reset();
+
+  /// ---- introspection (tests, stats) ----
+  std::size_t chunk_count() const { return chunks_.size(); }
+  std::size_t bytes_in_use() const;         ///< live bytes at the frontier
+  std::size_t bytes_reserved() const;       ///< sum of chunk capacities
+  std::uint64_t total_allocations() const { return allocations_; }
+  std::uint64_t peak_bytes() const { return peak_bytes_; }
+
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t capacity = 0;
+  };
+
+  /// Ensure the active chunk can take `bytes` at `align`; grow if not.
+  void require_capacity(std::size_t bytes, std::size_t align);
+
+  /// First offset >= `offset` whose *absolute address* in `c` is aligned.
+  static std::size_t aligned_offset(const Chunk& c, std::size_t offset,
+                                    std::size_t align);
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;     ///< index of the chunk being bumped
+  std::size_t offset_ = 0;     ///< bump offset within the active chunk
+  std::size_t next_chunk_bytes_;
+  std::uint64_t allocations_ = 0;
+  std::uint64_t peak_bytes_ = 0;
+};
+
+/// RAII mark/release pair: everything allocated from `arena` inside the
+/// scope is reclaimed on exit (exception-safe LIFO unwinding).
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena* arena)
+      : arena_(arena), mark_(arena != nullptr ? arena->mark()
+                                              : Arena::Marker{}) {}
+  ~ArenaScope() {
+    if (arena_ != nullptr) arena_->release(mark_);
+  }
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena* arena_;
+  Arena::Marker mark_;
+};
+
+/// std-compatible allocator over an Arena. With a null arena it falls back
+/// to the plain heap (std::allocator), so containers can be declared
+/// arena-backed unconditionally and switched off by configuration — the
+/// on/off choice must never change observable behaviour.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  ArenaAllocator() = default;
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t n) {
+    if (arena_ != nullptr) return arena_->alloc_array<T>(n);
+    return std::allocator<T>{}.allocate(n);
+  }
+  void deallocate(T* p, std::size_t n) {
+    if (arena_ != nullptr) return;  // reclaimed wholesale by release/reset
+    std::allocator<T>{}.deallocate(p, n);
+  }
+
+  Arena* arena() const { return arena_; }
+
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return a.arena_ == b.arena_;
+  }
+  friend bool operator!=(const ArenaAllocator& a, const ArenaAllocator& b) {
+    return !(a == b);
+  }
+
+ private:
+  Arena* arena_ = nullptr;
+};
+
+/// Per-thread scratch arena for transient kernel buffers (operand
+/// transposes, staging). Callers must bracket use with ArenaScope so
+/// nested users (inline nested parallel_for bodies) unwind LIFO.
+Arena& scratch_arena();
+
+}  // namespace bfpsim

@@ -6,6 +6,7 @@
 #include "bram/layout_converter.hpp"
 #include "common/bitops.hpp"
 #include "common/error.hpp"
+#include "numerics/bfp_kernel.hpp"
 #include "numerics/slices.hpp"
 
 namespace bfpsim {
@@ -166,7 +167,8 @@ GemmRun ProcessingUnit::gemm_bfp8_fast(std::span<const float> a, int m, int k,
   const BfpMatrix am = quantize_matrix(a, m, k, fmt, cfg_.quant_round);
   const BfpMatrix bm = quantize_matrix(b, k, n, fmt, cfg_.quant_round);
   GemmRun out;
-  out.c = bfp_gemm_reference(am, bm, m, n, cfg_.psu_bits, pool);
+  out.c = bfp_gemm_dispatch(am, bm, m, n, cfg_.psu_bits, active_kernel_tier(),
+                            pool);
   out.macs = static_cast<std::uint64_t>(m) * k * n;
   out.compute_cycles = gemm_cycles(cfg_, m, k, n);
   return out;

@@ -70,7 +70,10 @@ class ProcessingUnit {
   GemmRun gemm_bfp8(std::span<const float> a, int m, int k,
                     std::span<const float> b, int n);
 
-  /// Same numerics and cycle model through the golden reference (fast).
+  /// Same numerics and cycle model through the vectorized functional path
+  /// (bfp_gemm_dispatch at the process-wide active_kernel_tier()) —
+  /// bit-identical to the golden reference for every tier by construction
+  /// and pinned by tests/test_golden_diff.cpp.
   ///
   /// `pool` (optional) spreads the independent 8-column output tiles of a
   /// large MatMul across workers — the software analogue of the paper's

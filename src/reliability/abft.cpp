@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "numerics/bfp_kernel.hpp"
 
 namespace bfpsim {
 
@@ -146,7 +147,10 @@ AbftGemmResult abft_gemm(std::span<const float> a, int m, int k,
 
       WideBlock p;
       for (int attempt = 0;; ++attempt) {
-        p = bfp_matmul_block(x, y);
+        // Products route through the same tiered kernel as gemm_bfp8_fast,
+        // so ABFT checksums protect exactly the datapath that serves — and
+        // reuse p's wide storage across attempts/k-blocks.
+        bfp_tile_product_into(x, y, active_kernel_tier(), p);
         ++out.products;
         if (verify) out.checksum_macs += checksum_macs_per_product;
 

@@ -61,6 +61,12 @@ struct ServePolicy {
   /// consulted when BackendSpec::failures is non-empty.
   int max_retries = 3;
 
+  /// Route the per-dispatch scratch (batch entries, pass specs) through a
+  /// bump arena recycled per batch instead of the heap. Purely an
+  /// allocation-strategy switch: reports are byte-identical either way
+  /// (pinned by tests/test_arena.cpp).
+  bool use_arena = true;
+
   void validate() const;
 };
 

@@ -1,0 +1,12 @@
+// Fixture: a file tagged as the sanctioned allocator implementation may
+// use raw allocation primitives — the raw-alloc rule exempts it entirely.
+// Expect zero findings.
+// bfpsim-lint: tag(alloc-impl)
+namespace fixture {
+
+struct Pool {
+  unsigned char* grow(unsigned n) { return new unsigned char[n]; }
+  void shrink(unsigned char* p) { delete[] p; }
+};
+
+}  // namespace fixture

@@ -18,9 +18,11 @@
 #include <limits>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "numerics/bfp.hpp"
+#include "numerics/bfp_kernel.hpp"
 #include "numerics/fp32.hpp"
 #include "numerics/slices.hpp"
 #include "pu/processing_unit.hpp"
@@ -34,6 +36,20 @@ constexpr int kEdge = 8;                 // bfp8 block edge
 constexpr std::int64_t kManMax = 127;    // symmetric 8-bit mantissa range
 constexpr int kExpMin = -128;            // 8-bit two's-complement exponent
 constexpr int kExpMax = 127;
+
+// BFPSIM_FAST_TESTS (set for the "long" ctest label under TSan CI) shrinks
+// the seeded sweeps: same case families and seeds, fewer draws.
+#if defined(BFPSIM_FAST_TESTS)
+constexpr int kGemmFuzzCases = 14;
+constexpr int kTierFuzzCases = 16;
+constexpr int kTileFuzzCases = 60;
+constexpr int kSlicedRandomCases = 4000;
+#else
+constexpr int kGemmFuzzCases = 50;
+constexpr int kTierFuzzCases = 48;
+constexpr int kTileFuzzCases = 240;
+constexpr int kSlicedRandomCases = 20000;
+#endif
 
 /// Scalar mirror of the documented per-element rounding.
 std::int64_t golden_round(double scaled, RoundMode mode) {
@@ -225,6 +241,42 @@ std::vector<float> mixed_scale_operand(Rng& rng, int rows, int cols) {
   return v;
 }
 
+/// Zero/denormal-heavy operand: most elements are exact zeros, the rest
+/// subnormal floats (around 2^-141), with a sprinkle of normals so not
+/// every tile collapses to the all-zero exponent-floor case.
+std::vector<float> zero_denormal_operand(Rng& rng, int rows, int cols) {
+  std::vector<float> v(static_cast<std::size_t>(rows) * cols, 0.0F);
+  for (auto& x : v) {
+    const std::int64_t u = rng.uniform_int(0, 9);
+    if (u < 6) continue;
+    if (u < 9) {
+      x = std::ldexp(rng.normal(0.0F, 1.0F), -141);  // subnormal
+    } else {
+      x = rng.normal(0.0F, 1.0F);
+    }
+  }
+  return v;
+}
+
+/// Max-exponent-skew operand: alternate 8-wide blocks along the chosen
+/// dimension between scales 2^120 and 2^-120, so successive k-tile products
+/// sit ~220+ exponent steps apart and the PSU alignment shift exceeds 62 —
+/// the SIMD merge kernels must take their scalar-asr fallback and still
+/// land on the golden bits.
+std::vector<float> exponent_skew_operand(Rng& rng, int rows, int cols,
+                                         bool along_cols) {
+  std::vector<float> v(static_cast<std::size_t>(rows) * cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const int block = (along_cols ? c : r) / kEdge;
+      const int scale = (block % 2 == 0) ? 120 : -120;
+      v[static_cast<std::size_t>(r) * cols + c] =
+          std::ldexp(rng.normal(0.0F, 1.0F), scale);
+    }
+  }
+  return v;
+}
+
 /// ----------------- satellite 1: golden MatMul differential -----------------
 
 TEST(GoldenDiff, QuantizerMantissaExponentEquality) {
@@ -271,7 +323,7 @@ TEST(GoldenDiff, ScalarGoldenMatchesSystolicAndFastPaths) {
   // cycle-accurate systolic path, and the fast path must produce the same
   // float bits for every output element.
   ProcessingUnit pu;
-  for (int case_id = 0; case_id < 50; ++case_id) {
+  for (int case_id = 0; case_id < kGemmFuzzCases; ++case_id) {
     Rng rng(static_cast<std::uint64_t>(1000 + case_id));
     const int m = static_cast<int>(rng.uniform_int(1, 33));
     const int k = static_cast<int>(rng.uniform_int(1, 33));
@@ -396,6 +448,262 @@ TEST(GoldenDiff, Fp64AccumulateBoundsAlignmentError) {
   }
 }
 
+/// --------- dispatch-tier differential fuzz (vectorized kernels) ---------
+
+TEST(GoldenDiff, DispatchTierFuzzBitExactVsGolden) {
+  // Every dispatch variant (each available KernelTier plus the in-process
+  // reference GEMM) against the independent scalar golden model, across the
+  // operand families the fast paths special-case: plain mixed scales,
+  // zero/denormal-heavy blocks, max-exponent-skew blocks (PSU alignment
+  // shifts > 62, forcing the SIMD kernels onto their scalar-asr fallback),
+  // and exact multiple-of-8 dims (the fused 8x8 path) next to ragged ones.
+  const BfpFormat fmt = bfp8_format();
+  const std::vector<KernelTier> tiers = available_kernel_tiers();
+  constexpr int psu_bits = 32;
+  for (int case_id = 0; case_id < kTierFuzzCases; ++case_id) {
+    Rng rng(static_cast<std::uint64_t>(11000 + case_id));
+    const int family = case_id % 4;
+    int m, k, n;
+    if (family == 3) {  // exact multiples of 8, several k tiles: fused path
+      m = 8 * static_cast<int>(rng.uniform_int(1, 4));
+      k = 8 * static_cast<int>(rng.uniform_int(2, 5));
+      n = 8 * static_cast<int>(rng.uniform_int(1, 4));
+    } else {  // ragged dims, including sub-block edges
+      m = static_cast<int>(rng.uniform_int(1, 40));
+      k = static_cast<int>(rng.uniform_int(1, 40));
+      n = static_cast<int>(rng.uniform_int(1, 40));
+    }
+    std::vector<float> a, b;
+    switch (family) {
+      case 1:
+        a = zero_denormal_operand(rng, m, k);
+        b = zero_denormal_operand(rng, k, n);
+        break;
+      case 2:
+        a = exponent_skew_operand(rng, m, k, /*along_cols=*/true);
+        b = (case_id % 8 == 2)
+                ? exponent_skew_operand(rng, k, n, /*along_cols=*/false)
+                : mixed_scale_operand(rng, k, n);
+        break;
+      default:
+        a = mixed_scale_operand(rng, m, k);
+        b = mixed_scale_operand(rng, k, n);
+        break;
+    }
+    const GoldenGemm want =
+        golden_gemm(golden_quantize(a, m, k, RoundMode::kNearestEven),
+                    golden_quantize(b, k, n, RoundMode::kNearestEven), m, n);
+    const BfpMatrix am =
+        quantize_matrix(a, m, k, fmt, RoundMode::kNearestEven);
+    const BfpMatrix bm =
+        quantize_matrix(b, k, n, fmt, RoundMode::kNearestEven);
+    const std::vector<float> ref = bfp_gemm_reference(am, bm, m, n, psu_bits);
+    ASSERT_EQ(ref.size(), want.c.size());
+    for (std::size_t i = 0; i < want.c.size(); ++i) {
+      ASSERT_EQ(float_to_bits(ref[i]), float_to_bits(want.c[i]))
+          << "case " << case_id << " reference element " << i;
+    }
+    for (const KernelTier tier : tiers) {
+      const std::vector<float> got =
+          bfp_gemm_dispatch(am, bm, m, n, psu_bits, tier);
+      ASSERT_EQ(got.size(), want.c.size());
+      for (std::size_t i = 0; i < want.c.size(); ++i) {
+        ASSERT_EQ(float_to_bits(got[i]), float_to_bits(want.c[i]))
+            << "case " << case_id << " family " << family << " tier "
+            << to_string(tier) << " (" << m << "x" << k << "x" << n
+            << ") element " << i;
+      }
+    }
+  }
+}
+
+TEST(GoldenDiff, ActiveTierSweepThroughFastPath) {
+  // set_active_kernel_tier steers the production entry point
+  // (gemm_bfp8_fast): every tier must land on the golden bits through the
+  // full quantize -> dispatch -> dequantize path, and the setter must
+  // round-trip through active_kernel_tier.
+  struct TierGuard {
+    KernelTier prev = active_kernel_tier();
+    ~TierGuard() { set_active_kernel_tier(prev); }
+  } guard;
+  ProcessingUnit pu;
+  for (int case_id = 0; case_id < 6; ++case_id) {
+    Rng rng(static_cast<std::uint64_t>(13000 + case_id));
+    const int m = static_cast<int>(rng.uniform_int(1, 33));
+    const int k = static_cast<int>(rng.uniform_int(1, 33));
+    const int n = static_cast<int>(rng.uniform_int(1, 33));
+    const std::vector<float> a = mixed_scale_operand(rng, m, k);
+    const std::vector<float> b = mixed_scale_operand(rng, k, n);
+    const GoldenGemm want =
+        golden_gemm(golden_quantize(a, m, k, RoundMode::kNearestEven),
+                    golden_quantize(b, k, n, RoundMode::kNearestEven), m, n);
+    for (const KernelTier tier : available_kernel_tiers()) {
+      set_active_kernel_tier(tier);
+      ASSERT_EQ(active_kernel_tier(), tier);
+      const GemmRun got = pu.gemm_bfp8_fast(a, m, k, b, n);
+      ASSERT_EQ(got.c.size(), want.c.size());
+      for (std::size_t i = 0; i < want.c.size(); ++i) {
+        ASSERT_EQ(float_to_bits(got.c[i]), float_to_bits(want.c[i]))
+            << "case " << case_id << " tier " << to_string(tier)
+            << " element " << i;
+      }
+    }
+  }
+}
+
+TEST(GoldenDiff, KEdgeAndDegenerateDims) {
+  // k = 1 and 1-sized outputs run the single-k-block early path (no PSU
+  // merge, and — mirroring the reference — no psu_bits validation); k = 0
+  // is rejected up front rather than silently producing something.
+  ProcessingUnit pu;
+  EXPECT_THROW(pu.gemm_bfp8_fast({}, 1, 0, {}, 1), Error);
+  const BfpFormat fmt = bfp8_format();
+  const struct {
+    int m, k, n;
+  } dims[] = {{1, 1, 1}, {1, 1, 17}, {17, 1, 1},
+              {1, 9, 1}, {3, 1, 40}, {8, 8, 8}};
+  int case_id = 0;
+  for (const auto& d : dims) {
+    Rng rng(static_cast<std::uint64_t>(17000 + case_id++));
+    const std::vector<float> a = mixed_scale_operand(rng, d.m, d.k);
+    const std::vector<float> b = mixed_scale_operand(rng, d.k, d.n);
+    const GoldenGemm want = golden_gemm(
+        golden_quantize(a, d.m, d.k, RoundMode::kNearestEven),
+        golden_quantize(b, d.k, d.n, RoundMode::kNearestEven), d.m, d.n);
+    const BfpMatrix am =
+        quantize_matrix(a, d.m, d.k, fmt, RoundMode::kNearestEven);
+    const BfpMatrix bm =
+        quantize_matrix(b, d.k, d.n, fmt, RoundMode::kNearestEven);
+    for (const KernelTier tier : available_kernel_tiers()) {
+      const std::vector<float> got =
+          bfp_gemm_dispatch(am, bm, d.m, d.n, 32, tier);
+      ASSERT_EQ(got.size(), want.c.size());
+      for (std::size_t i = 0; i < want.c.size(); ++i) {
+        ASSERT_EQ(float_to_bits(got[i]), float_to_bits(want.c[i]))
+            << d.m << "x" << d.k << "x" << d.n << " tier "
+            << to_string(tier) << " element " << i;
+      }
+    }
+  }
+  // Mismatched inner dims are a contract violation, not a wrong answer.
+  Rng rng(17100);
+  const BfpMatrix am = quantize_matrix(mixed_scale_operand(rng, 8, 8), 8, 8,
+                                       fmt, RoundMode::kNearestEven);
+  const BfpMatrix bm = quantize_matrix(mixed_scale_operand(rng, 16, 8), 16, 8,
+                                       fmt, RoundMode::kNearestEven);
+  EXPECT_THROW(bfp_gemm_dispatch(am, bm, 8, 8, 32, KernelTier::kScalar),
+               Error);
+}
+
+TEST(GoldenDiff, ThreadSweepBitIdenticalAcrossTiers) {
+  // The tiled parallel execution is a pure partition of independent output
+  // tiles: every pool size must reproduce the serial bits for every tier,
+  // including on exponent-skewed operands where the merge fallback runs.
+  const BfpFormat fmt = bfp8_format();
+  for (int case_id = 0; case_id < 4; ++case_id) {
+    Rng rng(static_cast<std::uint64_t>(19000 + case_id));
+    const int m = static_cast<int>(rng.uniform_int(9, 40));
+    const int k = static_cast<int>(rng.uniform_int(9, 40));
+    const int n = static_cast<int>(rng.uniform_int(9, 40));
+    const std::vector<float> a =
+        (case_id % 2 == 0)
+            ? mixed_scale_operand(rng, m, k)
+            : exponent_skew_operand(rng, m, k, /*along_cols=*/true);
+    const std::vector<float> b = mixed_scale_operand(rng, k, n);
+    const BfpMatrix am =
+        quantize_matrix(a, m, k, fmt, RoundMode::kNearestEven);
+    const BfpMatrix bm =
+        quantize_matrix(b, k, n, fmt, RoundMode::kNearestEven);
+    for (const KernelTier tier : available_kernel_tiers()) {
+      const std::vector<float> serial =
+          bfp_gemm_dispatch(am, bm, m, n, 32, tier);
+      for (const int threads : {1, 2, 8}) {
+        ThreadPool pool(threads);
+        const std::vector<float> par =
+            bfp_gemm_dispatch(am, bm, m, n, 32, tier, &pool);
+        ASSERT_EQ(par.size(), serial.size());
+        ASSERT_EQ(0, std::memcmp(par.data(), serial.data(),
+                                 serial.size() * sizeof(float)))
+            << "case " << case_id << " tier " << to_string(tier)
+            << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(GoldenDiff, SimdDegradesWhenFormatRulesItOut) {
+  // A tier that cannot legally serve a format degrades, never errors: wide
+  // mantissas void the int32-accumulation proof, and an inner dim that is
+  // not a vector multiple rules the SIMD dot out.
+  const BfpFormat b8 = bfp8_format();
+  if (kernel_tier_available(KernelTier::kSimd)) {
+    EXPECT_EQ(effective_kernel_tier(b8, KernelTier::kSimd),
+              KernelTier::kSimd);
+  }
+  BfpFormat wide = b8;
+  wide.mant_bits = 16;  // 2*16 - 2 + bit_width(8) = 34 > 30
+  EXPECT_EQ(effective_kernel_tier(wide, KernelTier::kSimd),
+            KernelTier::kBlocked);
+  BfpFormat ragged = b8;
+  ragged.rows = ragged.cols = 12;  // inner dim % 8 != 0
+  EXPECT_EQ(effective_kernel_tier(ragged, KernelTier::kSimd),
+            KernelTier::kBlocked);
+  EXPECT_EQ(effective_kernel_tier(wide, KernelTier::kScalar),
+            KernelTier::kScalar);
+  EXPECT_EQ(effective_kernel_tier(wide, KernelTier::kBlocked),
+            KernelTier::kBlocked);
+}
+
+TEST(GoldenDiff, TileProductAllFormatsAllTiersMatchReference) {
+  // bfp_tile_product across non-8x8 block shapes and mantissa widths: the
+  // generic SSE2/AVX2/NEON dot kernels, the int32-vs-int64 blocked
+  // variants, and the degrade logic must all reproduce bfp_matmul_block
+  // exactly — including formats whose mantissa width voids the int32 proof
+  // and inner dims of 16/24 (the multi-chunk vector loops).
+  Rng rng(2300);
+  const int dims[] = {1, 3, 5, 8, 16, 24};
+  const int mants[] = {4, 8, 12, 16};
+  for (int t = 0; t < kTileFuzzCases; ++t) {
+    BfpFormat fx;
+    fx.rows = dims[rng.uniform_int(0, 5)];
+    fx.cols = dims[rng.uniform_int(0, 5)];
+    fx.mant_bits = mants[rng.uniform_int(0, 3)];
+    BfpFormat fy;
+    fy.rows = fx.cols;
+    fy.cols = dims[rng.uniform_int(0, 5)];
+    fy.mant_bits = mants[rng.uniform_int(0, 3)];
+    BfpBlock x(fx);
+    BfpBlock y(fy);
+    x.expb = static_cast<std::int32_t>(rng.uniform_int(-20, 20));
+    y.expb = static_cast<std::int32_t>(rng.uniform_int(-20, 20));
+    for (auto& mv : x.man) {
+      mv = static_cast<std::int16_t>(
+          rng.uniform_int(-fx.mant_max(), fx.mant_max()));
+    }
+    for (auto& mv : y.man) {
+      mv = static_cast<std::int16_t>(
+          rng.uniform_int(-fy.mant_max(), fy.mant_max()));
+    }
+    const WideBlock want = bfp_matmul_block(x, y);
+    for (const KernelTier tier : available_kernel_tiers()) {
+      const WideBlock got = bfp_tile_product(x, y, tier);
+      ASSERT_EQ(got.rows, want.rows);
+      ASSERT_EQ(got.cols, want.cols);
+      ASSERT_EQ(got.expb, want.expb);
+      ASSERT_EQ(got.psu, want.psu)
+          << "case " << t << " tier " << to_string(tier) << " "
+          << fx.rows << "x" << fx.cols << "x" << fy.cols << " mant "
+          << fx.mant_bits << "+" << fy.mant_bits;
+      // The _into form must overwrite stale storage of the wrong shape.
+      WideBlock reused(1, 1);
+      reused.psu.assign(1, std::int64_t{-777});
+      bfp_tile_product_into(x, y, tier, reused);
+      ASSERT_EQ(reused.psu, want.psu);
+      ASSERT_EQ(reused.expb, want.expb);
+    }
+  }
+}
+
 /// --------- satellite 2: sliced fp32 multiply property test ---------
 
 /// Operands that sit on representation boundaries: zeros, subnormal
@@ -464,7 +772,7 @@ void check_sliced_mul_bound(float x, float y, bool rne) {
 TEST(SlicedMulProperty, DroppedLsbBoundAcrossFullRange) {
   Rng rng(501);
   // Random operands spanning the full finite range, subnormals included.
-  for (int i = 0; i < 20000; ++i) {
+  for (int i = 0; i < kSlicedRandomCases; ++i) {
     const float x = random_finite_fp32(rng);
     const float y = random_finite_fp32(rng);
     check_sliced_mul_bound(x, y, /*rne=*/(i % 2) == 0);

@@ -331,6 +331,19 @@ TEST(Lint, FlagsRawAllocation) {
   expect_single_finding("bad_raw_alloc.cpp", "raw-alloc");
 }
 
+TEST(Lint, RawAllocExemptsTaggedAllocatorImplementation) {
+  // The sanctioned allocator (src/common/arena*, or anything tagged
+  // alloc-impl) is the one place raw allocation primitives may live; the
+  // raw-alloc rule must skip it wholesale rather than demand per-line
+  // allows inside the implementation.
+  const LintRun run =
+      run_lint({"--root", BFPSIM_SOURCE_ROOT, fixture("tagged_alloc_impl.cpp")});
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_TRUE(findings_of(run.report).empty())
+      << serialize(run.report.obj().at("findings"));
+  EXPECT_EQ(field_num(run.report, "files_scanned"), 1);
+}
+
 TEST(Lint, FlagsCountersMutationInParallelPhase) {
   expect_single_finding("bad_counters.cpp", "counters-mutation");
 }

@@ -7,11 +7,16 @@
 //    bit-identical to the unhooked build;
 //  * with a seeded plan, injection (and therefore every output and
 //    counter) is bit-identical for any thread-pool size.
+//  * the vectorized kernel tiers (numerics/bfp_kernel.hpp) are a pure
+//    speed knob: ABFT results, counters, per-column fault attribution and
+//    quarantine verdicts are invariant across KernelTier choices.
 #include "reliability/fault_model.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <map>
+#include <string>
 
 #include "bram/bram18.hpp"
 #include "cluster/cluster_executor.hpp"
@@ -25,6 +30,7 @@
 #include "fabric/system.hpp"
 #include "isa/executor.hpp"
 #include "isa/program.hpp"
+#include "numerics/bfp_kernel.hpp"
 #include "pu/exponent_unit.hpp"
 #include "pu/psu_buffer.hpp"
 #include "reliability/abft.hpp"
@@ -347,6 +353,137 @@ TEST(Abft, SeededInjectionBitIdenticalAcrossPoolSizes) {
     EXPECT_EQ(mismatch_words(got.c, serial.c), 0u) << threads << " workers";
     EXPECT_EQ(got.counters.snapshot(), want) << threads << " workers";
     EXPECT_EQ(got.column_faults, serial.column_faults);
+  }
+}
+
+// ---- cross-feature: vectorized kernel tiers under the ABFT hooks ----------
+
+/// Restores the process-wide kernel tier even when an ASSERT bails out.
+struct TierGuard {
+  KernelTier prev = active_kernel_tier();
+  ~TierGuard() { set_active_kernel_tier(prev); }
+};
+
+TEST(Abft, KernelTierSweepNoPlanBitIdenticalToReference) {
+  // abft_gemm routes its tile products through active_kernel_tier(): every
+  // tier must keep the no-fault datapath bit-identical to the reference,
+  // in every protection mode.
+  TierGuard guard;
+  const GemmData d = make_gemm(24, 40, 16, 21);
+  const BfpFormat fmt = bfp8_format();
+  const BfpMatrix am = quantize_matrix(d.a, d.m, d.k, fmt);
+  const BfpMatrix bm = quantize_matrix(d.b, d.k, d.n, fmt);
+  const std::vector<float> want = bfp_gemm_reference(am, bm, d.m, d.n);
+  for (const KernelTier tier : available_kernel_tiers()) {
+    set_active_kernel_tier(tier);
+    for (const AbftMode mode :
+         {AbftMode::kUnprotected, AbftMode::kDetect, AbftMode::kCorrect}) {
+      const AbftGemmResult res =
+          abft_gemm(d.a, d.m, d.k, d.b, d.n, fmt, RoundMode::kNearestEven,
+                    32, AbftOptions{mode, nullptr, 2});
+      EXPECT_EQ(mismatch_words(res.c, want), 0u)
+          << to_string(tier) << " " << to_string(mode);
+      EXPECT_EQ(res.counters.snapshot().at("reliability.injected"), 0u);
+    }
+  }
+}
+
+TEST(Abft, InjectionInvariantAcrossKernelTiers) {
+  // Fault injection is keyed by (plan seed, tile coords, k, attempt) — not
+  // by how the product was computed. Because every tier produces the same
+  // product bits, the entire protected run — output bits, every counter,
+  // the per-column fault attribution — must be invariant across tiers.
+  TierGuard guard;
+  const GemmData d = make_gemm(48, 80, 40, 22);
+  const BfpFormat fmt = bfp8_format();
+  FaultRates r;
+  r.psu_word = 2e-3;
+  FaultPlan plan(4242, r);
+  const AbftOptions opt{AbftMode::kCorrect, &plan, 2};
+
+  set_active_kernel_tier(KernelTier::kScalar);
+  const AbftGemmResult want = abft_gemm(
+      d.a, d.m, d.k, d.b, d.n, fmt, RoundMode::kNearestEven, 32, opt);
+  const auto want_snap = want.counters.snapshot();
+  ASSERT_GT(want_snap.at("reliability.injected"), 0u);
+
+  for (const KernelTier tier : available_kernel_tiers()) {
+    set_active_kernel_tier(tier);
+    for (const int threads : {0, 2}) {
+      ThreadPool pool(threads > 0 ? threads : 1);
+      const AbftGemmResult got =
+          abft_gemm(d.a, d.m, d.k, d.b, d.n, fmt, RoundMode::kNearestEven,
+                    32, opt, threads > 0 ? &pool : nullptr);
+      EXPECT_EQ(mismatch_words(got.c, want.c), 0u)
+          << to_string(tier) << " threads=" << threads;
+      EXPECT_EQ(got.counters.snapshot(), want_snap) << to_string(tier);
+      EXPECT_EQ(got.column_faults, want.column_faults) << to_string(tier);
+    }
+  }
+}
+
+TEST(ExecutorReliability, QuarantineVerdictsInvariantAcrossKernelTiers) {
+  // Executor + ABFT + PE-column quarantine, per tier: output tensor bits,
+  // reliability counters, device cycles (including any degraded-mode
+  // rescaling) and the set of quarantined columns must all agree — the
+  // kernel tier is invisible to the reliability subsystem.
+  TierGuard guard;
+  const AcceleratorSystem sys;
+  const GemmData d = make_gemm(32, 64, 32, 23);
+  // Rate/threshold tuned so this seeded run quarantines *some* PE columns
+  // without killing the whole unit (every column dead is an Executor
+  // error by contract).
+  FaultRates r;
+  r.psu_word = 1e-3;
+  FaultPlan plan(90210, r);
+  ProgramBuilder pb;
+  pb.bfp_matmul(2, 0, 1, d.m, d.k, d.n).halt();
+  const Program prog = pb.build();
+
+  struct RunOut {
+    std::vector<float> data;
+    std::uint64_t device_cycles = 0;
+    std::map<std::string, std::uint64_t> reliability;
+    std::vector<int> quarantined_columns;
+  };
+  auto run = [&](KernelTier tier) {
+    set_active_kernel_tier(tier);
+    Executor ex(sys);
+    ex.set_tensor(0, d.m, d.k, d.a);
+    ex.set_tensor(1, d.k, d.n, d.b);
+    ReliabilityConfig rc;
+    rc.mode = AbftMode::kCorrect;
+    rc.plan = &plan;
+    rc.quarantine_threshold = 2;
+    ex.set_reliability(rc);
+    const ExecutionStats stats = ex.run(prog);
+    RunOut out;
+    out.data = ex.tensor(2).data;
+    out.device_cycles = stats.device_cycles;
+    out.reliability = stats.reliability.snapshot();
+    const QuarantineState* q = ex.quarantine();
+    EXPECT_NE(q, nullptr);
+    if (q != nullptr) {
+      for (int col = 0; col < q->total_columns(); ++col) {
+        if (q->quarantined(col)) out.quarantined_columns.push_back(col);
+      }
+    }
+    return out;
+  };
+
+  const RunOut want = run(KernelTier::kScalar);
+  ASSERT_GT(want.reliability.at("reliability.detected_products"), 0u);
+  // The seeded run must actually reach degraded mode (some but not all
+  // columns quarantined) or this test would only compare healthy runs.
+  ASSERT_FALSE(want.quarantined_columns.empty());
+  ASSERT_LT(want.quarantined_columns.size(), 8u);
+  for (const KernelTier tier : available_kernel_tiers()) {
+    const RunOut got = run(tier);
+    EXPECT_EQ(mismatch_words(got.data, want.data), 0u) << to_string(tier);
+    EXPECT_EQ(got.device_cycles, want.device_cycles) << to_string(tier);
+    EXPECT_EQ(got.reliability, want.reliability) << to_string(tier);
+    EXPECT_EQ(got.quarantined_columns, want.quarantined_columns)
+        << to_string(tier);
   }
 }
 

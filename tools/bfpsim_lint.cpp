@@ -24,7 +24,9 @@
 //                        not grow a rounding-order dependence.
 //   raw-alloc            raw `new` / malloc / calloc / realloc / free:
 //                        ownership goes through containers or smart
-//                        pointers.
+//                        pointers. The sanctioned allocator implementation
+//                        (src/common/arena*, tagged alloc-impl) is exempt:
+//                        it IS the structured owner everything else uses.
 //   counters-mutation    Counters mutation (.add/.merge/.reset on a
 //                        counters object) in serving/cluster files other
 //                        than the serial event-phase owners: merge order in
@@ -42,7 +44,8 @@
 //   // bfpsim-lint: allow(<rule>)        suppress findings on this line
 //   // bfpsim-lint: file-allow(<rule>)   suppress <rule> for the whole file
 //   // bfpsim-lint: tag(<tag>)           add a scope tag (timing, bit-exact,
-//                                        parallel-phase, serial-phase)
+//                                        parallel-phase, serial-phase,
+//                                        rng-impl, alloc-impl)
 //   // bfpsim-lint: untag(<tag>)         remove a path-derived scope tag
 //   // bfpsim-lint: module(<name>)       override the layering module
 //
@@ -326,6 +329,10 @@ void apply_path_tags(FileReport& fr) {
   }
   // The one sanctioned RNG implementation.
   if (rel.rfind("src/common/rng", 0) == 0) fr.tags.insert("rng-impl");
+  // The one sanctioned low-level allocator (the Arena): every other file
+  // must go through it (or containers/smart pointers), so the raw-alloc
+  // rule exempts only this implementation.
+  if (rel.rfind("src/common/arena", 0) == 0) fr.tags.insert("alloc-impl");
 }
 
 // ---------------------------------------------------------------------------
@@ -485,6 +492,7 @@ class Linter {
   }
 
   void check_raw_alloc(FileReport& fr) {
+    if (fr.tags.count("alloc-impl") != 0) return;
     for (std::size_t i = 0; i < fr.scrubbed.size(); ++i) {
       const std::string& s = fr.scrubbed[i];
       bool hit = false;
