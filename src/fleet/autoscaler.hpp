@@ -1,0 +1,83 @@
+// Virtual-time autoscaler for fleet serving.
+//
+// A periodic controller (kScalerTick events in the fleet loop) that adds
+// replicas under SLO pressure and retires idle ones when the fleet is
+// over-provisioned. Pressure is read from two deterministic signals:
+//
+//  * queue depth per provisioned replica (ready + still cold-starting —
+//    counting the pending ones prevents re-firing while capacity is
+//    already on the way), and
+//  * the p95 of a sliding window of recent completion latencies
+//    (nearest-rank over the last `window` completions).
+//
+// Scale-ups pay an explicit cold-start cost: a spawned replica only
+// becomes dispatchable `cold_start_cycles` later. Scale-downs only retire
+// idle replicas and never below `min_replicas`. Both directions share a
+// cooldown so one burst cannot flap the fleet.
+//
+// The controller is a plain serial state machine driven by the event loop
+// — same inputs, same decisions, on every platform and thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bfpsim {
+
+struct AutoscalerPolicy {
+  bool enabled = false;
+
+  std::uint64_t interval_cycles = 300000;    ///< tick period
+  std::uint64_t cold_start_cycles = 600000;  ///< spawn -> dispatchable
+  std::uint64_t cooldown_cycles = 600000;    ///< min gap between actions
+
+  /// Scale up when queue depth exceeds this many requests per provisioned
+  /// replica, or when the window p95 reaches the SLO.
+  double up_queue_per_replica = 4.0;
+
+  /// Scale down only when the window p95 is below this fraction of the
+  /// SLO (and the queue is empty, nothing is cold-starting, and more than
+  /// min_replicas are ready).
+  double down_headroom = 0.5;
+
+  int scale_step = 1;       ///< replicas added per up decision
+  int min_replicas = 1;     ///< never retire below this many ready
+  std::size_t window = 32;  ///< completion latencies in the p95 window
+
+  void validate() const;
+};
+
+/// What one tick decided.
+struct ScaleDecision {
+  int spawn = 0;    ///< replicas to spawn (0 = none)
+  bool retire = false;  ///< retire one idle replica
+};
+
+/// The controller state machine. The fleet loop feeds it completions and
+/// asks it to evaluate on every tick.
+class Autoscaler {
+ public:
+  explicit Autoscaler(const AutoscalerPolicy& policy);
+
+  /// Record a completed request's arrival->complete latency.
+  void observe_completion(std::uint64_t total_cycles);
+
+  /// Evaluate the tick at `now`. `queue_depth` is the admission queue
+  /// depth, `ready` the dispatchable replica count, `pending` the count
+  /// still cold-starting, `slo_cycles` the (default) SLO.
+  ScaleDecision evaluate(std::uint64_t now, std::size_t queue_depth,
+                         int ready, int pending, std::uint64_t slo_cycles);
+
+  /// Nearest-rank p95 of the current window (0 when empty).
+  std::uint64_t window_p95() const;
+
+ private:
+  AutoscalerPolicy policy_;
+  std::vector<std::uint64_t> window_;  ///< ring buffer of latencies
+  std::size_t next_slot_ = 0;
+  bool window_full_ = false;
+  std::uint64_t cooldown_until_ = 0;
+};
+
+}  // namespace bfpsim

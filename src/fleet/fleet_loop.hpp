@@ -1,0 +1,106 @@
+// Fleet-scale serving: one admission queue, many replicas of differing
+// shapes, and a virtual-time autoscaler — all inside the same serial
+// discrete-event discipline as the serving layer's loop.
+//
+// serve_fleet mirrors serve_events step for step (same event kinds, same
+// (cycle, seq) ordering, same batcher conditions, same completion
+// bookkeeping) and layers three fleet concerns on top:
+//
+//  * the FleetAdmissionQueue (priority tiers + per-tenant quotas) replaces
+//    the plain bounded deadline queue,
+//  * the router places each batch on the free replica that serves the
+//    head request cheapest (classes differ in card count and partition
+//    strategy, so their per-request pass costs differ), and
+//  * the autoscaler adds replicas under SLO pressure — paying an explicit
+//    cold-start latency — and retires idle ones, on a periodic tick.
+//
+// Degenerate-equivalence contract: with the autoscaler off, one tenant,
+// one replica class, and a fixed replica count, serve_fleet produces the
+// serve_events/serve_cluster report record for record — pinned by
+// tests/test_fleet.cpp. And like every loop in this repo, the virtual-time
+// phase is serial: thread count only touches the functional forwards.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/autoscaler.hpp"
+#include "fleet/router.hpp"
+#include "fleet/tenant.hpp"
+#include "serving/event_loop.hpp"
+
+namespace bfpsim {
+
+/// One shape of replica the fleet may provision: `cards` cards running
+/// `strategy` partitioning, costed by a per-request pass table from the
+/// cluster cost model.
+struct ReplicaClassSpec {
+  std::string name;      ///< e.g. "1xpipeline", "2xtensor"
+  int cards = 1;         ///< cards per replica (reporting)
+  std::string strategy;  ///< partition strategy name (reporting)
+  std::vector<PassSpec> passes;  ///< per request id, like BackendSpec
+  int initial_replicas = 1;      ///< provisioned ready at cycle 0
+  int max_replicas = 8;          ///< autoscaler cap (live instances)
+};
+
+/// Everything serve_fleet needs besides the trace and the batcher policy.
+struct FleetSpec {
+  double freq_hz = 300.0e6;
+  std::vector<ReplicaClassSpec> classes;
+  TenantSet tenants;          ///< empty = one anonymous tenant
+  AutoscalerPolicy autoscaler;
+  std::string replica_prefix = "replica";
+
+  void validate(int total_requests) const;
+};
+
+/// One autoscaler action, in decision order.
+struct FleetScaleEvent {
+  std::uint64_t cycle = 0;
+  bool up = false;    ///< spawn (true) or retire (false)
+  int instance = 0;   ///< replica instance id
+  int cls = 0;        ///< replica class index
+};
+
+/// A replica class as reported (the pass table stays in the spec).
+struct FleetClassInfo {
+  std::string name;
+  int cards = 1;
+  std::string strategy;
+  int initial_replicas = 0;
+  int max_replicas = 0;
+};
+
+/// A fleet run's outcome: the familiar serving report (records indexed by
+/// replica instance id in LatencyRecord::unit) plus the fleet ledger.
+struct FleetReport {
+  ServeReport serve;
+
+  std::vector<FleetClassInfo> classes;  ///< spec order
+
+  std::vector<FleetScaleEvent> scale_events;  ///< decision order
+  std::vector<ReplicaInstance> replicas;      ///< final table, id order
+
+  /// Provisioned replica-cycles: for each instance, spawn decision to
+  /// retirement (or makespan). Cold starts are paid for — a replica costs
+  /// cycles from the moment it is provisioned, not the moment it is
+  /// usable. The static peak-sized fleet's figure is
+  /// peak_replicas * makespan; an autoscaler earns its keep by holding
+  /// the SLO on strictly fewer.
+  std::uint64_t replica_cycles = 0;
+  int peak_replicas = 0;  ///< max simultaneously live (ready or cold)
+
+  /// Stable-key JSON: {"fleet":{...}, "serve":<ServeReport::to_json()>}.
+  std::string to_json() const;
+};
+
+/// Run the fleet loop. Tenant tags ride on trace.arrivals (assign_tenants);
+/// per-tenant SLO overrides come from spec.tenants. `event_trace` events
+/// from replicas carry per-instance Chrome-trace pids (stable lanes even
+/// across spawn/retire churn).
+FleetReport serve_fleet(const FleetSpec& spec, const ArrivalTrace& trace,
+                        const ServePolicy& policy,
+                        Trace* event_trace = nullptr);
+
+}  // namespace bfpsim

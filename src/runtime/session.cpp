@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "fabric/hbm.hpp"
 #include "fabric/scheduler.hpp"
 #include "transformer/checkpoint.hpp"
 
@@ -264,6 +265,121 @@ ClusterServeResult Session::serve_cluster(ModelId model,
            std::to_string(r.report.rejected_ids.size()) + " rejected",
        0, r.report.makespan_cycles});
   return r;
+}
+
+Session::FleetServeResult Session::serve_fleet(ModelId model,
+                                               const FleetConfig& spec,
+                                               const ArrivalTrace& trace,
+                                               const ServePolicy& policy,
+                                               ThreadPool* pool,
+                                               Trace* event_trace) {
+  Deployed& dep = checked(model);
+  BFP_REQUIRE(!spec.classes.empty(),
+              "Session::serve_fleet: need at least one replica class");
+  trace.validate();
+  const auto un = static_cast<std::size_t>(trace.total_requests);
+
+  auto make_topology = [&](int cards) {
+    return spec.topology == TopologyKind::kRing
+               ? ClusterTopology::ring(cards, spec.link, cfg_)
+               : ClusterTopology::fully_connected(cards, spec.link, cfg_);
+  };
+
+  // Activations in/out over HBM, same for every class (same card config).
+  const VitConfig& mcfg = dep.model.config();
+  const std::uint64_t io_bytes =
+      static_cast<std::uint64_t>(mcfg.tokens()) *
+      static_cast<std::uint64_t>(mcfg.embed_dim) * sizeof(float);
+  const std::uint64_t load_cycles =
+      transfer_cycles(cfg_.hbm, io_bytes, cfg_.hbm.bfp_burst_bytes);
+  const std::uint64_t store_cycles = load_cycles;
+
+  FleetServeResult out;
+  out.features.resize(un);
+  out.request_stats.resize(un);
+
+  // ---- phase 1: class-0 per-request forwards (parallel, index-owned
+  // slots), exactly the serve_cluster construction ----
+  const ClusterTopology topo0 = make_topology(spec.classes[0].cards);
+  const ClusterExecutor exec0(dep.model.weights(), topo0,
+                              spec.classes[0].strategy);
+  auto run_request = [&](std::size_t i) {
+    std::vector<float> x = random_embeddings(
+        mcfg, trace.seed + static_cast<std::uint64_t>(i));
+    out.features[i] =
+        exec0.forward(std::move(x), &out.request_stats[i], nullptr);
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(un, run_request);
+  } else {
+    for (std::size_t i = 0; i < un; ++i) run_request(i);
+  }
+
+  // ---- assemble the fleet spec: class 0 costed per request, further
+  // classes probed once (their cost model is content-independent) ----
+  FleetSpec fleet;
+  fleet.freq_hz = cfg_.pu.freq_hz;
+  fleet.tenants = spec.tenants;
+  fleet.autoscaler = spec.autoscaler;
+  for (std::size_t c = 0; c < spec.classes.size(); ++c) {
+    const FleetClassConfig& fc = spec.classes[c];
+    ReplicaClassSpec cls;
+    cls.name = std::to_string(fc.cards) + "x" + to_string(fc.strategy);
+    cls.cards = fc.cards;
+    cls.strategy = to_string(fc.strategy);
+    cls.initial_replicas = fc.initial_replicas;
+    cls.max_replicas = fc.max_replicas;
+    cls.passes.reserve(un);
+    if (c == 0) {
+      for (std::size_t i = 0; i < un; ++i) {
+        cls.passes.push_back({load_cycles,
+                              out.request_stats[i].total_cycles(),
+                              store_cycles});
+      }
+    } else {
+      const ClusterTopology topo = make_topology(fc.cards);
+      const ClusterExecutor exec(dep.model.weights(), topo, fc.strategy);
+      ClusterStats probe;
+      std::vector<float> x = random_embeddings(mcfg, trace.seed);
+      exec.forward(std::move(x), &probe, nullptr);
+      const PassSpec pass{load_cycles, probe.total_cycles(), store_cycles};
+      cls.passes.assign(un, pass);
+    }
+    fleet.classes.push_back(std::move(cls));
+  }
+
+  // ---- phase 2: the serial fleet event loop ----
+  out.report = bfpsim::serve_fleet(fleet, trace, policy, event_trace);
+
+  for (std::size_t i = 0; i < un; ++i) {
+    out.report.serve.counters.add("serve.bfp_macs",
+                                  out.request_stats[i].bfp_macs);
+    out.report.serve.counters.add("cluster.collective_cycles",
+                                  out.request_stats[i].collective_cycles);
+    out.report.serve.counters.add("cluster.collective_bytes",
+                                  out.request_stats[i].collective_bytes);
+  }
+  if (spec.classes.size() == 1 && !spec.autoscaler.enabled) {
+    // A single fixed-shape fleet IS a cluster serve; report the same
+    // cluster identity counters so the degenerate report stays
+    // byte-identical to Session::serve_cluster's.
+    out.report.serve.counters.add(
+        "cluster.cards", static_cast<std::uint64_t>(spec.classes[0].cards));
+    out.report.serve.counters.add(
+        "cluster.replicas",
+        static_cast<std::uint64_t>(spec.classes[0].initial_replicas));
+  }
+  log_.push_back(
+      {CommandRecord::Kind::kCompute,
+       "serve_fleet " + dep.info.name + " (" +
+           std::to_string(spec.classes.size()) + " classes, peak " +
+           std::to_string(out.report.peak_replicas) + " replicas): " +
+           std::to_string(out.report.serve.records.size()) + "/" +
+           std::to_string(trace.total_requests) + " completed, " +
+           std::to_string(out.report.serve.rejected_ids.size()) +
+           " rejected",
+       0, out.report.serve.makespan_cycles});
+  return out;
 }
 
 void Session::undeploy(ModelId model) {

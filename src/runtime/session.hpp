@@ -24,6 +24,7 @@
 
 #include "cluster/cluster_serving.hpp"
 #include "fabric/system.hpp"
+#include "fleet/fleet_loop.hpp"
 #include "runtime/device_memory.hpp"
 #include "serving/event_loop.hpp"
 #include "transformer/model.hpp"
@@ -131,6 +132,47 @@ class Session {
                                    const ServePolicy& policy,
                                    ThreadPool* pool = nullptr,
                                    Trace* event_trace = nullptr);
+
+  /// One replica shape a fleet may provision (cards of this session's
+  /// card configuration, sharded by `strategy`).
+  struct FleetClassConfig {
+    int cards = 1;
+    PartitionStrategy strategy = PartitionStrategy::kPipeline;
+    int initial_replicas = 1;
+    int max_replicas = 8;
+  };
+
+  /// A heterogeneous, autoscaled, multi-tenant serving fleet.
+  struct FleetConfig {
+    std::vector<FleetClassConfig> classes = {FleetClassConfig{}};
+    TopologyKind topology = TopologyKind::kRing;
+    LinkConfig link;            ///< inter-card link within each replica
+    TenantSet tenants;          ///< empty = one anonymous tenant
+    AutoscalerPolicy autoscaler;
+  };
+
+  struct FleetServeResult {
+    FleetReport report;
+    /// Functional block outputs per request id (class-0 executor; the
+    /// partitioner's all-gather discipline makes every class's forward
+    /// bit-identical, so one copy represents them all).
+    std::vector<std::vector<float>> features;
+    std::vector<ClusterStats> request_stats;  ///< class-0, per request id
+  };
+
+  /// Fleet-scale online serving: requests from `trace` (optionally
+  /// tenant-tagged via assign_tenants) flow through the tiered/quota'd
+  /// admission queue onto replicas of the configured classes, with the
+  /// virtual-time autoscaler growing and shrinking the fleet. Class 0 is
+  /// costed per request (parallel functional forwards, index-owned
+  /// slots); other classes are probed once and their per-request pass
+  /// replicated — their cost model does not depend on request content.
+  /// Appends one summary record to the command log.
+  FleetServeResult serve_fleet(ModelId model, const FleetConfig& spec,
+                               const ArrivalTrace& trace,
+                               const ServePolicy& policy,
+                               ThreadPool* pool = nullptr,
+                               Trace* event_trace = nullptr);
 
   /// Release a deployed model's device memory.
   void undeploy(ModelId model);

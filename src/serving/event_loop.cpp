@@ -86,8 +86,16 @@ ServeReport serve_events(const BackendSpec& backend,
                         std::uint64_t aux = 0) {
     events.push(Event{cycle, seq++, kind, payload, aux});
   };
+  // Tenant tags ride on the trace (fleet layer). Closed-loop reinjected
+  // ids (beyond the initial arrivals) belong to the anonymous tenant 0.
+  std::vector<int> tenant_by_id(un, 0);
+  int num_tenants = 1;
   for (const RequestArrival& a : trace.arrivals) {
     push_event(a.cycle, Event::Kind::kArrival, a.id);
+    if (a.tenant > 0 && static_cast<std::size_t>(a.id) < un) {
+      tenant_by_id[static_cast<std::size_t>(a.id)] = a.tenant;
+      num_tenants = std::max(num_tenants, a.tenant + 1);
+    }
   }
   // Hard executor failures are known to the simulation up front (the fault
   // plan is virtual-time); pushing them here gives them low sequence
@@ -204,6 +212,7 @@ ServeReport serve_events(const BackendSpec& backend,
         r.unit = unit;
         r.batch_size = static_cast<int>(batch.size());
         r.slo_met = r.complete_cycle <= e.deadline_cycle;
+        r.tenant = e.tenant;
         completed[static_cast<std::size_t>(e.id)] = true;
         push_event(r.complete_cycle, Event::Kind::kComplete, e.id,
                    ++dispatch_gen[static_cast<std::size_t>(e.id)]);
@@ -239,7 +248,8 @@ ServeReport serve_events(const BackendSpec& backend,
         const int id = ev.payload;
         rep.counters.add("serve.requests");
         trace_ev(now, "queue", "arrive req" + std::to_string(id));
-        QueueEntry e{id, now, now + rep.slo_cycles};
+        QueueEntry e{id, now, now + rep.slo_cycles,
+                     tenant_by_id[static_cast<std::size_t>(id)], 0};
         QueueEntry victim;
         bool had_victim = false;
         const bool admitted = queue.push(e, &victim, &had_victim);
@@ -351,6 +361,11 @@ ServeReport serve_events(const BackendSpec& backend,
   rep.queue_wait = summarize_latencies(std::move(wait));
   rep.service = summarize_latencies(std::move(service));
   rep.max_queue_depth = queue.peak_depth();
+  if (num_tenants > 1) {
+    // Single-tenant runs leave this empty, keeping the report (and its
+    // JSON) bit-identical to the pre-fleet format.
+    rep.tenants = tenant_breakdowns(rep, tenant_by_id, num_tenants);
+  }
 
   std::uint64_t busy = 0;
   for (const std::uint64_t b : rep.unit_busy_cycles) busy += b;

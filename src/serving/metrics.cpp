@@ -91,6 +91,24 @@ std::string ServeReport::to_json() const {
   }
   os << "],";
   os << "\"queue_depth_samples\":" << queue_depth.size() << ",";
+  if (!tenants.empty()) {
+    // Omitted entirely for single-tenant runs, so the pre-fleet report
+    // format stays byte-identical.
+    os << "\"tenants\":[";
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      const TenantBreakdown& t = tenants[i];
+      if (i != 0) os << ",";
+      os << "{\"tenant\":" << t.tenant << ","
+         << "\"name\":\"" << json_escape(t.name) << "\","
+         << "\"tier\":" << t.tier << ","
+         << "\"completed\":" << t.completed << ","
+         << "\"rejected\":" << t.rejected << ","
+         << "\"slo_violations\":" << t.slo_violations << ",";
+      json_summary(os, "latency", t.latency, *this);
+      os << "}";
+    }
+    os << "],";
+  }
   os << "\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : counters.snapshot()) {
@@ -100,6 +118,39 @@ std::string ServeReport::to_json() const {
   }
   os << "}}";
   return os.str();
+}
+
+std::vector<TenantBreakdown> tenant_breakdowns(
+    const ServeReport& report, const std::vector<int>& tenant_of_id,
+    int num_tenants) {
+  if (num_tenants < 1) num_tenants = 1;
+  auto tenant_of = [&](int id) {
+    const auto uid = static_cast<std::size_t>(id);
+    if (id < 0 || uid >= tenant_of_id.size()) return 0;
+    const int t = tenant_of_id[uid];
+    return (t >= 0 && t < num_tenants) ? t : 0;
+  };
+  std::vector<TenantBreakdown> out(static_cast<std::size_t>(num_tenants));
+  std::vector<std::vector<std::uint64_t>> totals(
+      static_cast<std::size_t>(num_tenants));
+  for (int k = 0; k < num_tenants; ++k) {
+    out[static_cast<std::size_t>(k)].tenant = k;
+    out[static_cast<std::size_t>(k)].name = "tenant" + std::to_string(k);
+  }
+  for (const LatencyRecord& r : report.records) {
+    auto& row = out[static_cast<std::size_t>(tenant_of(r.id))];
+    ++row.completed;
+    if (!r.slo_met) ++row.slo_violations;
+    totals[static_cast<std::size_t>(row.tenant)].push_back(r.total_cycles());
+  }
+  for (const int id : report.rejected_ids) {
+    ++out[static_cast<std::size_t>(tenant_of(id))].rejected;
+  }
+  for (int k = 0; k < num_tenants; ++k) {
+    out[static_cast<std::size_t>(k)].latency =
+        summarize_latencies(std::move(totals[static_cast<std::size_t>(k)]));
+  }
+  return out;
 }
 
 }  // namespace bfpsim

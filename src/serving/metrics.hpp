@@ -24,6 +24,7 @@ struct LatencyRecord {
   int unit = -1;        ///< unit the batch ran on
   int batch_size = 0;   ///< size of the batch it rode in
   bool slo_met = false;
+  int tenant = 0;       ///< tenant tag (0 = the anonymous tenant)
 
   std::uint64_t queue_cycles() const { return dispatch_cycle - arrival_cycle; }
   std::uint64_t service_cycles() const {
@@ -51,6 +52,19 @@ struct QueueSample {
   std::size_t depth = 0;
 };
 
+/// Per-tenant slice of a serving run (fleet layer). Only populated when a
+/// run actually has more than one tenant, so single-tenant reports render
+/// byte-identically to the pre-fleet format.
+struct TenantBreakdown {
+  int tenant = 0;
+  std::string name;           ///< tenant name ("tenant<k>" when unnamed)
+  int tier = 0;               ///< priority tier, 0 = highest
+  std::size_t completed = 0;
+  std::size_t rejected = 0;   ///< rejected + shed, any cause
+  std::size_t slo_violations = 0;
+  PercentileSummary latency;  ///< arrival -> complete, this tenant only
+};
+
 /// Everything one serving run produced, ready to report.
 struct ServeReport {
   std::vector<LatencyRecord> records;  ///< completed requests, id order
@@ -62,6 +76,10 @@ struct ServeReport {
 
   std::vector<QueueSample> queue_depth;  ///< time series
   std::size_t max_queue_depth = 0;
+
+  /// Per-tenant latency/SLO slices, tenant-id order. Empty (the default,
+  /// and always for single-tenant runs) adds nothing to the JSON.
+  std::vector<TenantBreakdown> tenants;
 
   std::vector<std::uint64_t> unit_busy_cycles;  ///< per unit
   std::uint64_t makespan_cycles = 0;  ///< last completion time
@@ -82,5 +100,15 @@ struct ServeReport {
   /// Machine-readable JSON (stable key order, counters included).
   std::string to_json() const;
 };
+
+/// Assemble per-tenant breakdowns from a finished report. `tenant_of_id`
+/// maps request id -> tenant (empty = everyone is tenant 0);
+/// `num_tenants` fixes the row count so tenants with no surviving
+/// requests still get a (count = 0) row. Rows come back in tenant-id
+/// order; rejected ids outside [0, tenant_of_id.size()) count against
+/// tenant 0.
+std::vector<TenantBreakdown> tenant_breakdowns(
+    const ServeReport& report, const std::vector<int>& tenant_of_id,
+    int num_tenants);
 
 }  // namespace bfpsim

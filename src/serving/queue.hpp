@@ -31,6 +31,8 @@ struct QueueEntry {
   int id = 0;
   std::uint64_t arrival_cycle = 0;
   std::uint64_t deadline_cycle = 0;  ///< arrival + SLO budget
+  int tenant = 0;  ///< tenant tag (fleet layer; 0 = the anonymous tenant)
+  int tier = 0;    ///< priority tier, 0 = highest (fleet layer)
 };
 
 class AdmissionQueue {

@@ -51,6 +51,97 @@ ArrivalTrace poisson_trace(int num_requests, double rate_rps,
   return t;
 }
 
+ArrivalTrace diurnal_trace(int num_requests, double base_rps,
+                           double peak_rps, double period_s,
+                           std::uint64_t seed, double freq_hz) {
+  BFP_REQUIRE(num_requests >= 1, "diurnal_trace: needs >= 1 request");
+  BFP_REQUIRE(base_rps >= 0.0, "diurnal_trace: base rate must be >= 0");
+  BFP_REQUIRE(peak_rps > 0.0, "diurnal_trace: peak rate must be positive");
+  BFP_REQUIRE(peak_rps >= base_rps,
+              "diurnal_trace: peak rate must be >= base rate");
+  BFP_REQUIRE(period_s > 0.0, "diurnal_trace: period must be positive");
+  BFP_REQUIRE(freq_hz > 0.0, "diurnal_trace: frequency must be positive");
+
+  ArrivalTrace t;
+  t.total_requests = num_requests;
+  t.seed = seed;
+  t.freq_hz = freq_hz;
+  t.offered_rps = 0.5 * (base_rps + peak_rps);
+
+  // Thinning (Lewis–Shedler): candidates arrive as a homogeneous Poisson
+  // process at the peak rate; a candidate at time s survives with
+  // probability rate(s)/peak. Both draws come from the one seeded engine,
+  // in a fixed order, so the accepted subsequence is reproducible.
+  const double two_pi = 8.0 * std::atan(1.0);
+  auto rate_at = [&](double s) {
+    return base_rps +
+           (peak_rps - base_rps) * 0.5 * (1.0 - std::cos(two_pi * s / period_s));
+  };
+  Rng rng(seed);
+  double t_seconds = 0.0;
+  t.arrivals.reserve(static_cast<std::size_t>(num_requests));
+  int id = 0;
+  while (id < num_requests) {
+    const double u = rng.unit_double();
+    t_seconds += -std::log1p(-u) / peak_rps;
+    if (rng.unit_double() * peak_rps <= rate_at(t_seconds)) {
+      t.arrivals.push_back(
+          {id, static_cast<std::uint64_t>(t_seconds * freq_hz), 0});
+      ++id;
+    }
+  }
+  t.validate();
+  return t;
+}
+
+ArrivalTrace mmpp_trace(int num_requests, double low_rps, double high_rps,
+                        double dwell_low_s, double dwell_high_s,
+                        std::uint64_t seed, double freq_hz) {
+  BFP_REQUIRE(num_requests >= 1, "mmpp_trace: needs >= 1 request");
+  BFP_REQUIRE(low_rps > 0.0, "mmpp_trace: low rate must be positive");
+  BFP_REQUIRE(high_rps >= low_rps,
+              "mmpp_trace: high rate must be >= low rate");
+  BFP_REQUIRE(dwell_low_s > 0.0 && dwell_high_s > 0.0,
+              "mmpp_trace: dwell times must be positive");
+  BFP_REQUIRE(freq_hz > 0.0, "mmpp_trace: frequency must be positive");
+
+  ArrivalTrace t;
+  t.total_requests = num_requests;
+  t.seed = seed;
+  t.freq_hz = freq_hz;
+  t.offered_rps = (low_rps * dwell_low_s + high_rps * dwell_high_s) /
+                  (dwell_low_s + dwell_high_s);
+
+  const double rate[2] = {low_rps, high_rps};
+  const double dwell[2] = {dwell_low_s, dwell_high_s};
+  Rng rng(seed);
+  auto exp_draw = [&](double mean) {
+    return -std::log1p(-rng.unit_double()) * mean;
+  };
+  int state = 0;
+  double t_seconds = 0.0;
+  double state_end = exp_draw(dwell[0]);
+  t.arrivals.reserve(static_cast<std::size_t>(num_requests));
+  int id = 0;
+  while (id < num_requests) {
+    const double dt = exp_draw(1.0 / rate[state]);
+    if (t_seconds + dt <= state_end) {
+      t_seconds += dt;
+      t.arrivals.push_back(
+          {id, static_cast<std::uint64_t>(t_seconds * freq_hz), 0});
+      ++id;
+    } else {
+      // The draw crossed the dwell boundary: jump to the boundary, switch
+      // state, and resample there (memorylessness makes this exact).
+      t_seconds = state_end;
+      state ^= 1;
+      state_end = t_seconds + exp_draw(dwell[state]);
+    }
+  }
+  t.validate();
+  return t;
+}
+
 ArrivalTrace closed_loop_trace(int clients, int total_requests,
                                double think_ms, std::uint64_t seed,
                                double freq_hz) {

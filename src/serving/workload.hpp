@@ -29,6 +29,10 @@ namespace bfpsim {
 struct RequestArrival {
   int id = 0;                  ///< dense request id in [0, total_requests)
   std::uint64_t cycle = 0;     ///< virtual arrival time (fabric cycles)
+  /// Tenant tag (fleet layer): index into the run's tenant set. The plain
+  /// generators below leave it at 0 (a single anonymous tenant), so every
+  /// pre-fleet trace and report is unchanged bit for bit.
+  int tenant = 0;
 };
 
 /// A complete, replayable workload description.
@@ -62,5 +66,29 @@ ArrivalTrace poisson_trace(int num_requests, double rate_rps,
 ArrivalTrace closed_loop_trace(int clients, int total_requests,
                                double think_ms, std::uint64_t seed,
                                double freq_hz = kDefaultFreqHz);
+
+/// Open-loop diurnal trace: a nonhomogeneous Poisson process whose rate
+/// swings sinusoidally between `base_rps` (trough) and `peak_rps` (peak)
+/// with period `period_s` seconds of virtual time, starting at the trough.
+/// Sampled by seeded thinning against the peak rate (two deterministic
+/// draws per candidate: inter-arrival + accept), so the trace is identical
+/// on every platform. offered_rps reports the cycle-average rate.
+ArrivalTrace diurnal_trace(int num_requests, double base_rps,
+                           double peak_rps, double period_s,
+                           std::uint64_t seed,
+                           double freq_hz = kDefaultFreqHz);
+
+/// Open-loop bursty trace: a two-state Markov-modulated Poisson process
+/// (MMPP-2). The source dwells exponentially (mean `dwell_low_s` /
+/// `dwell_high_s` seconds) in a low state emitting at `low_rps` and a high
+/// state emitting at `high_rps`, starting low. State switches exploit
+/// memorylessness: the inter-arrival draw that crosses a dwell boundary is
+/// discarded and resampled at the new rate from the boundary — exactly the
+/// textbook MMPP construction, fully determined by the seed. offered_rps
+/// reports the dwell-weighted average rate.
+ArrivalTrace mmpp_trace(int num_requests, double low_rps, double high_rps,
+                        double dwell_low_s, double dwell_high_s,
+                        std::uint64_t seed,
+                        double freq_hz = kDefaultFreqHz);
 
 }  // namespace bfpsim

@@ -48,12 +48,17 @@ std::string json_escape(std::string_view s) {
 
 void Trace::record(std::uint64_t cycle, std::string component,
                    std::string message) {
+  record_pid(cycle, std::move(component), std::move(message), -1);
+}
+
+void Trace::record_pid(std::uint64_t cycle, std::string component,
+                       std::string message, int pid) {
   if (!enabled_) return;
   if (capacity_ != 0 && events_.size() >= capacity_) {
     ++dropped_;
     return;
   }
-  events_.push_back({cycle, std::move(component), std::move(message)});
+  events_.push_back({cycle, std::move(component), std::move(message), pid});
 }
 
 std::vector<TraceEvent> Trace::for_component(
@@ -94,7 +99,8 @@ std::string Trace::to_chrome_json(int pid) const {
        << "\"cat\":\"" << json_escape(e.component) << "\","
        << "\"ph\":\"i\",\"s\":\"t\","
        << "\"ts\":" << e.cycle << ","
-       << "\"pid\":" << pid << ",\"tid\":" << tids[e.component] << "}";
+       << "\"pid\":" << (e.pid >= 0 ? e.pid : pid) << ",\"tid\":"
+       << tids[e.component] << "}";
   }
   os << "],\"displayTimeUnit\":\"ns\"}";
   return os.str();

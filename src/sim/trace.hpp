@@ -24,6 +24,11 @@ struct TraceEvent {
   std::uint64_t cycle = 0;
   std::string component;
   std::string message;
+  /// Chrome-trace process id override for this event; -1 (the default)
+  /// falls back to the pid passed to to_chrome_json(). Dynamically spawned
+  /// serving replicas stamp their instance id here so a replica spawned
+  /// after an earlier one retired never aliases the retiree's lane.
+  int pid = -1;
 };
 
 class Trace {
@@ -42,6 +47,12 @@ class Trace {
   void record(std::uint64_t cycle, std::string component,
               std::string message);
 
+  /// Record with an explicit per-event Chrome-trace process id (see
+  /// TraceEvent::pid). The two-argument record() leaves it at -1, so
+  /// existing callers render exactly as before.
+  void record_pid(std::uint64_t cycle, std::string component,
+                  std::string message, int pid);
+
   const std::vector<TraceEvent>& events() const { return events_; }
   void clear() {
     events_.clear();
@@ -59,7 +70,9 @@ class Trace {
   /// first-seen order) so timelines open in chrome://tracing / Perfetto.
   /// `pid` tags every event's process id — pass a card id so per-card
   /// traces merge into one multi-process timeline; the default 0 keeps
-  /// the single-card output unchanged.
+  /// the single-card output unchanged. Events recorded with record_pid()
+  /// keep their own pid instead (stable per-replica lanes across mid-run
+  /// scale-ups); tid assignment is unchanged either way.
   std::string to_chrome_json(int pid = 0) const;
 
  private:

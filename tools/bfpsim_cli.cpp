@@ -9,6 +9,7 @@
 //   bfpsim batch <tiny|small|base> <BATCH>
 //   bfpsim serve <tiny|small|base|test> [options]
 //   bfpsim cluster <tiny|small|base|test> [options]
+//   bfpsim fleet <tiny|small|base|test> [options]
 //   bfpsim faults [options]
 //
 // Exit codes: 0 success, 1 runtime error, 2 unknown subcommand,
@@ -25,6 +26,9 @@
 
 #include "cluster/cluster_executor.hpp"
 #include "cluster/cluster_serving.hpp"
+#include "fleet/fleet_loop.hpp"
+#include "fleet/tenant.hpp"
+#include "runtime/session.hpp"
 #include "common/bitops.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -61,6 +65,15 @@ void print_usage() {
       "  bfpsim cluster <tiny|small|base|test> [--cards LIST]\n"
       "         [--strategy pipeline|tensor|both] [--requests N]\n"
       "         [--threads N] [--json]\n"
+      "  bfpsim fleet <tiny|small|base|test> [--requests N] [--rate RPS]\n"
+      "         [--pattern poisson|diurnal|burst] [--peak-ratio X]\n"
+      "         [--period-ms MS] [--burst-ratio X] [--burst-dwell-ms MS]\n"
+      "         [--tenants NAME:TIER:WEIGHT[:SLO_MS],...]\n"
+      "         [--classes CNTxCARDS{p|t},...  e.g. 2x1p,1x2t]\n"
+      "         [--autoscale] [--min-replicas N] [--max-replicas N]\n"
+      "         [--cold-start-us US] [--scale-interval-us US] [--seed S]\n"
+      "         [--queue D] [--batch B] [--slo-ms MS] [--max-wait-us US]\n"
+      "         [--shed] [--threads N] [--json] [--chrome-trace FILE]\n"
       "  bfpsim faults [--rates LIST] [--m M] [--k K] [--n N] [--seed S]\n"
       "         [--retries R] [--threads N] [--json]\n"
       "  bfpsim resources [unit|system]\n"
@@ -634,6 +647,267 @@ int cmd_cluster(int argc, char** argv) {
   return 0;
 }
 
+/// Fleet-scale serving: heterogeneous replica classes behind one tiered,
+/// quota'd admission queue, with the virtual-time autoscaler growing and
+/// shrinking the fleet against a Poisson, diurnal, or bursty trace.
+int cmd_fleet(int argc, char** argv) {
+  const std::string which = argv[0];
+  int requests = 48;
+  double rate = 0.0;  // 0 = auto: 70% of the initial fleet's capacity
+  std::string pattern = "poisson";
+  double peak_ratio = 3.0;
+  double period_ms = 50.0;
+  double burst_ratio = 4.0;
+  double burst_dwell_ms = 5.0;
+  std::string tenants_arg;
+  std::string classes_arg = "2x1p";
+  bool autoscale = false;
+  int min_replicas = 1;
+  int max_replicas = 8;
+  double cold_start_us = 2000.0;
+  double scale_interval_us = 1000.0;
+  std::uint64_t seed = 1;
+  ServePolicy policy;
+  double max_wait_us = -1.0;
+  int threads = 1;
+  bool json = false;
+  std::string chrome_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) throw Error(std::string(what) + " needs a value");
+      return argv[++i];
+    };
+    if (a == "--requests") {
+      requests = parse_int(next("--requests"), "--requests", 1, 1 << 20);
+    } else if (a == "--rate") {
+      rate = parse_double(next("--rate"), "--rate", 0.0, 1e12);
+    } else if (a == "--pattern") {
+      pattern = next("--pattern");
+      if (pattern != "poisson" && pattern != "diurnal" &&
+          pattern != "burst") {
+        throw Error("--pattern must be poisson, diurnal, or burst");
+      }
+    } else if (a == "--peak-ratio") {
+      peak_ratio =
+          parse_double(next("--peak-ratio"), "--peak-ratio", 1.0, 1e6);
+    } else if (a == "--period-ms") {
+      period_ms =
+          parse_double(next("--period-ms"), "--period-ms", 1e-3, 1e9);
+    } else if (a == "--burst-ratio") {
+      burst_ratio =
+          parse_double(next("--burst-ratio"), "--burst-ratio", 1.0, 1e6);
+    } else if (a == "--burst-dwell-ms") {
+      burst_dwell_ms = parse_double(next("--burst-dwell-ms"),
+                                    "--burst-dwell-ms", 1e-3, 1e9);
+    } else if (a == "--tenants") {
+      tenants_arg = next("--tenants");
+    } else if (a == "--classes") {
+      classes_arg = next("--classes");
+    } else if (a == "--autoscale") {
+      autoscale = true;
+    } else if (a == "--min-replicas") {
+      min_replicas =
+          parse_int(next("--min-replicas"), "--min-replicas", 1, 1024);
+    } else if (a == "--max-replicas") {
+      max_replicas =
+          parse_int(next("--max-replicas"), "--max-replicas", 1, 1024);
+    } else if (a == "--cold-start-us") {
+      cold_start_us = parse_double(next("--cold-start-us"),
+                                   "--cold-start-us", 0.0, 1e12);
+    } else if (a == "--scale-interval-us") {
+      scale_interval_us = parse_double(next("--scale-interval-us"),
+                                       "--scale-interval-us", 1e-3, 1e12);
+    } else if (a == "--seed") {
+      seed = parse_u64(next("--seed"), "--seed");
+    } else if (a == "--queue") {
+      policy.queue_capacity = static_cast<std::size_t>(
+          parse_int(next("--queue"), "--queue", 1, 1 << 20));
+    } else if (a == "--batch") {
+      policy.max_batch = parse_int(next("--batch"), "--batch", 1, 1 << 20);
+    } else if (a == "--slo-ms") {
+      policy.slo_ms = parse_double(next("--slo-ms"), "--slo-ms", 0.0, 1e9);
+    } else if (a == "--max-wait-us") {
+      max_wait_us =
+          parse_double(next("--max-wait-us"), "--max-wait-us", 0.0, 1e12);
+    } else if (a == "--shed") {
+      policy.drop_policy = DropPolicy::kShedOldest;
+    } else if (a == "--threads") {
+      threads = parse_int(next("--threads"), "--threads", 0, 1024);
+    } else if (a == "--json") {
+      json = true;
+    } else if (a == "--chrome-trace") {
+      chrome_path = next("--chrome-trace");
+    } else {
+      throw Error("unknown fleet option '" + a + "'");
+    }
+  }
+
+  // --classes CNTxCARDS{p|t},... : replica classes, e.g. "2x1p,1x2t" =
+  // two 1-card pipeline replicas plus one 2-card tensor replica.
+  Session::FleetConfig fleet_cfg;
+  fleet_cfg.classes.clear();
+  {
+    std::stringstream ss(classes_arg);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      const auto xpos = tok.find('x');
+      if (xpos == std::string::npos || xpos == 0 || xpos + 2 > tok.size()) {
+        throw Error("--classes entry '" + tok + "' is not CNTxCARDS{p|t}");
+      }
+      const char sc = tok.back();
+      if (sc != 'p' && sc != 't') {
+        throw Error("--classes entry '" + tok +
+                    "' must end in p (pipeline) or t (tensor)");
+      }
+      Session::FleetClassConfig c;
+      c.initial_replicas = parse_int(tok.substr(0, xpos).c_str(),
+                                     "--classes count", 0, 1024);
+      c.cards = parse_int(
+          tok.substr(xpos + 1, tok.size() - xpos - 2).c_str(),
+          "--classes cards", 1, 1024);
+      c.strategy = sc == 'p' ? PartitionStrategy::kPipeline
+                             : PartitionStrategy::kTensor;
+      c.max_replicas = std::max(max_replicas, std::max(1, c.initial_replicas));
+      fleet_cfg.classes.push_back(c);
+    }
+  }
+  if (fleet_cfg.classes.empty()) {
+    throw Error("--classes needs at least one entry");
+  }
+
+  // --tenants NAME:TIER:WEIGHT[:SLO_MS],... : tier 0 is the highest
+  // priority; weights set admission-quota shares.
+  {
+    std::stringstream ss(tenants_arg);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      std::stringstream fs(tok);
+      std::string name, tier_s, weight_s, slo_s;
+      if (!std::getline(fs, name, ':') || !std::getline(fs, tier_s, ':') ||
+          !std::getline(fs, weight_s, ':')) {
+        throw Error("--tenants entry '" + tok +
+                    "' is not NAME:TIER:WEIGHT[:SLO_MS]");
+      }
+      TenantSpec t;
+      t.name = name;
+      t.tier = parse_int(tier_s.c_str(), "--tenants tier", 0, 1024);
+      t.weight =
+          parse_double(weight_s.c_str(), "--tenants weight", 1e-6, 1e9);
+      if (std::getline(fs, slo_s, ':')) {
+        t.slo_ms = parse_double(slo_s.c_str(), "--tenants slo_ms", 0.0, 1e9);
+      }
+      fleet_cfg.tenants.tenants.push_back(std::move(t));
+    }
+  }
+
+  const VitConfig cfg = which == "test" ? vit_test_tiny() : pick_config(which);
+  Session session;
+  const double freq = session.system().config().pu.freq_hz;
+  const ModelId model = session.deploy(random_weights(cfg, 42), cfg.name);
+
+  fleet_cfg.autoscaler.enabled = autoscale;
+  fleet_cfg.autoscaler.min_replicas = min_replicas;
+  fleet_cfg.autoscaler.cold_start_cycles =
+      static_cast<std::uint64_t>(cold_start_us * 1e-6 * freq);
+  fleet_cfg.autoscaler.interval_cycles = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(scale_interval_us * 1e-6 * freq));
+  fleet_cfg.autoscaler.cooldown_cycles = fleet_cfg.autoscaler.interval_cycles;
+
+  if (threads <= 0) threads = ThreadPool::hardware_threads();
+  ThreadPool pool(threads);
+
+  if (rate <= 0.0) {
+    // Auto rate: probe one sharded forward per class and offer 70% of the
+    // initial fleet's aggregate capacity.
+    double capacity_rps = 0.0;
+    for (const auto& c : fleet_cfg.classes) {
+      if (c.initial_replicas == 0) continue;
+      const ClusterTopology topo = ClusterTopology::ring(
+          c.cards, LinkConfig{}, session.system().config());
+      const ClusterExecutor exec(random_weights(cfg, 42), topo, c.strategy);
+      ClusterStats stats;
+      (void)exec.forward(random_embeddings(cfg, seed), &stats, &pool);
+      capacity_rps += static_cast<double>(c.initial_replicas) * freq /
+                      static_cast<double>(stats.total_cycles());
+    }
+    if (capacity_rps <= 0.0) throw Error("--rate required (no probe basis)");
+    rate = 0.7 * capacity_rps;
+  }
+
+  ArrivalTrace arrival_trace;
+  if (pattern == "diurnal") {
+    const double base = 2.0 * rate / (1.0 + peak_ratio);
+    arrival_trace = diurnal_trace(requests, base, base * peak_ratio,
+                                  period_ms * 1e-3, seed, freq);
+  } else if (pattern == "burst") {
+    const double low = 2.0 * rate / (1.0 + burst_ratio);
+    arrival_trace =
+        mmpp_trace(requests, low, low * burst_ratio, burst_dwell_ms * 1e-3,
+                   burst_dwell_ms * 1e-3, seed, freq);
+  } else {
+    arrival_trace = poisson_trace(requests, rate, seed, freq);
+  }
+  assign_tenants(&arrival_trace, fleet_cfg.tenants);
+  if (max_wait_us >= 0.0) {
+    policy.max_wait_cycles =
+        static_cast<std::uint64_t>(max_wait_us * 1e-6 * freq);
+  }
+
+  Trace event_trace;
+  if (!chrome_path.empty()) {
+    event_trace.enable(true);
+    event_trace.set_capacity(1 << 20);
+  }
+  const Session::FleetServeResult r = session.serve_fleet(
+      model, fleet_cfg, arrival_trace, policy, &pool,
+      chrome_path.empty() ? nullptr : &event_trace);
+  const ServeReport& rep = r.report.serve;
+
+  if (json) {
+    std::printf("%s\n", r.report.to_json().c_str());
+  } else {
+    std::printf("fleet serving: %s, %d requests, %s arrivals\n",
+                cfg.name.c_str(), requests, pattern.c_str());
+    for (const FleetClassInfo& c : r.report.classes) {
+      std::printf("  class %-12s: %d initial, max %d\n", c.name.c_str(),
+                  c.initial_replicas, c.max_replicas);
+    }
+    std::printf("  offered rate     : %.1f req/s\n",
+                arrival_trace.offered_rps);
+    std::printf("  completed        : %zu (%zu rejected/shed)\n",
+                rep.records.size(), rep.rejected_ids.size());
+    std::printf("  latency p50/p95  : %.3f / %.3f ms\n",
+                rep.cycles_to_ms(rep.latency.p50),
+                rep.cycles_to_ms(rep.latency.p95));
+    std::printf("  SLO %.1f ms      : %zu violations\n", policy.slo_ms,
+                rep.slo_violations);
+    std::printf("  autoscaler       : %s, %zu scale events, peak %d "
+                "replicas\n",
+                autoscale ? "on" : "off", r.report.scale_events.size(),
+                r.report.peak_replicas);
+    std::printf("  replica-cycles   : %llu (utilization %.1f%%)\n",
+                static_cast<unsigned long long>(r.report.replica_cycles),
+                100.0 * rep.utilization);
+    for (const TenantBreakdown& t : rep.tenants) {
+      std::printf("  tenant %-10s: tier %d, %zu done, %zu rejected, "
+                  "%zu SLO misses, p95 %.3f ms\n",
+                  t.name.c_str(), t.tier, t.completed, t.rejected,
+                  t.slo_violations, rep.cycles_to_ms(t.latency.p95));
+    }
+  }
+  if (!chrome_path.empty()) {
+    std::ofstream os(chrome_path);
+    if (!os) throw Error("cannot write '" + chrome_path + "'");
+    os << event_trace.to_chrome_json();
+    std::fprintf(stderr, "chrome trace: %s (%zu events, %llu dropped)\n",
+                 chrome_path.c_str(), event_trace.events().size(),
+                 static_cast<unsigned long long>(event_trace.dropped()));
+  }
+  return 0;
+}
+
 /// Fault-injection sweep: run one seeded GEMM per (PSU fault rate,
 /// protection mode) cell and report detection coverage, corrections and
 /// silent data corruption against the fault-free run.
@@ -787,7 +1061,8 @@ bool has_flag(int argc, char** argv, const char* flag) {
 
 bool known_command(const std::string& cmd) {
   for (const char* k : {"info", "gemm", "softmax", "deit", "throughput",
-                        "batch", "serve", "cluster", "faults", "resources"}) {
+                        "batch", "serve", "cluster", "fleet", "faults",
+                        "resources"}) {
     if (cmd == k) return true;
   }
   return false;
@@ -854,6 +1129,14 @@ int main(int argc, char** argv) {
       if (argc < 3) return bad_args("cluster needs <tiny|small|base|test>");
       try {
         return cmd_cluster(argc - 2, argv + 2);
+      } catch (const Error& e) {
+        return bad_args(e.what());
+      }
+    }
+    if (cmd == "fleet") {
+      if (argc < 3) return bad_args("fleet needs <tiny|small|base|test>");
+      try {
+        return cmd_fleet(argc - 2, argv + 2);
       } catch (const Error& e) {
         return bad_args(e.what());
       }

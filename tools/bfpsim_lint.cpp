@@ -286,7 +286,8 @@ const std::vector<std::string>& module_ladder() {
   static const std::vector<std::string> kLadder = {
       "common",  "numerics", "sim", "reliability", "dsp",      "bram",
       "pu",      "fabric",   "isa", "resource",
-      "transformer", "serving", "cluster",  "compiler", "runtime", "core",
+      "transformer", "serving", "cluster", "fleet", "compiler", "runtime",
+      "core",
   };
   return kLadder;
 }
@@ -311,7 +312,7 @@ void apply_path_tags(FileReport& fr) {
   // Timing-critical: anything whose iteration order or host behaviour can
   // leak into cycle accounting or the serving/cluster event loops.
   if (under("src/sim/") || under("src/serving/") || under("src/cluster/") ||
-      under("src/fabric/")) {
+      under("src/fleet/") || under("src/fabric/")) {
     fr.tags.insert("timing");
   }
   // Bit-exact integer datapath: the golden numerics, the cycle-accurate PU
@@ -320,11 +321,13 @@ void apply_path_tags(FileReport& fr) {
       rel.rfind("src/reliability/abft", 0) == 0) {
     fr.tags.insert("bit-exact");
   }
-  // Serving/cluster files are parallel-phase by default; only the serial
-  // event-loop owners may mutate report counters.
-  if (under("src/serving/") || under("src/cluster/")) {
+  // Serving/cluster/fleet files are parallel-phase by default; only the
+  // serial event-loop owners may mutate report counters.
+  if (under("src/serving/") || under("src/cluster/") ||
+      under("src/fleet/")) {
     const bool serial_owner = rel == "src/serving/event_loop.cpp" ||
-                              rel == "src/cluster/cluster_serving.cpp";
+                              rel == "src/cluster/cluster_serving.cpp" ||
+                              rel == "src/fleet/fleet_loop.cpp";
     fr.tags.insert(serial_owner ? "serial-phase" : "parallel-phase");
   }
   // The one sanctioned RNG implementation.
