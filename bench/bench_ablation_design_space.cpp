@@ -2,8 +2,18 @@
 //   * combined-MAC on/off (throughput and packing-safety trade),
 //   * PE-array geometry sweep (resources and peak throughput),
 //   * PSU depth / maximum stream length (Eqn 9 efficiency),
-//   * bfp mantissa width sweep (accuracy vs the 8-bit design point).
+//   * bfp mantissa width sweep (accuracy vs the 8-bit design point),
+//   * numeric-mode sweep (section G): every registered NumericMode's
+//     accuracy x resource x throughput point — the precision-zoo Pareto
+//     front, emitted as JSON with --json-out.
+//
+// Usage: bench_ablation_design_space [--smoke] [--threads N]
+//                                    [--json-out FILE]
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -13,12 +23,28 @@
 #include "fabric/memory_interface.hpp"
 #include "fabric/pipeline.hpp"
 #include "fabric/system.hpp"
+#include "numerics/format/registry.hpp"
+#include "numerics/fp32.hpp"
 #include "numerics/quantizer.hpp"
 #include "pu/processing_unit.hpp"
 #include "resource/designs.hpp"
+#include "resource/mode_costs.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bfpsim;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json-out" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (a == "--smoke" || (a == "--threads" && i + 1 < argc && ++i)) {
+      // Accepted for CI uniformity; the sweep is already smoke-sized.
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--smoke] [--threads N] [--json-out FILE]\n";
+      return 3;
+    }
+  }
   Rng rng(99);
 
   // ---- combined MAC ----
@@ -200,6 +226,95 @@ int main() {
     std::cout << "  (rounding buys ~6 dB over pure truncation for one adder "
                  "and a tie check —\n   worth it in the quantizer, which "
                  "is instantiated once per unit)\n";
+  }
+
+  // ---- numeric-mode sweep (the precision-zoo Pareto front) ----
+  std::cout << "\nG) Numeric-mode sweep: accuracy x resources x throughput "
+               "(one Pareto front)\n\n";
+  {
+    // Own RNG so sections A-F keep their historical draw sequence.
+    Rng grng(4242);
+    const int m = 32;
+    const int k = 128;
+    const int n = 32;
+    const auto a =
+        grng.normal_vec(static_cast<std::size_t>(m) * k, 0.0F, 1.0F);
+    const auto w =
+        grng.normal_vec(static_cast<std::size_t>(k) * n, 0.0F, 0.05F);
+    std::vector<float> ref(static_cast<std::size_t>(m) * n);
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (int x = 0; x < k; ++x) {
+          acc += static_cast<double>(a[static_cast<std::size_t>(i) * k + x]) *
+                 w[static_cast<std::size_t>(x) * n + j];
+        }
+        ref[static_cast<std::size_t>(i) * n + j] = static_cast<float>(acc);
+      }
+    }
+    const double base_peak = ProcessingUnit::bfp_peak_ops(PuConfig{}) / 1e9;
+    TextTable t({"mode", "SNR dB", "MAC rate", "peak GOPS", "DSP", "dDSP",
+                 "dLUT", "pJ/MAC", "golden==system"});
+    std::ostringstream json;
+    json << "{\"bench\":\"ablation_design_space\",\"gemm\":\"" << m << "x"
+         << k << "x" << n << "\",\"modes\":[";
+    bool first = true;
+    for (const NumericMode& mode : numeric_modes()) {
+      const ModeCost cost = mode_cost(mode);
+      // Independent scalar golden for the mode...
+      const std::vector<float> golden =
+          mode_gemm_reference(mode, a, m, k, w, n);
+      // ...pinned bit-for-bit against the system path under --mode.
+      SystemConfig scfg;
+      scfg.pu.mode = mode.name;
+      scfg.pu.format = mode.spec;
+      const AcceleratorSystem sys(scfg);
+      const GemmRun run = sys.gemm(a, m, k, w, n);
+      bool bits_equal = run.c.size() == golden.size();
+      for (std::size_t i = 0; bits_equal && i < golden.size(); ++i) {
+        bits_equal = float_to_bits(run.c[i]) == float_to_bits(golden[i]);
+      }
+      const double snr = compute_error_stats(golden, ref).snr_db;
+      const double peak = base_peak * cost.rel_throughput;
+      t.add_row({mode.name, fmt_double(snr, 2),
+                 fmt_double(cost.rel_throughput, 3), fmt_double(peak, 1),
+                 fmt_double(cost.array.dsp, 0),
+                 fmt_double(cost.delta_vs_bfp8.dsp, 0),
+                 fmt_double(cost.delta_vs_bfp8.lut, 0),
+                 fmt_double(cost.pj_per_mac, 1),
+                 bits_equal ? "yes" : "NO"});
+      if (!first) json << ",";
+      first = false;
+      json << "{\"mode\":\"" << mode.name << "\",\"format\":\""
+           << to_string(mode.spec) << "\",\"snr_db\":" << snr
+           << ",\"rel_throughput\":" << cost.rel_throughput
+           << ",\"peak_gops\":" << peak << ",\"lut\":" << cost.array.lut
+           << ",\"ff\":" << cost.array.ff << ",\"bram\":" << cost.array.bram
+           << ",\"dsp\":" << cost.array.dsp
+           << ",\"delta_lut\":" << cost.delta_vs_bfp8.lut
+           << ",\"delta_dsp\":" << cost.delta_vs_bfp8.dsp
+           << ",\"pj_per_mac\":" << cost.pj_per_mac
+           << ",\"golden_bits_match\":" << (bits_equal ? "true" : "false")
+           << "}";
+      if (!bits_equal) {
+        std::cerr << "FAIL: mode " << mode.name
+                  << " system path diverges from its scalar golden\n";
+        return 1;
+      }
+    }
+    json << "]}";
+    std::cout << t;
+    std::cout << "  (lmul frees every PE-array DSP for an adder; fp8 pays "
+                 "20-30 dB of GEMM SNR under\n   Eqn-3 truncating "
+                 "accumulation — its per-element exponents forfeit bfp8's "
+                 "aligned\n   block products; sliced fp32 pays 8 partial "
+                 "products per MAC — the Pareto axes\n   the paper argues "
+                 "from)\n";
+    if (!json_path.empty()) {
+      std::ofstream out(json_path);
+      out << json.str() << "\n";
+      std::cout << "\n  wrote " << json_path << "\n";
+    }
   }
   return 0;
 }

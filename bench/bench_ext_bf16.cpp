@@ -2,6 +2,12 @@
 // "the fp32 format is often overly precise"): throughput vs the fp32 mode
 // at equal stream lengths, plus the accuracy cost on transformer-like
 // non-linear workloads.
+//
+// Since the precision-zoo PR the bf16 path is a first-class NumericMode:
+// the accuracy section encodes through the registry's generic format codec
+// and pins the PE-array datapath bit-for-bit against the registry's scalar
+// golden (MUL on FormatSpec::bf16()), instead of carrying its own
+// conversion helpers.
 #include <cmath>
 #include <iostream>
 #include <vector>
@@ -10,7 +16,8 @@
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "fabric/system.hpp"
-#include "numerics/bf16.hpp"
+#include "numerics/format/registry.hpp"
+#include "numerics/fp32.hpp"
 #include "pu/processing_unit.hpp"
 
 int main() {
@@ -38,7 +45,8 @@ int main() {
                           1)
             << " GFLOPS measured (vs fp32's ~14).\n\n";
 
-  // Accuracy: elementwise multiply error in each precision.
+  // Accuracy: elementwise multiply error per numeric mode. The bf16
+  // datapath stream must agree bit-for-bit with the registry golden.
   Rng rng(55);
   ProcessingUnit pu;
   const int n = 4096;
@@ -55,6 +63,25 @@ int main() {
   }
   const VecRun f32 = pu.fp32_mul_stream(x, y);
   const VecRun b16 = pu.bf16_mul_stream(x, y);
+
+  const NumericMode& bf16_mode = numeric_mode("bf16");
+  const NumericMode& lmul_mode = numeric_mode("lmul");
+  std::vector<float> golden(static_cast<std::size_t>(n));
+  std::vector<float> lmul_out(static_cast<std::size_t>(n));
+  int mismatches = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const std::uint32_t ex = encode_element(x[idx], bf16_mode.spec);
+    const std::uint32_t ey = encode_element(y[idx], bf16_mode.spec);
+    golden[idx] =
+        decode_element(mul_element(ex, ey, bf16_mode.spec), bf16_mode.spec);
+    lmul_out[idx] =
+        decode_element(lmul_element(ex, ey, lmul_mode.spec), lmul_mode.spec);
+    if (float_to_bits(golden[idx]) != float_to_bits(b16.out[idx])) {
+      ++mismatches;
+    }
+  }
+
   TextTable a({"datapath", "multiply SNR vs exact (dB)", "cycles for 4096"});
   a.add_row({"fp32 sliced (4 lanes)",
              fmt_double(compute_error_stats(f32.out, ref).snr_db, 1),
@@ -62,7 +89,14 @@ int main() {
   a.add_row({"bf16 single-slice (8 lanes)",
              fmt_double(compute_error_stats(b16.out, ref).snr_db, 1),
              std::to_string(b16.compute_cycles)});
+  a.add_row({"bf16 registry golden (mode 'bf16')",
+             fmt_double(compute_error_stats(golden, ref).snr_db, 1), "n/a"});
+  a.add_row({"lmul adder product (mode 'lmul')",
+             fmt_double(compute_error_stats(lmul_out, ref).snr_db, 1),
+             "n/a"});
   std::cout << a << "\n";
+  std::cout << "Registry pin: bf16 datapath vs NumericMode golden, "
+            << (n - mismatches) << "/" << n << " products bit-exact.\n";
   std::cout << "Trade: bf16 gives up ~"
             << fmt_double(compute_error_stats(f32.out, ref).snr_db -
                               compute_error_stats(b16.out, ref).snr_db,
@@ -73,5 +107,10 @@ int main() {
             << " fewer compute cycles — ample for most non-linear "
                "workloads, whose\naccuracy is set by the function "
                "approximation, not the multiply.\n";
+  if (mismatches != 0) {
+    std::cout << "FAIL: bf16 datapath diverged from the registry golden on "
+              << mismatches << " products\n";
+    return 1;
+  }
   return 0;
 }

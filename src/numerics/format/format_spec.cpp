@@ -1,0 +1,529 @@
+#include "numerics/format/format_spec.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/bitops.hpp"
+#include "common/contract.hpp"
+#include "common/error.hpp"
+#include "numerics/fp32.hpp"
+
+namespace bfpsim {
+
+namespace {
+
+/// Decoded element operand: value = (-1)^sign * mant * 2^ulp with `mant`
+/// a magnitude below 2^(wm+1) (hidden bit included for normals).
+struct ElemParts {
+  bool sign = false;
+  bool nan = false;
+  bool inf = false;
+  std::int64_t mant = 0;  ///< magnitude; 0 encodes zero
+  std::int32_t ulp = 0;   ///< power-of-two weight of mant bit 0
+};
+
+std::uint32_t pack_element(const FormatSpec& spec, bool sign,
+                           std::uint32_t exp_field, std::uint32_t frac) {
+  const std::uint32_t s = sign ? 1U : 0U;
+  return (s << (spec.we + spec.wm)) |
+         (exp_field << static_cast<unsigned>(spec.wm)) | frac;
+}
+
+std::uint32_t zero_bits(const FormatSpec& spec, bool sign) {
+  return pack_element(spec, sign, 0, 0);
+}
+
+ElemParts unpack_element(std::uint32_t bits, const FormatSpec& spec) {
+  ElemParts p;
+  p.sign = ((bits >> (spec.we + spec.wm)) & 1U) != 0;
+  const std::uint32_t e = (bits >> static_cast<unsigned>(spec.wm)) &
+                          spec.exp_mask();
+  const std::uint32_t f = bits & spec.frac_mask();
+  const std::int32_t min_ulp = 1 - spec.bias() - spec.wm;
+  if (e == spec.exp_mask()) {
+    if (spec.has_inf) {
+      if (f == 0) {
+        p.inf = true;
+      } else {
+        p.nan = true;
+      }
+      return p;
+    }
+    // E4M3-style top binade: all-ones fraction is NaN, the rest finite.
+    if (spec.has_nan && f == spec.frac_mask()) {
+      p.nan = true;
+      return p;
+    }
+  }
+  if (e == 0) {
+    p.mant = static_cast<std::int64_t>(f);  // subnormal (no hidden bit)
+    p.ulp = min_ulp;
+  } else {
+    p.mant = (std::int64_t{1} << spec.wm) + static_cast<std::int64_t>(f);
+    p.ulp = static_cast<std::int32_t>(e) - spec.bias() - spec.wm;
+  }
+  return p;
+}
+
+std::uint32_t saturate_bits(const FormatSpec& spec, bool sign) {
+  if (spec.has_inf) return spec.inf_bits(sign);
+  const std::uint32_t s = sign ? 1U : 0U;
+  return spec.max_finite_bits() | (s << (spec.we + spec.wm));
+}
+
+std::uint32_t nan_result(const FormatSpec& spec) {
+  BFP_REQUIRE(spec.has_nan, "format has no NaN encoding");
+  return spec.nan_bits();
+}
+
+/// Round (-1)^sign * mag * 2^exp_in into the format with exactly one
+/// rounding — the shared back end of ENCODE / MUL / ADD.
+std::uint32_t encode_scaled(bool sign, std::uint64_t mag, std::int32_t exp_in,
+                            const FormatSpec& spec, RoundMode round) {
+  if (mag == 0) return zero_bits(spec, sign);
+  const int msb = static_cast<int>(std::bit_width(mag)) - 1;
+  const std::int32_t eb = msb + exp_in;  // floor(log2(|value|))
+  const std::int32_t min_ulp = 1 - spec.bias() - spec.wm;
+  std::int32_t ulp = std::max(eb - spec.wm, min_ulp);
+  const std::int32_t sh = ulp - exp_in;
+  const std::int64_t hidden = std::int64_t{1} << spec.wm;
+  std::int64_t q;
+  if (sh <= 0) {
+    // Exact widening; callers bound mag and |sh| so this cannot overflow.
+    BFPSIM_ENSURE(-sh <= 62 - msb, "encode_scaled: widening overflow");
+    q = static_cast<std::int64_t>(mag << static_cast<unsigned>(-sh));
+  } else if (sh > 62) {
+    q = 0;  // far below half the smallest denormal in every round mode
+  } else {
+    q = round_shift(static_cast<std::int64_t>(mag), sh, round);
+  }
+  if (q >= 2 * hidden) {  // rounding carried into the next binade
+    q >>= 1;
+    ++ulp;
+  }
+  if (q == 0) return zero_bits(spec, sign);
+  std::int32_t e_field;
+  std::uint32_t frac;
+  if (q < hidden) {
+    BFPSIM_ENSURE(ulp == min_ulp, "encode_scaled: denormal at a wrong ulp");
+    e_field = 0;
+    frac = static_cast<std::uint32_t>(q);
+  } else {
+    e_field = ulp + spec.wm + spec.bias();
+    frac = static_cast<std::uint32_t>(q - hidden);
+  }
+  const std::int32_t emax = spec.max_biased_exp();
+  if (e_field > emax ||
+      (e_field == emax && !spec.has_inf && frac == spec.frac_mask())) {
+    return saturate_bits(spec, sign);
+  }
+  return pack_element(spec, sign, static_cast<std::uint32_t>(e_field), frac);
+}
+
+/// The L-Mul product in field semantics: the fraction fields and the
+/// offset add as one integer, a fraction carry rippling straight into the
+/// exponent field (that is the whole trick — no multiplier anywhere).
+/// Returns value = (-1)^sign * mant * 2^ulp with mant in [2^wm, 2^(wm+1)),
+/// or mant == 0 for flushed results. `biased_e` receives the result's
+/// biased exponent before range handling (for the element encoder).
+ElemParts lmul_product(const ElemParts& a, const ElemParts& b,
+                       std::uint32_t fa, std::uint32_t fb,
+                       std::int32_t ea, std::int32_t eb,
+                       const FormatSpec& spec, std::int32_t* biased_e) {
+  ElemParts r;
+  r.sign = a.sign != b.sign;
+  const std::int64_t hidden = std::int64_t{1} << spec.wm;
+  std::int64_t s = static_cast<std::int64_t>(fa) +
+                   static_cast<std::int64_t>(fb) +
+                   (std::int64_t{1} << (spec.wm - lmul_offset_exp(spec.wm)));
+  std::int32_t e = ea + eb - spec.bias();
+  while (s >= hidden) {  // at most two carries (offset <= 2^(wm-2) + ...)
+    s -= hidden;
+    ++e;
+  }
+  *biased_e = e;
+  r.mant = hidden + s;
+  r.ulp = e - spec.bias() - spec.wm;
+  return r;
+}
+
+}  // namespace
+
+int lmul_offset_exp(int wm) {
+  if (wm <= 3) return wm;
+  if (wm == 4) return 3;
+  return 4;
+}
+
+std::uint32_t FormatSpec::max_finite_bits() const {
+  if (has_inf) {
+    return ((exp_mask() - 1U) << static_cast<unsigned>(wm)) | frac_mask();
+  }
+  // E4M3-style: the top binade is finite except the all-ones NaN pattern.
+  return (exp_mask() << static_cast<unsigned>(wm)) | (frac_mask() - 1U);
+}
+
+float FormatSpec::max_finite() const {
+  return decode_element(max_finite_bits(), *this);
+}
+
+std::uint32_t FormatSpec::inf_bits(bool sign) const {
+  BFP_REQUIRE(has_inf, "format has no Inf encoding");
+  const std::uint32_t s = sign ? 1U : 0U;
+  return (s << (we + wm)) | (exp_mask() << static_cast<unsigned>(wm));
+}
+
+std::uint32_t FormatSpec::nan_bits() const {
+  BFP_REQUIRE(has_nan, "format has no NaN encoding");
+  if (has_inf) {
+    // Canonical quiet NaN: all-ones exponent, MSB of the fraction set.
+    return (exp_mask() << static_cast<unsigned>(wm)) |
+           (1U << static_cast<unsigned>(wm - 1));
+  }
+  return (exp_mask() << static_cast<unsigned>(wm)) | frac_mask();
+}
+
+void FormatSpec::validate() const {
+  if (shared_exponent) {
+    BFP_REQUIRE(we >= 2 && we <= 16, "FormatSpec: block we out of range");
+    BFP_REQUIRE(wm >= 2 && wm <= 16, "FormatSpec: block wm out of range");
+    BFP_REQUIRE(block_size >= 1, "FormatSpec: block_size must be positive");
+  } else {
+    BFP_REQUIRE(we >= 2 && we <= 8, "FormatSpec: element we out of range");
+    BFP_REQUIRE(wm >= 1 && wm <= 23, "FormatSpec: element wm out of range");
+    BFP_REQUIRE(has_nan || has_inf,
+                "FormatSpec: element format needs Inf or NaN to mark the "
+                "top binade");
+  }
+}
+
+BfpFormat FormatSpec::to_bfp_format(int rows, int cols) const {
+  BFP_REQUIRE(shared_exponent,
+              "to_bfp_format: element formats have no shared exponent");
+  BfpFormat fmt;
+  fmt.mant_bits = wm;
+  fmt.exp_bits = we;
+  fmt.rows = rows;
+  fmt.cols = cols;
+  return fmt;
+}
+
+FormatSpec FormatSpec::bfp8() { return bfp_block(8, 8, 64); }
+
+FormatSpec FormatSpec::bfp_block(int we, int wm, int block_size) {
+  FormatSpec s;
+  s.we = we;
+  s.wm = wm;
+  s.block_size = block_size;
+  s.shared_exponent = true;
+  s.validate();
+  return s;
+}
+
+FormatSpec FormatSpec::fp8_e4m3() {
+  FormatSpec s;
+  s.we = 4;
+  s.wm = 3;
+  s.shared_exponent = false;
+  s.has_inf = false;  // OCP: overflow saturates, S.1111.111 is the only NaN
+  s.has_nan = true;
+  s.block_size = 1;
+  s.validate();
+  return s;
+}
+
+FormatSpec FormatSpec::fp8_e5m2() {
+  FormatSpec s;
+  s.we = 5;
+  s.wm = 2;
+  s.shared_exponent = false;
+  s.block_size = 1;
+  s.validate();
+  return s;
+}
+
+FormatSpec FormatSpec::bf16() {
+  FormatSpec s;
+  s.we = 8;
+  s.wm = 7;
+  s.shared_exponent = false;
+  s.block_size = 1;
+  s.validate();
+  return s;
+}
+
+FormatSpec FormatSpec::fp32_storage() {
+  FormatSpec s;
+  s.we = 8;
+  s.wm = 23;
+  s.shared_exponent = false;
+  s.block_size = 1;
+  s.validate();
+  return s;
+}
+
+std::uint32_t encode_element(float v, const FormatSpec& spec) {
+  return encode_element(v, spec, spec.rounding);
+}
+
+std::uint32_t encode_element(float v, const FormatSpec& spec,
+                             RoundMode round) {
+  BFP_REQUIRE(!spec.shared_exponent,
+              "encode_element: spec is a block format");
+  const std::uint32_t raw = float_to_bits(v);
+  const bool sign = (raw >> 31) != 0;
+  const std::uint32_t e = (raw >> kFp32FracBits) & 0xFFU;
+  const std::uint32_t f = raw & ((1U << kFp32FracBits) - 1U);
+  if (e == 0xFFU) {
+    if (f != 0) return nan_result(spec);
+    return saturate_bits(spec, sign);  // Inf, or saturation without one
+  }
+  if (e == 0 && f == 0) return zero_bits(spec, sign);
+  // value = mant * 2^(be - bias - 23), hidden bit explicit for normals.
+  const std::uint64_t mant =
+      e == 0 ? f : (std::uint64_t{1} << kFp32FracBits) | f;
+  const std::int32_t be = e == 0 ? 1 : static_cast<std::int32_t>(e);
+  return encode_scaled(sign, mant, be - kFp32Bias - kFp32FracBits, spec,
+                       round);
+}
+
+float decode_element(std::uint32_t bits, const FormatSpec& spec) {
+  BFP_REQUIRE(!spec.shared_exponent,
+              "decode_element: spec is a block format");
+  const ElemParts p = unpack_element(bits, spec);
+  if (p.nan) return std::numeric_limits<float>::quiet_NaN();
+  if (p.inf) {
+    return p.sign ? -std::numeric_limits<float>::infinity()
+                  : std::numeric_limits<float>::infinity();
+  }
+  // Exact: every supported format is an fp32 subset (mant < 2^24 and the
+  // smallest denormal weight stays above fp32's 2^-149).
+  const float mag = std::ldexp(static_cast<float>(p.mant), p.ulp);
+  return p.sign ? -mag : mag;
+}
+
+bool is_nan_bits(std::uint32_t bits, const FormatSpec& spec) {
+  return unpack_element(bits, spec).nan;
+}
+
+bool is_inf_bits(std::uint32_t bits, const FormatSpec& spec) {
+  return unpack_element(bits, spec).inf;
+}
+
+bool is_zero_bits(std::uint32_t bits, const FormatSpec& spec) {
+  const ElemParts p = unpack_element(bits, spec);
+  return !p.nan && !p.inf && p.mant == 0;
+}
+
+std::uint32_t mul_element(std::uint32_t x, std::uint32_t y,
+                          const FormatSpec& spec) {
+  const ElemParts a = unpack_element(x, spec);
+  const ElemParts b = unpack_element(y, spec);
+  const bool sign = a.sign != b.sign;
+  if (a.nan || b.nan) return nan_result(spec);
+  if (a.inf || b.inf) {
+    if ((a.inf && !b.inf && b.mant == 0) ||
+        (b.inf && !a.inf && a.mant == 0)) {
+      return nan_result(spec);  // inf * 0
+    }
+    return saturate_bits(spec, sign);
+  }
+  if (a.mant == 0 || b.mant == 0) return zero_bits(spec, sign);
+  // Exact double-wide product, one rounding into the format.
+  const std::uint64_t mag = static_cast<std::uint64_t>(a.mant * b.mant);
+  return encode_scaled(sign, mag, a.ulp + b.ulp, spec, spec.rounding);
+}
+
+std::uint32_t add_element(std::uint32_t x, std::uint32_t y,
+                          const FormatSpec& spec) {
+  ElemParts a = unpack_element(x, spec);
+  ElemParts b = unpack_element(y, spec);
+  if (a.nan || b.nan) return nan_result(spec);
+  if (a.inf || b.inf) {
+    if (a.inf && b.inf && a.sign != b.sign) return nan_result(spec);
+    return saturate_bits(spec, a.inf ? a.sign : b.sign);
+  }
+  if (a.mant == 0 && b.mant == 0) {
+    return zero_bits(spec, a.sign && b.sign);
+  }
+  if (a.mant == 0) return y;
+  if (b.mant == 0) return x;
+  if (a.ulp < b.ulp) std::swap(a, b);
+  const std::int32_t d = a.ulp - b.ulp;
+  std::int64_t sum;
+  std::int32_t sum_ulp;
+  if (d <= spec.wm + 6) {
+    // Narrow alignment gap: the signed sum is exact in 64 bits, so the
+    // single rounding in encode_scaled is exact too.
+    const std::int64_t av = (a.sign ? -a.mant : a.mant)
+                            << static_cast<unsigned>(d);
+    const std::int64_t bv = b.sign ? -b.mant : b.mant;
+    sum = av + bv;
+    sum_ulp = b.ulp;
+  } else {
+    // The smaller operand is far below the result's rounding point; a
+    // single sticky unit at 1/8 ulp reproduces the correctly rounded
+    // result in every rounding mode (|b| < 2^(a.ulp - 5) < that unit).
+    const std::int64_t av = (a.sign ? -a.mant : a.mant) << 3;
+    sum = av + (b.sign ? -1 : 1);
+    sum_ulp = a.ulp - 3;
+  }
+  if (sum == 0) return zero_bits(spec, false);
+  const bool sign = sum < 0;
+  return encode_scaled(sign, static_cast<std::uint64_t>(sign ? -sum : sum),
+                       sum_ulp, spec, spec.rounding);
+}
+
+std::uint32_t lmul_element(std::uint32_t x, std::uint32_t y,
+                           const FormatSpec& spec) {
+  BFP_REQUIRE(!spec.shared_exponent, "lmul_element: spec must be elementwise");
+  const ElemParts a = unpack_element(x, spec);
+  const ElemParts b = unpack_element(y, spec);
+  const bool sign = a.sign != b.sign;
+  if (a.nan || b.nan) return nan_result(spec);
+  if (a.inf || b.inf) {
+    if ((a.inf && !b.inf && b.mant == 0) ||
+        (b.inf && !a.inf && a.mant == 0)) {
+      return nan_result(spec);
+    }
+    return saturate_bits(spec, sign);
+  }
+  const std::int64_t hidden = std::int64_t{1} << spec.wm;
+  // Zeros and subnormals flush: the adder datapath assumes the hidden bit.
+  if (a.mant < hidden || b.mant < hidden) return zero_bits(spec, sign);
+  const std::uint32_t ea =
+      (x >> static_cast<unsigned>(spec.wm)) & spec.exp_mask();
+  const std::uint32_t eb =
+      (y >> static_cast<unsigned>(spec.wm)) & spec.exp_mask();
+  std::int32_t biased = 0;
+  const ElemParts p =
+      lmul_product(a, b, x & spec.frac_mask(), y & spec.frac_mask(),
+                   static_cast<std::int32_t>(ea),
+                   static_cast<std::int32_t>(eb), spec, &biased);
+  const std::uint32_t frac = static_cast<std::uint32_t>(p.mant - hidden);
+  if (biased <= 0) return zero_bits(spec, sign);  // underflow flushes
+  const std::int32_t emax = spec.max_biased_exp();
+  if (biased > emax ||
+      (biased == emax && !spec.has_inf && frac == spec.frac_mask())) {
+    return saturate_bits(spec, sign);
+  }
+  return pack_element(spec, sign, static_cast<std::uint32_t>(biased), frac);
+}
+
+float dot_elements(std::span<const std::uint32_t> x,
+                   std::span<const std::uint32_t> y, const FormatSpec& spec,
+                   bool approx_mul, int acc_bits) {
+  BFP_REQUIRE(x.size() == y.size(), "dot_elements: length mismatch");
+  BFP_REQUIRE(acc_bits >= 8 && acc_bits <= 62,
+              "dot_elements: acc_bits out of range");
+  bool any = false;
+  bool saw_pos_inf = false;
+  bool saw_neg_inf = false;
+  std::int64_t acc = 0;
+  std::int32_t acc_exp = 0;
+  const std::int64_t hidden = std::int64_t{1} << spec.wm;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const ElemParts a = unpack_element(x[i], spec);
+    const ElemParts b = unpack_element(y[i], spec);
+    if (a.nan || b.nan) return std::numeric_limits<float>::quiet_NaN();
+    if (a.inf || b.inf) {
+      if ((a.inf && !b.inf && b.mant == 0) ||
+          (b.inf && !a.inf && a.mant == 0)) {
+        return std::numeric_limits<float>::quiet_NaN();
+      }
+      const bool psign = a.sign != b.sign;
+      (psign ? saw_neg_inf : saw_pos_inf) = true;
+      continue;
+    }
+    bool psign = a.sign != b.sign;
+    std::int64_t pm;
+    std::int32_t pe;
+    if (approx_mul) {
+      // L-Mul products: subnormal operands flush exactly as the element op
+      // does; the field value feeds the wide accumulator unencoded.
+      if (a.mant < hidden || b.mant < hidden) continue;
+      const std::uint32_t ea =
+          (x[i] >> static_cast<unsigned>(spec.wm)) & spec.exp_mask();
+      const std::uint32_t eb =
+          (y[i] >> static_cast<unsigned>(spec.wm)) & spec.exp_mask();
+      std::int32_t biased = 0;
+      const ElemParts p = lmul_product(
+          a, b, x[i] & spec.frac_mask(), y[i] & spec.frac_mask(),
+          static_cast<std::int32_t>(ea), static_cast<std::int32_t>(eb), spec,
+          &biased);
+      if (biased <= 0) continue;  // product underflow flushes
+      psign = p.sign;
+      pm = p.mant;
+      pe = p.ulp;
+    } else {
+      if (a.mant == 0 || b.mant == 0) continue;
+      pm = a.mant * b.mant;  // exact, < 2^48
+      pe = a.ulp + b.ulp;
+    }
+    const std::int64_t sp0 = psign ? -pm : pm;
+    if (!any) {
+      acc = sp0;
+      acc_exp = pe;
+      any = true;
+      continue;
+    }
+    // Eqn-3 alignment: the smaller-exponent side truncates right.
+    std::int64_t sp = sp0;
+    if (pe > acc_exp) {
+      acc = asr(acc, pe - acc_exp);
+      acc_exp = pe;
+    } else if (pe < acc_exp) {
+      sp = asr(sp, acc_exp - pe);
+    }
+    acc += sp;
+    if (!fits_signed(acc, acc_bits)) {
+      throw HardwareContractError(
+          "dot_elements: accumulation overflows the " +
+          std::to_string(acc_bits) + "-bit carrier");
+    }
+  }
+  if (saw_pos_inf || saw_neg_inf) {
+    if (saw_pos_inf && saw_neg_inf) {
+      return std::numeric_limits<float>::quiet_NaN();
+    }
+    return saw_pos_inf ? std::numeric_limits<float>::infinity()
+                       : -std::numeric_limits<float>::infinity();
+  }
+  if (!any || acc == 0) return 0.0F;
+  const bool sign = acc < 0;
+  std::uint64_t mag = static_cast<std::uint64_t>(sign ? -acc : acc);
+  std::int32_t e = acc_exp;
+  // Widen to fp32 with RNE (exact below 25 significant bits).
+  while (std::bit_width(mag) > 24) {
+    const int sh = static_cast<int>(std::bit_width(mag)) - 24;
+    mag = static_cast<std::uint64_t>(round_shift(
+        static_cast<std::int64_t>(mag), sh, RoundMode::kNearestEven));
+    e += sh;
+  }
+  const float m = std::ldexp(static_cast<float>(mag), e);
+  return sign ? -m : m;
+}
+
+BfpBlock encode_block(std::span<const float> tile, const FormatSpec& spec,
+                      int rows, int cols) {
+  return quantize_block(tile, spec.to_bfp_format(rows, cols), spec.rounding);
+}
+
+std::vector<float> decode_block(const BfpBlock& block) {
+  return block.dequantize();
+}
+
+std::string to_string(const FormatSpec& spec) {
+  if (spec.shared_exponent) {
+    return "bfp{we=" + std::to_string(spec.we) +
+           ",wm=" + std::to_string(spec.wm) +
+           ",block=" + std::to_string(spec.block_size) + "}";
+  }
+  return std::string("float{e") + std::to_string(spec.we) + "m" +
+         std::to_string(spec.wm) + (spec.has_inf ? "" : ",no-inf") + "}";
+}
+
+}  // namespace bfpsim

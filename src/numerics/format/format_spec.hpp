@@ -1,0 +1,143 @@
+// Parameterized numeric formats — the "precision zoo" layer.
+//
+// One FormatSpec describes every storage format the datapath family can
+// serve, in two shapes:
+//
+//   * shared-exponent block formats (shared_exponent == true): a tile of
+//     `block_size` two's-complement `wm`-bit mantissas under one `we`-bit
+//     exponent — the paper's bfp8 is {we=8, wm=8, block=64}. The block op
+//     set is the existing golden bfp machinery (numerics/bfp.hpp); this
+//     layer provides the spec-driven view of it.
+//
+//   * element minifloats (shared_exponent == false): IEEE-754-style
+//     [sign | we | wm] scalars — fp8 E5M2 and bf16 keep the IEEE layout
+//     (all-ones exponent encodes Inf/NaN, `has_inf`), fp8 E4M3 follows the
+//     OCP convention (`has_inf == false`): no infinities, S.1111.111 is the
+//     only NaN, the rest of the top binade is finite and overflow
+//     *saturates* to the largest finite value.
+//
+// The scalar golden op set (ENCODE / DECODE / ADD / MUL / DOT, plus the
+// L-Mul approximate MUL) is the independent reference every hardware mode
+// is pinned against: all arithmetic is integer-only (mantissa/exponent
+// pairs), with exactly one rounding per operation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "numerics/bfp.hpp"
+
+namespace bfpsim {
+
+struct FormatSpec {
+  int we = 8;  ///< exponent field width in bits
+  /// Mantissa width. Shared-exponent formats: the two's-complement element
+  /// width including sign (bfp8: 8). Element formats: stored fraction bits
+  /// excluding the hidden bit (E4M3: 3, E5M2: 2, bf16: 7).
+  int wm = 8;
+  int block_size = 64;  ///< elements per shared exponent (block formats)
+  RoundMode rounding = RoundMode::kNearestEven;
+  bool shared_exponent = true;
+  /// Element formats only: true (IEEE layout) reserves the all-ones
+  /// exponent for Inf (frac 0) and NaN (frac != 0); false (E4M3/OCP) keeps
+  /// the top binade finite except frac all-ones (NaN) and saturates on
+  /// overflow instead of producing Inf.
+  bool has_inf = true;
+  bool has_nan = true;
+
+  // ---- element-format queries (undefined for shared-exponent specs) ----
+  int bias() const { return (1 << (we - 1)) - 1; }
+  int storage_bits() const { return shared_exponent ? wm : 1 + we + wm; }
+  std::uint32_t exp_mask() const { return (1U << we) - 1U; }
+  std::uint32_t frac_mask() const { return (1U << wm) - 1U; }
+  /// Largest biased exponent field that holds finite values.
+  std::int32_t max_biased_exp() const {
+    return static_cast<std::int32_t>(exp_mask()) - (has_inf ? 1 : 0);
+  }
+  /// Bit pattern of the largest finite magnitude (sign clear).
+  std::uint32_t max_finite_bits() const;
+  float max_finite() const;
+  std::uint32_t inf_bits(bool sign) const;  ///< requires has_inf
+  std::uint32_t nan_bits() const;           ///< canonical NaN; requires has_nan
+
+  void validate() const;
+
+  /// BfpFormat view of a shared-exponent spec at a given tile geometry.
+  BfpFormat to_bfp_format(int rows, int cols) const;
+
+  // ---- factories ----
+  static FormatSpec bfp8();                 ///< the paper default (8x8 blocks)
+  static FormatSpec bfp_block(int we, int wm, int block_size);
+  static FormatSpec fp8_e4m3();             ///< 1-4-3, OCP: no Inf, saturating
+  static FormatSpec fp8_e5m2();             ///< 1-5-2, IEEE-style Inf/NaN
+  static FormatSpec bf16();                 ///< 1-8-7 (fp32's top half)
+  static FormatSpec fp32_storage();         ///< 1-8-23 (sliced-fp32 carrier)
+};
+
+// ---------------------------------------------------------------------------
+// Element-format scalar golden ops. `bits` operands are patterns laid out
+// as [sign | we | wm] in the low storage_bits() of a uint32.
+// ---------------------------------------------------------------------------
+
+/// ENCODE: fp32 -> format bits with one rounding (`round`, defaulting to
+/// the spec's mode). Denormals round gradually; overflow goes to Inf when
+/// the format has one and saturates to max finite otherwise; NaN input
+/// requires has_nan.
+std::uint32_t encode_element(float v, const FormatSpec& spec);
+std::uint32_t encode_element(float v, const FormatSpec& spec, RoundMode round);
+
+/// DECODE: exact widening (every supported format is an fp32 subset).
+float decode_element(std::uint32_t bits, const FormatSpec& spec);
+
+bool is_nan_bits(std::uint32_t bits, const FormatSpec& spec);
+bool is_inf_bits(std::uint32_t bits, const FormatSpec& spec);
+bool is_zero_bits(std::uint32_t bits, const FormatSpec& spec);
+
+/// MUL: correctly rounded product — the exact double-wide integer mantissa
+/// product rounds once straight to the target format.
+std::uint32_t mul_element(std::uint32_t x, std::uint32_t y,
+                          const FormatSpec& spec);
+
+/// ADD: integer align-shift-add with guard and sticky positions so the
+/// single final rounding is correct (round-to-nearest-even by default; the
+/// spec's rounding mode is honoured).
+std::uint32_t add_element(std::uint32_t x, std::uint32_t y,
+                          const FormatSpec& spec);
+
+/// L-Mul approximate MUL (Chen et al. 2024): the mantissa multiplier is
+/// replaced by an integer adder,
+///     (1+fx)(1+fy)  ~=  1 + fx + fy + 2^-l(wm)
+/// with l(m) = m for m <= 3, 3 for m == 4, 4 for m > 4. Subnormal operands
+/// flush to zero (the hardware assumes normal operands); overflow follows
+/// the format's Inf/saturation semantics; underflow flushes to zero.
+std::uint32_t lmul_element(std::uint32_t x, std::uint32_t y,
+                           const FormatSpec& spec);
+
+/// The L-Mul offset exponent l(m).
+int lmul_offset_exp(int wm);
+
+/// DOT: sum_i x[i]*y[i] on the PSU discipline — exact integer products,
+/// aligned to the running accumulator's exponent with truncating shifts
+/// (Eqn 3), `acc_bits`-wide carrier (HardwareContractError on overflow) —
+/// widened to fp32 at the end. `approx_mul` swaps the exact mantissa
+/// product for the L-Mul adder product.
+float dot_elements(std::span<const std::uint32_t> x,
+                   std::span<const std::uint32_t> y, const FormatSpec& spec,
+                   bool approx_mul = false, int acc_bits = 32);
+
+// ---------------------------------------------------------------------------
+// Shared-exponent block ops: the spec-driven view of the bfp golden layer.
+// ---------------------------------------------------------------------------
+
+/// ENCODE a rows x cols float tile under `spec` (quantize_block with the
+/// spec's widths and rounding mode).
+BfpBlock encode_block(std::span<const float> tile, const FormatSpec& spec,
+                      int rows, int cols);
+
+/// DECODE back to floats (BfpBlock::dequantize on the spec's format).
+std::vector<float> decode_block(const BfpBlock& block);
+
+std::string to_string(const FormatSpec& spec);
+
+}  // namespace bfpsim

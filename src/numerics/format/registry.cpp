@@ -1,0 +1,243 @@
+#include "numerics/format/registry.hpp"
+
+#include <cstddef>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "numerics/quantizer.hpp"
+#include "numerics/slices.hpp"
+
+namespace bfpsim {
+
+namespace {
+
+std::vector<NumericMode> build_modes() {
+  std::vector<NumericMode> modes;
+  {
+    NumericMode m;
+    m.name = "bfp8";
+    m.summary =
+        "paper default: 8x8 blocks, shared 8-bit exponent, 8-bit mantissas";
+    m.spec = FormatSpec::bfp8();
+    modes.push_back(m);
+  }
+  {
+    NumericMode m;
+    m.name = "fp8_e4m3";
+    m.summary = "OCP FP8 E4M3: no Inf, saturating overflow, widest dynamic "
+                "range per bit";
+    m.spec = FormatSpec::fp8_e4m3();
+    modes.push_back(m);
+  }
+  {
+    NumericMode m;
+    m.name = "fp8_e5m2";
+    m.summary = "IEEE-style FP8 E5M2: Inf/NaN preserved, 2 fraction bits";
+    m.spec = FormatSpec::fp8_e5m2();
+    modes.push_back(m);
+  }
+  {
+    NumericMode m;
+    m.name = "bf16";
+    m.summary = "bfloat16 (1-8-7): fp32 range at half the storage";
+    m.spec = FormatSpec::bf16();
+    m.cycle_scale = 2.0;  // 64 wide-MAC lanes vs 128 bfp8 MACs per cycle
+    modes.push_back(m);
+  }
+  {
+    NumericMode m;
+    m.name = "lmul";
+    m.summary = "L-Mul approximate bf16: mantissa multiplier replaced by an "
+                "integer adder (Chen et al. 2024)";
+    m.spec = FormatSpec::bf16();
+    m.approx_mul = true;
+    m.cycle_scale = 1.0;  // adder array issues at full rate, DSP-free
+    modes.push_back(m);
+  }
+  {
+    NumericMode m;
+    m.name = "sliced_fp32";
+    m.summary = "full fp32 via 8-bit mantissa slices on the bfp8 multiplier "
+                "array (paper Sec. IV)";
+    m.spec = FormatSpec::fp32_storage();
+    m.sliced = true;
+    m.cycle_scale = 32.0;  // 4 sliced lanes vs 128 bfp8 MACs per cycle
+    modes.push_back(m);
+  }
+  return modes;
+}
+
+}  // namespace
+
+const std::vector<NumericMode>& numeric_modes() {
+  static const std::vector<NumericMode> modes = build_modes();
+  return modes;
+}
+
+bool is_numeric_mode(const std::string& name) {
+  for (const NumericMode& m : numeric_modes()) {
+    if (m.name == name) return true;
+  }
+  return false;
+}
+
+const NumericMode& numeric_mode(const std::string& name) {
+  for (const NumericMode& m : numeric_modes()) {
+    if (m.name == name) return m;
+  }
+  std::string valid;
+  for (const NumericMode& m : numeric_modes()) {
+    if (!valid.empty()) valid += ", ";
+    valid += m.name;
+  }
+  throw Error("unknown numeric mode '" + name + "' (valid: " + valid + ")");
+}
+
+float mode_roundtrip(const NumericMode& mode, float v, int rows, int cols) {
+  if (!mode.spec.shared_exponent) {
+    if (mode.sliced) return v;  // fp32 storage is lossless
+    return decode_element(encode_element(v, mode.spec), mode.spec);
+  }
+  std::vector<float> tile(static_cast<std::size_t>(rows) *
+                              static_cast<std::size_t>(cols),
+                          0.0F);
+  tile[0] = v;
+  // Through the hardware Quantizer helper, like every block-mode consumer.
+  return bfp_roundtrip(tile, rows, cols, mode.spec.to_bfp_format(rows, cols),
+                       mode.spec.rounding)[0];
+}
+
+std::vector<float> mode_roundtrip_tile(const NumericMode& mode,
+                                       std::span<const float> tile, int rows,
+                                       int cols) {
+  BFP_REQUIRE(tile.size() == static_cast<std::size_t>(rows) *
+                                 static_cast<std::size_t>(cols),
+              "mode_roundtrip_tile: tile size mismatch");
+  if (mode.spec.shared_exponent) {
+    return decode_block(encode_block(tile, mode.spec, rows, cols));
+  }
+  std::vector<float> out(tile.size());
+  for (std::size_t i = 0; i < tile.size(); ++i) {
+    out[i] = mode.sliced ? tile[i]
+                         : decode_element(encode_element(tile[i], mode.spec),
+                                          mode.spec);
+  }
+  return out;
+}
+
+std::vector<float> mode_roundtrip_matrix(const NumericMode& mode,
+                                         std::span<const float> v, int rows,
+                                         int cols) {
+  BFP_REQUIRE(v.size() == static_cast<std::size_t>(rows) *
+                              static_cast<std::size_t>(cols),
+              "mode_roundtrip_matrix: matrix size mismatch");
+  if (mode.spec.shared_exponent) {
+    // Tiled into the PU's 8x8 blocks, one shared exponent each (padding
+    // handled by the quantizer front-end).
+    return bfp_roundtrip(v, rows, cols, mode.spec.to_bfp_format(8, 8),
+                         mode.spec.rounding);
+  }
+  std::vector<float> out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[i] = mode.sliced ? v[i]
+                         : decode_element(encode_element(v[i], mode.spec),
+                                          mode.spec);
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<float> element_gemm(const NumericMode& mode,
+                                std::span<const float> a, int m, int k,
+                                std::span<const float> b, int n, int acc_bits,
+                                ThreadPool* pool) {
+  // Encode both operands once; B is gathered column-wise per output.
+  std::vector<std::uint32_t> ea(a.size());
+  std::vector<std::uint32_t> eb(b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ea[i] = encode_element(a[i], mode.spec);
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    eb[i] = encode_element(b[i], mode.spec);
+  }
+  std::vector<float> c(static_cast<std::size_t>(m) *
+                       static_cast<std::size_t>(n));
+  const auto row_task = [&](std::size_t i) {
+    std::vector<std::uint32_t> col(static_cast<std::size_t>(k));
+    for (int j = 0; j < n; ++j) {
+      for (int kk = 0; kk < k; ++kk) {
+        col[static_cast<std::size_t>(kk)] =
+            eb[static_cast<std::size_t>(kk) * static_cast<std::size_t>(n) +
+               static_cast<std::size_t>(j)];
+      }
+      c[i * static_cast<std::size_t>(n) + static_cast<std::size_t>(j)] =
+          dot_elements(
+              std::span<const std::uint32_t>(
+                  ea.data() + i * static_cast<std::size_t>(k),
+                  static_cast<std::size_t>(k)),
+              col, mode.spec, mode.approx_mul, acc_bits);
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(static_cast<std::size_t>(m), row_task);
+  } else {
+    for (std::size_t i = 0; i < static_cast<std::size_t>(m); ++i) {
+      row_task(i);
+    }
+  }
+  return c;
+}
+
+std::vector<float> sliced_gemm(std::span<const float> a, int m, int k,
+                               std::span<const float> b, int n, int acc_bits,
+                               ThreadPool* pool) {
+  std::vector<float> c(static_cast<std::size_t>(m) *
+                       static_cast<std::size_t>(n));
+  const auto row_task = [&](std::size_t i) {
+    for (int j = 0; j < n; ++j) {
+      float acc = 0.0F;
+      for (int kk = 0; kk < k; ++kk) {
+        const float p = fp32_mul_sliced(
+            a[i * static_cast<std::size_t>(k) + static_cast<std::size_t>(kk)],
+            b[static_cast<std::size_t>(kk) * static_cast<std::size_t>(n) +
+              static_cast<std::size_t>(j)],
+            true);
+        acc = fp32_add_aligned(acc, p, true, acc_bits);
+      }
+      c[i * static_cast<std::size_t>(n) + static_cast<std::size_t>(j)] = acc;
+    }
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(static_cast<std::size_t>(m), row_task);
+  } else {
+    for (std::size_t i = 0; i < static_cast<std::size_t>(m); ++i) {
+      row_task(i);
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+std::vector<float> mode_gemm_reference(const NumericMode& mode,
+                                       std::span<const float> a, int m, int k,
+                                       std::span<const float> b, int n,
+                                       int acc_bits, ThreadPool* pool) {
+  BFP_REQUIRE(a.size() == static_cast<std::size_t>(m) *
+                              static_cast<std::size_t>(k),
+              "mode_gemm_reference: A size mismatch");
+  BFP_REQUIRE(b.size() == static_cast<std::size_t>(k) *
+                              static_cast<std::size_t>(n),
+              "mode_gemm_reference: B size mismatch");
+  if (mode.sliced) return sliced_gemm(a, m, k, b, n, acc_bits, pool);
+  if (!mode.spec.shared_exponent) {
+    return element_gemm(mode, a, m, k, b, n, acc_bits, pool);
+  }
+  const BfpFormat fmt = mode.spec.to_bfp_format(8, 8);
+  const BfpMatrix qa = quantize_matrix(a, m, k, fmt, mode.spec.rounding);
+  const BfpMatrix qb = quantize_matrix(b, k, n, fmt, mode.spec.rounding);
+  return bfp_gemm_reference(qa, qb, m, n, acc_bits, pool);
+}
+
+}  // namespace bfpsim

@@ -1,0 +1,70 @@
+// NumericMode registry — named, end-to-end runnable numeric modes.
+//
+// A NumericMode binds a FormatSpec to a compute discipline (block GEMM on
+// the golden bfp machinery, elementwise dot with exact or L-Mul products,
+// or the sliced fp32 multiplier) so benches, the CLI, and the PU can be
+// parameterized by a single validated name. `bfp8` is the paper default
+// and is byte-identical to the pre-registry behaviour everywhere.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "numerics/format/format_spec.hpp"
+
+namespace bfpsim {
+
+class ThreadPool;
+
+struct NumericMode {
+  std::string name;     ///< CLI-facing identifier (e.g. "fp8_e4m3")
+  std::string summary;  ///< one-line description for --help / sweep JSON
+  FormatSpec spec;
+  bool approx_mul = false;  ///< L-Mul adder products instead of multipliers
+  bool sliced = false;      ///< sliced-fp32 multiplier discipline
+  /// Cycles per bfp8-equivalent MAC issue (1.0 = full 128-MAC rate).
+  double cycle_scale = 1.0;
+};
+
+/// All registered modes, in a stable order (bfp8 first).
+const std::vector<NumericMode>& numeric_modes();
+
+bool is_numeric_mode(const std::string& name);
+
+/// Look up a mode by name; throws Error listing the valid names.
+const NumericMode& numeric_mode(const std::string& name);
+
+/// Quantize-dequantize one value (element modes) or a rows x cols tile
+/// pattern built from the value (block modes round-trip through a block
+/// holding `v` alone, which reproduces scalar semantics).
+float mode_roundtrip(const NumericMode& mode, float v, int rows = 8,
+                     int cols = 8);
+
+/// Round-trip a full tile through the mode's storage format. `tile` is
+/// rows x cols row-major; block modes share exponents per tile, element
+/// modes quantize each value independently.
+std::vector<float> mode_roundtrip_tile(const NumericMode& mode,
+                                       std::span<const float> tile, int rows,
+                                       int cols);
+
+/// Round-trip an arbitrary rows x cols matrix: block modes tile it into
+/// the PU's 8x8 blocks (padding stripped), element modes quantize each
+/// value independently, sliced fp32 is lossless.
+std::vector<float> mode_roundtrip_matrix(const NumericMode& mode,
+                                         std::span<const float> v, int rows,
+                                         int cols);
+
+/// GEMM under the mode's storage + compute discipline — the independent
+/// scalar golden each hardware mode is pinned against. Block modes run
+/// quantize_matrix + bfp_gemm_reference (bit-equal to the PU fast path at
+/// acc_bits == psu_bits); element modes encode both operands and reduce
+/// each output through dot_elements; sliced_fp32 uses fp32_mul_sliced /
+/// fp32_add_aligned.
+std::vector<float> mode_gemm_reference(const NumericMode& mode,
+                                       std::span<const float> a, int m, int k,
+                                       std::span<const float> b, int n,
+                                       int acc_bits = 32,
+                                       ThreadPool* pool = nullptr);
+
+}  // namespace bfpsim

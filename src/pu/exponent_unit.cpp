@@ -5,23 +5,52 @@
 #include "common/bitops.hpp"
 #include "common/contract.hpp"
 #include "common/error.hpp"
+#include "numerics/format/format_spec.hpp"
+#include "numerics/fp32.hpp"
 
 namespace bfpsim {
 
+EuConfig EuConfig::from_format(const FormatSpec& spec) {
+  spec.validate();
+  EuConfig cfg;
+  cfg.exp_bits = spec.we;
+  cfg.carrier_bits = spec.we + 2;
+  cfg.validate();
+  // The default spec must reproduce the constants this unit always used.
+  BFPSIM_ENSURE(spec.we != 8 || (cfg.exp_bits == 8 &&
+                                 cfg.carrier_bits == kEuCarrierBits),
+                "EuConfig: 8-bit formats must keep the bfp8 EU widths");
+  return cfg;
+}
+
+void EuConfig::validate() const {
+  BFP_REQUIRE(exp_bits >= 2 && exp_bits <= 16,
+              "EuConfig: exp_bits out of range");
+  BFP_REQUIRE(carrier_bits > exp_bits && carrier_bits <= 32,
+              "EuConfig: carrier must be wider than the storage exponent");
+  BFP_REQUIRE(fp32_exp_bits == kFp32ExpBits && fp32_bias == kFp32Bias,
+              "EuConfig: the fp32 side path is fixed-width");
+}
+
+ExponentUnit::ExponentUnit(const EuConfig& cfg) : cfg_(cfg) {
+  cfg_.validate();
+}
+
 std::int32_t ExponentUnit::bfp_product_exp(std::int32_t exp_x,
                                            std::int32_t exp_y) {
-  BFP_REQUIRE(fits_signed(exp_x, 8) && fits_signed(exp_y, 8),
-              "ExponentUnit: bfp exponents must be 8-bit");
+  BFP_REQUIRE(fits_signed(exp_x, cfg_.exp_bits) &&
+                  fits_signed(exp_y, cfg_.exp_bits),
+              "ExponentUnit: bfp exponents exceed the storage width");
   const std::int32_t s = exp_x + exp_y;
-  BFPSIM_ENSURE(fits_signed(s, kEuCarrierBits),
+  BFPSIM_ENSURE(fits_signed(s, cfg_.carrier_bits),
                 "ExponentUnit: bfp product exponent exceeds the EU carrier");
   counters_.add("eu.bfp_exp_add");
   return s;
 }
 
 AlignDecision ExponentUnit::align(std::int32_t exp_a, std::int32_t exp_b) {
-  BFP_REQUIRE(fits_signed(exp_a, kEuCarrierBits) &&
-                  fits_signed(exp_b, kEuCarrierBits),
+  BFP_REQUIRE(fits_signed(exp_a, cfg_.carrier_bits) &&
+                  fits_signed(exp_b, cfg_.carrier_bits),
               "ExponentUnit: exponent exceeds EU carrier width");
   AlignDecision d;
   if (exp_a >= exp_b) {
@@ -44,11 +73,12 @@ AlignDecision ExponentUnit::align(std::int32_t exp_a, std::int32_t exp_b) {
 
 std::int32_t ExponentUnit::fp32_product_exp(std::int32_t biased_ex,
                                             std::int32_t biased_ey) {
-  BFP_REQUIRE(biased_ex >= 0 && biased_ex <= 255 && biased_ey >= 0 &&
-                  biased_ey <= 255,
+  const std::int32_t emax = (1 << cfg_.fp32_exp_bits) - 1;
+  BFP_REQUIRE(biased_ex >= 0 && biased_ex <= emax && biased_ey >= 0 &&
+                  biased_ey <= emax,
               "ExponentUnit: fp32 exponents must be 8-bit biased");
   counters_.add("eu.fp32_exp_add");
-  return biased_ex + biased_ey - 127;
+  return biased_ex + biased_ey - cfg_.fp32_bias;
 }
 
 }  // namespace bfpsim

@@ -18,9 +18,26 @@
 
 namespace bfpsim {
 
+struct FormatSpec;
+
 /// Exponent carrier width inside the EU (one guard bit over the 8-bit
 /// storage format so the sum of two int8 exponents is representable).
 inline constexpr int kEuCarrierBits = 10;
+
+/// EU datapath widths, derived from the active numeric format. The
+/// defaults are the bfp8 constants the unit has always used.
+struct EuConfig {
+  int exp_bits = 8;                  ///< storage exponent width
+  int carrier_bits = kEuCarrierBits; ///< internal carrier (exp_bits + 2)
+  int fp32_exp_bits = 8;             ///< biased fp32-mode exponent field
+  int fp32_bias = 127;
+
+  /// Widths for a FormatSpec: carrier = we + 2 (a sum of two we-bit
+  /// exponents plus sign). The bfp8 spec reproduces the defaults exactly.
+  static EuConfig from_format(const FormatSpec& spec);
+
+  void validate() const;
+};
 
 struct AlignDecision {
   std::int32_t result_exp = 0;  ///< exponent of the aligned sum
@@ -30,6 +47,10 @@ struct AlignDecision {
 
 class ExponentUnit {
  public:
+  ExponentUnit() = default;
+  explicit ExponentUnit(const EuConfig& cfg);
+
+  const EuConfig& config() const { return cfg_; }
   /// expZ = expX + expY for bfp blocks (both int8 two's complement).
   std::int32_t bfp_product_exp(std::int32_t exp_x, std::int32_t exp_y);
 
@@ -47,6 +68,7 @@ class ExponentUnit {
   void reset() { counters_.reset(); }
 
  private:
+  EuConfig cfg_;
   Counters counters_;
 };
 

@@ -16,6 +16,8 @@ void PuConfig::validate() const {
   BFP_REQUIRE(psu_bits >= 16 && psu_bits <= 48,
               "PuConfig: psu_bits must be in [16,48]");
   BFP_REQUIRE(freq_hz > 0.0, "PuConfig: frequency must be positive");
+  BFP_REQUIRE(!mode.empty(), "PuConfig: mode must be named");
+  format.validate();
 }
 
 double GemmRun::sustained_ops_per_sec(double freq_hz) const {
@@ -27,17 +29,22 @@ double GemmRun::sustained_ops_per_sec(double freq_hz) const {
 ProcessingUnit::ProcessingUnit(const PuConfig& cfg)
     : cfg_(cfg),
       array_(cfg.array),
-      psu_(PsuConfig{cfg.psu_bits, cfg.array.rows, cfg.array.cols,
-                     RoundMode::kTruncate}) {
+      eu_(EuConfig::from_format(cfg.format)),
+      psu_(PsuConfig::from_format(cfg.format, cfg.array.rows, cfg.array.cols,
+                                  cfg.psu_bits)) {
   cfg_.validate();
 }
 
 namespace {
 
-BfpFormat pu_format(const PeArrayConfig& cfg) {
+BfpFormat pu_format(const PuConfig& cfg) {
   BfpFormat fmt;
-  fmt.rows = cfg.rows;
-  fmt.cols = cfg.cols;
+  if (cfg.format.shared_exponent) {
+    fmt.mant_bits = cfg.format.wm;
+    fmt.exp_bits = cfg.format.we;
+  }
+  fmt.rows = cfg.array.rows;
+  fmt.cols = cfg.array.cols;
   return fmt;
 }
 
@@ -81,7 +88,7 @@ std::uint64_t ProcessingUnit::bfp_pass(const BfpBlock& y0, const BfpBlock* y1,
 GemmRun ProcessingUnit::gemm_bfp8(std::span<const float> a, int m, int k,
                                   std::span<const float> b, int n) {
   BFP_REQUIRE(m > 0 && k > 0 && n > 0, "gemm_bfp8: dims must be positive");
-  const BfpFormat fmt = pu_format(cfg_.array);
+  const BfpFormat fmt = pu_format(cfg_);
   const BfpMatrix am = quantize_matrix(a, m, k, fmt, cfg_.quant_round);
   const BfpMatrix bm = quantize_matrix(b, k, n, fmt, cfg_.quant_round);
   const int mb = am.block_rows();
@@ -163,7 +170,7 @@ GemmRun ProcessingUnit::gemm_bfp8_fast(std::span<const float> a, int m, int k,
                                        ThreadPool* pool) const {
   BFP_REQUIRE(m > 0 && k > 0 && n > 0,
               "gemm_bfp8_fast: dims must be positive");
-  const BfpFormat fmt = pu_format(cfg_.array);
+  const BfpFormat fmt = pu_format(cfg_);
   const BfpMatrix am = quantize_matrix(a, m, k, fmt, cfg_.quant_round);
   const BfpMatrix bm = quantize_matrix(b, k, n, fmt, cfg_.quant_round);
   GemmRun out;

@@ -13,11 +13,13 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "bram/buffers.hpp"
 #include "common/thread_pool.hpp"
 #include "numerics/bfp.hpp"
+#include "numerics/format/format_spec.hpp"
 #include "pu/exponent_unit.hpp"
 #include "pu/pe_array.hpp"
 #include "pu/psu_buffer.hpp"
@@ -37,6 +39,11 @@ struct PuConfig {
   /// truncation (false) — the paper mentions truncation; RNE costs one
   /// extra adder and is the default here (ablation knob).
   bool fp32_round_nearest = true;
+  /// Active numeric mode (registry name) and its storage format. The EU
+  /// and PSU derive their datapath widths from `format`; the defaults
+  /// reproduce the historical bfp8 constants bit-for-bit.
+  std::string mode = "bfp8";
+  FormatSpec format = FormatSpec::bfp8();
 
   void validate() const;
 };

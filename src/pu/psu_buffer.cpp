@@ -1,30 +1,75 @@
 #include "pu/psu_buffer.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/bitops.hpp"
 #include "common/contract.hpp"
 #include "common/error.hpp"
+#include "numerics/format/format_spec.hpp"
 #include "reliability/fault_model.hpp"
 
 namespace bfpsim {
+
+namespace {
+int ceil_log2(int n) {
+  int bits = 0;
+  while ((1 << bits) < n) ++bits;
+  return bits;
+}
+}  // namespace
+
+int PsuConfig::pass_product_bits() const {
+  return 2 * (man_bits - 1) + ceil_log2(cols) + 1;
+}
+
+PsuConfig PsuConfig::from_format(const FormatSpec& spec, int rows, int cols,
+                                 int psu_bits) {
+  spec.validate();
+  PsuConfig cfg;
+  cfg.psu_bits = psu_bits;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  cfg.align_round = RoundMode::kTruncate;
+  // Stored mantissa width feeding a column: the two's-complement element
+  // for block formats, significand incl. hidden bit for element formats.
+  // Formats wider than the 8-bit array datapath (sliced fp32) stream
+  // through it in 8-bit mantissa slices, so the column never sees more.
+  cfg.man_bits = std::min(spec.shared_exponent ? spec.wm : spec.wm + 1, 8);
+  // A carrier narrower than one pass product is legal to *configure* — the
+  // accumulator raises HardwareContractError at runtime when a sum actually
+  // overflows it (test_property pins that failure-injection path), matching
+  // the pre-format-layer behaviour of a hand-narrowed psu_bits.
+  // The default bfp8 spec must reproduce the historical constants.
+  BFPSIM_ENSURE(!(spec.shared_exponent && spec.wm == 8 && cols == 8) ||
+                    (cfg.man_bits == 8 && cfg.lanes == 2 &&
+                     cfg.slots == kPsuSlots && cfg.pass_product_bits() == 18),
+                "PsuConfig: bfp8 must keep the 18-bit pass product and "
+                "2x64 buffer geometry");
+  return cfg;
+}
 
 PsuBuffer::PsuBuffer(const PsuConfig& cfg) : cfg_(cfg) {
   BFP_REQUIRE(cfg.psu_bits >= 16 && cfg.psu_bits <= 48,
               "PsuBuffer: psu_bits must be in [16,48]");
   BFP_REQUIRE(cfg.rows >= 1 && cfg.cols >= 1,
               "PsuBuffer: invalid geometry");
-  tiles_.resize(static_cast<std::size_t>(2 * kPsuSlots));
+  BFP_REQUIRE(cfg.man_bits >= 2 && cfg.man_bits <= 25,
+              "PsuBuffer: man_bits out of range");
+  BFP_REQUIRE(cfg.lanes >= 1 && cfg.slots >= 1,
+              "PsuBuffer: invalid lane/slot geometry");
+  tiles_.resize(static_cast<std::size_t>(cfg.lanes * cfg.slots));
   for (auto& t : tiles_) {
     t.psu.assign(static_cast<std::size_t>(cfg.rows * cfg.cols), 0);
   }
 }
 
 PsuBuffer::Tile& PsuBuffer::tile(int lane, int slot) {
-  BFP_REQUIRE(lane >= 0 && lane < 2, "PsuBuffer: lane out of range");
-  BFP_REQUIRE(slot >= 0 && slot < kPsuSlots,
+  BFP_REQUIRE(lane >= 0 && lane < cfg_.lanes,
+              "PsuBuffer: lane out of range");
+  BFP_REQUIRE(slot >= 0 && slot < cfg_.slots,
               "PsuBuffer: slot out of range");
-  return tiles_[static_cast<std::size_t>(lane * kPsuSlots + slot)];
+  return tiles_[static_cast<std::size_t>(lane * cfg_.slots + slot)];
 }
 
 const PsuBuffer::Tile& PsuBuffer::tile(int lane, int slot) const {
@@ -39,8 +84,8 @@ void PsuBuffer::clear_slot(int lane, int slot) {
 }
 
 void PsuBuffer::clear_all() {
-  for (int lane = 0; lane < 2; ++lane) {
-    for (int slot = 0; slot < kPsuSlots; ++slot) clear_slot(lane, slot);
+  for (int lane = 0; lane < cfg_.lanes; ++lane) {
+    for (int slot = 0; slot < cfg_.slots; ++slot) clear_slot(lane, slot);
   }
 }
 

@@ -24,12 +24,28 @@ class FaultStream;
 /// per column, the BRAM18-derived limit of Section II-D).
 inline constexpr int kPsuSlots = 64;
 
-/// Configuration of the shifter & ACC stage.
+/// Configuration of the shifter & ACC stage. New fields sit after
+/// align_round so existing four-field brace initializers keep meaning
+/// what they always meant.
 struct PsuConfig {
   int psu_bits = 32;  ///< accumulator carrier width
   int rows = 8;       ///< block rows
   int cols = 8;       ///< array columns
   RoundMode align_round = RoundMode::kTruncate;  ///< shifter behaviour
+  int man_bits = 8;   ///< stored mantissa width feeding the column
+  int lanes = 2;      ///< PSU lanes (double-buffered output tiles)
+  int slots = kPsuSlots;  ///< block slots per lane
+
+  /// Widest single-pass column product: two (man_bits-1)-bit magnitudes
+  /// multiplied, `cols` of them summed, plus sign — the DSP's lower field
+  /// in the paper's packing (18 bits for the bfp8 defaults).
+  int pass_product_bits() const;
+
+  /// Derive the column widths from a numeric format. Contracts that the
+  /// bfp8 spec reproduces the historical constants; a carrier narrower
+  /// than one pass product is configurable, and overflows at runtime.
+  static PsuConfig from_format(const FormatSpec& spec, int rows, int cols,
+                               int psu_bits);
 };
 
 class PsuBuffer {

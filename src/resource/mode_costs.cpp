@@ -1,0 +1,95 @@
+#include "resource/mode_costs.hpp"
+
+#include "common/error.hpp"
+#include "resource/designs.hpp"
+#include "resource/energy.hpp"
+
+namespace bfpsim {
+
+namespace {
+
+Resources scaled_shifter(int cols, int wm) {
+  // The per-column alignment barrel shifter and accumulator width scale
+  // with the stored mantissa width; bfp8's 8-bit mantissas are the
+  // calibration point.
+  const double w = static_cast<double>(wm) / 8.0;
+  Resources s = shifter_acc(cols);
+  s.lut *= w;
+  s.ff *= (0.5 + 0.5 * w);  // accumulator registers shrink less than shifts
+  return s;
+}
+
+}  // namespace
+
+ModeCost mode_cost(const NumericMode& mode, int rows, int cols) {
+  const EnergyConfig energy;
+  const Resources baseline =
+      assessed_subset(DesignVariant::kMultiMode, rows, cols).total();
+  const double pes = static_cast<double>(rows) * static_cast<double>(cols);
+
+  ModeCost c;
+  c.mode = mode.name;
+  c.rel_throughput = mode.cycle_scale > 0.0 ? 1.0 / mode.cycle_scale : 0.0;
+
+  if (mode.name == "bfp8") {
+    // The calibration point: the multi-mode array as assessed in Fig. 6,
+    // two 8-bit MACs packed per DSP op.
+    c.array = baseline;
+    c.dsp_ops_per_mac = 0.5;
+    c.pj_per_mac = energy.pj_per_dsp_op * c.dsp_ops_per_mac;
+  } else if (mode.approx_mul) {
+    // L-Mul: the DSP multipliers vanish; each PE keeps a (wm+1)-bit
+    // integer adder (~1.5 LUTs/bit) and the exponent adders it already
+    // had. Chen et al. measure ~0.22x the fp multiply energy.
+    Resources a = assessed_subset(DesignVariant::kMultiMode, rows, cols)
+                      .total();
+    a.dsp = 0.0;
+    a.lut += pes * 1.5 * static_cast<double>(mode.spec.wm + 1);
+    c.array = a;
+    c.dsp_ops_per_mac = 0.0;
+    c.pj_per_mac = energy.pj_per_dsp_op * 0.22;
+  } else if (mode.sliced) {
+    // Sliced fp32 reuses the bfp8 array unchanged; one fp32 MAC costs 8
+    // partial products at 2 per DSP op.
+    c.array = baseline;
+    c.dsp_ops_per_mac = 4.0;
+    c.pj_per_mac = energy.pj_per_dsp_op * c.dsp_ops_per_mac;
+  } else if (!mode.spec.shared_exponent && mode.spec.storage_bits() <= 8) {
+    // fp8: same DSP packing as bfp8, but the per-element exponents shrink
+    // the alignment shifters to the 4-bit significand datapath.
+    Resources a = pe_array(ArrayKind::kMultiMode, rows, cols) +
+                  exponent_unit() +
+                  scaled_shifter(cols, mode.spec.wm + 1) +
+                  controller(/*multimode=*/true);
+    c.array = a;
+    c.dsp_ops_per_mac = 0.5;
+    c.pj_per_mac = energy.pj_per_dsp_op * c.dsp_ops_per_mac;
+  } else if (!mode.spec.shared_exponent && mode.spec.wm <= 8) {
+    // bf16: one 9x9 mantissa product per DSP op (no packing), wider
+    // carriers in the shifter/accumulator column.
+    Resources a = pe_array(ArrayKind::kMultiMode, rows, cols) +
+                  exponent_unit() + scaled_shifter(cols, 16) +
+                  controller(/*multimode=*/true);
+    c.array = a;
+    c.dsp_ops_per_mac = 1.0;
+    c.pj_per_mac = energy.pj_per_dsp_op * c.dsp_ops_per_mac;
+  } else {
+    throw Error("mode_cost: no resource model for mode '" + mode.name + "'");
+  }
+
+  c.delta_vs_bfp8.lut = c.array.lut - baseline.lut;
+  c.delta_vs_bfp8.ff = c.array.ff - baseline.ff;
+  c.delta_vs_bfp8.bram = c.array.bram - baseline.bram;
+  c.delta_vs_bfp8.dsp = c.array.dsp - baseline.dsp;
+  return c;
+}
+
+std::vector<ModeCost> all_mode_costs(int rows, int cols) {
+  std::vector<ModeCost> out;
+  for (const NumericMode& m : numeric_modes()) {
+    out.push_back(mode_cost(m, rows, cols));
+  }
+  return out;
+}
+
+}  // namespace bfpsim

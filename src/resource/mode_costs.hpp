@@ -1,0 +1,37 @@
+// Per-NumericMode resource and energy deltas on the analytical model.
+//
+// Each registered mode maps to an assessed-subset resource vector for one
+// PE array configured for that mode, a delta against the bfp8 multi-mode
+// baseline, a per-MAC energy estimate, and a relative MAC throughput —
+// the resource/energy axes of the mode sweep's Pareto JSON.
+//
+// The L-Mul mode is the headline delta (Chen et al. 2024): the mantissa
+// multiplier is an integer adder, so the PE array sheds its DSPs entirely
+// for a small LUT adder per PE and roughly 0.22x the per-MAC multiply
+// energy of the DSP path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "numerics/format/registry.hpp"
+#include "resource/resources.hpp"
+
+namespace bfpsim {
+
+struct ModeCost {
+  std::string mode;
+  Resources array;          ///< assessed subset configured for this mode
+  Resources delta_vs_bfp8;  ///< array minus the bfp8 multi-mode baseline
+  double dsp_ops_per_mac = 0.5;  ///< DSP issue slots consumed per MAC
+  double pj_per_mac = 0.0;       ///< multiply+accumulate energy estimate
+  double rel_throughput = 1.0;   ///< MACs/cycle relative to bfp8
+};
+
+/// Cost vector for one mode at the given PE-array geometry.
+ModeCost mode_cost(const NumericMode& mode, int rows = 8, int cols = 8);
+
+/// Costs for every registered mode, registry order.
+std::vector<ModeCost> all_mode_costs(int rows = 8, int cols = 8);
+
+}  // namespace bfpsim

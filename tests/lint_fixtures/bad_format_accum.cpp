@@ -1,0 +1,15 @@
+// Fixture: floating-point accumulation inside the precision-zoo format
+// layer, which is bit-exact-tagged like the rest of src/numerics/. Expect
+// exactly one `float-accum` finding (the += line).
+// bfpsim-lint: module(numerics.format) tag(bit-exact)
+namespace fixture {
+
+float sloppy_mode_error(const float* v, int n) {
+  float err = 0.0F;
+  for (int i = 0; i < n; ++i) {
+    err += v[i] * v[i];
+  }
+  return err;
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: the golden numerics module including the format layer built on
+// top of it — an upward edge on the ladder (numerics < numerics.format).
+// The quantizer and bfp machinery must stay ignorant of FormatSpec; only
+// the format layer may depend downward on them. Expect exactly one
+// `layering` finding.
+// bfpsim-lint: module(numerics)
+#include "numerics/format/format_spec.hpp"
+
+namespace fixture {
+
+int quantizer_reaching_upward() { return 0; }
+
+}  // namespace fixture

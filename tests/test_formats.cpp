@@ -1,0 +1,540 @@
+// Precision-zoo format layer: per-mode codec edge cases (NaN/Inf/denormal
+// round-trips, E4M3's missing-Inf saturation, shared-exponent all-zero
+// blocks, rounding ties), the scalar golden op set (ADD/MUL/L-Mul/DOT)
+// pinned against independent references, and the registry/PU config
+// contracts that keep the default bfp8 mode byte-identical.
+#include "numerics/format/format_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "fabric/system.hpp"
+#include "numerics/bf16.hpp"
+#include "numerics/format/registry.hpp"
+#include "numerics/fp32.hpp"
+#include "numerics/quantizer.hpp"
+#include "pu/exponent_unit.hpp"
+#include "pu/processing_unit.hpp"
+#include "pu/psu_buffer.hpp"
+
+namespace bfpsim {
+namespace {
+
+float dec(std::uint32_t bits, const FormatSpec& spec) {
+  return decode_element(bits, spec);
+}
+
+std::uint32_t enc(float v, const FormatSpec& spec) {
+  return encode_element(v, spec);
+}
+
+// ---------------------------------------------------------------------------
+// Registry surface
+// ---------------------------------------------------------------------------
+
+TEST(FormatRegistry, ListsExpectedModesWithBfp8First) {
+  const auto& modes = numeric_modes();
+  ASSERT_GE(modes.size(), 6U);
+  EXPECT_EQ(modes[0].name, "bfp8");
+  for (const char* name :
+       {"bfp8", "fp8_e4m3", "fp8_e5m2", "bf16", "lmul", "sliced_fp32"}) {
+    EXPECT_TRUE(is_numeric_mode(name)) << name;
+  }
+  EXPECT_FALSE(is_numeric_mode("fp4"));
+}
+
+TEST(FormatRegistry, UnknownModeThrowsListingValidNames) {
+  try {
+    numeric_mode("int8");
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("valid:"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bfp8"), std::string::npos);
+  }
+}
+
+TEST(FormatRegistry, DefaultModeSpecReproducesBfp8Constants) {
+  const NumericMode& m = numeric_mode("bfp8");
+  EXPECT_TRUE(m.spec.shared_exponent);
+  EXPECT_EQ(m.spec.we, 8);
+  EXPECT_EQ(m.spec.wm, 8);
+  EXPECT_EQ(m.spec.block_size, 64);
+  EXPECT_EQ(m.cycle_scale, 1.0);
+  const BfpFormat fmt = m.spec.to_bfp_format(8, 8);
+  const BfpFormat ref = bfp8_format();
+  EXPECT_EQ(fmt.mant_bits, ref.mant_bits);
+  EXPECT_EQ(fmt.exp_bits, ref.exp_bits);
+  EXPECT_EQ(fmt.rows, ref.rows);
+  EXPECT_EQ(fmt.cols, ref.cols);
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive fp8 round-trips (all 256 patterns per format)
+// ---------------------------------------------------------------------------
+
+TEST(Fp8Codec, AllPatternsRoundTripExactly) {
+  for (const FormatSpec& spec :
+       {FormatSpec::fp8_e4m3(), FormatSpec::fp8_e5m2()}) {
+    for (std::uint32_t bits = 0; bits < 256; ++bits) {
+      const float v = dec(bits, spec);
+      if (is_nan_bits(bits, spec)) {
+        EXPECT_TRUE(std::isnan(v));
+        EXPECT_TRUE(is_nan_bits(enc(v, spec), spec));
+        continue;
+      }
+      if (is_inf_bits(bits, spec)) {
+        EXPECT_TRUE(std::isinf(v));
+      }
+      // Finite and Inf patterns decode-encode to the identical pattern
+      // (including -0 and subnormals).
+      EXPECT_EQ(enc(v, spec), bits) << to_string(spec) << " bits=" << bits;
+    }
+  }
+}
+
+TEST(Fp8Codec, E4M3HasNoInfAndOneNaNPattern) {
+  const FormatSpec spec = FormatSpec::fp8_e4m3();
+  int nans = 0;
+  int infs = 0;
+  for (std::uint32_t bits = 0; bits < 256; ++bits) {
+    nans += is_nan_bits(bits, spec) ? 1 : 0;
+    infs += is_inf_bits(bits, spec) ? 1 : 0;
+  }
+  EXPECT_EQ(nans, 2);  // S.1111.111 only, both signs
+  EXPECT_EQ(infs, 0);
+  EXPECT_TRUE(is_nan_bits(0x7F, spec));
+  EXPECT_TRUE(is_nan_bits(0xFF, spec));
+  // The rest of the top binade is finite: S.1111.110 is the max normal.
+  EXPECT_EQ(spec.max_finite_bits(), 0x7EU);
+  EXPECT_EQ(dec(0x7E, spec), 448.0F);
+  EXPECT_EQ(dec(0x78, spec), 256.0F);
+}
+
+// ---------------------------------------------------------------------------
+// E4M3 saturation vs E5M2 Inf semantics
+// ---------------------------------------------------------------------------
+
+TEST(Fp8Codec, E4M3OverflowSaturatesToMaxFinite) {
+  const FormatSpec spec = FormatSpec::fp8_e4m3();
+  EXPECT_EQ(enc(1e9F, spec), 0x7EU);
+  EXPECT_EQ(enc(-1e9F, spec), 0xFEU);
+  EXPECT_EQ(enc(std::numeric_limits<float>::infinity(), spec), 0x7EU);
+  EXPECT_EQ(enc(-std::numeric_limits<float>::infinity(), spec), 0xFEU);
+  // 464 ties between 448 and the NaN pattern's would-be 480: RNE picks the
+  // even mantissa (448); anything that would round INTO S.1111.111
+  // saturates to max finite instead of fabricating a NaN.
+  EXPECT_EQ(enc(464.0F, spec), 0x7EU);
+  EXPECT_EQ(enc(465.0F, spec), 0x7EU);
+  EXPECT_EQ(enc(448.0F, spec), 0x7EU);
+  EXPECT_TRUE(std::isnan(dec(enc(std::numeric_limits<float>::quiet_NaN(),
+                                 spec),
+                             spec)));
+}
+
+TEST(Fp8Codec, E5M2OverflowGoesToInf) {
+  const FormatSpec spec = FormatSpec::fp8_e5m2();
+  EXPECT_EQ(spec.max_finite(), 57344.0F);
+  EXPECT_EQ(enc(1e9F, spec), spec.inf_bits(false));
+  EXPECT_EQ(enc(-1e9F, spec), spec.inf_bits(true));
+  EXPECT_EQ(spec.inf_bits(false), 0x7CU);
+  EXPECT_EQ(spec.inf_bits(true), 0xFCU);
+  // Below the overflow midpoint rounds back to max finite; the 61440 tie
+  // carries up (even) and overflows to Inf.
+  EXPECT_EQ(enc(60000.0F, spec), 0x7BU);
+  EXPECT_EQ(enc(61440.0F, spec), 0x7CU);
+  EXPECT_TRUE(std::isinf(dec(0x7C, spec)));
+  EXPECT_TRUE(std::isinf(dec(enc(std::numeric_limits<float>::infinity(),
+                                 spec),
+                             spec)));
+}
+
+// ---------------------------------------------------------------------------
+// Denormals and signed zero
+// ---------------------------------------------------------------------------
+
+TEST(ElementCodec, DenormalsRoundTripPerMode) {
+  struct Case {
+    FormatSpec spec;
+    int min_ulp;  // 1 - bias - wm
+  };
+  const Case cases[] = {{FormatSpec::fp8_e4m3(), -9},
+                        {FormatSpec::fp8_e5m2(), -16},
+                        {FormatSpec::bf16(), -133}};
+  for (const Case& c : cases) {
+    const float tiny = std::ldexp(1.0F, c.min_ulp);  // smallest subnormal
+    const std::uint32_t bits = enc(tiny, c.spec);
+    EXPECT_EQ(bits, 1U) << to_string(c.spec);  // e=0, frac=1
+    EXPECT_EQ(dec(bits, c.spec), tiny);
+    // Largest subnormal: (2^wm - 1) * 2^min_ulp.
+    const float big_sub = std::ldexp(
+        static_cast<float>(c.spec.frac_mask()), c.min_ulp);
+    EXPECT_EQ(enc(big_sub, c.spec), c.spec.frac_mask());
+    EXPECT_EQ(dec(c.spec.frac_mask(), c.spec), big_sub);
+    // Half the smallest subnormal is a tie -> rounds to even (zero);
+    // three quarters rounds up to the smallest subnormal.
+    EXPECT_TRUE(is_zero_bits(enc(std::ldexp(1.0F, c.min_ulp - 1), c.spec),
+                             c.spec));
+    EXPECT_EQ(enc(std::ldexp(3.0F, c.min_ulp - 2), c.spec), 1U);
+  }
+}
+
+TEST(ElementCodec, SignedZeroRoundTrips) {
+  for (const FormatSpec& spec : {FormatSpec::fp8_e4m3(),
+                                 FormatSpec::fp8_e5m2(),
+                                 FormatSpec::bf16()}) {
+    const std::uint32_t pz = enc(0.0F, spec);
+    const std::uint32_t nz = enc(-0.0F, spec);
+    EXPECT_TRUE(is_zero_bits(pz, spec));
+    EXPECT_TRUE(is_zero_bits(nz, spec));
+    EXPECT_NE(pz, nz);
+    EXPECT_FALSE(std::signbit(dec(pz, spec)));
+    EXPECT_TRUE(std::signbit(dec(nz, spec)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// bf16: the generic codec must agree with the dedicated bf16 helpers
+// ---------------------------------------------------------------------------
+
+TEST(Bf16Promotion, CodecMatchesBf16HelpersOnAllPatterns) {
+  const FormatSpec spec = FormatSpec::bf16();
+  for (std::uint32_t bits = 0; bits <= 0xFFFF; ++bits) {
+    const Bf16 v{static_cast<std::uint16_t>(bits)};
+    const float via_helper = bf16_to_float(v);
+    if (is_nan_bits(bits, spec)) {
+      EXPECT_TRUE(std::isnan(via_helper));
+      continue;
+    }
+    EXPECT_EQ(float_to_bits(dec(bits, spec)), float_to_bits(via_helper))
+        << bits;
+    EXPECT_EQ(enc(via_helper, spec), bits);
+  }
+}
+
+TEST(Bf16Promotion, EncodeMatchesBf16FromFloatOnRandomFp32) {
+  const FormatSpec spec = FormatSpec::bf16();
+  Rng rng(2024);
+  for (int i = 0; i < 100000; ++i) {
+    const float v = random_normal_fp32(rng, 1, 254);
+    EXPECT_EQ(enc(v, spec), bf16_from_float(v).bits) << v;
+  }
+}
+
+TEST(Bf16Promotion, MulElementMatchesBf16MulReference) {
+  const FormatSpec spec = FormatSpec::bf16();
+  Rng rng(2025);
+  for (int i = 0; i < 20000; ++i) {
+    const Bf16 x = random_bf16(rng);
+    const Bf16 y = random_bf16(rng);
+    const std::uint32_t got = mul_element(x.bits, y.bits, spec);
+    const Bf16 expect = bf16_mul_reference(x, y);
+    EXPECT_EQ(float_to_bits(dec(got, spec)),
+              float_to_bits(bf16_to_float(expect)))
+        << bf16_to_float(x) << " * " << bf16_to_float(y);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared-exponent blocks
+// ---------------------------------------------------------------------------
+
+TEST(BlockCodec, AllZeroBlockStaysZero) {
+  const FormatSpec spec = FormatSpec::bfp8();
+  const std::vector<float> tile(64, 0.0F);
+  const BfpBlock block = encode_block(tile, spec, 8, 8);
+  for (std::int16_t m : block.man) EXPECT_EQ(m, 0);
+  for (float v : decode_block(block)) EXPECT_EQ(v, 0.0F);
+  EXPECT_EQ(mode_roundtrip(numeric_mode("bfp8"), 0.0F), 0.0F);
+}
+
+TEST(BlockCodec, RoundTripMatchesQuantizerFrontEnd) {
+  const NumericMode& mode = numeric_mode("bfp8");
+  Rng rng(31);
+  const auto v = rng.normal_vec(64, 0.0F, 3.0F);
+  const auto via_mode = mode_roundtrip_tile(mode, v, 8, 8);
+  const auto via_quantizer = bfp_roundtrip(v, 8, 8, bfp8_format());
+  ASSERT_EQ(via_mode.size(), via_quantizer.size());
+  for (std::size_t i = 0; i < via_mode.size(); ++i) {
+    EXPECT_EQ(float_to_bits(via_mode[i]), float_to_bits(via_quantizer[i]));
+  }
+  // Matrix round-trip with non-block-aligned dims goes through the same
+  // padding front-end.
+  const auto mat = rng.normal_vec(20 * 12, 0.0F, 1.0F);
+  const auto rt = mode_roundtrip_matrix(mode, mat, 20, 12);
+  const auto ref = bfp_roundtrip(mat, 20, 12, bfp8_format());
+  for (std::size_t i = 0; i < rt.size(); ++i) {
+    EXPECT_EQ(float_to_bits(rt[i]), float_to_bits(ref[i]));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rounding-mode ties
+// ---------------------------------------------------------------------------
+
+TEST(ElementCodec, RoundingModeTiesFollowTheMode) {
+  const FormatSpec spec = FormatSpec::bf16();  // ulp(1.0) = 2^-7
+  const float tie = 1.0F + 1.0F / 256.0F;     // exactly half an ulp
+  EXPECT_EQ(dec(encode_element(tie, spec, RoundMode::kNearestEven), spec),
+            1.0F);
+  EXPECT_EQ(dec(encode_element(tie, spec, RoundMode::kHalfAway), spec),
+            1.0F + 1.0F / 128.0F);
+  EXPECT_EQ(dec(encode_element(tie, spec, RoundMode::kTruncate), spec),
+            1.0F);
+  // Above the tie every mode but truncate rounds up.
+  const float above = 1.0F + 3.0F / 512.0F;
+  EXPECT_EQ(dec(encode_element(above, spec, RoundMode::kNearestEven), spec),
+            1.0F + 1.0F / 128.0F);
+  EXPECT_EQ(dec(encode_element(above, spec, RoundMode::kTruncate), spec),
+            1.0F);
+  // Truncation is toward zero on negatives (magnitude truncation).
+  EXPECT_EQ(dec(encode_element(-above, spec, RoundMode::kTruncate), spec),
+            -1.0F);
+  // The next-binade tie: 2 - 2^-8 rounds up across the exponent boundary.
+  EXPECT_EQ(dec(encode_element(2.0F - 1.0F / 256.0F, spec,
+                               RoundMode::kNearestEven),
+                spec),
+            2.0F);
+}
+
+// ---------------------------------------------------------------------------
+// ADD
+// ---------------------------------------------------------------------------
+
+TEST(ElementOps, AddSpecialCases) {
+  const FormatSpec spec = FormatSpec::bf16();
+  const std::uint32_t one = enc(1.0F, spec);
+  const std::uint32_t pinf = spec.inf_bits(false);
+  const std::uint32_t ninf = spec.inf_bits(true);
+  EXPECT_TRUE(is_nan_bits(add_element(pinf, ninf, spec), spec));
+  EXPECT_EQ(add_element(pinf, one, spec), pinf);
+  EXPECT_EQ(add_element(ninf, one, spec), ninf);
+  EXPECT_TRUE(is_nan_bits(add_element(spec.nan_bits(), one, spec), spec));
+  // Signed-zero rules: only (-0) + (-0) is -0; x + (-x) is +0.
+  EXPECT_EQ(add_element(enc(-0.0F, spec), enc(-0.0F, spec), spec),
+            enc(-0.0F, spec));
+  EXPECT_EQ(add_element(enc(0.0F, spec), enc(-0.0F, spec), spec),
+            enc(0.0F, spec));
+  EXPECT_EQ(add_element(one, enc(-1.0F, spec), spec), enc(0.0F, spec));
+  // Zero is the identity, returning the other operand's exact pattern.
+  const std::uint32_t sub = 1U;  // smallest subnormal
+  EXPECT_EQ(add_element(sub, enc(0.0F, spec), spec), sub);
+}
+
+TEST(ElementOps, AddIsCorrectlyRoundedOnCloseExponents) {
+  // With exponent gaps <= 10 the fp32 sum below is exact, so rounding it
+  // once to bf16 is the correctly rounded reference.
+  const FormatSpec spec = FormatSpec::bf16();
+  Rng rng(2026);
+  for (int i = 0; i < 20000; ++i) {
+    const Bf16 x = random_bf16(rng, 120, 130);
+    const Bf16 y = random_bf16(rng, 120, 130);
+    const float exact = bf16_to_float(x) + bf16_to_float(y);
+    const std::uint32_t got = add_element(x.bits, y.bits, spec);
+    EXPECT_EQ(float_to_bits(dec(got, spec)),
+              float_to_bits(bf16_to_float(bf16_from_float(exact))))
+        << bf16_to_float(x) << " + " << bf16_to_float(y);
+  }
+}
+
+TEST(ElementOps, AddStickyPathAbsorbsFarOperandCorrectly) {
+  const FormatSpec spec = FormatSpec::bf16();
+  const float big = std::ldexp(1.0F, 20);
+  const float small = std::ldexp(1.0F, -20);
+  // Far below half an ulp: the sum rounds back to big...
+  EXPECT_EQ(dec(add_element(enc(big, spec), enc(small, spec), spec), spec),
+            big);
+  // ...but a subtraction must nudge downward off the exact power of two.
+  EXPECT_EQ(dec(add_element(enc(big, spec), enc(-small, spec), spec), spec),
+            big);
+  EXPECT_EQ(dec(add_element(enc(-big, spec), enc(small, spec), spec), spec),
+            -big);
+}
+
+// ---------------------------------------------------------------------------
+// MUL / L-Mul
+// ---------------------------------------------------------------------------
+
+TEST(ElementOps, MulSpecialCases) {
+  const FormatSpec spec = FormatSpec::fp8_e5m2();
+  const std::uint32_t zero = enc(0.0F, spec);
+  const std::uint32_t pinf = spec.inf_bits(false);
+  EXPECT_TRUE(is_nan_bits(mul_element(pinf, zero, spec), spec));
+  EXPECT_EQ(mul_element(pinf, enc(2.0F, spec), spec), pinf);
+  EXPECT_EQ(mul_element(pinf, enc(-2.0F, spec), spec), spec.inf_bits(true));
+  EXPECT_EQ(mul_element(enc(-2.0F, spec), zero, spec), enc(-0.0F, spec));
+  // E4M3 overflow saturates instead.
+  const FormatSpec e4 = FormatSpec::fp8_e4m3();
+  EXPECT_EQ(mul_element(enc(448.0F, e4), enc(448.0F, e4), e4), 0x7EU);
+}
+
+TEST(LMul, OffsetExponentFollowsThePaper) {
+  EXPECT_EQ(lmul_offset_exp(1), 1);
+  EXPECT_EQ(lmul_offset_exp(2), 2);
+  EXPECT_EQ(lmul_offset_exp(3), 3);
+  EXPECT_EQ(lmul_offset_exp(4), 3);
+  EXPECT_EQ(lmul_offset_exp(5), 4);
+  EXPECT_EQ(lmul_offset_exp(7), 4);
+  EXPECT_EQ(lmul_offset_exp(23), 4);
+}
+
+TEST(LMul, FieldAdditionPinsOnBf16) {
+  const FormatSpec spec = FormatSpec::bf16();  // l(7) = 4, offset 2^-4
+  // (1 + .5)(1 + .5): the fraction fields add as one integer, fx + fy +
+  // offset = 0.5 + 0.5 + 0.0625, and the carry ripples INTO the exponent
+  // field — the bits then read as 2 * (1 + .0625) = 2.125. That field
+  // reinterpretation (not the arithmetic sum 2.0625) is the whole
+  // adder-only trick.
+  EXPECT_EQ(dec(lmul_element(enc(1.5F, spec), enc(1.5F, spec), spec), spec),
+            2.125F);
+  // No carry: (1 + .125)(1 + .125) ~= 1.3125.
+  EXPECT_EQ(dec(lmul_element(enc(1.125F, spec), enc(1.125F, spec), spec),
+                spec),
+            1.3125F);
+  // The exact multiplier answers 2.25 / 1.265625 — the gap IS the L-Mul
+  // approximation error.
+  EXPECT_EQ(dec(mul_element(enc(1.5F, spec), enc(1.5F, spec), spec), spec),
+            2.25F);
+  // Sign and zero/subnormal flushing.
+  EXPECT_TRUE(is_zero_bits(
+      lmul_element(enc(0.0F, spec), enc(1.5F, spec), spec), spec));
+  EXPECT_TRUE(is_zero_bits(lmul_element(1U, enc(1.5F, spec), spec), spec));
+  EXPECT_TRUE(std::signbit(
+      dec(lmul_element(enc(-1.5F, spec), enc(1.5F, spec), spec), spec)));
+}
+
+TEST(LMul, FieldAdditionPinsOnE4M3) {
+  const FormatSpec spec = FormatSpec::fp8_e4m3();  // l(3) = 3, offset 2^-3
+  // (1 + .25)(1 + .25) ~= 1 + .25 + .25 + .125 = 1.625 (exact is 1.5625).
+  EXPECT_EQ(dec(lmul_element(enc(1.25F, spec), enc(1.25F, spec), spec),
+                spec),
+            1.625F);
+  // Overflow saturates to max finite, never the NaN pattern.
+  EXPECT_EQ(lmul_element(enc(448.0F, spec), enc(448.0F, spec), spec), 0x7EU);
+}
+
+// ---------------------------------------------------------------------------
+// DOT
+// ---------------------------------------------------------------------------
+
+TEST(DotElements, ExactSmallSumsAndSpecials) {
+  const FormatSpec spec = FormatSpec::fp8_e4m3();
+  std::vector<std::uint32_t> ones(8, enc(1.0F, spec));
+  EXPECT_EQ(dot_elements(ones, ones, spec), 8.0F);
+  std::vector<std::uint32_t> alt = ones;
+  for (std::size_t i = 0; i < alt.size(); i += 2) {
+    alt[i] = enc(-1.0F, spec);
+  }
+  EXPECT_EQ(dot_elements(ones, alt, spec), 0.0F);
+  // NaN propagates; a lone Inf product dominates; conflicting Infs cancel
+  // to NaN.
+  const FormatSpec e5 = FormatSpec::fp8_e5m2();
+  std::vector<std::uint32_t> xs = {enc(1.0F, e5), e5.inf_bits(false)};
+  std::vector<std::uint32_t> ys = {enc(1.0F, e5), enc(2.0F, e5)};
+  EXPECT_TRUE(std::isinf(dot_elements(xs, ys, e5)));
+  xs.push_back(e5.inf_bits(true));
+  ys.push_back(enc(3.0F, e5));
+  EXPECT_TRUE(std::isnan(dot_elements(xs, ys, e5)));
+  EXPECT_TRUE(std::isnan(dot_elements(
+      std::vector<std::uint32_t>{e5.nan_bits()},
+      std::vector<std::uint32_t>{enc(1.0F, e5)}, e5)));
+}
+
+TEST(DotElements, Eqn3AlignmentTruncatesFarProducts) {
+  const FormatSpec spec = FormatSpec::bf16();
+  // 1.0 * 1.0 + 2^-30 * 1.0: the second product sits 30 bits below the
+  // accumulator exponent and truncates away entirely (the PSU discipline),
+  // so the dot is exactly 1.0 — not 1 + 2^-30.
+  const std::vector<std::uint32_t> x = {enc(1.0F, spec),
+                                        enc(std::ldexp(1.0F, -30), spec)};
+  const std::vector<std::uint32_t> y = {enc(1.0F, spec), enc(1.0F, spec)};
+  EXPECT_EQ(dot_elements(x, y, spec), 1.0F);
+}
+
+TEST(DotElements, NarrowCarrierOverflowRaisesHardwareContract) {
+  const FormatSpec spec = FormatSpec::bf16();
+  const std::vector<std::uint32_t> x(64, enc(128.0F, spec));
+  EXPECT_THROW(dot_elements(x, x, spec, false, 16), HardwareContractError);
+  EXPECT_NO_THROW(dot_elements(x, x, spec, false, 32));
+}
+
+// ---------------------------------------------------------------------------
+// Mode GEMM goldens and PU config contracts
+// ---------------------------------------------------------------------------
+
+TEST(ModeGolden, Bfp8ModeGemmMatchesPuFastPathBitExact) {
+  const int m = 16;
+  const int k = 32;
+  const int n = 24;
+  Rng rng(91);
+  const auto a = rng.normal_vec(static_cast<std::size_t>(m) * k, 0.0F, 1.0F);
+  const auto b = rng.normal_vec(static_cast<std::size_t>(k) * n, 0.0F, 0.1F);
+  ProcessingUnit pu;
+  const auto fast = pu.gemm_bfp8_fast(a, m, k, b, n).c;
+  const auto golden = mode_gemm_reference(numeric_mode("bfp8"), a, m, k, b,
+                                          n, PuConfig{}.psu_bits);
+  ASSERT_EQ(fast.size(), golden.size());
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(float_to_bits(fast[i]), float_to_bits(golden[i])) << i;
+  }
+}
+
+TEST(ModeGolden, SystemGemmMatchesRegistryGoldenPerMode) {
+  const int m = 8;
+  const int k = 16;
+  const int n = 8;
+  Rng rng(92);
+  const auto a = rng.normal_vec(static_cast<std::size_t>(m) * k, 0.0F, 1.0F);
+  const auto b = rng.normal_vec(static_cast<std::size_t>(k) * n, 0.0F, 0.1F);
+  for (const NumericMode& mode : numeric_modes()) {
+    SystemConfig cfg;
+    cfg.pu.mode = mode.name;
+    cfg.pu.format = mode.spec;
+    const AcceleratorSystem sys(cfg);
+    const auto got = sys.gemm(a, m, k, b, n).c;
+    const auto golden =
+        mode_gemm_reference(mode, a, m, k, b, n, cfg.pu.psu_bits);
+    ASSERT_EQ(got.size(), golden.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(float_to_bits(got[i]), float_to_bits(golden[i]))
+          << mode.name << " @" << i;
+    }
+  }
+}
+
+TEST(PuConfigContracts, DefaultSpecsReproduceHistoricalConstants) {
+  const EuConfig eu = EuConfig::from_format(FormatSpec::bfp8());
+  EXPECT_EQ(eu.exp_bits, 8);
+  EXPECT_EQ(eu.carrier_bits, kEuCarrierBits);
+  EXPECT_EQ(eu.fp32_bias, 127);
+  const EuConfig eu5 = EuConfig::from_format(FormatSpec::fp8_e5m2());
+  EXPECT_EQ(eu5.exp_bits, 5);
+  EXPECT_EQ(eu5.carrier_bits, 7);
+
+  const PsuConfig psu = PsuConfig::from_format(FormatSpec::bfp8(), 8, 8, 32);
+  EXPECT_EQ(psu.man_bits, 8);
+  EXPECT_EQ(psu.lanes, 2);
+  EXPECT_EQ(psu.slots, kPsuSlots);
+  EXPECT_EQ(psu.pass_product_bits(), 18);
+
+  // fp8 narrows the column products; sliced fp32 streams 8-bit slices.
+  EXPECT_EQ(PsuConfig::from_format(FormatSpec::fp8_e4m3(), 8, 8, 32)
+                .pass_product_bits(),
+            10);
+  EXPECT_EQ(
+      PsuConfig::from_format(FormatSpec::fp32_storage(), 8, 8, 32).man_bits,
+      8);
+  // A carrier narrower than one pass product is configurable (overflow
+  // surfaces at runtime in the accumulator, as test_property pins for the
+  // hand-narrowed bfp8 path) — the derived widths still report the squeeze.
+  const PsuConfig narrow = PsuConfig::from_format(FormatSpec::bf16(), 8, 8, 16);
+  EXPECT_EQ(narrow.psu_bits, 16);
+  EXPECT_GT(narrow.pass_product_bits(), narrow.psu_bits);
+}
+
+}  // namespace
+}  // namespace bfpsim

@@ -359,6 +359,18 @@ TEST(Lint, FlagsUpwardIncludeAgainstModuleLadder) {
   expect_single_finding("bad_layering.cpp", "layering");
 }
 
+TEST(Lint, FlagsFloatAccumulationInFormatLayer) {
+  // src/numerics/format/ joined the bit-exact rule set with the precision
+  // zoo; the fixture declares that module + tag explicitly.
+  expect_single_finding("bad_format_accum.cpp", "float-accum");
+}
+
+TEST(Lint, FlagsNumericsIncludingTheFormatLayer) {
+  // numerics.format ranks above numerics on the ladder: the golden bfp /
+  // quantizer code must never include the format layer built on top of it.
+  expect_single_finding("bad_format_layering.cpp", "layering");
+}
+
 TEST(Lint, AllowSuppressionsSilenceEveryRule) {
   const LintRun run =
       run_lint({"--root", BFPSIM_SOURCE_ROOT, fixture("suppressed.cpp")});

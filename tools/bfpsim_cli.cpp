@@ -35,6 +35,7 @@
 #include "common/table.hpp"
 #include "common/thread_pool.hpp"
 #include "core/accelerator.hpp"
+#include "numerics/format/registry.hpp"
 #include "numerics/nonlinear.hpp"
 #include "pu/processing_unit.hpp"
 #include "reliability/abft.hpp"
@@ -62,9 +63,10 @@ void print_usage() {
       "         [--batch B] [--slo-ms MS] [--max-wait-us US] [--shed]\n"
       "         [--threads N] [--json] [--chrome-trace FILE]\n"
       "         [--cards N] [--replicas R] [--strategy pipeline|tensor]\n"
+      "         [--mode MODE]\n"
       "  bfpsim cluster <tiny|small|base|test> [--cards LIST]\n"
       "         [--strategy pipeline|tensor|both] [--requests N]\n"
-      "         [--threads N] [--json]\n"
+      "         [--threads N] [--json] [--mode MODE]\n"
       "  bfpsim fleet <tiny|small|base|test> [--requests N] [--rate RPS]\n"
       "         [--pattern poisson|diurnal|burst] [--peak-ratio X]\n"
       "         [--period-ms MS] [--burst-ratio X] [--burst-dwell-ms MS]\n"
@@ -74,9 +76,14 @@ void print_usage() {
       "         [--cold-start-us US] [--scale-interval-us US] [--seed S]\n"
       "         [--queue D] [--batch B] [--slo-ms MS] [--max-wait-us US]\n"
       "         [--shed] [--threads N] [--json] [--chrome-trace FILE]\n"
+      "         [--mode MODE]\n"
       "  bfpsim faults [--rates LIST] [--m M] [--k K] [--n N] [--seed S]\n"
       "         [--retries R] [--threads N] [--json]\n"
       "  bfpsim resources [unit|system]\n"
+      "\n"
+      "\n"
+      "numeric modes (--mode): bfp8 (default), fp8_e4m3, fp8_e5m2, bf16,\n"
+      "lmul, sliced_fp32 — see `bfpsim info` for the registry\n"
       "\n"
       "exit codes: 0 ok, 1 runtime error, 2 unknown subcommand, 3 bad "
       "arguments\n");
@@ -93,6 +100,16 @@ int bad_args(const std::string& msg) {
   std::fprintf(stderr, "error: %s\n", msg.c_str());
   print_usage();
   return 3;
+}
+
+/// System configuration for a validated --mode name (Error -> exit 3 via
+/// the subcommand catch blocks).
+SystemConfig system_config_for_mode(const std::string& mode_name) {
+  const NumericMode& mode = numeric_mode(mode_name);
+  SystemConfig sys;
+  sys.pu.mode = mode.name;
+  sys.pu.format = mode.spec;
+  return sys;
 }
 
 // Validated numeric parsing. std::atoi silently turns "8x" into 8 and
@@ -169,6 +186,11 @@ int cmd_info() {
               acc.system().theoretical_fp32_system(128) / 1e9);
   std::printf("  fp32 sustained   : %8.2f GFLOPS (memory model)\n",
               acc.sustained_fp32_flops() / 1e9);
+  std::printf("numeric modes (--mode on serve/cluster/fleet):\n");
+  for (const NumericMode& m : numeric_modes()) {
+    std::printf("  %-12s %s — %s\n", m.name.c_str(),
+                to_string(m.spec).c_str(), m.summary.c_str());
+  }
   return 0;
 }
 
@@ -320,6 +342,7 @@ int cmd_serve(int argc, char** argv) {
   int cards = 1;
   int replicas = 1;
   PartitionStrategy strategy = PartitionStrategy::kPipeline;
+  std::string mode_name = "bfp8";
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -327,7 +350,9 @@ int cmd_serve(int argc, char** argv) {
       if (i + 1 >= argc) throw Error(std::string(what) + " needs a value");
       return argv[++i];
     };
-    if (a == "--cards") {
+    if (a == "--mode") {
+      mode_name = next("--mode");
+    } else if (a == "--cards") {
       cards = parse_int(next("--cards"), "--cards", 1, 1024);
     } else if (a == "--replicas") {
       replicas = parse_int(next("--replicas"), "--replicas", 1, 1024);
@@ -378,7 +403,7 @@ int cmd_serve(int argc, char** argv) {
   const bool clustered = cards > 1 || replicas > 1;
 
   const VitConfig cfg = which == "test" ? vit_test_tiny() : pick_config(which);
-  const AcceleratorSystem sys;
+  const AcceleratorSystem sys(system_config_for_mode(mode_name));
   const VitModel model{random_weights(cfg, 42)};
   const double freq = sys.config().pu.freq_hz;
 
@@ -508,6 +533,7 @@ int cmd_cluster(int argc, char** argv) {
   int requests = 16;
   int threads = 1;
   bool json = false;
+  std::string mode_name = "bfp8";
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -515,7 +541,9 @@ int cmd_cluster(int argc, char** argv) {
       if (i + 1 >= argc) throw Error(std::string(what) + " needs a value");
       return argv[++i];
     };
-    if (a == "--cards") {
+    if (a == "--mode") {
+      mode_name = next("--mode");
+    } else if (a == "--cards") {
       cards_list = next("--cards");
     } else if (a == "--strategy") {
       strategy_arg = next("--strategy");
@@ -551,7 +579,7 @@ int cmd_cluster(int argc, char** argv) {
   }
 
   const VitConfig cfg = which == "test" ? vit_test_tiny() : pick_config(which);
-  const SystemConfig card;
+  const SystemConfig card = system_config_for_mode(mode_name);
   const VitWeights weights = random_weights(cfg, 42);
   if (threads <= 0) threads = ThreadPool::hardware_threads();
   ThreadPool pool(threads);
@@ -672,6 +700,7 @@ int cmd_fleet(int argc, char** argv) {
   int threads = 1;
   bool json = false;
   std::string chrome_path;
+  std::string mode_name = "bfp8";
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -679,7 +708,9 @@ int cmd_fleet(int argc, char** argv) {
       if (i + 1 >= argc) throw Error(std::string(what) + " needs a value");
       return argv[++i];
     };
-    if (a == "--requests") {
+    if (a == "--mode") {
+      mode_name = next("--mode");
+    } else if (a == "--requests") {
       requests = parse_int(next("--requests"), "--requests", 1, 1 << 20);
     } else if (a == "--rate") {
       rate = parse_double(next("--rate"), "--rate", 0.0, 1e12);
@@ -803,7 +834,7 @@ int cmd_fleet(int argc, char** argv) {
   }
 
   const VitConfig cfg = which == "test" ? vit_test_tiny() : pick_config(which);
-  Session session;
+  Session session(system_config_for_mode(mode_name));
   const double freq = session.system().config().pu.freq_hz;
   const ModelId model = session.deploy(random_weights(cfg, 42), cfg.name);
 

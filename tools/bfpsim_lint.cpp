@@ -37,8 +37,10 @@
 //                        admission or range check is exactly how a
 //                        bit-exactness bug hides.
 //   layering             #include edges must point down the module ladder
-//                        (common < numerics < reliability < ... < core),
-//                        mirroring src/CMakeLists.txt link order.
+//                        (common < numerics < numerics.format < ... < core),
+//                        mirroring src/CMakeLists.txt link order. The
+//                        format layer (src/numerics/format/) ranks above
+//                        the golden numerics it wraps.
 //
 // Directives (in comments, anywhere on a line):
 //   // bfpsim-lint: allow(<rule>)        suppress findings on this line
@@ -284,7 +286,8 @@ void parse_directives(FileReport& fr, const std::vector<std::string>& comments) 
 /// edge must never point from a lower rank to a higher one.
 const std::vector<std::string>& module_ladder() {
   static const std::vector<std::string> kLadder = {
-      "common",  "numerics", "sim", "reliability", "dsp",      "bram",
+      "common",  "numerics", "numerics.format", "sim", "reliability",
+      "dsp",     "bram",
       "pu",      "fabric",   "isa", "resource",
       "transformer", "serving", "cluster", "fleet", "compiler", "runtime",
       "core",
@@ -298,12 +301,23 @@ int module_rank(const std::string& m) {
   return it == ladder.end() ? -1 : static_cast<int>(it - ladder.begin());
 }
 
-/// The module a src/ file belongs to ("" when not under src/).
+/// The module a src/ file belongs to ("" when not under src/). The format
+/// layer is a sub-module of numerics with its own (higher) ladder rank: it
+/// may include the golden numerics it wraps, but never the reverse.
 std::string module_of(const std::string& rel) {
+  if (rel.rfind("src/numerics/format/", 0) == 0) return "numerics.format";
   if (rel.rfind("src/", 0) != 0) return "";
   const std::size_t slash = rel.find('/', 4);
   if (slash == std::string::npos) return "";
   return rel.substr(4, slash - 4);
+}
+
+/// The module an include target ("numerics/format/registry.hpp") lives in.
+std::string module_of_include(const std::string& target) {
+  if (target.rfind("numerics/format/", 0) == 0) return "numerics.format";
+  const std::size_t slash = target.find('/');
+  if (slash == std::string::npos) return "";
+  return target.substr(0, slash);
 }
 
 void apply_path_tags(FileReport& fr) {
@@ -623,9 +637,8 @@ class Linter {
       const std::size_t e = raw.find('"', b);
       if (e == std::string::npos) continue;
       const std::string target = raw.substr(b, e - b);
-      const std::size_t slash = target.find('/');
-      if (slash == std::string::npos) continue;
-      const std::string tmod = target.substr(0, slash);
+      const std::string tmod = module_of_include(target);
+      if (tmod.empty()) continue;
       const int trank = module_rank(tmod);
       if (trank < 0) continue;
       if (trank > my_rank) {
