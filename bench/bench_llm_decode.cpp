@@ -9,15 +9,106 @@
 //     ~12x off the ideal weight stream; batching decode streams recovers
 //     ~3x, but the per-stream KV attention keeps the gap open — the
 //     quantified case for a decode-specific dataflow.
+// With `--model <spec>` the bench instead drives the graph-compiler
+// frontend: analytic per-token costs from the declarative spec (GQA and
+// SwiGLU aware), a multi-turn paged-KV serving run with hit/eviction
+// accounting, and — when the spec is degenerate (MHA + GELU) — a
+// self-check that the spec path reproduces analyze_decode exactly,
+// exiting nonzero on any mismatch.
+#include <cstring>
 #include <iostream>
 
 #include <algorithm>
+#include <string>
 
 #include "common/table.hpp"
+#include "compiler/spec_graph.hpp"
+#include "compiler/spec_registry.hpp"
+#include "runtime/decode_serve.hpp"
 #include "transformer/decoder.hpp"
 
-int main() {
+namespace {
+
+int run_spec_mode(const std::string& name) {
   using namespace bfpsim;
+  const AcceleratorSystem sys;
+  const ModelSpec spec = load_model_spec(name);
+
+  std::cout << "E19 (spec mode): decode costs for '" << spec.name
+            << "' from the declarative spec\n\n";
+
+  // Per-token cost sweep over context length: where the KV stream starts
+  // to dominate the weight stream.
+  TextTable t({"context", "cyc/token (compute)", "cyc/token (stream)",
+               "cyc/token", "bound", "tokens/s"});
+  for (const int len :
+       {spec.context / 4, spec.context / 2, spec.context}) {
+    if (len <= 0) continue;
+    const SpecDecodeCosts c = spec_decode_costs(spec, sys, len);
+    t.add_row({std::to_string(len), std::to_string(c.compute_cycles),
+               std::to_string(c.bandwidth_cycles),
+               std::to_string(c.cycles_per_token),
+               c.bandwidth_bound ? "stream" : "schedule",
+               fmt_double(sys.config().pu.freq_hz /
+                              static_cast<double>(std::max<std::uint64_t>(
+                                  1, c.cycles_per_token)),
+                          1)});
+  }
+  std::cout << t << "\n";
+
+  // Multi-turn paged-KV serving: two interleaved sequences so the cache
+  // shows hits on resumed turns and evictions under the default
+  // one-context arena.
+  const int p = std::max(1, spec.context / 4);
+  const int g = std::max(1, spec.context / 8);
+  const std::vector<ServeTurn> turns{
+      {0, p, g}, {1, p, g}, {0, p / 2 > 0 ? p / 2 : 1, g},
+      {1, p / 2 > 0 ? p / 2 : 1, g}};
+  const DecodeServeReport rep = serve_decode(spec, sys, turns, {});
+  std::cout << rep.table() << "\n";
+
+  // Degenerate self-check: a plain-MHA GELU spec must reproduce the
+  // legacy closed-form analysis bit for bit. A silent divergence here
+  // would mean the spec frontend and analyze_decode have drifted apart.
+  if (spec.kv_heads == spec.heads &&
+      spec.activation == SpecActivation::kGelu) {
+    const DecoderConfig legacy = decoder_config_of(spec);
+    const DecodeAnalysis ref = analyze_decode(legacy, sys, 8.0);
+    const SpecDecodeCosts c = spec_decode_costs(spec, sys, spec.context);
+    const bool ok = c.params == legacy.total_params() &&
+                    c.compute_cycles == ref.compute_cycles &&
+                    c.bandwidth_cycles == ref.bandwidth_cycles &&
+                    c.cycles_per_token == ref.cycles_per_token &&
+                    c.bandwidth_bound == ref.bandwidth_bound;
+    std::cout << "degenerate self-check vs analyze_decode: "
+              << (ok ? "ok" : "MISMATCH") << "\n";
+    if (!ok) {
+      std::cerr << "spec path diverged from analyze_decode: "
+                << "compute " << c.compute_cycles << " vs "
+                << ref.compute_cycles << ", stream " << c.bandwidth_cycles
+                << " vs " << ref.bandwidth_cycles << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bfpsim;
+  if (argc >= 2 && std::strcmp(argv[1], "--model") == 0) {
+    if (argc < 3) {
+      std::cerr << "usage: bench_llm_decode [--model <spec-name-or-path>]\n";
+      return 1;
+    }
+    try {
+      return run_spec_mode(argv[2]);
+    } catch (const Error& e) {
+      std::cerr << "bench_llm_decode: " << e.what() << "\n";
+      return 1;
+    }
+  }
   const AcceleratorSystem sys;
   const double hbm_gib = 8.0;  // Alveo U280 HBM2
 

@@ -1,8 +1,10 @@
 #include "compiler/compile.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "isa/kernels.hpp"
+#include "numerics/format/registry.hpp"
 #include "transformer/config.hpp"
 
 namespace bfpsim {
@@ -42,6 +44,18 @@ struct VectorCosts {
   NonlinearCostModel nl;
 };
 
+/// 1-based index into numeric_modes() for an annotated matmul (0 = the
+/// system default path). Throws on an unregistered name.
+int mode_index_of(const std::string& mode) {
+  if (mode.empty()) return 0;
+  const auto& modes = numeric_modes();
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    if (modes[i].name == mode) return static_cast<int>(i) + 1;
+  }
+  throw ConfigError("compile: unknown numeric mode '" + mode +
+                    "' annotated on a matmul");
+}
+
 std::uint64_t estimate_cycles(const GraphNode& n, const Graph& g,
                               const AcceleratorSystem& sys,
                               const VectorCosts& costs) {
@@ -52,7 +66,11 @@ std::uint64_t estimate_cycles(const GraphNode& n, const Graph& g,
       return 0;
     case GraphOp::kMatMul: {
       const TensorShape& a = g.node(n.inputs[0]).shape;
-      return sys.gemm_latency(a.rows, a.cols, n.shape.cols).cycles;
+      const std::uint64_t base =
+          sys.gemm_latency(a.rows, a.cols, n.shape.cols).cycles;
+      if (n.mode.empty()) return base;
+      const double scale = numeric_mode(n.mode).cycle_scale;
+      return static_cast<std::uint64_t>(static_cast<double>(base) * scale);
     }
     case GraphOp::kAdd:
     case GraphOp::kBiasAdd:
@@ -67,6 +85,7 @@ std::uint64_t estimate_cycles(const GraphNode& n, const Graph& g,
              static_cast<std::uint64_t>(
                  sys.memory().hbm().bytes_per_cycle_total());
     case GraphOp::kLayerNorm:
+    case GraphOp::kRmsNorm:
       return sys
           .vector_latency(
               static_cast<std::uint64_t>(
@@ -90,41 +109,139 @@ std::uint64_t estimate_cycles(const GraphNode& n, const Graph& g,
                               costs.nl.gelu_device_ops_per_elem),
                           0)
           .cycles;
+    case GraphOp::kRope:
+      return sys.vector_latency(2 * elems, elems).cycles;
+    case GraphOp::kFusedBiasGelu:
+    case GraphOp::kFusedBiasSilu:
+      return sys.vector_latency(0, elems).cycles +
+             sys.vector_latency(static_cast<std::uint64_t>(
+                                    static_cast<double>(elems) *
+                                    costs.nl.gelu_device_ops_per_elem),
+                                0)
+                 .cycles;
+    case GraphOp::kFusedBiasResidual:
+      return 2 * sys.vector_latency(0, elems).cycles;
   }
   BFP_ASSERT(false);
   return 0;
 }
 
-const char* mode_name(GraphOp op) {
-  switch (op) {
+const char* mode_name(const GraphNode& n) {
+  switch (n.op) {
     case GraphOp::kInput: return "host-bind";
     case GraphOp::kConstant: return "host-bind";
-    case GraphOp::kMatMul: return "bfp8-matmul";
+    case GraphOp::kMatMul:
+      return n.mode.empty() ? "bfp8-matmul" : "annotated-matmul";
     case GraphOp::kAdd:
-    case GraphOp::kBiasAdd: return "fp32-acc";
+    case GraphOp::kBiasAdd:
+    case GraphOp::kFusedBiasResidual: return "fp32-acc";
     case GraphOp::kMul:
     case GraphOp::kScale: return "fp32-pe";
     case GraphOp::kTranspose:
     case GraphOp::kSliceCols:
     case GraphOp::kConcatCols: return "dma";
     case GraphOp::kLayerNorm:
+    case GraphOp::kRmsNorm:
     case GraphOp::kSoftmax: return "fp32-vector (+host div)";
     case GraphOp::kGelu:
-    case GraphOp::kSilu: return "fp32-vector";
+    case GraphOp::kSilu:
+    case GraphOp::kRope:
+    case GraphOp::kFusedBiasGelu:
+    case GraphOp::kFusedBiasSilu: return "fp32-vector";
   }
   return "?";
 }
 
+/// Register assignment over the 240-register window. Graphs that fit use
+/// the identity map (byte-stable with the id-as-register convention);
+/// larger graphs reuse registers by liveness. Inputs and constants are
+/// bound before execution, so they are live from program start; every
+/// value stays live until its last consumer (the output until the end).
+std::vector<int> assign_registers(const Graph& graph) {
+  const auto& nodes = graph.nodes();
+  std::vector<int> reg(nodes.size(), -1);
+  if (nodes.size() <= static_cast<std::size_t>(kMaxGraphNodes)) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      reg[i] = static_cast<int>(i);
+    }
+    return reg;
+  }
+
+  std::vector<int> last_use(nodes.size(), -1);
+  for (const GraphNode& n : nodes) {
+    for (NodeId in : n.inputs) {
+      last_use[static_cast<std::size_t>(in)] =
+          std::max(last_use[static_cast<std::size_t>(in)], n.id);
+    }
+  }
+  last_use[static_cast<std::size_t>(graph.output())] =
+      static_cast<int>(nodes.size());  // live to the end
+
+  // holder[r] = node currently occupying register r (-1 free).
+  //
+  // Two phases: inputs and constants are set_tensor-bound BEFORE the
+  // program runs, so their registers are occupied from time 0 — a
+  // computed node emitted earlier in the instruction stream must never
+  // share one. Reserve them all first, then walk the computed nodes.
+  std::vector<int> holder(kMaxGraphNodes, -1);
+  auto take_free = [&]() {
+    for (int r = 0; r < kMaxGraphNodes; ++r) {
+      if (holder[r] < 0) return r;
+    }
+    BFP_REQUIRE(false,
+                "compile: register allocation overflow (live values "
+                "exceed the 240-register window)");
+    return -1;
+  };
+  for (const GraphNode& n : nodes) {
+    if (n.op != GraphOp::kInput && n.op != GraphOp::kConstant) continue;
+    if (last_use[static_cast<std::size_t>(n.id)] < 0 &&
+        n.op == GraphOp::kConstant) {
+      continue;  // dead constant: never bound, no register needed
+    }
+    const int r = take_free();
+    holder[r] = n.id;
+    reg[static_cast<std::size_t>(n.id)] = r;
+  }
+  for (const GraphNode& n : nodes) {
+    if (n.op == GraphOp::kInput || n.op == GraphOp::kConstant) continue;
+    // Retire values whose last consumer is strictly before this node —
+    // a value read *by* this node must survive it (dst never aliases a
+    // live source).
+    for (int r = 0; r < kMaxGraphNodes; ++r) {
+      if (holder[r] >= 0 &&
+          last_use[static_cast<std::size_t>(holder[r])] < n.id) {
+        holder[r] = -1;
+      }
+    }
+    if (last_use[static_cast<std::size_t>(n.id)] < 0) {
+      continue;  // dead node: no register needed
+    }
+    const int r = take_free();
+    holder[r] = n.id;
+    reg[static_cast<std::size_t>(n.id)] = r;
+  }
+  return reg;
+}
+
 }  // namespace
 
-CompiledModel compile(const Graph& graph, const AcceleratorSystem& system) {
-  BFP_REQUIRE(graph.size() > 0 && graph.size() <= kMaxGraphNodes,
-              "compile: graph must have 1..240 nodes");
+CompiledModel compile(const Graph& graph, const AcceleratorSystem& system,
+                      const CompileOptions& options) {
+  BFP_REQUIRE(graph.size() > 0,
+              "compile: graph must have at least one node");
 
   CompiledModel m;
   m.system_ = &system;
   m.output_node_ = graph.output();
   m.output_shape_ = graph.node(m.output_node_).shape;
+
+  const std::vector<int> reg = assign_registers(graph);
+  auto reg_of = [&](NodeId id) {
+    const int r = reg[static_cast<std::size_t>(id)];
+    BFP_ASSERT(r >= 0);
+    return r;
+  };
 
   VectorCosts costs;
   // Probe rows: use the output shape's column count as a representative
@@ -134,80 +251,139 @@ CompiledModel compile(const Graph& graph, const AcceleratorSystem& system) {
 
   ProgramBuilder pb;
   for (const GraphNode& n : graph.nodes()) {
-    const int dst = n.id;  // register = node id
+    const bool dead =
+        reg[static_cast<std::size_t>(n.id)] < 0 && n.op != GraphOp::kInput;
+    if (dead && n.op != GraphOp::kConstant) {
+      // Unconsumed node under register reuse: emit nothing for it.
+      NodePlan plan;
+      plan.id = n.id;
+      plan.name = n.name;
+      plan.op = n.op;
+      plan.shape = n.shape;
+      plan.mode = "dead";
+      m.plan_.push_back(std::move(plan));
+      continue;
+    }
+    const int dst = dead ? 0 : reg_of(n.id);
     switch (n.op) {
       case GraphOp::kInput:
         m.input_nodes_.push_back(n.id);
+        m.input_regs_.push_back(dst);
         break;
       case GraphOp::kConstant:
-        m.constants_.push_back(n);
+        if (!dead) {
+          m.constants_.push_back(n);
+          m.constant_regs_.push_back(dst);
+        }
         break;
       case GraphOp::kMatMul: {
         const TensorShape& a = graph.node(n.inputs[0]).shape;
-        pb.bfp_matmul(dst, n.inputs[0], n.inputs[1], a.rows, a.cols,
-                      n.shape.cols);
+        pb.bfp_matmul(dst, reg_of(n.inputs[0]), reg_of(n.inputs[1]),
+                      a.rows, a.cols, n.shape.cols, mode_index_of(n.mode));
         break;
       }
       case GraphOp::kAdd:
-        pb.vec_add(dst, n.inputs[0], n.inputs[1]);
+        pb.vec_add(dst, reg_of(n.inputs[0]), reg_of(n.inputs[1]));
         break;
       case GraphOp::kMul:
-        pb.vec_mul(dst, n.inputs[0], n.inputs[1]);
+        pb.vec_mul(dst, reg_of(n.inputs[0]), reg_of(n.inputs[1]));
         break;
       case GraphOp::kScale:
-        pb.vec_mul_scalar(dst, n.inputs[0], n.imm);
+        pb.vec_mul_scalar(dst, reg_of(n.inputs[0]), n.imm);
         break;
       case GraphOp::kBiasAdd:
-        pb.col_add_bcast(dst, n.inputs[0], n.inputs[1], n.shape.rows,
-                         n.shape.cols);
+        pb.col_add_bcast(dst, reg_of(n.inputs[0]), reg_of(n.inputs[1]),
+                         n.shape.rows, n.shape.cols);
         break;
       case GraphOp::kTranspose: {
         const TensorShape& a = graph.node(n.inputs[0]).shape;
-        pb.transpose(dst, n.inputs[0], a.rows, a.cols);
+        pb.transpose(dst, reg_of(n.inputs[0]), a.rows, a.cols);
         break;
       }
       case GraphOp::kSliceCols:
-        pb.slice_cols(dst, n.inputs[0], n.shape.rows, n.iarg,
+        pb.slice_cols(dst, reg_of(n.inputs[0]), n.shape.rows, n.iarg,
                       n.shape.cols);
         break;
       case GraphOp::kConcatCols:
-        pb.concat_cols(dst, n.inputs[0], n.inputs[1]);
+        pb.concat_cols(dst, reg_of(n.inputs[0]), reg_of(n.inputs[1]));
         break;
       case GraphOp::kLayerNorm: {
-        // Lowered inline with column broadcasts for gamma/beta.
         const int rows = n.shape.rows;
         const int cols = n.shape.cols;
+        if (options.macro_kernels) {
+          pb.layernorm_m(dst, reg_of(n.inputs[0]), reg_of(n.inputs[1]),
+                         reg_of(n.inputs[2]), rows, cols, n.imm);
+          break;
+        }
+        // Lowered inline with column broadcasts for gamma/beta.
         const int s0 = kScratchWindow + 0;
         const int s1 = kScratchWindow + 1;
         const int s2 = kScratchWindow + 2;
         const float invn = 1.0F / static_cast<float>(cols);
-        pb.row_sum(s0, n.inputs[0], rows, cols)
+        pb.row_sum(s0, reg_of(n.inputs[0]), rows, cols)
             .vec_mul_scalar(s0, s0, invn)               // mean
-            .row_sub(s1, n.inputs[0], s0, rows, cols)   // centered
+            .row_sub(s1, reg_of(n.inputs[0]), s0, rows, cols)  // centered
             .vec_mul(s2, s1, s1)
             .row_sum(s2, s2, rows, cols)
             .vec_mul_scalar(s2, s2, invn)               // variance
             .host_rsqrt(s2, s2, n.imm)
             .row_mul_bcast(s1, s1, s2, rows, cols)      // normalized
-            .col_mul_bcast(s1, s1, n.inputs[1], rows, cols)  // * gamma
-            .col_add_bcast(dst, s1, n.inputs[2], rows, cols);  // + beta
+            .col_mul_bcast(s1, s1, reg_of(n.inputs[1]), rows,
+                           cols)                        // * gamma
+            .col_add_bcast(dst, s1, reg_of(n.inputs[2]), rows,
+                           cols);                       // + beta
         break;
       }
       case GraphOp::kSoftmax: {
+        if (options.macro_kernels) {
+          pb.softmax_m(dst, reg_of(n.inputs[0]), n.shape.rows,
+                       n.shape.cols);
+          break;
+        }
         Program kernel = kernels::softmax(n.shape.rows, n.shape.cols);
-        inline_kernel(pb, kernel, n.inputs[0], dst);
+        inline_kernel(pb, kernel, reg_of(n.inputs[0]), dst);
         break;
       }
       case GraphOp::kGelu: {
+        if (options.macro_kernels) {
+          pb.gelu_m(dst, reg_of(n.inputs[0]));
+          break;
+        }
         Program kernel = kernels::gelu();
-        inline_kernel(pb, kernel, n.inputs[0], dst);
+        inline_kernel(pb, kernel, reg_of(n.inputs[0]), dst);
         break;
       }
       case GraphOp::kSilu: {
+        if (options.macro_kernels) {
+          pb.silu_m(dst, reg_of(n.inputs[0]));
+          break;
+        }
         Program kernel = kernels::silu();
-        inline_kernel(pb, kernel, n.inputs[0], dst);
+        inline_kernel(pb, kernel, reg_of(n.inputs[0]), dst);
         break;
       }
+      // The Llama-family and fused ops lower through their macro opcodes
+      // in either mode (they have no inline micro-kernel form).
+      case GraphOp::kRmsNorm:
+        pb.rmsnorm_m(dst, reg_of(n.inputs[0]), reg_of(n.inputs[1]),
+                     n.shape.rows, n.shape.cols, n.imm);
+        break;
+      case GraphOp::kRope:
+        pb.rope(dst, reg_of(n.inputs[0]), reg_of(n.inputs[1]),
+                reg_of(n.inputs[2]), n.shape.rows, n.shape.cols);
+        break;
+      case GraphOp::kFusedBiasGelu:
+        pb.bias_gelu(dst, reg_of(n.inputs[0]), reg_of(n.inputs[1]),
+                     n.shape.rows, n.shape.cols);
+        break;
+      case GraphOp::kFusedBiasSilu:
+        pb.bias_silu(dst, reg_of(n.inputs[0]), reg_of(n.inputs[1]),
+                     n.shape.rows, n.shape.cols);
+        break;
+      case GraphOp::kFusedBiasResidual:
+        pb.bias_residual(dst, reg_of(n.inputs[0]), reg_of(n.inputs[1]),
+                         reg_of(n.inputs[2]), n.shape.rows, n.shape.cols);
+        break;
     }
 
     NodePlan plan;
@@ -215,12 +391,16 @@ CompiledModel compile(const Graph& graph, const AcceleratorSystem& system) {
     plan.name = n.name;
     plan.op = n.op;
     plan.shape = n.shape;
-    plan.mode = mode_name(n.op);
+    plan.mode = mode_name(n);
+    if (!n.mode.empty() && n.op == GraphOp::kMatMul) {
+      plan.mode = n.mode + "-matmul";
+    }
     plan.est_cycles = estimate_cycles(n, graph, system, costs);
     m.plan_.push_back(std::move(plan));
   }
   pb.halt();
   m.program_ = pb.build();
+  m.output_reg_ = reg_of(m.output_node_);
   return m;
 }
 
@@ -236,14 +416,16 @@ RunResult CompiledModel::run(
     const NodePlan& plan = plan_[static_cast<std::size_t>(id)];
     BFP_REQUIRE(inputs[i].size() == plan.shape.elements(),
                 "CompiledModel::run: input size mismatch for " + plan.name);
-    ex.set_tensor(id, plan.shape.rows, plan.shape.cols, inputs[i]);
+    ex.set_tensor(input_regs_[i], plan.shape.rows, plan.shape.cols,
+                  inputs[i]);
   }
-  for (const GraphNode& c : constants_) {
-    ex.set_tensor(c.id, c.shape.rows, c.shape.cols, c.value);
+  for (std::size_t i = 0; i < constants_.size(); ++i) {
+    const GraphNode& c = constants_[i];
+    ex.set_tensor(constant_regs_[i], c.shape.rows, c.shape.cols, c.value);
   }
   RunResult r;
   r.stats = ex.run(program_);
-  r.output = ex.tensor(output_node_).data;
+  r.output = ex.tensor(output_reg_).data;
   r.shape = output_shape_;
   return r;
 }

@@ -15,6 +15,17 @@
 
 namespace bfpsim {
 
+/// Lowering knobs.
+struct CompileOptions {
+  /// Lower LayerNorm/RMSNorm/Softmax/GELU/SiLU through the single macro
+  /// opcodes (isa/instruction.hpp) instead of inlined micro-kernel
+  /// expansions. The macros run the exact approx_* arithmetic and charge
+  /// one vector pass per invocation — the contract that makes compiled
+  /// encoders bit- and cycle-identical to VitModel::forward_mixed. Off by
+  /// default to keep legacy compiled programs byte-stable.
+  bool macro_kernels = false;
+};
+
 /// Per-node scheduling decision + static latency estimate.
 struct NodePlan {
   NodeId id = -1;
@@ -50,20 +61,27 @@ class CompiledModel {
 
  private:
   friend CompiledModel compile(const Graph& graph,
-                               const AcceleratorSystem& system);
+                               const AcceleratorSystem& system,
+                               const CompileOptions& options);
 
   const AcceleratorSystem* system_ = nullptr;
   Program program_;
   std::vector<NodePlan> plan_;
   std::vector<NodeId> input_nodes_;
+  std::vector<int> input_regs_;      ///< register per input node
   std::vector<GraphNode> constants_;
+  std::vector<int> constant_regs_;   ///< register per constant node
   NodeId output_node_ = -1;
+  int output_reg_ = -1;
   TensorShape output_shape_;
 };
 
-/// Compile a graph for an accelerator system. Graphs are limited to 240
-/// nodes (the 8-bit tensor-register file, minus the compiler's scratch
-/// window).
-CompiledModel compile(const Graph& graph, const AcceleratorSystem& system);
+/// Compile a graph for an accelerator system. Graphs up to 240 nodes get
+/// the identity register assignment (register = node id, byte-stable with
+/// earlier compiler versions); larger graphs go through liveness-based
+/// register reuse over the same 240-register window (constants are bound
+/// before execution, so they stay live from program start to last use).
+CompiledModel compile(const Graph& graph, const AcceleratorSystem& system,
+                      const CompileOptions& options = CompileOptions{});
 
 }  // namespace bfpsim

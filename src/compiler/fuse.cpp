@@ -1,0 +1,290 @@
+#include "compiler/fuse.hpp"
+
+#include <map>
+
+namespace bfpsim {
+
+namespace {
+
+/// Clone one node into `ng` with inputs remapped (no fusion applied).
+NodeId clone_node(Graph& ng, const GraphNode& n,
+                  const std::vector<NodeId>& remap) {
+  auto in = [&](std::size_t i) {
+    const NodeId r = remap[static_cast<std::size_t>(n.inputs[i])];
+    BFP_ASSERT(r >= 0);
+    return r;
+  };
+  switch (n.op) {
+    case GraphOp::kInput:
+      return ng.input(n.shape, n.name);
+    case GraphOp::kConstant:
+      return ng.constant(n.value, n.shape, n.name);
+    case GraphOp::kMatMul: {
+      const NodeId id = ng.matmul(in(0), in(1), n.name);
+      if (!n.mode.empty()) ng.annotate_matmul_mode(id, n.mode);
+      return id;
+    }
+    case GraphOp::kAdd:
+      return ng.add(in(0), in(1), n.name);
+    case GraphOp::kMul:
+      return ng.mul(in(0), in(1), n.name);
+    case GraphOp::kScale:
+      return ng.scale(in(0), n.imm, n.name);
+    case GraphOp::kBiasAdd:
+      return ng.bias_add(in(0), in(1), n.name);
+    case GraphOp::kTranspose:
+      return ng.transpose(in(0), n.name);
+    case GraphOp::kSliceCols:
+      return ng.slice_cols(in(0), n.iarg, n.shape.cols, n.name);
+    case GraphOp::kConcatCols:
+      return ng.concat_cols(in(0), in(1), n.name);
+    case GraphOp::kLayerNorm:
+      return ng.layernorm(in(0), in(1), in(2), n.imm, n.name);
+    case GraphOp::kSoftmax:
+      return ng.softmax(in(0), n.name);
+    case GraphOp::kGelu:
+      return ng.gelu(in(0), n.name);
+    case GraphOp::kSilu:
+      return ng.silu(in(0), n.name);
+    case GraphOp::kRmsNorm:
+      return ng.rmsnorm(in(0), in(1), n.imm, n.name);
+    case GraphOp::kRope:
+      return ng.rope(in(0), in(1), in(2), n.name);
+    case GraphOp::kFusedBiasGelu:
+      return ng.fused_bias_gelu(in(0), in(1), n.name);
+    case GraphOp::kFusedBiasSilu:
+      return ng.fused_bias_silu(in(0), in(1), n.name);
+    case GraphOp::kFusedBiasResidual:
+      return ng.fused_bias_residual(in(0), in(1), in(2), n.name);
+  }
+  BFP_ASSERT(false);
+  return -1;
+}
+
+/// Column-concatenate row-major payloads sharing `rows`.
+std::vector<float> concat_payloads(const std::vector<const GraphNode*>& cs,
+                                   int rows) {
+  int total = 0;
+  for (const GraphNode* c : cs) total += c->shape.cols;
+  std::vector<float> out(static_cast<std::size_t>(rows) * total);
+  int off = 0;
+  for (const GraphNode* c : cs) {
+    const int w = c->shape.cols;
+    for (int r = 0; r < rows; ++r) {
+      for (int j = 0; j < w; ++j) {
+        out[static_cast<std::size_t>(r) * total + off + j] =
+            c->value[static_cast<std::size_t>(r) * w + j];
+      }
+    }
+    off += w;
+  }
+  return out;
+}
+
+struct MergeGroup {
+  std::vector<NodeId> matmuls;  ///< in id order
+  std::vector<NodeId> biases;   ///< parallel kBiasAdd ids (biased groups)
+  bool biased = false;
+};
+
+}  // namespace
+
+Graph fuse_graph(const Graph& g, FusionStats* stats) {
+  const auto& nodes = g.nodes();
+  const NodeId out = g.output();
+
+  std::vector<std::vector<NodeId>> consumers(nodes.size());
+  std::vector<int> use_count(nodes.size(), 0);
+  for (const GraphNode& n : nodes) {
+    for (NodeId in : n.inputs) {
+      consumers[static_cast<std::size_t>(in)].push_back(n.id);
+      ++use_count[static_cast<std::size_t>(in)];
+    }
+  }
+  ++use_count[static_cast<std::size_t>(out)];  // the output is a use
+
+  std::vector<char> skip(nodes.size(), 0);      ///< absorbed, emit nothing
+  std::vector<NodeId> group_of(nodes.size(), -1);  ///< matmul -> first id
+  std::map<NodeId, MergeGroup> groups;          ///< first matmul id -> group
+
+  // ---- plan QKV-projection merges ----
+  // Candidates: matmuls sharing an input, each against an exclusively-
+  // owned constant weight, uniform numeric-mode annotation.
+  std::map<NodeId, std::vector<NodeId>> by_input;
+  for (const GraphNode& n : nodes) {
+    if (n.op != GraphOp::kMatMul) continue;
+    const GraphNode& w = nodes[static_cast<std::size_t>(n.inputs[1])];
+    if (w.op != GraphOp::kConstant ||
+        use_count[static_cast<std::size_t>(w.id)] != 1) {
+      continue;
+    }
+    by_input[n.inputs[0]].push_back(n.id);
+  }
+  for (const auto& [x, mats] : by_input) {
+    (void)x;
+    if (mats.size() < 2) continue;
+    bool uniform_mode = true;
+    for (NodeId m : mats) {
+      if (nodes[static_cast<std::size_t>(m)].mode !=
+          nodes[static_cast<std::size_t>(mats[0])].mode) {
+        uniform_mode = false;
+      }
+    }
+    if (!uniform_mode) continue;
+
+    // Biased pattern: every matmul feeds exactly one kBiasAdd holding an
+    // exclusively-owned constant bias. Then the biases merge too and the
+    // original bias_add outputs become slices of the merged biased GEMM.
+    MergeGroup grp;
+    grp.matmuls = mats;
+    grp.biased = true;
+    for (NodeId m : mats) {
+      const auto& cons = consumers[static_cast<std::size_t>(m)];
+      bool ok = use_count[static_cast<std::size_t>(m)] == 1 &&
+                cons.size() == 1;
+      if (ok) {
+        const GraphNode& c = nodes[static_cast<std::size_t>(cons[0])];
+        ok = c.op == GraphOp::kBiasAdd && c.inputs[0] == m &&
+             nodes[static_cast<std::size_t>(c.inputs[1])].op ==
+                 GraphOp::kConstant &&
+             use_count[static_cast<std::size_t>(c.inputs[1])] == 1;
+        if (ok) grp.biases.push_back(c.id);
+      }
+      if (!ok) {
+        grp.biased = false;
+        grp.biases.clear();
+        break;
+      }
+    }
+
+    const NodeId first = mats.front();
+    for (std::size_t i = 0; i < mats.size(); ++i) {
+      const GraphNode& m = nodes[static_cast<std::size_t>(mats[i])];
+      group_of[static_cast<std::size_t>(m.id)] = first;
+      skip[static_cast<std::size_t>(m.inputs[1])] = 1;  // weight constant
+      if (grp.biased) {
+        const NodeId bias_add = grp.biases[i];
+        skip[static_cast<std::size_t>(bias_add)] = 1;
+        skip[static_cast<std::size_t>(
+            nodes[static_cast<std::size_t>(bias_add)].inputs[1])] = 1;
+        skip[static_cast<std::size_t>(m.id)] = 1;  // value never read raw
+      }
+    }
+    groups[first] = std::move(grp);
+    if (stats != nullptr) ++stats->qkv_merges;
+  }
+
+  // ---- plan bias+activation folds and residual absorptions ----
+  // fold_src[c] = the kBiasAdd absorbed into consumer node c.
+  std::vector<NodeId> fold_src(nodes.size(), -1);
+  for (const GraphNode& n : nodes) {
+    if (n.op != GraphOp::kBiasAdd || skip[static_cast<std::size_t>(n.id)]) {
+      continue;
+    }
+    const auto& cons = consumers[static_cast<std::size_t>(n.id)];
+    if (use_count[static_cast<std::size_t>(n.id)] != 1 || cons.size() != 1) {
+      continue;
+    }
+    const GraphNode& c = nodes[static_cast<std::size_t>(cons[0])];
+    if (skip[static_cast<std::size_t>(c.id)] ||
+        fold_src[static_cast<std::size_t>(c.id)] >= 0) {
+      continue;
+    }
+    if ((c.op == GraphOp::kGelu || c.op == GraphOp::kSilu) &&
+        c.inputs[0] == n.id) {
+      fold_src[static_cast<std::size_t>(c.id)] = n.id;
+      skip[static_cast<std::size_t>(n.id)] = 1;
+      if (stats != nullptr) ++stats->bias_act_folds;
+    } else if (c.op == GraphOp::kAdd) {
+      const NodeId other = c.inputs[0] == n.id ? c.inputs[1] : c.inputs[0];
+      if (skip[static_cast<std::size_t>(other)]) continue;
+      fold_src[static_cast<std::size_t>(c.id)] = n.id;
+      skip[static_cast<std::size_t>(n.id)] = 1;
+      if (stats != nullptr) ++stats->residual_absorptions;
+    }
+  }
+
+  // ---- emit ----
+  Graph ng;
+  std::vector<NodeId> remap(nodes.size(), -1);
+  auto mapped = [&](NodeId id) {
+    const NodeId r = remap[static_cast<std::size_t>(id)];
+    BFP_ASSERT(r >= 0);
+    return r;
+  };
+
+  for (const GraphNode& n : nodes) {
+    const auto id = static_cast<std::size_t>(n.id);
+    if (group_of[id] == n.id) {
+      // First member: emit the merged projection, then per-member slices.
+      const MergeGroup& grp = groups.at(n.id);
+      std::vector<const GraphNode*> ws;
+      std::vector<const GraphNode*> bs;
+      int width = 0;
+      for (std::size_t i = 0; i < grp.matmuls.size(); ++i) {
+        const GraphNode& m =
+            nodes[static_cast<std::size_t>(grp.matmuls[i])];
+        ws.push_back(&nodes[static_cast<std::size_t>(m.inputs[1])]);
+        width += m.shape.cols;
+        if (grp.biased) {
+          const GraphNode& ba =
+              nodes[static_cast<std::size_t>(grp.biases[i])];
+          bs.push_back(&nodes[static_cast<std::size_t>(ba.inputs[1])]);
+        }
+      }
+      const int k = ws.front()->shape.rows;
+      const NodeId merged_w = ng.constant(
+          concat_payloads(ws, k), {k, width}, n.name + ".Wmerged");
+      NodeId fused = ng.matmul(mapped(n.inputs[0]), merged_w,
+                               n.name + ".merged");
+      if (!n.mode.empty()) ng.annotate_matmul_mode(fused, n.mode);
+      if (grp.biased) {
+        const NodeId merged_b = ng.constant(concat_payloads(bs, 1),
+                                            {1, width}, n.name + ".bmerged");
+        fused = ng.bias_add(fused, merged_b, n.name + ".merged+b");
+      }
+      int off = 0;
+      for (std::size_t i = 0; i < grp.matmuls.size(); ++i) {
+        const GraphNode& m =
+            nodes[static_cast<std::size_t>(grp.matmuls[i])];
+        const NodeId slice =
+            ng.slice_cols(fused, off, m.shape.cols, m.name + ".view");
+        off += m.shape.cols;
+        if (grp.biased) {
+          remap[static_cast<std::size_t>(grp.biases[i])] = slice;
+        } else {
+          remap[static_cast<std::size_t>(m.id)] = slice;
+        }
+      }
+      continue;
+    }
+    if (group_of[id] >= 0 && !skip[id]) continue;  // non-first unbiased
+    if (skip[id]) continue;
+    if (fold_src[id] >= 0) {
+      const GraphNode& ba = nodes[static_cast<std::size_t>(fold_src[id])];
+      const NodeId a = mapped(ba.inputs[0]);
+      const NodeId bias = mapped(ba.inputs[1]);
+      if (n.op == GraphOp::kGelu) {
+        remap[id] = ng.fused_bias_gelu(a, bias, n.name);
+      } else if (n.op == GraphOp::kSilu) {
+        remap[id] = ng.fused_bias_silu(a, bias, n.name);
+      } else {
+        const NodeId other =
+            n.inputs[0] == ba.id ? n.inputs[1] : n.inputs[0];
+        remap[id] =
+            ng.fused_bias_residual(a, bias, mapped(other), n.name);
+      }
+      continue;
+    }
+    remap[id] = clone_node(ng, n, remap);
+  }
+  ng.set_output(mapped(out));
+
+  if (stats != nullptr) {
+    stats->nodes_in = static_cast<int>(nodes.size());
+    stats->nodes_out = static_cast<int>(ng.size());
+  }
+  return ng;
+}
+
+}  // namespace bfpsim

@@ -1,0 +1,39 @@
+// Graph-level op fusion — the lowering pass between the spec front end
+// and ISA emission. Three rewrites, all bit- and cycle-preserving by
+// construction (the fused ISA macros run the constituents' exact
+// arithmetic and charge each constituent pass separately):
+//
+//   * QKV-projection merge — k >= 2 matmuls sharing one input, each
+//     against a constant weight (optionally + constant bias), become one
+//     matmul against the column-concatenated weight with per-consumer
+//     column slices. This is the load-bearing rewrite for cycle identity
+//     with VitModel::forward_mixed, which issues QKV as a single GEMM:
+//     gemm_latency() and vector_latency() are NOT additive across
+//     separately-issued ops (per-unit ceilings), so the merged GEMM and
+//     merged bias add are what the legacy path charges.
+//   * bias + activation folding — kBiasAdd feeding a single kGelu/kSilu
+//     becomes kFusedBiasGelu/kFusedBiasSilu.
+//   * residual-add absorption — kBiasAdd feeding a single kAdd becomes
+//     kFusedBiasResidual.
+//
+// Dead nodes (weight constants absorbed into a merge) are eliminated;
+// kInput nodes are always kept so the run() binding order is stable.
+#pragma once
+
+#include "compiler/graph.hpp"
+
+namespace bfpsim {
+
+struct FusionStats {
+  int qkv_merges = 0;          ///< matmul groups merged
+  int bias_act_folds = 0;      ///< bias+gelu / bias+silu fusions
+  int residual_absorptions = 0;
+  int nodes_in = 0;
+  int nodes_out = 0;
+};
+
+/// Rewrite `g` with all three fusions applied. The result has the same
+/// single output (same value, same bytes) as `g`.
+Graph fuse_graph(const Graph& g, FusionStats* stats = nullptr);
+
+}  // namespace bfpsim

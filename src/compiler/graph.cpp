@@ -18,6 +18,11 @@ const char* graph_op_name(GraphOp op) {
     case GraphOp::kSoftmax: return "softmax";
     case GraphOp::kGelu: return "gelu";
     case GraphOp::kSilu: return "silu";
+    case GraphOp::kRmsNorm: return "rmsnorm";
+    case GraphOp::kRope: return "rope";
+    case GraphOp::kFusedBiasGelu: return "bias+gelu";
+    case GraphOp::kFusedBiasSilu: return "bias+silu";
+    case GraphOp::kFusedBiasResidual: return "bias+res";
   }
   return "?";
 }
@@ -203,6 +208,74 @@ NodeId Graph::gelu(NodeId a, std::string name) {
 
 NodeId Graph::silu(NodeId a, std::string name) {
   return push(unary(GraphOp::kSilu, a, shape_of(a), std::move(name)));
+}
+
+NodeId Graph::rmsnorm(NodeId a, NodeId gamma, float eps, std::string name) {
+  const TensorShape& sa = shape_of(a);
+  const TensorShape expect{1, sa.cols};
+  BFP_REQUIRE(shape_of(gamma) == expect,
+              "Graph::rmsnorm: gamma must be (1 x cols)");
+  GraphNode n;
+  n.op = GraphOp::kRmsNorm;
+  n.inputs = {a, gamma};
+  n.shape = sa;
+  n.imm = eps;
+  n.name = std::move(name);
+  return push(std::move(n));
+}
+
+NodeId Graph::rope(NodeId a, NodeId cos_tab, NodeId sin_tab,
+                   std::string name) {
+  const TensorShape& sa = shape_of(a);
+  BFP_REQUIRE(shape_of(cos_tab) == sa && shape_of(sin_tab) == sa,
+              "Graph::rope: cos/sin tables must match the input shape");
+  BFP_REQUIRE(sa.cols % 2 == 0, "Graph::rope: cols must be even");
+  GraphNode n;
+  n.op = GraphOp::kRope;
+  n.inputs = {a, cos_tab, sin_tab};
+  n.shape = sa;
+  n.name = std::move(name);
+  return push(std::move(n));
+}
+
+NodeId Graph::fused_bias_gelu(NodeId a, NodeId bias, std::string name) {
+  const TensorShape& sa = shape_of(a);
+  BFP_REQUIRE(shape_of(bias) == (TensorShape{1, sa.cols}),
+              "Graph::fused_bias_gelu: bias must be (1 x cols)");
+  return push(
+      elementwise(GraphOp::kFusedBiasGelu, a, bias, sa, std::move(name)));
+}
+
+NodeId Graph::fused_bias_silu(NodeId a, NodeId bias, std::string name) {
+  const TensorShape& sa = shape_of(a);
+  BFP_REQUIRE(shape_of(bias) == (TensorShape{1, sa.cols}),
+              "Graph::fused_bias_silu: bias must be (1 x cols)");
+  return push(
+      elementwise(GraphOp::kFusedBiasSilu, a, bias, sa, std::move(name)));
+}
+
+NodeId Graph::fused_bias_residual(NodeId a, NodeId bias, NodeId residual,
+                                  std::string name) {
+  const TensorShape& sa = shape_of(a);
+  BFP_REQUIRE(shape_of(bias) == (TensorShape{1, sa.cols}),
+              "Graph::fused_bias_residual: bias must be (1 x cols)");
+  BFP_REQUIRE(shape_of(residual) == sa,
+              "Graph::fused_bias_residual: residual must match");
+  GraphNode n;
+  n.op = GraphOp::kFusedBiasResidual;
+  n.inputs = {a, bias, residual};
+  n.shape = sa;
+  n.name = std::move(name);
+  return push(std::move(n));
+}
+
+void Graph::annotate_matmul_mode(NodeId id, std::string mode) {
+  BFP_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
+              "Graph::annotate_matmul_mode: id out of range");
+  GraphNode& n = nodes_[static_cast<std::size_t>(id)];
+  BFP_REQUIRE(n.op == GraphOp::kMatMul,
+              "Graph::annotate_matmul_mode: node is not a matmul");
+  n.mode = std::move(mode);
 }
 
 }  // namespace bfpsim

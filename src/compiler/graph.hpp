@@ -31,6 +31,13 @@ enum class GraphOp {
   kSoftmax,     ///< vector kernel (row-wise)
   kGelu,        ///< vector kernel
   kSilu,        ///< vector kernel
+  kRmsNorm,     ///< vector kernel (Llama-family; gamma constant input)
+  kRope,        ///< rotary embedding (cos/sin constant inputs)
+  // Fused forms the lowering pass produces (never built directly by the
+  // front ends): one node charging exactly what its constituents would.
+  kFusedBiasGelu,      ///< bias_add -> gelu
+  kFusedBiasSilu,      ///< bias_add -> silu
+  kFusedBiasResidual,  ///< bias_add -> residual add
 };
 
 const char* graph_op_name(GraphOp op);
@@ -56,6 +63,10 @@ struct GraphNode {
   int iarg = 0;               ///< kSliceCols start column
   std::vector<float> value;   ///< kConstant payload
   std::string name;           ///< optional label for reports
+  /// kMatMul only: NumericMode registry name for this GEMM ("" = the
+  /// system default). Threaded by the compiler into the ISA program's
+  /// per-matmul mode annotation (Instruction flags low byte).
+  std::string mode;
 };
 
 /// Builder-style DAG. All shape checking happens at graph-construction
@@ -79,6 +90,22 @@ class Graph {
   NodeId softmax(NodeId a, std::string name = "softmax");
   NodeId gelu(NodeId a, std::string name = "gelu");
   NodeId silu(NodeId a, std::string name = "silu");
+  NodeId rmsnorm(NodeId a, NodeId gamma, float eps = 1e-5F,
+                 std::string name = "rmsnorm");
+  /// Rotary position embedding: cos/sin tables shaped like `a`.
+  NodeId rope(NodeId a, NodeId cos_tab, NodeId sin_tab,
+              std::string name = "rope");
+  /// Fused forms (emitted by the fusion pass; see fuse.hpp).
+  NodeId fused_bias_gelu(NodeId a, NodeId bias,
+                         std::string name = "bias+gelu");
+  NodeId fused_bias_silu(NodeId a, NodeId bias,
+                         std::string name = "bias+silu");
+  NodeId fused_bias_residual(NodeId a, NodeId bias, NodeId residual,
+                             std::string name = "bias+res");
+
+  /// Annotate a kMatMul node with a NumericMode registry name. The
+  /// compiler validates the name and encodes it into the instruction.
+  void annotate_matmul_mode(NodeId id, std::string mode);
 
   /// Mark the graph output (exactly one; called last).
   void set_output(NodeId id);

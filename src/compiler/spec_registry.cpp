@@ -1,0 +1,105 @@
+#include "compiler/spec_registry.hpp"
+
+namespace bfpsim {
+
+namespace {
+
+// Canonical documents. Keep byte-identical to the committed
+// specs/<name>.json files; test_spec pins the equality.
+
+constexpr const char* kDeitSmall = R"({
+  "name": "deit-small",
+  "family": "encoder",
+  "d_model": 384,
+  "depth": 12,
+  "heads": 6,
+  "mlp_hidden": 1536,
+  "norm": "layernorm",
+  "activation": "gelu",
+  "image_size": 224,
+  "patch_size": 16,
+  "num_classes": 1000,
+  "seed": 42
+}
+)";
+
+constexpr const char* kVitTinyTest = R"({
+  "name": "vit-tiny-test",
+  "family": "encoder",
+  "d_model": 64,
+  "depth": 2,
+  "heads": 2,
+  "mlp_hidden": 256,
+  "norm": "layernorm",
+  "activation": "gelu",
+  "image_size": 32,
+  "patch_size": 8,
+  "num_classes": 10,
+  "seed": 42
+}
+)";
+
+constexpr const char* kLlmDecode = R"({
+  "name": "llm-decode",
+  "family": "decoder",
+  "d_model": 2048,
+  "depth": 24,
+  "heads": 32,
+  "mlp_hidden": 8192,
+  "norm": "layernorm",
+  "activation": "gelu",
+  "rope": false,
+  "tied_embeddings": true,
+  "vocab": 50272,
+  "context": 1024,
+  "seed": 1
+}
+)";
+
+constexpr const char* kLlamaTiny = R"({
+  "name": "llama-tiny",
+  "family": "decoder",
+  "d_model": 64,
+  "depth": 2,
+  "heads": 4,
+  "kv_heads": 2,
+  "mlp_hidden": 128,
+  "norm": "rmsnorm",
+  "activation": "swiglu",
+  "rope": true,
+  "tied_embeddings": true,
+  "vocab": 64,
+  "context": 32,
+  "seed": 7
+}
+)";
+
+}  // namespace
+
+const std::vector<RegisteredSpec>& registered_specs() {
+  static const std::vector<RegisteredSpec> kSpecs = {
+      {"deit-small",
+       "DeiT-Small encoder (degenerate twin of the legacy VitModel path)",
+       kDeitSmall},
+      {"vit-tiny-test",
+       "miniature encoder matching vit_test_tiny() (fast functional tests)",
+       kVitTinyTest},
+      {"llm-decode",
+       "OPT-1.3B-style decoder (degenerate twin of the analytic decode "
+       "bench)",
+       kLlmDecode},
+      {"llama-tiny",
+       "Llama-style decoder: GQA (4q/2kv) + RoPE + SwiGLU + RMSNorm",
+       kLlamaTiny},
+  };
+  return kSpecs;
+}
+
+ModelSpec load_model_spec(const std::string& name_or_path) {
+  for (const RegisteredSpec& r : registered_specs()) {
+    if (r.name == name_or_path) return parse_model_spec(r.text);
+  }
+  return load_model_spec_file(name_or_path);
+}
+
+}  // namespace bfpsim

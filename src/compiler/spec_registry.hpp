@@ -1,0 +1,29 @@
+// Registry of built-in model specs. Each entry embeds the canonical JSON
+// text (byte-identical to the committed specs/<name>.json file — pinned
+// by test_spec) so `bfpsim serve --model deit-small` works without a
+// checkout, while `--model path/to/file.json` reads from disk.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/spec.hpp"
+
+namespace bfpsim {
+
+struct RegisteredSpec {
+  std::string name;
+  std::string summary;   ///< one line for `bfpsim info`
+  const char* text;      ///< canonical JSON document
+};
+
+/// Built-in specs in stable registration order (the degenerate legacy
+/// twins first, then the new-architecture corpus).
+const std::vector<RegisteredSpec>& registered_specs();
+
+/// Resolve `name_or_path` against the registry, then the filesystem.
+/// Throws Error for an unknown name/unreadable file, SpecError for a
+/// document that fails to parse or validate.
+ModelSpec load_model_spec(const std::string& name_or_path);
+
+}  // namespace bfpsim

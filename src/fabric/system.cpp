@@ -192,22 +192,32 @@ WorkloadResult AcceleratorSystem::vector_latency(std::uint64_t mul_ops,
 GemmRun AcceleratorSystem::gemm(std::span<const float> a, int m, int k,
                                 std::span<const float> b, int n) const {
   if (cfg_.pu.mode != "bfp8") {
-    // Non-default numeric modes run the registry's independent scalar
-    // golden for that mode; latency is the bfp8 system latency scaled by
-    // the mode's per-MAC issue cost.
-    const NumericMode& mode = numeric_mode(cfg_.pu.mode);
-    GemmRun run;
-    run.c = mode_gemm_reference(mode, a, m, k, b, n, cfg_.pu.psu_bits, pool_);
-    run.macs = static_cast<std::uint64_t>(m) *
-               static_cast<std::uint64_t>(k) * static_cast<std::uint64_t>(n);
-    const double base = static_cast<double>(gemm_latency(m, k, n).cycles);
-    run.compute_cycles = static_cast<std::uint64_t>(base * mode.cycle_scale);
-    return run;
+    return gemm(numeric_mode(cfg_.pu.mode), a, m, k, b, n);
   }
   GemmRun run = pu_.gemm_bfp8_fast(a, m, k, b, n, pool_);
   // Replace the single-PU compute-cycle count with the distributed system
   // latency including memory I/O.
   run.compute_cycles = gemm_latency(m, k, n).cycles;
+  return run;
+}
+
+GemmRun AcceleratorSystem::gemm(const NumericMode& mode,
+                                std::span<const float> a, int m, int k,
+                                std::span<const float> b, int n) const {
+  if (mode.name == "bfp8") {
+    GemmRun run = pu_.gemm_bfp8_fast(a, m, k, b, n, pool_);
+    run.compute_cycles = gemm_latency(m, k, n).cycles;
+    return run;
+  }
+  // Non-bfp8 numeric modes run the registry's independent scalar golden
+  // for that mode; latency is the bfp8 system latency scaled by the
+  // mode's per-MAC issue cost.
+  GemmRun run;
+  run.c = mode_gemm_reference(mode, a, m, k, b, n, cfg_.pu.psu_bits, pool_);
+  run.macs = static_cast<std::uint64_t>(m) *
+             static_cast<std::uint64_t>(k) * static_cast<std::uint64_t>(n);
+  const double base = static_cast<double>(gemm_latency(m, k, n).cycles);
+  run.compute_cycles = static_cast<std::uint64_t>(base * mode.cycle_scale);
   return run;
 }
 

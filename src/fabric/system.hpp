@@ -20,6 +20,8 @@
 
 namespace bfpsim {
 
+struct NumericMode;
+
 struct SystemConfig {
   PuConfig pu;              ///< per-array configuration
   int num_units = 15;       ///< parallel processing units on the FPGA
@@ -103,6 +105,14 @@ class AcceleratorSystem {
   /// latency model.
   GemmRun gemm(std::span<const float> a, int m, int k,
                std::span<const float> b, int n) const;
+
+  /// Same, under an explicit NumericMode (the graph compiler's per-layer
+  /// format annotations land here). `bfp8` takes the fast PU path and is
+  /// byte-identical to the default overload on a bfp8-configured system;
+  /// other modes run the registry's scalar golden with `cycle_scale`d
+  /// latency, exactly like configuring the whole system for that mode.
+  GemmRun gemm(const NumericMode& mode, std::span<const float> a, int m,
+               int k, std::span<const float> b, int n) const;
 
   const SystemConfig& config() const { return cfg_; }
   const MemoryInterface& memory() const { return mem_; }

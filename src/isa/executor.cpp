@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "numerics/format/registry.hpp"
 #include "numerics/slices.hpp"
 
 namespace bfpsim {
@@ -156,12 +157,26 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
                   "bfp.matmul: A shape mismatch");
       BFP_REQUIRE(b.rows == inst.k && b.cols == inst.n,
                   "bfp.matmul: B shape mismatch");
-      if (rel_.has_value()) {
+      if (rel_.has_value() && inst.mode_index() == 0) {
         exec_matmul_reliable(inst, a, b, stats);
         return;
       }
+      // A nonzero flags low byte is a per-layer NumericMode annotation
+      // from the graph compiler (i+1 = numeric_modes()[i]); it overrides
+      // the system's configured mode for this matmul only. Mode-annotated
+      // matmuls bypass the ABFT path — like the system-wide mode switch,
+      // checksum protection is a bfp8-datapath feature.
       const GemmRun run =
-          system_.gemm(a.data, a.rows, a.cols, b.data, b.cols);
+          inst.mode_index() == 0
+              ? system_.gemm(a.data, a.rows, a.cols, b.data, b.cols)
+              : [&] {
+                  const auto& modes = numeric_modes();
+                  const std::size_t idx = inst.mode_index() - 1U;
+                  BFP_REQUIRE(idx < modes.size(),
+                              "bfp.matmul: mode annotation out of range");
+                  return system_.gemm(modes[idx], a.data, a.rows, a.cols,
+                                      b.data, b.cols);
+                }();
       RegTensor c;
       c.rows = inst.m;
       c.cols = inst.n;
@@ -390,9 +405,12 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
         }
       }
       // Pure data movement on the DMA path; charge its transfer time.
-      stats.device_cycles += a.size() * 4 /
-                             static_cast<std::uint64_t>(
-                                 system_.memory().hbm().bytes_per_cycle_total());
+      const std::uint64_t dma =
+          a.size() * 4 /
+          static_cast<std::uint64_t>(
+              system_.memory().hbm().bytes_per_cycle_total());
+      stats.device_cycles += dma;
+      stats.move_cycles += dma;
       regs_[inst.dst] = std::move(c);
       return;
     }
@@ -414,9 +432,12 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
               a.data[static_cast<std::size_t>(r) * a.cols + start + j];
         }
       }
-      stats.device_cycles += c.size() * 4 /
-                             static_cast<std::uint64_t>(
-                                 system_.memory().hbm().bytes_per_cycle_total());
+      const std::uint64_t dma =
+          c.size() * 4 /
+          static_cast<std::uint64_t>(
+              system_.memory().hbm().bytes_per_cycle_total());
+      stats.device_cycles += dma;
+      stats.move_cycles += dma;
       regs_[inst.dst] = std::move(c);
       return;
     }
@@ -439,9 +460,12 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
               b.data[static_cast<std::size_t>(r) * b.cols + j];
         }
       }
-      stats.device_cycles += c.size() * 4 /
-                             static_cast<std::uint64_t>(
-                                 system_.memory().hbm().bytes_per_cycle_total());
+      const std::uint64_t dma =
+          c.size() * 4 /
+          static_cast<std::uint64_t>(
+              system_.memory().hbm().bytes_per_cycle_total());
+      stats.device_cycles += dma;
+      stats.move_cycles += dma;
       regs_[inst.dst] = std::move(c);
       return;
     }
@@ -480,6 +504,188 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
       }
       stats.ops.host_div += a.size();
       stats.host_ops += a.size();
+      regs_[inst.dst] = std::move(c);
+      return;
+    }
+
+    // ---- macro kernels: the controller expands these into the exact
+    // nonlinear.* micro-programs VitModel::forward_mixed runs, and each
+    // charges one vector_latency(fp_mul, fp_add) pass over the macro's
+    // whole op tally — the same single charge forward_mixed makes per
+    // kernel call, which is what cycle-identity pins rely on. ----
+
+    case Opcode::kLayerNormM: {
+      const RegTensor& a = tensor(inst.src_a);
+      const RegTensor& gamma = tensor(inst.src_b);
+      const RegTensor& beta = tensor(inst.src_c());
+      BFP_REQUIRE(a.rows == inst.m && a.cols == inst.n,
+                  "ln.macro: shape mismatch");
+      BFP_REQUIRE(gamma.rows == 1 && gamma.cols == a.cols && beta.rows == 1 &&
+                      beta.cols == a.cols,
+                  "ln.macro: gamma/beta must be (1 x cols)");
+      OpCounter local;
+      RegTensor c;
+      c.rows = a.rows;
+      c.cols = a.cols;
+      c.data = approx_layernorm(a.data, a.rows, a.cols, gamma.data,
+                                beta.data, &local, inst.imm);
+      stats.ops += local;
+      stats.host_ops += local.host_div + local.host_other;
+      stats.device_cycles +=
+          system_.vector_latency(local.fp_mul, local.fp_add).cycles;
+      regs_[inst.dst] = std::move(c);
+      return;
+    }
+
+    case Opcode::kRmsNormM: {
+      const RegTensor& a = tensor(inst.src_a);
+      const RegTensor& gamma = tensor(inst.src_b);
+      BFP_REQUIRE(a.rows == inst.m && a.cols == inst.n,
+                  "rmsn.macro: shape mismatch");
+      BFP_REQUIRE(gamma.rows == 1 && gamma.cols == a.cols,
+                  "rmsn.macro: gamma must be (1 x cols)");
+      OpCounter local;
+      RegTensor c;
+      c.rows = a.rows;
+      c.cols = a.cols;
+      c.data = approx_rmsnorm(a.data, a.rows, a.cols, gamma.data, &local,
+                              inst.imm);
+      stats.ops += local;
+      stats.host_ops += local.host_div + local.host_other;
+      stats.device_cycles +=
+          system_.vector_latency(local.fp_mul, local.fp_add).cycles;
+      regs_[inst.dst] = std::move(c);
+      return;
+    }
+
+    case Opcode::kSoftmaxM: {
+      const RegTensor& a = tensor(inst.src_a);
+      BFP_REQUIRE(a.rows == inst.m && a.cols == inst.n,
+                  "softmax.macro: shape mismatch");
+      OpCounter local;
+      const bool fast = (inst.flags & 1) != 0;
+      RegTensor c;
+      c.rows = a.rows;
+      c.cols = a.cols;
+      c.data = approx_softmax(a.data, a.rows, a.cols, &local, fast);
+      stats.ops += local;
+      stats.host_ops += local.host_div + local.host_other;
+      stats.device_cycles +=
+          system_.vector_latency(local.fp_mul, local.fp_add).cycles;
+      regs_[inst.dst] = std::move(c);
+      return;
+    }
+
+    case Opcode::kGeluM:
+    case Opcode::kSiluM: {
+      const RegTensor& a = tensor(inst.src_a);
+      OpCounter local;
+      RegTensor c;
+      c.rows = a.rows;
+      c.cols = a.cols;
+      c.data = inst.op == Opcode::kGeluM
+                   ? approx_gelu(std::span<const float>(a.data), &local)
+                   : approx_silu(std::span<const float>(a.data), &local);
+      stats.ops += local;
+      stats.host_ops += local.host_other;
+      stats.device_cycles +=
+          system_.vector_latency(local.fp_mul, local.fp_add).cycles;
+      regs_[inst.dst] = std::move(c);
+      return;
+    }
+
+    case Opcode::kRope: {
+      const RegTensor& a = tensor(inst.src_a);
+      const RegTensor& cs = tensor(inst.src_b);
+      const RegTensor& sn = tensor(inst.src_c());
+      BFP_REQUIRE(a.rows == inst.m && a.cols == inst.n,
+                  "rope: shape mismatch");
+      BFP_REQUIRE(a.cols % 2 == 0, "rope: head dim must be even");
+      require_same_shape(a, cs, "rope(cos)");
+      require_same_shape(a, sn, "rope(sin)");
+      RegTensor c = like(a);
+      const int half = a.cols / 2;
+      for (int r = 0; r < a.rows; ++r) {
+        for (int j = 0; j < a.cols; ++j) {
+          const std::size_t i = static_cast<std::size_t>(r) * a.cols + j;
+          // rotate_half: first half takes -x[second half], second half
+          // takes x[first half] (sign flip is an EU exponent-field op).
+          const std::size_t ri =
+              static_cast<std::size_t>(r) * a.cols +
+              (j < half ? j + half : j - half);
+          const float rot = j < half ? -a.data[ri] : a.data[ri];
+          c.data[i] =
+              fp32_add_aligned(fp32_mul_sliced(a.data[i], cs.data[i]),
+                               fp32_mul_sliced(rot, sn.data[i]));
+        }
+      }
+      stats.ops.fp_mul += 2 * a.size();
+      stats.ops.fp_add += a.size();
+      stats.ops.exp_manip += a.size();
+      stats.device_cycles +=
+          system_.vector_latency(2 * a.size(), a.size()).cycles;
+      regs_[inst.dst] = std::move(c);
+      return;
+    }
+
+    // ---- fused ops: each charges the same vector passes the unfused
+    // sequence would (fusion saves instruction issue and intermediate
+    // registers, never modelled datapath work). ----
+
+    case Opcode::kBiasGelu:
+    case Opcode::kBiasSilu: {
+      const RegTensor& a = tensor(inst.src_a);
+      const RegTensor& bias = tensor(inst.src_b);
+      BFP_REQUIRE(a.rows == inst.m && a.cols == inst.n,
+                  "bias+act: shape mismatch");
+      BFP_REQUIRE(bias.rows == 1 && bias.cols == a.cols,
+                  "bias+act: bias must be (1 x cols)");
+      RegTensor c = like(a);
+      for (int r = 0; r < a.rows; ++r) {
+        for (int j = 0; j < a.cols; ++j) {
+          const std::size_t i = static_cast<std::size_t>(r) * a.cols + j;
+          c.data[i] =
+              fp32_add_aligned(a.data[i], bias.data[static_cast<std::size_t>(j)]);
+        }
+      }
+      stats.ops.fp_add += a.size();
+      stats.device_cycles += system_.vector_latency(0, a.size()).cycles;
+      OpCounter local;
+      c.data = inst.op == Opcode::kBiasGelu
+                   ? approx_gelu(std::span<const float>(c.data), &local)
+                   : approx_silu(std::span<const float>(c.data), &local);
+      stats.ops += local;
+      stats.host_ops += local.host_other;
+      stats.device_cycles +=
+          system_.vector_latency(local.fp_mul, local.fp_add).cycles;
+      regs_[inst.dst] = std::move(c);
+      return;
+    }
+
+    case Opcode::kBiasResidual: {
+      const RegTensor& a = tensor(inst.src_a);
+      const RegTensor& bias = tensor(inst.src_b);
+      const RegTensor& res = tensor(inst.src_c());
+      BFP_REQUIRE(a.rows == inst.m && a.cols == inst.n,
+                  "bias.residual: shape mismatch");
+      BFP_REQUIRE(bias.rows == 1 && bias.cols == a.cols,
+                  "bias.residual: bias must be (1 x cols)");
+      require_same_shape(a, res, "bias.residual");
+      RegTensor c = like(a);
+      // out = residual + (a + bias): the same aligned-add order as the
+      // legacy model's add_bias_mixed / add_residual_mixed pair, charged
+      // as the two vector passes it fuses.
+      for (int r = 0; r < a.rows; ++r) {
+        for (int j = 0; j < a.cols; ++j) {
+          const std::size_t i = static_cast<std::size_t>(r) * a.cols + j;
+          const float biased = fp32_add_aligned(
+              a.data[i], bias.data[static_cast<std::size_t>(j)]);
+          c.data[i] = fp32_add_aligned(res.data[i], biased);
+        }
+      }
+      stats.ops.fp_add += 2 * a.size();
+      stats.device_cycles += system_.vector_latency(0, a.size()).cycles;
+      stats.device_cycles += system_.vector_latency(0, a.size()).cycles;
       regs_[inst.dst] = std::move(c);
       return;
     }

@@ -36,6 +36,11 @@ struct RegTensor {
 /// What a program run consumed.
 struct ExecutionStats {
   std::uint64_t device_cycles = 0;   ///< PU cycles incl. modelled memory I/O
+  /// DMA/crossbar data-movement cycles (transpose/slice/concat). Included
+  /// in device_cycles; tracked separately so compiled programs can pin
+  /// compute-cycle identity against VitModel::forward_mixed, whose
+  /// ForwardStats never charges host-side tensor shuffling.
+  std::uint64_t move_cycles = 0;
   std::uint64_t host_ops = 0;        ///< host-CPU scalar operations
   OpCounter ops;                     ///< primitive operation mix
   std::uint64_t instructions = 0;

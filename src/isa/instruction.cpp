@@ -63,8 +63,7 @@ InstructionWord encode(const Instruction& inst) {
 
 Instruction decode(const InstructionWord& word) {
   Instruction inst;
-  BFP_REQUIRE(word[0] <= static_cast<std::uint8_t>(Opcode::kHalt),
-              "decode: invalid opcode");
+  BFP_REQUIRE(word[0] <= kMaxOpcode, "decode: invalid opcode");
   inst.op = static_cast<Opcode>(word[0]);
   inst.dst = word[1];
   inst.src_a = word[2];
@@ -101,15 +100,41 @@ const char* opcode_name(Opcode op) {
     case Opcode::kSliceCols: return "slice.cols";
     case Opcode::kConcatCols: return "concat.cols";
     case Opcode::kHalt: return "halt";
+    case Opcode::kLayerNormM: return "ln.macro";
+    case Opcode::kRmsNormM: return "rmsn.macro";
+    case Opcode::kSoftmaxM: return "softmax.macro";
+    case Opcode::kGeluM: return "gelu.macro";
+    case Opcode::kSiluM: return "silu.macro";
+    case Opcode::kRope: return "rope";
+    case Opcode::kBiasGelu: return "bias.gelu";
+    case Opcode::kBiasSilu: return "bias.silu";
+    case Opcode::kBiasResidual: return "bias.residual";
   }
   return "?";
 }
+
+namespace {
+bool has_src_c(Opcode op) {
+  switch (op) {
+    case Opcode::kLayerNormM:
+    case Opcode::kRope:
+    case Opcode::kBiasResidual:
+      return true;
+    default:
+      return false;
+  }
+}
+}  // namespace
 
 std::string to_string(const Instruction& inst) {
   std::ostringstream os;
   os << opcode_name(inst.op) << " r" << static_cast<int>(inst.dst) << ", r"
      << static_cast<int>(inst.src_a) << ", r"
      << static_cast<int>(inst.src_b);
+  if (has_src_c(inst.op)) os << ", r" << static_cast<int>(inst.src_c());
+  if (inst.op == Opcode::kBfpMatmul && inst.mode_index() != 0) {
+    os << ", mode=" << static_cast<int>(inst.mode_index());
+  }
   if (inst.imm != 0.0F) os << ", imm=" << inst.imm;
   os << " [m=" << inst.m << " k=" << inst.k << " n=" << inst.n << "]";
   return os.str();

@@ -49,7 +49,30 @@ enum class Opcode : std::uint8_t {
   kSliceCols = 19,    ///< C = A[:, k : k+n] for an (m x ?) view
   kConcatCols = 20,   ///< C = [A | B] column-wise
   kHalt = 21,
+  // Macro kernels (graph-compiler additions): the controller expands each
+  // into the exact mul/add/EU/host micro-program of
+  // src/numerics/nonlinear.* — the same arithmetic, in the same order, as
+  // VitModel::forward_mixed runs, which is what lets compiled programs pin
+  // bit- and cycle-identity against the legacy C++ model paths. Three-
+  // operand macros carry their third register in the flags high byte
+  // (`src_c`, see Instruction).
+  kLayerNormM = 22,   ///< C = layernorm(A; gamma=B, beta=src_c, eps=imm)
+  kRmsNormM = 23,     ///< C = rmsnorm(A; gamma=B, eps=imm)
+  kSoftmaxM = 24,     ///< C = row softmax(A); flags bit0 = fast (split) exp
+  kGeluM = 25,        ///< C = gelu(A) elementwise
+  kSiluM = 26,        ///< C = silu(A) elementwise
+  kRope = 27,         ///< C = A*cos[B] + rotate_half(A)*sin[src_c]
+  // Fused ops produced by the compiler's fusion pass. Each charges the
+  // same vector-latency passes as the unfused sequence (fusion saves
+  // instruction issue and intermediate registers, not modelled datapath
+  // cycles), so fusion never perturbs cycle-identity pins.
+  kBiasGelu = 28,     ///< C = gelu(A + bias[B]) (column broadcast add)
+  kBiasSilu = 29,     ///< C = silu(A + bias[B])
+  kBiasResidual = 30, ///< C = residual[src_c] + (A + bias[B])
 };
+
+/// Highest valid opcode value (decode rejects anything above).
+inline constexpr std::uint8_t kMaxOpcode = 30;
 
 /// True for opcodes the host CPU executes (not the PU datapath).
 bool is_host_op(Opcode op);
@@ -58,6 +81,14 @@ bool is_host_op(Opcode op);
 /// executor's tensor file; `imm` is a 32-bit float immediate; m/k/n carry
 /// shapes (k unused by vector ops; n doubles as the row length for
 /// reductions/broadcasts).
+///
+/// The 128-bit word is fully packed, so two conventions live in `flags`:
+///  * three-operand macros (kLayerNormM, kRope, kBiasResidual) carry the
+///    third register in the flags high byte — use src_c()/set_src_c();
+///  * kBfpMatmul carries a NumericMode annotation in the flags low byte
+///    (0 = the system's configured mode; i+1 = numeric_modes()[i]), the
+///    per-layer format choice the graph compiler threads through to
+///    AcceleratorSystem::gemm.
 struct Instruction {
   Opcode op = Opcode::kNop;
   std::uint8_t dst = 0;
@@ -68,6 +99,18 @@ struct Instruction {
   std::uint16_t k = 0;
   std::uint16_t n = 0;
   std::uint16_t flags = 0;
+
+  std::uint8_t src_c() const {
+    return static_cast<std::uint8_t>(flags >> 8);
+  }
+  void set_src_c(std::uint8_t r) {
+    flags = static_cast<std::uint16_t>((flags & 0x00FFU) |
+                                       (static_cast<std::uint16_t>(r) << 8));
+  }
+  /// kBfpMatmul only: numeric-mode annotation (0 = system default).
+  std::uint8_t mode_index() const {
+    return static_cast<std::uint8_t>(flags & 0x00FFU);
+  }
 
   bool operator==(const Instruction&) const = default;
 };

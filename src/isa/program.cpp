@@ -44,10 +44,12 @@ std::uint8_t ProgramBuilder::reg(int r) {
 }
 
 ProgramBuilder& ProgramBuilder::bfp_matmul(int dst, int a, int b, int m,
-                                           int k, int n) {
+                                           int k, int n, int mode_index) {
   BFP_REQUIRE(m > 0 && k > 0 && n > 0 && m <= 0xFFFF && k <= 0xFFFF &&
                   n <= 0xFFFF,
               "bfp_matmul: shape fields must fit 16 bits");
+  BFP_REQUIRE(mode_index >= 0 && mode_index <= 0xFF,
+              "bfp_matmul: mode index must fit one byte");
   Instruction inst;
   inst.op = Opcode::kBfpMatmul;
   inst.dst = reg(dst);
@@ -56,6 +58,7 @@ ProgramBuilder& ProgramBuilder::bfp_matmul(int dst, int a, int b, int m,
   inst.m = static_cast<std::uint16_t>(m);
   inst.k = static_cast<std::uint16_t>(k);
   inst.n = static_cast<std::uint16_t>(n);
+  inst.flags = static_cast<std::uint16_t>(mode_index);
   prog_.push(inst);
   return *this;
 }
@@ -202,6 +205,74 @@ ProgramBuilder& ProgramBuilder::sync() {
 
 ProgramBuilder& ProgramBuilder::halt() {
   prog_.push(Instruction{Opcode::kHalt});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::layernorm_m(int dst, int a, int gamma,
+                                            int beta, int m, int n,
+                                            float eps) {
+  Instruction inst = shaped(Opcode::kLayerNormM, reg(dst), reg(a),
+                            reg(gamma), m, n);
+  inst.set_src_c(reg(beta));
+  inst.imm = eps;
+  prog_.push(inst);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::rmsnorm_m(int dst, int a, int gamma, int m,
+                                          int n, float eps) {
+  Instruction inst = shaped(Opcode::kRmsNormM, reg(dst), reg(a), reg(gamma),
+                            m, n);
+  inst.imm = eps;
+  prog_.push(inst);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::softmax_m(int dst, int a, int m, int n,
+                                          bool fast) {
+  Instruction inst = shaped(Opcode::kSoftmaxM, reg(dst), reg(a), 0, m, n);
+  inst.flags = fast ? 1 : 0;
+  prog_.push(inst);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::gelu_m(int dst, int a) {
+  prog_.push(three_op(Opcode::kGeluM, reg(dst), reg(a), 0));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::silu_m(int dst, int a) {
+  prog_.push(three_op(Opcode::kSiluM, reg(dst), reg(a), 0));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::rope(int dst, int a, int cos_reg,
+                                     int sin_reg, int m, int n) {
+  Instruction inst = shaped(Opcode::kRope, reg(dst), reg(a), reg(cos_reg),
+                            m, n);
+  inst.set_src_c(reg(sin_reg));
+  prog_.push(inst);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::bias_gelu(int dst, int a, int bias, int m,
+                                          int n) {
+  prog_.push(shaped(Opcode::kBiasGelu, reg(dst), reg(a), reg(bias), m, n));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::bias_silu(int dst, int a, int bias, int m,
+                                          int n) {
+  prog_.push(shaped(Opcode::kBiasSilu, reg(dst), reg(a), reg(bias), m, n));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::bias_residual(int dst, int a, int bias,
+                                              int residual, int m, int n) {
+  Instruction inst = shaped(Opcode::kBiasResidual, reg(dst), reg(a),
+                            reg(bias), m, n);
+  inst.set_src_c(reg(residual));
+  prog_.push(inst);
   return *this;
 }
 

@@ -37,7 +37,10 @@ class Program {
 /// would assign them).
 class ProgramBuilder {
  public:
-  ProgramBuilder& bfp_matmul(int dst, int a, int b, int m, int k, int n);
+  /// `mode_index` annotates the matmul with a NumericMode (0 = the system's
+  /// configured mode; i+1 = numeric_modes()[i]) in the flags low byte.
+  ProgramBuilder& bfp_matmul(int dst, int a, int b, int m, int k, int n,
+                             int mode_index = 0);
   ProgramBuilder& vec_mul(int dst, int a, int b);
   ProgramBuilder& vec_add(int dst, int a, int b);
   ProgramBuilder& vec_mul_scalar(int dst, int a, float s);
@@ -65,6 +68,24 @@ class ProgramBuilder {
   ProgramBuilder& host_recip(int dst, int a);
   ProgramBuilder& sync();
   ProgramBuilder& halt();
+
+  /// Macro kernels over an (m x n) view (exact nonlinear.* arithmetic).
+  ProgramBuilder& layernorm_m(int dst, int a, int gamma, int beta, int m,
+                              int n, float eps);
+  ProgramBuilder& rmsnorm_m(int dst, int a, int gamma, int m, int n,
+                            float eps);
+  ProgramBuilder& softmax_m(int dst, int a, int m, int n, bool fast = false);
+  ProgramBuilder& gelu_m(int dst, int a);
+  ProgramBuilder& silu_m(int dst, int a);
+  /// Rotary embedding: C = A*cos + rotate_half(A)*sin over (m x n) heads
+  /// laid out row-major; cos/sin are (m x n) tables.
+  ProgramBuilder& rope(int dst, int a, int cos_reg, int sin_reg, int m,
+                       int n);
+  /// Fused bias + activation / bias + residual (fusion-pass outputs).
+  ProgramBuilder& bias_gelu(int dst, int a, int bias, int m, int n);
+  ProgramBuilder& bias_silu(int dst, int a, int bias, int m, int n);
+  ProgramBuilder& bias_residual(int dst, int a, int bias, int residual,
+                                int m, int n);
 
   /// Push a pre-formed instruction (used by the graph compiler when
   /// inlining kernel programs with remapped registers).

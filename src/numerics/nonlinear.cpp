@@ -222,6 +222,25 @@ std::vector<float> approx_gelu(std::span<const float> x, OpCounter* ops) {
   return out;
 }
 
+float approx_silu(float x, OpCounter* ops) {
+  // x * sigmoid(x) with sigmoid(x) = 0.5 * (1 + tanh(x / 2)).
+  const float half_x = 0.5F * x;
+  if (ops != nullptr) ops->fp_mul += 1;  // x / 2 as 0.5 * x
+  const float t = approx_tanh(half_x, ops);
+  if (ops != nullptr) {
+    ops->fp_add += 1;  // 1 + t
+    ops->fp_mul += 2;  // 0.5 *, x *
+  }
+  return static_cast<float>(static_cast<double>(x) * 0.5 *
+                            (1.0 + static_cast<double>(t)));
+}
+
+std::vector<float> approx_silu(std::span<const float> x, OpCounter* ops) {
+  std::vector<float> out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = approx_silu(x[i], ops);
+  return out;
+}
+
 std::vector<float> approx_softmax(std::span<const float> x, int rows,
                                   int cols, OpCounter* ops, bool fast_exp) {
   BFP_REQUIRE(rows > 0 && cols > 0 &&

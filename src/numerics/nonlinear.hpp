@@ -92,6 +92,12 @@ std::vector<float> approx_layernorm(std::span<const float> x, int rows,
 std::vector<float> approx_gelu(std::span<const float> x,
                                OpCounter* ops = nullptr);
 
+/// SiLU (x * sigmoid(x)) via the tanh identity with approx_tanh; mul/add
+/// only. The SwiGLU gate of Llama-family decoder specs.
+float approx_silu(float x, OpCounter* ops = nullptr);
+std::vector<float> approx_silu(std::span<const float> x,
+                               OpCounter* ops = nullptr);
+
 /// Row-wise RMSNorm (Llama-family normalization: no mean subtraction,
 /// x * gamma / rms(x)) — double-precision reference.
 std::vector<float> rmsnorm_reference(std::span<const float> x, int rows,

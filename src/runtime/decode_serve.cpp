@@ -1,0 +1,205 @@
+#include "runtime/decode_serve.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "fabric/memory_interface.hpp"
+
+namespace bfpsim {
+
+namespace {
+
+/// bfp8 storage cost per element (65 bytes per 64-element block).
+constexpr double kBfpBytesPerElem =
+    static_cast<double>(kBfpBlockBytes) / 64.0;
+
+/// Decoder-stack parameters of a spec (QKV with grouped K/V, projection,
+/// MLP — embeddings excluded, matching DecoderConfig::params_per_layer
+/// for the degenerate case).
+std::int64_t spec_params(const ModelSpec& spec) {
+  const auto d = static_cast<std::int64_t>(spec.d_model);
+  const auto kv = static_cast<std::int64_t>(spec.kv_dim());
+  const auto f = static_cast<std::int64_t>(spec.mlp_hidden);
+  const std::int64_t attn = d * (d + 2 * kv) + d * d;
+  const std::int64_t mlp = spec.activation == SpecActivation::kSwiGlu
+                               ? 3 * d * f
+                               : 2 * d * f;
+  return (attn + mlp) * spec.depth;
+}
+
+}  // namespace
+
+SpecDecodeCosts spec_decode_costs(const ModelSpec& spec,
+                                  const AcceleratorSystem& sys, int len,
+                                  int batch) {
+  if (spec.family != SpecFamily::kDecoder) {
+    throw ConfigError("spec_decode_costs: '" + spec.name +
+                      "' is not a decoder spec");
+  }
+  BFP_REQUIRE(len >= 1 && batch >= 1,
+              "spec_decode_costs: len and batch must be positive");
+
+  SpecDecodeCosts c;
+  c.params = spec_params(spec);
+  c.weight_bytes_bfp8 = static_cast<double>(c.params) * kBfpBytesPerElem;
+
+  const auto d = static_cast<std::int64_t>(spec.d_model);
+  const auto kv = static_cast<std::int64_t>(spec.kv_dim());
+  const auto f = static_cast<std::int64_t>(spec.mlp_hidden);
+  const int hd = spec.head_dim();
+  const auto layers = static_cast<std::int64_t>(spec.depth);
+  // Grouped K/V stream: kv_heads * head_dim channels per position.
+  c.kv_bytes = static_cast<double>(layers) * 2.0 *
+               static_cast<double>(len) * static_cast<double>(kv) *
+               kBfpBytesPerElem;
+
+  std::uint64_t cycles = 0;
+  auto add = [&](std::int64_t m, std::int64_t k, std::int64_t n,
+                 std::int64_t times) {
+    cycles += sys.gemm_latency(m, k, n).cycles *
+              static_cast<std::uint64_t>(times);
+  };
+  add(batch, d, d + 2 * kv, layers);                      // fused QKV
+  add(1, hd, len, layers * spec.heads * batch);           // q K^T
+  add(1, len, hd, layers * spec.heads * batch);           // p V
+  add(batch, d, d, layers);                               // proj
+  if (spec.activation == SpecActivation::kSwiGlu) {
+    add(batch, d, f, 2 * layers);                         // gate + up
+    add(batch, f, d, layers);                             // down
+  } else {
+    add(batch, d, f, layers);                             // FFN up
+    add(batch, f, d, layers);                             // FFN down
+  }
+  c.compute_cycles = cycles;
+
+  const double agg_bytes_per_cycle =
+      static_cast<double>(sys.memory().hbm().bytes_per_cycle_total()) *
+      sys.config().num_units;
+  c.bandwidth_cycles = static_cast<std::uint64_t>(
+      (c.weight_bytes_bfp8 + c.kv_bytes * batch) / agg_bytes_per_cycle);
+  c.cycles_per_token = std::max(c.compute_cycles, c.bandwidth_cycles);
+  c.bandwidth_bound = c.bandwidth_cycles > c.compute_cycles;
+  return c;
+}
+
+DecodeServeReport serve_decode(const ModelSpec& spec,
+                               const AcceleratorSystem& sys,
+                               std::span<const ServeTurn> turns,
+                               const DecodeServeConfig& cfg) {
+  if (spec.family != SpecFamily::kDecoder) {
+    throw ConfigError("serve_decode: '" + spec.name +
+                      "' is not a decoder spec");
+  }
+  const auto kv_bytes_per_token = static_cast<std::uint64_t>(
+      static_cast<double>(spec.depth) * 2.0 *
+      static_cast<double>(spec.kv_dim()) * kBfpBytesPerElem);
+
+  PagedKvConfig kv_cfg;
+  kv_cfg.page_tokens = cfg.page_tokens;
+  kv_cfg.bytes_per_token = kv_bytes_per_token;
+  const std::uint64_t page_bytes =
+      static_cast<std::uint64_t>(cfg.page_tokens) * kv_bytes_per_token;
+  // Default arena: one full-context sequence, rounded up to whole pages
+  // (+ the allocator's per-page alignment overhead).
+  const std::uint64_t ctx_pages =
+      (static_cast<std::uint64_t>(spec.context) +
+       static_cast<std::uint64_t>(cfg.page_tokens) - 1) /
+      static_cast<std::uint64_t>(cfg.page_tokens);
+  const std::uint64_t arena =
+      cfg.arena_bytes != 0
+          ? cfg.arena_bytes
+          : ctx_pages * (page_bytes + 2 * DeviceMemory::kAlignment);
+
+  DeviceMemory mem(arena);
+  PagedKvCache cache(mem, kv_cfg);
+
+  DecodeServeReport rep;
+  rep.model = spec.name;
+  rep.kv_page_bytes = cache.page_bytes();
+
+  std::map<int, int> context;  ///< seq -> resident token count
+  for (const ServeTurn& turn : turns) {
+    BFP_REQUIRE(turn.prompt_tokens >= 0 && turn.gen_tokens >= 0,
+                "serve_decode: negative turn sizes");
+    int& len = context[turn.seq];
+    TurnReport tr;
+    tr.seq = turn.seq;
+
+    // Prefill: the new prompt tokens' K/V become resident. (Prefill GEMM
+    // cycles are the prompt-length prefill regime; this loop prices the
+    // decode steps and the KV residency traffic.)
+    len += turn.prompt_tokens;
+    BFP_REQUIRE(len + turn.gen_tokens <= spec.context,
+                "serve_decode: turn exceeds the spec context length");
+    KvTouch t0 = cache.ensure(turn.seq, len);
+    tr.kv_transfer_cycles += t0.transfer_cycles;
+    tr.kv_hits += t0.pages_hit;
+    tr.kv_cold += t0.pages_cold;
+    tr.kv_reloads += t0.pages_reloaded;
+    tr.kv_evictions += t0.pages_evicted;
+
+    // Decode: one analytic step per generated token at the growing KV
+    // length, plus that token's page residency.
+    for (int g = 0; g < turn.gen_tokens; ++g) {
+      ++len;
+      const SpecDecodeCosts step =
+          spec_decode_costs(spec, sys, len, cfg.batch);
+      tr.decode_cycles += step.cycles_per_token;
+      KvTouch t = cache.ensure(turn.seq, len);
+      tr.kv_transfer_cycles += t.transfer_cycles;
+      tr.kv_hits += t.pages_hit;
+      tr.kv_cold += t.pages_cold;
+      tr.kv_reloads += t.pages_reloaded;
+      tr.kv_evictions += t.pages_evicted;
+    }
+    tr.context_after = len;
+    tr.generated = turn.gen_tokens;
+    rep.total_cycles += tr.decode_cycles + tr.kv_transfer_cycles;
+    rep.total_tokens += static_cast<std::uint64_t>(turn.gen_tokens);
+    rep.turns.push_back(tr);
+  }
+  rep.kv = cache.stats();
+  const double freq = sys.config().pu.freq_hz;
+  rep.tokens_per_second =
+      rep.total_cycles == 0
+          ? 0.0
+          : static_cast<double>(rep.total_tokens) * freq /
+                static_cast<double>(rep.total_cycles);
+  return rep;
+}
+
+std::string DecodeServeReport::table() const {
+  std::ostringstream os;
+  os << "turn  seq  ctx    gen   decode.cycles  kv.dma.cycles  hit   cold  "
+        "reload  evict\n";
+  for (std::size_t i = 0; i < turns.size(); ++i) {
+    const TurnReport& t = turns[i];
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "%-4zu  %-3d  %-5d  %-4d  %13llu  %13llu  %-4llu  %-4llu  "
+                  "%-6llu  %-5llu\n",
+                  i, t.seq, t.context_after, t.generated,
+                  static_cast<unsigned long long>(t.decode_cycles),
+                  static_cast<unsigned long long>(t.kv_transfer_cycles),
+                  static_cast<unsigned long long>(t.kv_hits),
+                  static_cast<unsigned long long>(t.kv_cold),
+                  static_cast<unsigned long long>(t.kv_reloads),
+                  static_cast<unsigned long long>(t.kv_evictions));
+    os << line;
+  }
+  char tail[200];
+  std::snprintf(tail, sizeof tail,
+                "total: %llu tokens, %llu cycles (%.1f tok/s), kv hit rate "
+                "%.3f, %llu evictions\n",
+                static_cast<unsigned long long>(total_tokens),
+                static_cast<unsigned long long>(total_cycles),
+                tokens_per_second, kv.hit_rate(),
+                static_cast<unsigned long long>(kv.evictions));
+  os << tail;
+  return os.str();
+}
+
+}  // namespace bfpsim

@@ -70,24 +70,12 @@ void save_weights(std::ostream& os, const VitWeights& w) {
   put_i32(os, w.cfg.num_heads);
   put_i32(os, w.cfg.mlp_ratio);
   put_i32(os, w.cfg.num_classes);
-  for (const BlockWeights& b : w.blocks) {
-    put_floats(os, b.ln1_gamma);
-    put_floats(os, b.ln1_beta);
-    put_floats(os, b.qkv_w);
-    put_floats(os, b.qkv_b);
-    put_floats(os, b.proj_w);
-    put_floats(os, b.proj_b);
-    put_floats(os, b.ln2_gamma);
-    put_floats(os, b.ln2_beta);
-    put_floats(os, b.fc1_w);
-    put_floats(os, b.fc1_b);
-    put_floats(os, b.fc2_w);
-    put_floats(os, b.fc2_b);
+  // The tensor stream follows the canonical weight_schema() order — the
+  // same walk random_weights() fills from (schema access is read-only).
+  auto& mut = const_cast<VitWeights&>(w);
+  for (const WeightTensor& t : weight_schema(mut)) {
+    put_floats(os, *t.data);
   }
-  put_floats(os, w.head_gamma);
-  put_floats(os, w.head_beta);
-  put_floats(os, w.head_w);
-  put_floats(os, w.head_b);
   BFP_REQUIRE(os.good(), "save_weights: write failure");
 }
 
@@ -103,29 +91,11 @@ VitWeights load_weights(std::istream& is) {
   cfg.mlp_ratio = get_i32(is);
   cfg.num_classes = get_i32(is);
   cfg.validate();
-  const auto d = static_cast<std::size_t>(cfg.embed_dim);
-  const auto m = static_cast<std::size_t>(cfg.mlp_hidden());
   VitWeights w;
   w.cfg = cfg;
-  w.blocks.resize(static_cast<std::size_t>(cfg.depth));
-  for (BlockWeights& b : w.blocks) {
-    b.ln1_gamma = get_floats(is, d);
-    b.ln1_beta = get_floats(is, d);
-    b.qkv_w = get_floats(is, d * 3 * d);
-    b.qkv_b = get_floats(is, 3 * d);
-    b.proj_w = get_floats(is, d * d);
-    b.proj_b = get_floats(is, d);
-    b.ln2_gamma = get_floats(is, d);
-    b.ln2_beta = get_floats(is, d);
-    b.fc1_w = get_floats(is, d * m);
-    b.fc1_b = get_floats(is, m);
-    b.fc2_w = get_floats(is, m * d);
-    b.fc2_b = get_floats(is, d);
+  for (const WeightTensor& t : weight_schema(w)) {
+    *t.data = get_floats(is, t.size());
   }
-  w.head_gamma = get_floats(is, d);
-  w.head_beta = get_floats(is, d);
-  w.head_w = get_floats(is, d * static_cast<std::size_t>(cfg.num_classes));
-  w.head_b = get_floats(is, static_cast<std::size_t>(cfg.num_classes));
   return w;
 }
 

@@ -12,17 +12,6 @@ namespace bfpsim {
 
 namespace {
 
-std::vector<float> init_matrix(Rng& rng, int rows, int cols, float std_dev) {
-  std::vector<float> w(static_cast<std::size_t>(rows) * cols);
-  for (auto& v : w) {
-    // Truncated-normal-ish: resample outside 2 sigma.
-    float s = rng.normal(0.0F, std_dev);
-    while (std::fabs(s) > 2.0F * std_dev) s = rng.normal(0.0F, std_dev);
-    v = s;
-  }
-  return w;
-}
-
 std::vector<float> matmul_ref(const std::vector<float>& a, int m, int k,
                               const std::vector<float>& b, int n) {
   std::vector<float> c(static_cast<std::size_t>(m) * n);
@@ -53,32 +42,68 @@ std::vector<float> transpose(const std::vector<float>& a, int rows,
 
 }  // namespace
 
+std::vector<float> init_weight_matrix(Rng& rng, int rows, int cols,
+                                      float std_dev) {
+  std::vector<float> w(static_cast<std::size_t>(rows) * cols);
+  for (auto& v : w) {
+    // Truncated-normal-ish: resample outside 2 sigma.
+    float s = rng.normal(0.0F, std_dev);
+    while (std::fabs(s) > 2.0F * std_dev) s = rng.normal(0.0F, std_dev);
+    v = s;
+  }
+  return w;
+}
+
+std::vector<WeightTensor> weight_schema(VitWeights& w) {
+  w.cfg.validate();
+  const int d = w.cfg.embed_dim;
+  const int m = w.cfg.mlp_hidden();
+  w.blocks.resize(static_cast<std::size_t>(w.cfg.depth));
+  using Init = WeightTensor::Init;
+  std::vector<WeightTensor> schema;
+  for (std::size_t i = 0; i < w.blocks.size(); ++i) {
+    BlockWeights& b = w.blocks[i];
+    const std::string p = "blocks." + std::to_string(i) + ".";
+    schema.push_back({p + "ln1_gamma", &b.ln1_gamma, 1, d, Init::kOnes});
+    schema.push_back({p + "ln1_beta", &b.ln1_beta, 1, d, Init::kZeros});
+    schema.push_back({p + "qkv_w", &b.qkv_w, d, 3 * d, Init::kTruncNormal});
+    schema.push_back({p + "qkv_b", &b.qkv_b, 1, 3 * d, Init::kZeros});
+    schema.push_back({p + "proj_w", &b.proj_w, d, d, Init::kTruncNormal});
+    schema.push_back({p + "proj_b", &b.proj_b, 1, d, Init::kZeros});
+    schema.push_back({p + "ln2_gamma", &b.ln2_gamma, 1, d, Init::kOnes});
+    schema.push_back({p + "ln2_beta", &b.ln2_beta, 1, d, Init::kZeros});
+    schema.push_back({p + "fc1_w", &b.fc1_w, d, m, Init::kTruncNormal});
+    schema.push_back({p + "fc1_b", &b.fc1_b, 1, m, Init::kZeros});
+    schema.push_back({p + "fc2_w", &b.fc2_w, m, d, Init::kTruncNormal});
+    schema.push_back({p + "fc2_b", &b.fc2_b, 1, d, Init::kZeros});
+  }
+  schema.push_back({"head_gamma", &w.head_gamma, 1, d, Init::kOnes});
+  schema.push_back({"head_beta", &w.head_beta, 1, d, Init::kZeros});
+  schema.push_back(
+      {"head_w", &w.head_w, d, w.cfg.num_classes, Init::kTruncNormal});
+  schema.push_back(
+      {"head_b", &w.head_b, 1, w.cfg.num_classes, Init::kZeros});
+  return schema;
+}
+
 VitWeights random_weights(const VitConfig& cfg, std::uint64_t seed) {
   cfg.validate();
   Rng rng(seed);
-  const int d = cfg.embed_dim;
-  const int m = cfg.mlp_hidden();
   VitWeights w;
   w.cfg = cfg;
-  w.blocks.resize(static_cast<std::size_t>(cfg.depth));
-  for (auto& b : w.blocks) {
-    b.ln1_gamma.assign(static_cast<std::size_t>(d), 1.0F);
-    b.ln1_beta.assign(static_cast<std::size_t>(d), 0.0F);
-    b.qkv_w = init_matrix(rng, d, 3 * d, 0.02F);
-    b.qkv_b.assign(static_cast<std::size_t>(3 * d), 0.0F);
-    b.proj_w = init_matrix(rng, d, d, 0.02F);
-    b.proj_b.assign(static_cast<std::size_t>(d), 0.0F);
-    b.ln2_gamma.assign(static_cast<std::size_t>(d), 1.0F);
-    b.ln2_beta.assign(static_cast<std::size_t>(d), 0.0F);
-    b.fc1_w = init_matrix(rng, d, m, 0.02F);
-    b.fc1_b.assign(static_cast<std::size_t>(m), 0.0F);
-    b.fc2_w = init_matrix(rng, m, d, 0.02F);
-    b.fc2_b.assign(static_cast<std::size_t>(d), 0.0F);
+  for (const WeightTensor& t : weight_schema(w)) {
+    switch (t.init) {
+      case WeightTensor::Init::kZeros:
+        t.data->assign(t.size(), 0.0F);
+        break;
+      case WeightTensor::Init::kOnes:
+        t.data->assign(t.size(), 1.0F);
+        break;
+      case WeightTensor::Init::kTruncNormal:
+        *t.data = init_weight_matrix(rng, t.rows, t.cols, 0.02F);
+        break;
+    }
   }
-  w.head_gamma.assign(static_cast<std::size_t>(d), 1.0F);
-  w.head_beta.assign(static_cast<std::size_t>(d), 0.0F);
-  w.head_w = init_matrix(rng, d, cfg.num_classes, 0.02F);
-  w.head_b.assign(static_cast<std::size_t>(cfg.num_classes), 0.0F);
   return w;
 }
 

@@ -15,8 +15,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "fabric/system.hpp"
 #include "numerics/nonlinear.hpp"
 #include "transformer/config.hpp"
@@ -40,9 +42,41 @@ struct VitWeights {
   std::vector<float> head_w, head_b;         // d x classes
 };
 
+/// One tensor of the VitWeights schema: a name, the backing storage, its
+/// logical shape, and how a seeded initializer fills it. The schema walk
+/// is the single source of truth for tensor order/shape shared by the
+/// seeded initializer (random_weights), the checkpoint codec
+/// (save_weights/load_weights), and the graph-compiler front end — they
+/// must never enumerate the fields independently again.
+struct WeightTensor {
+  enum class Init { kZeros, kOnes, kTruncNormal };
+
+  std::string name;
+  std::vector<float>* data = nullptr;
+  int rows = 0;  ///< 1 for bias/affine vectors
+  int cols = 0;
+  Init init = Init::kZeros;
+
+  std::size_t size() const {
+    return static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+  }
+};
+
+/// Enumerate the weight tensors of `w` in canonical (checkpoint) order:
+/// per block ln1 γ/β, qkv W/b, proj W/b, ln2 γ/β, fc1 W/b, fc2 W/b; then
+/// the head γ/β/W/b. `w.cfg` must be set; blocks are resized to depth.
+std::vector<WeightTensor> weight_schema(VitWeights& w);
+
 /// ViT-style initialization (truncated-normal-ish, std 0.02) with a fixed
-/// seed for reproducibility.
+/// seed for reproducibility. Implemented as a walk of weight_schema() so
+/// initialization, checkpointing, and compilation agree on the layout.
 VitWeights random_weights(const VitConfig& cfg, std::uint64_t seed);
+
+/// Fill one matrix with the schema's truncated-normal draw (resample
+/// outside 2 sigma, std 0.02 for projections). Exposed so decoder-spec
+/// weight materialization shares the exact sampling discipline.
+std::vector<float> init_weight_matrix(Rng& rng, int rows, int cols,
+                                      float std_dev);
 
 /// Synthetic input embeddings (tokens x d) with a fixed seed; a fraction of
 /// channels carries transformer-like outliers to make the quantization

@@ -1,0 +1,12 @@
+// Fixture: the compiler sits above isa on the module ladder — it may
+// lower graphs INTO isa programs, but the ISA layer must never reach back
+// up into the graph compiler. This file declares itself part of `isa` and
+// includes a compiler header. Expect exactly one `layering` finding.
+// bfpsim-lint: module(isa)
+#include "compiler/compile.hpp"
+
+namespace fixture {
+
+int isa_reaching_into_the_compiler() { return 0; }
+
+}  // namespace fixture

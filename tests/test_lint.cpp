@@ -359,6 +359,13 @@ TEST(Lint, FlagsUpwardIncludeAgainstModuleLadder) {
   expect_single_finding("bad_layering.cpp", "layering");
 }
 
+TEST(Lint, FlagsIsaIncludingTheCompiler) {
+  // compiler (rank 15) may include isa (rank 9) and numerics.format, but
+  // the reverse edge — the ISA layer importing graph-compiler headers —
+  // is an upward include and must be flagged.
+  expect_single_finding("bad_compiler_layering.cpp", "layering");
+}
+
 TEST(Lint, FlagsFloatAccumulationInFormatLayer) {
   // src/numerics/format/ joined the bit-exact rule set with the precision
   // zoo; the fixture declares that module + tag explicitly.

@@ -1,0 +1,160 @@
+// Paged KV-cache residency: deterministic LRU paging over the device
+// memory model, and the multi-turn decode-serving loop built on it.
+#include <gtest/gtest.h>
+
+#include "compiler/spec_registry.hpp"
+#include "runtime/decode_serve.hpp"
+#include "runtime/paged_kv.hpp"
+
+namespace bfpsim {
+namespace {
+
+PagedKvConfig small_pages() {
+  PagedKvConfig cfg;
+  cfg.page_tokens = 4;
+  cfg.bytes_per_token = 256;
+  return cfg;
+}
+
+TEST(PagedKv, ColdAllocThenHit) {
+  DeviceMemory mem(1 << 20);
+  PagedKvCache cache(mem, small_pages());
+
+  const KvTouch t0 = cache.ensure(/*seq=*/0, /*token_count=*/10);
+  EXPECT_EQ(t0.pages_cold, 3U);  // ceil(10/4)
+  EXPECT_EQ(t0.pages_hit, 0U);
+  EXPECT_GT(t0.transfer_cycles, 0U);
+  EXPECT_EQ(cache.resident_pages(), 3U);
+
+  const KvTouch t1 = cache.ensure(0, 10);
+  EXPECT_EQ(t1.pages_hit, 3U);
+  EXPECT_EQ(t1.pages_cold, 0U);
+  EXPECT_EQ(t1.transfer_cycles, 0U);
+
+  // Growing the sequence allocates only the new page.
+  const KvTouch t2 = cache.ensure(0, 13);
+  EXPECT_EQ(t2.pages_hit, 3U);
+  EXPECT_EQ(t2.pages_cold, 1U);
+  EXPECT_EQ(cache.stats().hits, 6U);
+  EXPECT_EQ(cache.stats().cold_allocs, 4U);
+}
+
+TEST(PagedKv, LruEvictionAndReloadAreDeterministic) {
+  const PagedKvConfig cfg = small_pages();
+  // Room for ~4 pages (alloc alignment overhead included).
+  DeviceMemory mem(4 * (cfg.page_tokens * cfg.bytes_per_token +
+                        2 * DeviceMemory::kAlignment));
+  PagedKvCache cache(mem, cfg);
+
+  (void)cache.ensure(0, 16);  // seq 0: 4 pages, arena now full
+  KvTouch t = cache.ensure(1, 8);  // seq 1 needs 2 pages -> evict 2 LRU
+  EXPECT_EQ(t.pages_cold, 2U);
+  EXPECT_EQ(t.pages_evicted, 2U);
+  EXPECT_EQ(cache.stats().evictions, 2U);
+
+  // Touching seq 0 again reloads the evicted pages (not cold allocs).
+  t = cache.ensure(0, 16);
+  EXPECT_EQ(t.pages_reloaded, 2U);
+  EXPECT_EQ(t.pages_cold, 0U);
+  EXPECT_GT(cache.stats().reloads, 0U);
+
+  // The whole dance is virtual-clock driven: a fresh cache replays the
+  // same sequence of touches to identical counters.
+  DeviceMemory mem2(4 * (cfg.page_tokens * cfg.bytes_per_token +
+                         2 * DeviceMemory::kAlignment));
+  PagedKvCache cache2(mem2, cfg);
+  (void)cache2.ensure(0, 16);
+  (void)cache2.ensure(1, 8);
+  (void)cache2.ensure(0, 16);
+  EXPECT_EQ(cache2.stats().hits, cache.stats().hits);
+  EXPECT_EQ(cache2.stats().cold_allocs, cache.stats().cold_allocs);
+  EXPECT_EQ(cache2.stats().reloads, cache.stats().reloads);
+  EXPECT_EQ(cache2.stats().evictions, cache.stats().evictions);
+  EXPECT_EQ(cache2.stats().transfer_cycles, cache.stats().transfer_cycles);
+}
+
+TEST(PagedKv, PinnedPagesSurviveOwnRequest) {
+  const PagedKvConfig cfg = small_pages();
+  DeviceMemory mem(3 * (cfg.page_tokens * cfg.bytes_per_token +
+                        2 * DeviceMemory::kAlignment));
+  PagedKvCache cache(mem, cfg);
+  // One request needing all 3 page slots must not evict its own pages.
+  const KvTouch t = cache.ensure(0, 12);
+  EXPECT_EQ(t.pages_cold, 3U);
+  EXPECT_EQ(t.pages_evicted, 0U);
+  // A request larger than the arena fails loudly instead of thrashing.
+  EXPECT_THROW((void)cache.ensure(1, 64), Error);
+}
+
+TEST(PagedKv, ReleaseFreesPages) {
+  DeviceMemory mem(1 << 20);
+  PagedKvCache cache(mem, small_pages());
+  (void)cache.ensure(0, 16);
+  (void)cache.ensure(1, 8);
+  EXPECT_EQ(cache.resident_pages(), 6U);
+  cache.release(0);
+  EXPECT_EQ(cache.resident_pages(), 2U);
+  // Re-ensuring a released sequence is a cold start, not a reload.
+  const KvTouch t = cache.ensure(0, 4);
+  EXPECT_EQ(t.pages_cold, 1U);
+  EXPECT_EQ(t.pages_reloaded, 0U);
+}
+
+TEST(DecodeServe, MultiTurnContextsAccumulate) {
+  const ModelSpec spec = load_model_spec("llama-tiny");
+  const AcceleratorSystem sys;
+  const std::vector<ServeTurn> turns = {
+      {0, 8, 4}, {1, 8, 4}, {0, 4, 4}, {1, 4, 4}};
+  const DecodeServeReport rep = serve_decode(spec, sys, turns);
+
+  ASSERT_EQ(rep.turns.size(), 4U);
+  EXPECT_EQ(rep.turns[0].context_after, 12);
+  EXPECT_EQ(rep.turns[2].context_after, 20);  // 12 + 4 prompt + 4 gen
+  EXPECT_EQ(rep.total_tokens, 16U);
+  EXPECT_GT(rep.total_cycles, 0U);
+  EXPECT_GT(rep.tokens_per_second, 0.0);
+  EXPECT_FALSE(rep.table().empty());
+
+  // Deterministic across reruns.
+  const DecodeServeReport again = serve_decode(spec, sys, turns);
+  EXPECT_EQ(again.total_cycles, rep.total_cycles);
+  EXPECT_EQ(again.kv.evictions, rep.kv.evictions);
+  EXPECT_EQ(again.kv.transfer_cycles, rep.kv.transfer_cycles);
+}
+
+TEST(DecodeServe, TightArenaForcesEvictionsAndSlowsServing) {
+  const ModelSpec spec = load_model_spec("llama-tiny");
+  const AcceleratorSystem sys;
+  // Two interleaved full-context conversations.
+  const std::vector<ServeTurn> turns = {
+      {0, 8, 4}, {1, 8, 4}, {0, 8, 4}, {1, 8, 4}};
+
+  DecodeServeConfig roomy;
+  roomy.arena_bytes = 1ULL << 24;
+  const DecodeServeReport fast = serve_decode(spec, sys, turns, roomy);
+  EXPECT_EQ(fast.kv.evictions, 0U);
+
+  DecodeServeConfig tight;
+  tight.page_tokens = 4;
+  // Exactly one sequence's worth of pages: the interleaving must thrash.
+  tight.arena_bytes = 0;  // default = one full-context sequence
+  const DecodeServeReport slow = serve_decode(spec, sys, turns, tight);
+  EXPECT_GT(slow.kv.evictions, 0U);
+  EXPECT_GT(slow.kv.reloads, 0U);
+  EXPECT_GE(slow.total_cycles, fast.total_cycles);
+  EXPECT_LT(slow.kv.hit_rate(), 1.0);
+}
+
+TEST(DecodeServe, RejectsEncoderSpecsAndOverflowingTurns) {
+  const AcceleratorSystem sys;
+  const std::vector<ServeTurn> one = {{0, 4, 2}};
+  EXPECT_THROW(
+      (void)serve_decode(load_model_spec("vit-tiny-test"), sys, one),
+      ConfigError);
+  const ModelSpec spec = load_model_spec("llama-tiny");
+  const std::vector<ServeTurn> huge = {{0, spec.context, 1}};
+  EXPECT_THROW((void)serve_decode(spec, sys, huge), Error);
+}
+
+}  // namespace
+}  // namespace bfpsim

@@ -1,0 +1,206 @@
+// Spec-parser coverage: diagnostics carry line/col, validation rejects
+// malformed transformer geometry, and the built-in registry stays
+// byte-identical to the committed specs/*.json files.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "compiler/spec.hpp"
+#include "compiler/spec_registry.hpp"
+
+namespace bfpsim {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.good()) << "cannot open " << path;
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+/// Parse and return the SpecError, failing the test if none is thrown.
+SpecError expect_spec_error(const std::string& text) {
+  try {
+    (void)parse_model_spec(text);
+  } catch (const SpecError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "expected SpecError for: " << text;
+  return SpecError("unreached", 0, 0);
+}
+
+const char* kMinimalDecoder = R"({
+  "name": "t",
+  "family": "decoder",
+  "d_model": 64,
+  "depth": 1,
+  "heads": 4,
+  "mlp_hidden": 128,
+  "vocab": 32,
+  "context": 16
+})";
+
+TEST(SpecParser, MinimalDecoderParses) {
+  const ModelSpec s = parse_model_spec(kMinimalDecoder);
+  EXPECT_EQ(s.name, "t");
+  EXPECT_EQ(s.family, SpecFamily::kDecoder);
+  EXPECT_EQ(s.kv_heads, s.heads);  // defaults to MHA
+  EXPECT_EQ(s.head_dim(), 16);
+  EXPECT_EQ(s.kv_dim(), 64);
+  EXPECT_FALSE(s.rope);
+  EXPECT_EQ(s.norm, SpecNorm::kLayerNorm);
+  EXPECT_EQ(s.activation, SpecActivation::kGelu);
+}
+
+TEST(SpecParser, MissingFieldCarriesPosition) {
+  // No d_model: the diagnostic anchors at the enclosing object.
+  const SpecError e = expect_spec_error(R"({
+  "name": "t",
+  "family": "decoder"
+})");
+  EXPECT_NE(std::string(e.what()).find("missing field 'd_model'"),
+            std::string::npos)
+      << e.what();
+  EXPECT_GE(e.line(), 1);
+  EXPECT_GE(e.col(), 1);
+}
+
+TEST(SpecParser, MalformedJsonCarriesPosition) {
+  const SpecError e = expect_spec_error("{\n  \"name\": oops\n}");
+  EXPECT_EQ(e.line(), 2);
+  EXPECT_GT(e.col(), 1);
+}
+
+TEST(SpecParser, UnknownFamilyRejected) {
+  const SpecError e = expect_spec_error(R"({
+  "name": "t",
+  "family": "diffusion",
+  "d_model": 64, "depth": 1, "heads": 4, "mlp_hidden": 128
+})");
+  EXPECT_NE(std::string(e.what()).find("'encoder' or 'decoder'"),
+            std::string::npos);
+  EXPECT_EQ(e.line(), 3);
+}
+
+TEST(SpecParser, UnknownOpInLayerStack) {
+  const SpecError e = expect_spec_error(R"({
+  "name": "t", "family": "decoder",
+  "d_model": 64, "depth": 1, "heads": 4, "mlp_hidden": 128,
+  "vocab": 32, "context": 16,
+  "layers": [
+    {"name": "a", "op": "conv"},
+    {"name": "m", "op": "mlp"}
+  ]
+})");
+  EXPECT_NE(std::string(e.what()).find("unknown op 'conv'"),
+            std::string::npos)
+      << e.what();
+  EXPECT_EQ(e.line(), 6);
+}
+
+TEST(SpecParser, IndivisibleGqaHeadGroups) {
+  const SpecError e = expect_spec_error(R"({
+  "name": "t", "family": "decoder",
+  "d_model": 60, "depth": 1, "heads": 4, "kv_heads": 3,
+  "mlp_hidden": 128, "vocab": 32, "context": 16
+})");
+  EXPECT_NE(std::string(e.what())
+                .find("heads=4 is not a multiple of kv_heads=3"),
+            std::string::npos)
+      << e.what();
+}
+
+TEST(SpecParser, CyclicLayerGraphRejected) {
+  const SpecError e = expect_spec_error(R"({
+  "name": "t", "family": "decoder",
+  "d_model": 64, "depth": 1, "heads": 4, "mlp_hidden": 128,
+  "vocab": 32, "context": 16,
+  "layers": [
+    {"name": "a", "op": "attention", "input": "m"},
+    {"name": "m", "op": "mlp", "input": "a"}
+  ]
+})");
+  EXPECT_NE(std::string(e.what()).find("cyclic layer graph"),
+            std::string::npos)
+      << e.what();
+}
+
+TEST(SpecParser, UnknownInputLayerRejected) {
+  const SpecError e = expect_spec_error(R"({
+  "name": "t", "family": "decoder",
+  "d_model": 64, "depth": 1, "heads": 4, "mlp_hidden": 128,
+  "vocab": 32, "context": 16,
+  "layers": [
+    {"name": "a", "op": "attention", "input": "ghost"},
+    {"name": "m", "op": "mlp"}
+  ]
+})");
+  EXPECT_NE(std::string(e.what()).find("unknown input layer 'ghost'"),
+            std::string::npos)
+      << e.what();
+}
+
+TEST(SpecParser, GqaIsDecoderOnly) {
+  (void)expect_spec_error(R"({
+  "name": "t", "family": "encoder",
+  "d_model": 64, "depth": 1, "heads": 4, "kv_heads": 2,
+  "mlp_hidden": 128,
+  "image_size": 32, "patch_size": 8, "num_classes": 10
+})");
+}
+
+TEST(SpecParser, UnknownNumericModeRejected) {
+  const SpecError e = expect_spec_error(R"({
+  "name": "t", "family": "decoder",
+  "d_model": 64, "depth": 1, "heads": 4, "mlp_hidden": 128,
+  "vocab": 32, "context": 16,
+  "modes": {"qkv": "fp64"}
+})");
+  EXPECT_NE(std::string(e.what()).find("unknown numeric mode 'fp64'"),
+            std::string::npos)
+      << e.what();
+}
+
+TEST(SpecParser, DuplicateKeyRejected) {
+  (void)expect_spec_error(R"({"name": "a", "name": "b"})");
+}
+
+TEST(SpecRegistry, AllEntriesParseAndMatchTheirName) {
+  ASSERT_FALSE(registered_specs().empty());
+  for (const RegisteredSpec& r : registered_specs()) {
+    const ModelSpec s = parse_model_spec(r.text);
+    EXPECT_EQ(s.name, r.name);
+    EXPECT_FALSE(r.summary.empty());
+  }
+}
+
+TEST(SpecRegistry, TextIsByteIdenticalToCommittedFiles) {
+  for (const RegisteredSpec& r : registered_specs()) {
+    const std::string path =
+        std::string(BFPSIM_SPECS_DIR) + "/" + r.name + ".json";
+    EXPECT_EQ(read_file(path), std::string(r.text))
+        << r.name << " drifted from " << path;
+  }
+}
+
+TEST(SpecRegistry, LoadByNameAndByPathAgree) {
+  const ModelSpec by_name = load_model_spec("llama-tiny");
+  const ModelSpec by_path =
+      load_model_spec(std::string(BFPSIM_SPECS_DIR) + "/llama-tiny.json");
+  EXPECT_EQ(by_name.name, by_path.name);
+  EXPECT_EQ(by_name.kv_heads, by_path.kv_heads);
+  EXPECT_EQ(by_name.seed, by_path.seed);
+  EXPECT_TRUE(by_name.rope);
+  EXPECT_EQ(by_name.norm, SpecNorm::kRmsNorm);
+  EXPECT_EQ(by_name.activation, SpecActivation::kSwiGlu);
+}
+
+TEST(SpecRegistry, UnknownNameIsAnError) {
+  EXPECT_THROW((void)load_model_spec("no-such-model"), Error);
+}
+
+}  // namespace
+}  // namespace bfpsim

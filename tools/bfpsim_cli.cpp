@@ -26,6 +26,12 @@
 
 #include "cluster/cluster_executor.hpp"
 #include "cluster/cluster_serving.hpp"
+#include "compiler/compile.hpp"
+#include "compiler/fuse.hpp"
+#include "compiler/schedule.hpp"
+#include "compiler/spec_graph.hpp"
+#include "compiler/spec_registry.hpp"
+#include "runtime/decode_serve.hpp"
 #include "fleet/fleet_loop.hpp"
 #include "fleet/tenant.hpp"
 #include "runtime/session.hpp"
@@ -58,6 +64,9 @@ void print_usage() {
       "  bfpsim deit <tiny|small|base> [--softermax]\n"
       "  bfpsim throughput\n"
       "  bfpsim batch <tiny|small|base> <BATCH>\n"
+      "  bfpsim compile <spec|spec.json> [--cards N] [--no-fuse] [--json]\n"
+      "  bfpsim serve --model <spec|spec.json> [--turns S:P:G,...]\n"
+      "         [--page-tokens N] [--arena-mb MB] [--batch B] [--json]\n"
       "  bfpsim serve <tiny|small|base|test> [--requests N] [--rate RPS]\n"
       "         [--closed CLIENTS] [--think-ms MS] [--seed S] [--queue D]\n"
       "         [--batch B] [--slo-ms MS] [--max-wait-us US] [--shed]\n"
@@ -190,6 +199,11 @@ int cmd_info() {
   for (const NumericMode& m : numeric_modes()) {
     std::printf("  %-12s %s — %s\n", m.name.c_str(),
                 to_string(m.spec).c_str(), m.summary.c_str());
+  }
+  std::printf("registered model specs (--model on compile/serve, or a "
+              ".json path):\n");
+  for (const RegisteredSpec& s : registered_specs()) {
+    std::printf("  %-14s %s\n", s.name.c_str(), s.summary.c_str());
   }
   return 0;
 }
@@ -326,6 +340,203 @@ int cmd_resources(const std::string& scope) {
 
 /// Online serving demo: replay a seeded arrival trace through the
 /// virtual-time event loop and print the latency-percentile report.
+/// `bfpsim compile <spec>`: front-end smoke surface. Encoders build the
+/// fused graph, compile it, and print the static schedule summary (plus
+/// the pipeline/tensor schedule search when --cards > 1). Decoders print
+/// the analytic per-token decode costs — the big bench models' graphs
+/// would not fit host memory, and decode is the regime that matters.
+int cmd_compile(int argc, char** argv) {
+  const std::string which = argv[0];
+  int cards = 1;
+  bool fuse = true;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) throw Error(std::string(what) + " needs a value");
+      return argv[++i];
+    };
+    if (a == "--cards") {
+      cards = parse_int(next("--cards"), "--cards", 1, 1024);
+    } else if (a == "--no-fuse") {
+      fuse = false;
+    } else if (a == "--json") {
+      json = true;
+    } else {
+      throw Error("unknown compile option '" + a + "'");
+    }
+  }
+
+  const ModelSpec spec = load_model_spec(which);
+  const AcceleratorSystem sys(system_config_for_mode("bfp8"));
+
+  if (spec.family == SpecFamily::kDecoder) {
+    const SpecDecodeCosts c = spec_decode_costs(spec, sys, spec.context);
+    if (json) {
+      std::printf("{\"model\":\"%s\",\"params\":%lld,"
+                  "\"compute_cycles\":%llu,\"bandwidth_cycles\":%llu,"
+                  "\"cycles_per_token\":%llu,\"bandwidth_bound\":%s}\n",
+                  spec.name.c_str(), static_cast<long long>(c.params),
+                  static_cast<unsigned long long>(c.compute_cycles),
+                  static_cast<unsigned long long>(c.bandwidth_cycles),
+                  static_cast<unsigned long long>(c.cycles_per_token),
+                  c.bandwidth_bound ? "true" : "false");
+      return 0;
+    }
+    std::printf("decoder spec %s: d=%d depth=%d heads=%d kv_heads=%d "
+                "ctx=%d\n",
+                spec.name.c_str(), spec.d_model, spec.depth, spec.heads,
+                spec.kv_heads, spec.context);
+    std::printf("  params            : %.1f M\n",
+                static_cast<double>(c.params) / 1e6);
+    std::printf("  compute cycles/tok: %llu\n",
+                static_cast<unsigned long long>(c.compute_cycles));
+    std::printf("  stream cycles/tok : %llu\n",
+                static_cast<unsigned long long>(c.bandwidth_cycles));
+    std::printf("  cycles/token      : %llu (%s-bound)\n",
+                static_cast<unsigned long long>(c.cycles_per_token),
+                c.bandwidth_bound ? "bandwidth" : "compute");
+    return 0;
+  }
+
+  FusionStats fs;
+  const Graph g = fuse ? build_fused_spec_graph(spec, 0, &fs)
+                       : build_spec_graph(spec);
+  CompileOptions opts;
+  opts.macro_kernels = fuse;
+  const CompiledModel cm = compile(g, sys, opts);
+  // Run the schedule search up front so --json can emit one document.
+  std::string schedule_json;
+  std::string schedule_report;
+  if (cards > 1) {
+    const VitConfig cfg = vit_config_of(spec);
+    const ClusterTopology topo =
+        ClusterTopology::ring(cards, LinkConfig{}, sys.config());
+    const ScheduleDecision dec = search_schedule(cfg, topo);
+    schedule_json = dec.to_json();
+    schedule_report = dec.report();
+  }
+  if (json) {
+    std::printf("{\"model\":\"%s\",\"nodes\":%zu,\"instructions\":%zu,"
+                "\"est_cycles\":%llu",
+                spec.name.c_str(), g.size(), cm.program().size(),
+                static_cast<unsigned long long>(cm.total_est_cycles()));
+    if (!schedule_json.empty()) {
+      std::printf(",\"schedule_search\":%s", schedule_json.c_str());
+    }
+    std::printf("}\n");
+  } else {
+    std::printf("encoder spec %s: %zu graph nodes -> %zu instructions\n",
+                spec.name.c_str(), g.size(), cm.program().size());
+    if (fuse) {
+      std::printf("  fusion: %d qkv merges, %d bias+act folds, %d residual "
+                  "absorptions (%d -> %d nodes)\n",
+                  fs.qkv_merges, fs.bias_act_folds,
+                  fs.residual_absorptions, fs.nodes_in, fs.nodes_out);
+    }
+    std::printf("  est cycles/request: %llu\n",
+                static_cast<unsigned long long>(cm.total_est_cycles()));
+    if (!schedule_report.empty()) std::printf("%s", schedule_report.c_str());
+  }
+  return 0;
+}
+
+/// `bfpsim serve --model <spec>`: multi-turn paged-KV decode serving.
+int cmd_serve_model(int argc, char** argv) {
+  std::string which;
+  std::string turns_arg;  // empty = derived from the spec's context
+  DecodeServeConfig cfg;
+  bool json = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) throw Error(std::string(what) + " needs a value");
+      return argv[++i];
+    };
+    if (a == "--model") {
+      which = next("--model");
+    } else if (a == "--turns") {
+      turns_arg = next("--turns");
+    } else if (a == "--page-tokens") {
+      cfg.page_tokens =
+          parse_int(next("--page-tokens"), "--page-tokens", 1, 1 << 16);
+    } else if (a == "--arena-mb") {
+      cfg.arena_bytes = parse_u64(next("--arena-mb"), "--arena-mb") *
+                        (1ULL << 20);
+    } else if (a == "--batch") {
+      cfg.batch = parse_int(next("--batch"), "--batch", 1, 1 << 16);
+    } else if (a == "--json") {
+      json = true;
+    } else {
+      throw Error("unknown serve --model option '" + a + "'");
+    }
+  }
+  if (which.empty()) throw Error("--model needs a value");
+
+  const ModelSpec spec = load_model_spec(which);
+  if (spec.family != SpecFamily::kDecoder) {
+    throw Error("serve --model needs a decoder spec; '" + spec.name +
+                "' is an encoder (use `bfpsim serve tiny|small|base`)");
+  }
+  const AcceleratorSystem sys(system_config_for_mode("bfp8"));
+
+  if (turns_arg.empty()) {
+    // Two interleaved conversations, two turns each, sized so every
+    // sequence ends at 3/4 of the context window. With the default arena
+    // (one full-context sequence) the interleaving forces evictions.
+    const int p = std::max(1, spec.context / 4);
+    const int g = std::max(1, spec.context / 8);
+    const std::string t =
+        std::to_string(p) + ":" + std::to_string(g);
+    turns_arg = "0:" + t + ",1:" + t + ",0:" + t + ",1:" + t;
+  }
+
+  // --turns SEQ:PROMPT:GEN,...
+  std::vector<ServeTurn> turns;
+  std::stringstream ss(turns_arg);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    ServeTurn t;
+    const auto c1 = tok.find(':');
+    const auto c2 = c1 == std::string::npos ? c1 : tok.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos) {
+      throw Error("--turns entry '" + tok + "' is not SEQ:PROMPT:GEN");
+    }
+    t.seq = parse_int(tok.substr(0, c1).c_str(), "--turns seq", 0, 1 << 20);
+    t.prompt_tokens = parse_int(tok.substr(c1 + 1, c2 - c1 - 1).c_str(),
+                                "--turns prompt", 0, 1 << 26);
+    t.gen_tokens =
+        parse_int(tok.substr(c2 + 1).c_str(), "--turns gen", 0, 1 << 26);
+    turns.push_back(t);
+  }
+  if (turns.empty()) throw Error("--turns is empty");
+
+  const DecodeServeReport rep = serve_decode(spec, sys, turns, cfg);
+  if (json) {
+    std::printf("{\"model\":\"%s\",\"turns\":%zu,\"tokens\":%llu,"
+                "\"cycles\":%llu,\"tokens_per_second\":%.1f,"
+                "\"kv\":{\"hits\":%llu,\"cold\":%llu,\"reloads\":%llu,"
+                "\"evictions\":%llu,\"hit_rate\":%.4f,"
+                "\"page_bytes\":%llu}}\n",
+                rep.model.c_str(), rep.turns.size(),
+                static_cast<unsigned long long>(rep.total_tokens),
+                static_cast<unsigned long long>(rep.total_cycles),
+                rep.tokens_per_second,
+                static_cast<unsigned long long>(rep.kv.hits),
+                static_cast<unsigned long long>(rep.kv.cold_allocs),
+                static_cast<unsigned long long>(rep.kv.reloads),
+                static_cast<unsigned long long>(rep.kv.evictions),
+                rep.kv.hit_rate(),
+                static_cast<unsigned long long>(rep.kv_page_bytes));
+    return 0;
+  }
+  std::printf("paged-KV decode serving: %s (page = %d tokens, %llu B)\n",
+              rep.model.c_str(), cfg.page_tokens,
+              static_cast<unsigned long long>(rep.kv_page_bytes));
+  std::printf("%s", rep.table().c_str());
+  return 0;
+}
+
 int cmd_serve(int argc, char** argv) {
   // argv[0] is the model name; flags follow.
   const std::string which = argv[0];
@@ -1092,8 +1303,8 @@ bool has_flag(int argc, char** argv, const char* flag) {
 
 bool known_command(const std::string& cmd) {
   for (const char* k : {"info", "gemm", "softmax", "deit", "throughput",
-                        "batch", "serve", "cluster", "fleet", "faults",
-                        "resources"}) {
+                        "batch", "compile", "serve", "cluster", "fleet",
+                        "faults", "resources"}) {
     if (cmd == k) return true;
   }
   return false;
@@ -1148,9 +1359,22 @@ int main(int argc, char** argv) {
       }
       return cmd_batch(argv[2], batch);
     }
-    if (cmd == "serve") {
-      if (argc < 3) return bad_args("serve needs <tiny|small|base|test>");
+    if (cmd == "compile") {
+      if (argc < 3) return bad_args("compile needs <spec|spec.json>");
       try {
+        return cmd_compile(argc - 2, argv + 2);
+      } catch (const Error& e) {
+        return bad_args(e.what());
+      }
+    }
+    if (cmd == "serve") {
+      if (argc < 3) {
+        return bad_args("serve needs <tiny|small|base|test> or --model");
+      }
+      try {
+        if (std::string(argv[2]) == "--model") {
+          return cmd_serve_model(argc - 2, argv + 2);
+        }
         return cmd_serve(argc - 2, argv + 2);
       } catch (const Error& e) {
         return bad_args(e.what());
