@@ -1,6 +1,7 @@
 #include "compiler/compile.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "isa/kernels.hpp"
@@ -250,7 +251,14 @@ CompiledModel compile(const Graph& graph, const AcceleratorSystem& system,
       std::max(2, m.output_shape_.cols), std::max(2, m.output_shape_.cols));
 
   ProgramBuilder pb;
+  // Emit ranges per node, in instruction-index space — the verifier's
+  // declared liveness intervals are anchored on these.
+  std::vector<int> emit_begin(graph.size(), 0);
+  std::vector<int> emit_end(graph.size(), 0);
   for (const GraphNode& n : graph.nodes()) {
+    emit_begin[static_cast<std::size_t>(n.id)] =
+        static_cast<int>(pb.size());
+    emit_end[static_cast<std::size_t>(n.id)] = static_cast<int>(pb.size());
     const bool dead =
         reg[static_cast<std::size_t>(n.id)] < 0 && n.op != GraphOp::kInput;
     if (dead && n.op != GraphOp::kConstant) {
@@ -385,6 +393,7 @@ CompiledModel compile(const Graph& graph, const AcceleratorSystem& system,
                          reg_of(n.inputs[2]), n.shape.rows, n.shape.cols);
         break;
     }
+    emit_end[static_cast<std::size_t>(n.id)] = static_cast<int>(pb.size());
 
     NodePlan plan;
     plan.id = n.id;
@@ -401,7 +410,62 @@ CompiledModel compile(const Graph& graph, const AcceleratorSystem& system,
   pb.halt();
   m.program_ = pb.build();
   m.output_reg_ = reg_of(m.output_node_);
+
+  // Declare the allocator's value intervals for the static verifier.
+  // A value's last read is the last instruction of its max-id consumer
+  // (emission walks nodes in id order, so consumer ranges are ordered);
+  // the output value is read by the epilogue at the halt.
+  const int halt_idx = static_cast<int>(m.program_.size()) - 1;
+  std::vector<int> last_read(graph.size(), -1);
+  for (const GraphNode& n : graph.nodes()) {
+    if (n.op == GraphOp::kInput || n.op == GraphOp::kConstant) continue;
+    if (reg[static_cast<std::size_t>(n.id)] < 0) continue;  // emits nothing
+    const int last = emit_end[static_cast<std::size_t>(n.id)] - 1;
+    for (NodeId in : n.inputs) {
+      last_read[static_cast<std::size_t>(in)] =
+          std::max(last_read[static_cast<std::size_t>(in)], last);
+    }
+  }
+  last_read[static_cast<std::size_t>(m.output_node_)] = halt_idx;
+  for (const GraphNode& n : graph.nodes()) {
+    const int r = reg[static_cast<std::size_t>(n.id)];
+    if (r < 0) continue;  // dead under register reuse: no value exists
+    VerifyValue v;
+    v.reg = r;
+    v.shape = n.shape;
+    v.last_use_inst = last_read[static_cast<std::size_t>(n.id)];
+    if (n.op == GraphOp::kInput) {
+      v.prebound = true;
+    } else if (n.op == GraphOp::kConstant) {
+      v.prebound = true;
+      double mx = 0.0;
+      for (const float x : n.value) {
+        mx = std::max(mx, std::abs(static_cast<double>(x)));
+      }
+      v.magnitude = mx;
+    } else {
+      v.def_inst = emit_begin[static_cast<std::size_t>(n.id)];
+    }
+    m.values_.push_back(v);
+  }
+
+  // Mandatory post-pass: refuse to hand out a program the verifier cannot
+  // prove safe. The program bytes are already final — verification never
+  // mutates them, so legacy byte-stability holds.
+  const VerifyReport vr =
+      verify_program(m.program_, m.verify_bindings(), system);
+  if (!vr.clean()) {
+    throw Error("compile: static verification failed: " + vr.summary());
+  }
   return m;
+}
+
+VerifyBindings CompiledModel::verify_bindings() const {
+  VerifyBindings b;
+  b.values = values_;
+  b.output_reg = output_reg_;
+  b.declared_peak_regs = kScratchWindow;
+  return b;
 }
 
 RunResult CompiledModel::run(

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "compiler/graph.hpp"
+#include "compiler/verify.hpp"
 #include "fabric/system.hpp"
 #include "isa/executor.hpp"
 #include "isa/program.hpp"
@@ -59,6 +60,12 @@ class CompiledModel {
   /// Human-readable schedule report (one row per node).
   std::string report() const;
 
+  /// The binding contract the static verifier checks this program against:
+  /// pre-bound input/constant registers, the allocator's declared value
+  /// intervals, and the epilogue's output register. compile() runs
+  /// verify_program over exactly these bindings as a mandatory post-pass.
+  VerifyBindings verify_bindings() const;
+
  private:
   friend CompiledModel compile(const Graph& graph,
                                const AcceleratorSystem& system,
@@ -74,6 +81,7 @@ class CompiledModel {
   NodeId output_node_ = -1;
   int output_reg_ = -1;
   TensorShape output_shape_;
+  std::vector<VerifyValue> values_;  ///< declared allocator value intervals
 };
 
 /// Compile a graph for an accelerator system. Graphs up to 240 nodes get
@@ -81,7 +89,11 @@ class CompiledModel {
 /// earlier compiler versions); larger graphs go through liveness-based
 /// register reuse over the same 240-register window (constants are bound
 /// before execution, so they stay live from program start to last use).
-CompiledModel compile(const Graph& graph, const AcceleratorSystem& system,
-                      const CompileOptions& options = CompileOptions{});
+/// The emitted program is statically verified (compiler/verify.hpp) before
+/// it is returned; a program with error-severity findings throws, so every
+/// CompiledModel is proven shape-, liveness-, carrier- and memory-safe.
+[[nodiscard]] CompiledModel compile(
+    const Graph& graph, const AcceleratorSystem& system,
+    const CompileOptions& options = CompileOptions{});
 
 }  // namespace bfpsim

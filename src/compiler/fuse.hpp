@@ -34,6 +34,6 @@ struct FusionStats {
 
 /// Rewrite `g` with all three fusions applied. The result has the same
 /// single output (same value, same bytes) as `g`.
-Graph fuse_graph(const Graph& g, FusionStats* stats = nullptr);
+[[nodiscard]] Graph fuse_graph(const Graph& g, FusionStats* stats = nullptr);
 
 }  // namespace bfpsim

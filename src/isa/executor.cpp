@@ -22,13 +22,13 @@ void Executor::set_tensor(int r, int rows, int cols,
   t.rows = rows;
   t.cols = cols;
   t.data.assign(data.begin(), data.end());
-  regs_[static_cast<std::size_t>(r)] = std::move(t);
+  store(r, std::move(t));
 }
 
 void Executor::set_tensor(int r, RegTensor t) {
   BFP_REQUIRE(r >= 0 && r < kNumTensorRegs, "Executor: register out of range");
   BFP_REQUIRE(t.data.size() == t.size(), "Executor: tensor shape mismatch");
-  regs_[static_cast<std::size_t>(r)] = std::move(t);
+  store(r, std::move(t));
 }
 
 const RegTensor& Executor::tensor(int r) const {
@@ -45,6 +45,17 @@ RegTensor& Executor::mut_tensor(int r) {
   return *slot;
 }
 
+void Executor::store(int r, RegTensor t) {
+  auto& slot = regs_[static_cast<std::size_t>(r)];
+  if (slot.has_value()) {
+    resident_ -= static_cast<std::uint64_t>(slot->size()) * sizeof(float);
+  }
+  resident_ += static_cast<std::uint64_t>(t.size()) * sizeof(float);
+  slot = std::move(t);
+  BFP_REQUIRE(mem_limit_ == 0 || resident_ <= mem_limit_,
+              "Executor: register file exceeds the device memory limit");
+}
+
 ExecutionStats Executor::run(const Program& program) {
   ExecutionStats stats;
   for (const Instruction& inst : program.instructions()) {
@@ -57,6 +68,7 @@ ExecutionStats Executor::run(const Program& program) {
 
 void Executor::reset() {
   for (auto& r : regs_) r.reset();
+  resident_ = 0;
 }
 
 void Executor::set_reliability(const ReliabilityConfig& cfg) {
@@ -95,7 +107,7 @@ void Executor::exec_matmul_reliable(const Instruction& inst,
   c.rows = inst.m;
   c.cols = inst.n;
   c.data = std::move(res.c);
-  regs_[inst.dst] = std::move(c);
+  store(inst.dst, std::move(c));
 
   std::uint64_t cycles =
       system_.gemm_latency(inst.m, inst.k, inst.n).cycles;
@@ -181,7 +193,7 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
       c.rows = inst.m;
       c.cols = inst.n;
       c.data = run.c;
-      regs_[inst.dst] = std::move(c);
+      store(inst.dst, std::move(c));
       stats.device_cycles += run.compute_cycles;
       return;
     }
@@ -197,7 +209,7 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
       stats.ops.fp_mul += a.size();
       stats.device_cycles +=
           system_.vector_latency(a.size(), 0).cycles;
-      regs_[inst.dst] = std::move(c);
+      store(inst.dst, std::move(c));
       return;
     }
 
@@ -212,7 +224,7 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
       stats.ops.fp_add += a.size();
       stats.device_cycles +=
           system_.vector_latency(0, a.size()).cycles;
-      regs_[inst.dst] = std::move(c);
+      store(inst.dst, std::move(c));
       return;
     }
 
@@ -225,7 +237,7 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
       stats.ops.fp_mul += a.size();
       stats.device_cycles +=
           system_.vector_latency(a.size(), 0).cycles;
-      regs_[inst.dst] = std::move(c);
+      store(inst.dst, std::move(c));
       return;
     }
 
@@ -238,7 +250,7 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
       stats.ops.fp_add += a.size();
       stats.device_cycles +=
           system_.vector_latency(0, a.size()).cycles;
-      regs_[inst.dst] = std::move(c);
+      store(inst.dst, std::move(c));
       return;
     }
 
@@ -254,7 +266,7 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
       stats.ops += local;
       stats.device_cycles +=
           system_.vector_latency(local.fp_mul, local.fp_add).cycles;
-      regs_[inst.dst] = std::move(c);
+      store(inst.dst, std::move(c));
       return;
     }
 
@@ -269,7 +281,7 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
       stats.host_ops += local.host_other;
       stats.device_cycles +=
           system_.vector_latency(local.fp_mul, local.fp_add).cycles;
-      regs_[inst.dst] = std::move(c);
+      store(inst.dst, std::move(c));
       return;
     }
 
@@ -291,7 +303,7 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
       }
       stats.ops.fp_add += a.size();
       stats.device_cycles += system_.vector_latency(0, a.size()).cycles;
-      regs_[inst.dst] = std::move(c);
+      store(inst.dst, std::move(c));
       return;
     }
 
@@ -313,7 +325,7 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
       }
       stats.ops.host_other += a.size();
       stats.host_ops += a.size();
-      regs_[inst.dst] = std::move(c);
+      store(inst.dst, std::move(c));
       return;
     }
 
@@ -334,7 +346,7 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
       }
       stats.ops.fp_add += a.size();
       stats.device_cycles += system_.vector_latency(0, a.size()).cycles;
-      regs_[inst.dst] = std::move(c);
+      store(inst.dst, std::move(c));
       return;
     }
 
@@ -355,7 +367,7 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
       }
       stats.ops.fp_mul += a.size();
       stats.device_cycles += system_.vector_latency(a.size(), 0).cycles;
-      regs_[inst.dst] = std::move(c);
+      store(inst.dst, std::move(c));
       return;
     }
 
@@ -386,7 +398,7 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
         stats.ops.fp_mul += a.size();
         stats.device_cycles += system_.vector_latency(a.size(), 0).cycles;
       }
-      regs_[inst.dst] = std::move(c);
+      store(inst.dst, std::move(c));
       return;
     }
 
@@ -411,7 +423,7 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
               system_.memory().hbm().bytes_per_cycle_total());
       stats.device_cycles += dma;
       stats.move_cycles += dma;
-      regs_[inst.dst] = std::move(c);
+      store(inst.dst, std::move(c));
       return;
     }
 
@@ -438,7 +450,7 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
               system_.memory().hbm().bytes_per_cycle_total());
       stats.device_cycles += dma;
       stats.move_cycles += dma;
-      regs_[inst.dst] = std::move(c);
+      store(inst.dst, std::move(c));
       return;
     }
 
@@ -466,7 +478,7 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
               system_.memory().hbm().bytes_per_cycle_total());
       stats.device_cycles += dma;
       stats.move_cycles += dma;
-      regs_[inst.dst] = std::move(c);
+      store(inst.dst, std::move(c));
       return;
     }
 
@@ -480,7 +492,7 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
       }
       stats.ops.host_div += a.size();
       stats.host_ops += a.size();
-      regs_[inst.dst] = std::move(c);
+      store(inst.dst, std::move(c));
       return;
     }
 
@@ -492,7 +504,7 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
       }
       stats.ops.host_div += a.size();
       stats.host_ops += a.size();
-      regs_[inst.dst] = std::move(c);
+      store(inst.dst, std::move(c));
       return;
     }
 
@@ -504,7 +516,7 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
       }
       stats.ops.host_div += a.size();
       stats.host_ops += a.size();
-      regs_[inst.dst] = std::move(c);
+      store(inst.dst, std::move(c));
       return;
     }
 
@@ -533,7 +545,7 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
       stats.host_ops += local.host_div + local.host_other;
       stats.device_cycles +=
           system_.vector_latency(local.fp_mul, local.fp_add).cycles;
-      regs_[inst.dst] = std::move(c);
+      store(inst.dst, std::move(c));
       return;
     }
 
@@ -554,7 +566,7 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
       stats.host_ops += local.host_div + local.host_other;
       stats.device_cycles +=
           system_.vector_latency(local.fp_mul, local.fp_add).cycles;
-      regs_[inst.dst] = std::move(c);
+      store(inst.dst, std::move(c));
       return;
     }
 
@@ -572,7 +584,7 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
       stats.host_ops += local.host_div + local.host_other;
       stats.device_cycles +=
           system_.vector_latency(local.fp_mul, local.fp_add).cycles;
-      regs_[inst.dst] = std::move(c);
+      store(inst.dst, std::move(c));
       return;
     }
 
@@ -590,7 +602,7 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
       stats.host_ops += local.host_other;
       stats.device_cycles +=
           system_.vector_latency(local.fp_mul, local.fp_add).cycles;
-      regs_[inst.dst] = std::move(c);
+      store(inst.dst, std::move(c));
       return;
     }
 
@@ -624,7 +636,7 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
       stats.ops.exp_manip += a.size();
       stats.device_cycles +=
           system_.vector_latency(2 * a.size(), a.size()).cycles;
-      regs_[inst.dst] = std::move(c);
+      store(inst.dst, std::move(c));
       return;
     }
 
@@ -658,7 +670,7 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
       stats.host_ops += local.host_other;
       stats.device_cycles +=
           system_.vector_latency(local.fp_mul, local.fp_add).cycles;
-      regs_[inst.dst] = std::move(c);
+      store(inst.dst, std::move(c));
       return;
     }
 
@@ -686,7 +698,7 @@ void Executor::exec_one(const Instruction& inst, ExecutionStats& stats) {
       stats.ops.fp_add += 2 * a.size();
       stats.device_cycles += system_.vector_latency(0, a.size()).cycles;
       stats.device_cycles += system_.vector_latency(0, a.size()).cycles;
-      regs_[inst.dst] = std::move(c);
+      store(inst.dst, std::move(c));
       return;
     }
   }

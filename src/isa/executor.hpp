@@ -85,6 +85,14 @@ class Executor {
   /// Clear all registers.
   void reset();
 
+  /// Cap the register file's resident footprint (bytes of live tensor
+  /// data; an overwrite frees the old value first). 0 disables the check.
+  /// Models the device arena: any write that would push the resident set
+  /// past the limit faults, mirroring the static verifier's
+  /// arena-overflow accounting byte for byte.
+  void set_memory_limit(std::uint64_t bytes) { mem_limit_ = bytes; }
+  std::uint64_t resident_bytes() const { return resident_; }
+
   /// Enable the reliability path: kBfpMatmul routes through the
   /// ABFT-protected GEMM (reliability/abft.hpp) and PE-column quarantine
   /// persists across run() calls until clear_reliability().
@@ -99,6 +107,10 @@ class Executor {
 
  private:
   RegTensor& mut_tensor(int r);
+  /// The single register-write path: updates the resident-byte count and
+  /// enforces the memory limit. All opcode handlers and set_tensor route
+  /// through here.
+  void store(int r, RegTensor t);
   void exec_one(const Instruction& inst, ExecutionStats& stats);
   void exec_matmul_reliable(const Instruction& inst, const RegTensor& a,
                             const RegTensor& b, ExecutionStats& stats);
@@ -107,6 +119,8 @@ class Executor {
   std::vector<std::optional<RegTensor>> regs_;
   std::optional<ReliabilityConfig> rel_;
   std::optional<QuarantineState> quarantine_;
+  std::uint64_t mem_limit_ = 0;
+  std::uint64_t resident_ = 0;
 };
 
 }  // namespace bfpsim

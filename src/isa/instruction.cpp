@@ -9,15 +9,45 @@
 namespace bfpsim {
 
 bool is_host_op(Opcode op) {
+  // Exhaustive over Opcode on purpose (no default): adding an opcode must
+  // force a decision about which side of the host/device cost split it
+  // lands on.
   switch (op) {
     case Opcode::kHostDiv:
     case Opcode::kHostRsqrt:
     case Opcode::kHostRecip:
     case Opcode::kRowMax:  // comparator tree is host-assisted here
       return true;
-    default:
+    case Opcode::kNop:
+    case Opcode::kBfpMatmul:
+    case Opcode::kVecMul:
+    case Opcode::kVecAdd:
+    case Opcode::kVecMulScalar:
+    case Opcode::kVecAddScalar:
+    case Opcode::kVecExp:
+    case Opcode::kVecTanh:
+    case Opcode::kRowSum:
+    case Opcode::kRowSub:
+    case Opcode::kRowMulBcast:
+    case Opcode::kSync:
+    case Opcode::kColAddBcast:
+    case Opcode::kColMulBcast:
+    case Opcode::kTranspose:
+    case Opcode::kSliceCols:
+    case Opcode::kConcatCols:
+    case Opcode::kHalt:
+    case Opcode::kLayerNormM:
+    case Opcode::kRmsNormM:
+    case Opcode::kSoftmaxM:
+    case Opcode::kGeluM:
+    case Opcode::kSiluM:
+    case Opcode::kRope:
+    case Opcode::kBiasGelu:
+    case Opcode::kBiasSilu:
+    case Opcode::kBiasResidual:
       return false;
   }
+  return false;
 }
 
 namespace {
@@ -115,14 +145,44 @@ const char* opcode_name(Opcode op) {
 
 namespace {
 bool has_src_c(Opcode op) {
+  // Exhaustive over Opcode (no default) so a new three-operand opcode
+  // cannot silently disassemble without its third register.
   switch (op) {
     case Opcode::kLayerNormM:
     case Opcode::kRope:
     case Opcode::kBiasResidual:
       return true;
-    default:
+    case Opcode::kNop:
+    case Opcode::kBfpMatmul:
+    case Opcode::kVecMul:
+    case Opcode::kVecAdd:
+    case Opcode::kVecMulScalar:
+    case Opcode::kVecAddScalar:
+    case Opcode::kVecExp:
+    case Opcode::kVecTanh:
+    case Opcode::kRowSum:
+    case Opcode::kRowMax:
+    case Opcode::kRowSub:
+    case Opcode::kRowMulBcast:
+    case Opcode::kHostDiv:
+    case Opcode::kHostRsqrt:
+    case Opcode::kHostRecip:
+    case Opcode::kSync:
+    case Opcode::kColAddBcast:
+    case Opcode::kColMulBcast:
+    case Opcode::kTranspose:
+    case Opcode::kSliceCols:
+    case Opcode::kConcatCols:
+    case Opcode::kHalt:
+    case Opcode::kRmsNormM:
+    case Opcode::kSoftmaxM:
+    case Opcode::kGeluM:
+    case Opcode::kSiluM:
+    case Opcode::kBiasGelu:
+    case Opcode::kBiasSilu:
       return false;
   }
+  return false;
 }
 }  // namespace
 

@@ -91,6 +91,10 @@ class ProgramBuilder {
   /// inlining kernel programs with remapped registers).
   ProgramBuilder& raw(const Instruction& inst);
 
+  /// Instructions emitted so far (the compiler records per-node emit
+  /// ranges for the static verifier's liveness declarations).
+  std::size_t size() const { return prog_.size(); }
+
   Program build();
 
  private:

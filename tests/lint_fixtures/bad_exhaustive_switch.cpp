@@ -1,0 +1,30 @@
+// Fixture: a `default:` arm in a switch over the ISA Opcode discriminator
+// inside bit-exact-tagged code. Expect exactly one `exhaustive-switch`
+// finding (the default label), even though a second switch over an
+// unrelated enum also carries a default.
+// bfpsim-lint: tag(bit-exact)
+namespace fixture {
+
+enum class Opcode { kNop, kMatmul, kHalt };
+enum class RoundMode { kNearestEven, kTruncate };
+
+int latency_of(Opcode op) {
+  switch (op) {
+    case Opcode::kMatmul:
+      return 8;
+    default:  // swallows any future opcode at its matmul cost
+      return 1;
+  }
+}
+
+int round_bias(RoundMode mode) {
+  // Not an Opcode/NumericMode switch: a default here is fine.
+  switch (mode) {
+    case RoundMode::kNearestEven:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace fixture

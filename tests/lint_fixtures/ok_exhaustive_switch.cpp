@@ -1,0 +1,32 @@
+// Fixture twin: bit-exact-tagged code whose Opcode switch enumerates every
+// member (no default), alongside a RoundMode switch that keeps its default.
+// Expect zero findings: the rule only polices the ISA/NumericMode
+// discriminators, not every enum in a bit-exact module.
+// bfpsim-lint: tag(bit-exact)
+namespace fixture {
+
+enum class Opcode { kNop, kMatmul, kHalt };
+enum class RoundMode { kNearestEven, kTruncate };
+
+int latency_of(Opcode op) {
+  switch (op) {
+    case Opcode::kNop:
+      return 0;
+    case Opcode::kMatmul:
+      return 8;
+    case Opcode::kHalt:
+      return 0;
+  }
+  return 0;
+}
+
+int round_bias(RoundMode mode) {
+  switch (mode) {
+    case RoundMode::kNearestEven:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace fixture

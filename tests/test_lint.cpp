@@ -378,6 +378,23 @@ TEST(Lint, FlagsNumericsIncludingTheFormatLayer) {
   expect_single_finding("bad_format_layering.cpp", "layering");
 }
 
+TEST(Lint, FlagsDefaultArmInOpcodeSwitch) {
+  // The bad fixture also holds a RoundMode switch with a default, proving
+  // the rule fires only on the Opcode discriminator.
+  expect_single_finding("bad_exhaustive_switch.cpp", "exhaustive-switch");
+}
+
+TEST(Lint, ExhaustiveOpcodeSwitchIsClean) {
+  // The twin enumerates every Opcode member and keeps a default on an
+  // unrelated RoundMode switch: zero findings.
+  const LintRun run = run_lint(
+      {"--root", BFPSIM_SOURCE_ROOT, fixture("ok_exhaustive_switch.cpp")});
+  EXPECT_EQ(run.exit_code, 0);
+  EXPECT_TRUE(findings_of(run.report).empty())
+      << serialize(run.report.obj().at("findings"));
+  EXPECT_EQ(field_num(run.report, "files_scanned"), 1);
+}
+
 TEST(Lint, AllowSuppressionsSilenceEveryRule) {
   const LintRun run =
       run_lint({"--root", BFPSIM_SOURCE_ROOT, fixture("suppressed.cpp")});
@@ -392,7 +409,7 @@ TEST(Lint, AllFixturesTogetherFlagEachRuleExactlyOnce) {
       fixture("bad_unordered.cpp"), fixture("bad_rng.cpp"),
       fixture("bad_float_accum.cpp"), fixture("bad_raw_alloc.cpp"),
       fixture("bad_counters.cpp"), fixture("bad_nodiscard.hpp"),
-      fixture("bad_layering.cpp"),
+      fixture("bad_layering.cpp"), fixture("bad_exhaustive_switch.cpp"),
   });
   EXPECT_EQ(run.exit_code, 1);
   std::map<std::string, int> by_rule;
@@ -403,6 +420,7 @@ TEST(Lint, AllFixturesTogetherFlagEachRuleExactlyOnce) {
       {"unordered-container", 1}, {"nondet-rng", 1}, {"float-accum", 1},
       {"raw-alloc", 1},           {"counters-mutation", 1},
       {"nodiscard-status", 1},    {"layering", 1},
+      {"exhaustive-switch", 1},
   };
   EXPECT_EQ(by_rule, expected);
 }

@@ -65,6 +65,7 @@ void print_usage() {
       "  bfpsim throughput\n"
       "  bfpsim batch <tiny|small|base> <BATCH>\n"
       "  bfpsim compile <spec|spec.json> [--cards N] [--no-fuse] [--json]\n"
+      "  bfpsim verify <spec|spec.json> [--cards N] [--mode M] [--json]\n"
       "  bfpsim serve --model <spec|spec.json> [--turns S:P:G,...]\n"
       "         [--page-tokens N] [--arena-mb MB] [--batch B] [--json]\n"
       "  bfpsim serve <tiny|small|base|test> [--requests N] [--rate RPS]\n"
@@ -439,6 +440,43 @@ int cmd_compile(int argc, char** argv) {
     if (!schedule_report.empty()) std::printf("%s", schedule_report.c_str());
   }
   return 0;
+}
+
+/// `bfpsim verify <spec>`: static verification — spec-level geometry,
+/// carrier-bound, and paged-KV arena checks, plus full abstract
+/// interpretation of the compiled program when the graph is small enough
+/// to materialize. Exit 0 when no error-severity finding, 1 otherwise.
+int cmd_verify(int argc, char** argv) {
+  const std::string which = argv[0];
+  int cards = 1;
+  std::string mode_name = "bfp8";
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) throw Error(std::string(what) + " needs a value");
+      return argv[++i];
+    };
+    if (a == "--cards") {
+      cards = parse_int(next("--cards"), "--cards", 1, 1024);
+    } else if (a == "--mode") {
+      mode_name = next("--mode");
+    } else if (a == "--json") {
+      json = true;
+    } else {
+      throw Error("unknown verify option '" + a + "'");
+    }
+  }
+  const ModelSpec spec = load_model_spec(which);
+  const AcceleratorSystem sys(system_config_for_mode(mode_name));
+  const VerifyReport rep = verify_model_spec(spec, sys, cards);
+  if (json) {
+    std::printf("%s\n", rep.to_json().c_str());
+  } else {
+    std::printf("%s mode=%s cards=%d\n%s\n", spec.name.c_str(),
+                mode_name.c_str(), cards, rep.summary().c_str());
+  }
+  return rep.clean() ? 0 : 1;
 }
 
 /// `bfpsim serve --model <spec>`: multi-turn paged-KV decode serving.
@@ -1303,8 +1341,8 @@ bool has_flag(int argc, char** argv, const char* flag) {
 
 bool known_command(const std::string& cmd) {
   for (const char* k : {"info", "gemm", "softmax", "deit", "throughput",
-                        "batch", "compile", "serve", "cluster", "fleet",
-                        "faults", "resources"}) {
+                        "batch", "compile", "verify", "serve", "cluster",
+                        "fleet", "faults", "resources"}) {
     if (cmd == k) return true;
   }
   return false;
@@ -1363,6 +1401,14 @@ int main(int argc, char** argv) {
       if (argc < 3) return bad_args("compile needs <spec|spec.json>");
       try {
         return cmd_compile(argc - 2, argv + 2);
+      } catch (const Error& e) {
+        return bad_args(e.what());
+      }
+    }
+    if (cmd == "verify") {
+      if (argc < 3) return bad_args("verify needs <spec|spec.json>");
+      try {
+        return cmd_verify(argc - 2, argv + 2);
       } catch (const Error& e) {
         return bad_args(e.what());
       }

@@ -36,6 +36,12 @@
 //                        a header) must be [[nodiscard]]: a dropped
 //                        admission or range check is exactly how a
 //                        bit-exactness bug hides.
+//   exhaustive-switch    `default:` arms in switches over the ISA Opcode /
+//                        NumericMode discriminators in bit-exact code: a
+//                        silently-absorbed new enum member is a
+//                        bit-exactness hazard. Enumerate every member so
+//                        adding one is a -Wswitch compile error, not a
+//                        runtime fallthrough.
 //   layering             #include edges must point down the module ladder
 //                        (common < numerics < numerics.format < ... < core),
 //                        mirroring src/CMakeLists.txt link order. The
@@ -329,9 +335,10 @@ void apply_path_tags(FileReport& fr) {
       under("src/fleet/") || under("src/fabric/")) {
     fr.tags.insert("timing");
   }
-  // Bit-exact integer datapath: the golden numerics, the cycle-accurate PU
-  // and the ABFT checksums that must reproduce them bit for bit.
-  if (under("src/numerics/") || under("src/pu/") ||
+  // Bit-exact integer datapath: the golden numerics, the cycle-accurate PU,
+  // the ISA interpreter that routes tensors through them, and the ABFT
+  // checksums that must reproduce them bit for bit.
+  if (under("src/numerics/") || under("src/pu/") || under("src/isa/") ||
       rel.rfind("src/reliability/abft", 0) == 0) {
     fr.tags.insert("bit-exact");
   }
@@ -365,6 +372,7 @@ class Linter {
     check_raw_alloc(fr);
     check_counters(fr);
     check_nodiscard(fr);
+    check_exhaustive_switch(fr);
     check_layering(fr);
   }
 
@@ -619,6 +627,75 @@ class Linter {
                "status-returning API `" + name +
                    "` must be [[nodiscard]]: an ignored admission/range "
                    "check silently breaks an exactness invariant");
+      }
+    }
+  }
+
+  /// True when a switch condition names one of the bit-exact enum
+  /// discriminators: it mentions the `Opcode` or `NumericMode` type by
+  /// name, or its final identifier is `op`/`opcode` (e.g. `inst.op`).
+  static bool enum_discriminator(const std::string& cond) {
+    if (contains_word(cond, "Opcode") || contains_word(cond, "NumericMode")) {
+      return true;
+    }
+    std::size_t e = cond.size();
+    while (e > 0 && !is_ident_char(cond[e - 1])) --e;
+    std::size_t b = e;
+    while (b > 0 && is_ident_char(cond[b - 1])) --b;
+    const std::string last = cond.substr(b, e - b);
+    return last == "op" || last == "opcode";
+  }
+
+  void check_exhaustive_switch(FileReport& fr) {
+    if (fr.tags.count("bit-exact") == 0) return;
+    // State for the switch body currently being tracked (depth relative to
+    // the switch's own opening brace; 1 == the case-label level).
+    bool active = false;
+    int depth = 0;
+    int switch_line = 0;
+    for (std::size_t i = 0; i < fr.scrubbed.size(); ++i) {
+      const std::string& s = fr.scrubbed[i];
+      if (!active) {
+        std::size_t sw = s.find("switch");
+        while (sw != std::string::npos) {
+          const bool lb = sw == 0 || !is_ident_char(s[sw - 1]);
+          const bool rb = sw + 6 >= s.size() || !is_ident_char(s[sw + 6]);
+          if (lb && rb) break;
+          sw = s.find("switch", sw + 6);
+        }
+        if (sw == std::string::npos) continue;
+        const std::size_t op = s.find('(', sw);
+        if (op == std::string::npos) continue;  // condition on next line: skip
+        // Walk to the matching ')' of the condition.
+        int paren = 0;
+        std::size_t cl = op;
+        for (; cl < s.size(); ++cl) {
+          if (s[cl] == '(') ++paren;
+          if (s[cl] == ')' && --paren == 0) break;
+        }
+        if (cl >= s.size()) continue;
+        if (!enum_discriminator(trim(s.substr(op + 1, cl - op - 1)))) continue;
+        active = true;
+        depth = 0;
+        switch_line = static_cast<int>(i) + 1;
+        // Fall through into body scanning from the rest of this line.
+        for (std::size_t j = cl + 1; j < s.size(); ++j) {
+          if (s[j] == '{') ++depth;
+          if (s[j] == '}' && --depth == 0) { active = false; break; }
+        }
+        continue;
+      }
+      // Inside a tracked switch body: flag `default` labels at case level.
+      if (depth == 1 && contains_word(s, "default")) {
+        report(fr, "exhaustive-switch", static_cast<int>(i) + 1,
+               "`default:` in a switch over Opcode/NumericMode (opened at "
+               "line " + std::to_string(switch_line) +
+               "): enumerate every member so a new enum value is a "
+               "-Wswitch compile error, not a silent runtime fallthrough");
+      }
+      for (char c : s) {
+        if (c == '{') ++depth;
+        if (c == '}' && --depth == 0) { active = false; break; }
       }
     }
   }
